@@ -1,0 +1,358 @@
+//! Feedback Alignment (Lillicrap et al.): backprop with fixed random
+//! feedback weights.
+//!
+//! FA resolves the "weight transport problem" by propagating error signals
+//! through fixed random matrices `B` instead of the transposed forward
+//! weights `Wᵀ`. Weight gradients are computed normally (from the incoming
+//! error and the cached input), so FA's memory footprint matches BP's —
+//! which is why Figure 3 places FA at high memory / low accuracy for CNNs.
+
+use crate::report::TrainReport;
+use nf_data::Dataset;
+use nf_nn::loss::{accuracy, cross_entropy};
+use nf_nn::optim::Sgd;
+use nf_nn::{Layer, Mode, NnError, Param};
+use nf_tensor::{
+    col2im, he_normal, im2col, matmul, matmul_a_bt, matmul_at_b, sum_axis0, Conv2dGeometry, Tensor,
+};
+use rand::Rng;
+
+/// Linear layer whose backward pass uses a fixed random feedback matrix.
+pub struct FaLinear {
+    weight: Param,
+    bias: Param,
+    /// Fixed random feedback matrix, same shape as `weight`; never updated.
+    feedback: Tensor,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl FaLinear {
+    /// Creates the layer with independent forward and feedback weights.
+    pub fn new<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        FaLinear {
+            weight: Param::new(he_normal(rng, &[in_features, out_features], in_features)),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            feedback: he_normal(rng, &[in_features, out_features], in_features),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for FaLinear {
+    fn name(&self) -> String {
+        format!("fa_linear({}→{})", self.in_features, self.out_features)
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> nf_nn::Result<Tensor> {
+        let mut y = matmul(x, &self.weight.value)?;
+        let b = self.bias.value.data();
+        for row in y.data_mut().chunks_mut(self.out_features) {
+            for (v, bv) in row.iter_mut().zip(b) {
+                *v += bv;
+            }
+        }
+        if mode == Mode::Train {
+            self.cached_input = Some(x.clone());
+        }
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> nf_nn::Result<Tensor> {
+        let x = self
+            .cached_input
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
+        let dw = matmul_at_b(&x, grad_out)?;
+        nf_tensor::axpy(1.0, &dw, &mut self.weight.grad)?;
+        let db = sum_axis0(grad_out)?;
+        nf_tensor::axpy(1.0, &db, &mut self.bias.grad)?;
+        // The error signal travels through the *feedback* matrix.
+        Ok(matmul_a_bt(grad_out, &self.feedback)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+}
+
+/// Convolution whose backward input-gradient uses fixed random feedback
+/// filters.
+pub struct FaConv2d {
+    weight: Param,
+    bias: Param,
+    feedback: Tensor,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl FaConv2d {
+    /// Creates the layer with independent forward and feedback filters.
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        FaConv2d {
+            weight: Param::new(he_normal(rng, &[out_channels, fan_in], fan_in)),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            feedback: he_normal(rng, &[out_channels, fan_in], fan_in),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            cached_input: None,
+        }
+    }
+
+    fn geometry(&self, h: usize, w: usize) -> nf_nn::Result<Conv2dGeometry> {
+        Ok(Conv2dGeometry::new(
+            h,
+            w,
+            self.kernel,
+            self.kernel,
+            self.stride,
+            self.pad,
+        )?)
+    }
+}
+
+impl Layer for FaConv2d {
+    fn name(&self) -> String {
+        format!("fa_conv2d({}→{})", self.in_channels, self.out_channels)
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> nf_nn::Result<Tensor> {
+        let (n, c, h, w) = x.dims4().map_err(NnError::Tensor)?;
+        if c != self.in_channels {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!("expected {} channels, got {c}", self.in_channels),
+            });
+        }
+        let geom = self.geometry(h, w)?;
+        let mut out = Vec::with_capacity(n * self.out_channels * geom.out_positions());
+        for img in 0..n {
+            let image = x.slice_batch(img, img + 1)?.reshape(&[c, h, w])?;
+            let cols = im2col(&image, c, &geom)?;
+            let mut y = matmul(&self.weight.value, &cols)?;
+            for (ch, row) in y.data_mut().chunks_mut(geom.out_positions()).enumerate() {
+                let b = self.bias.value.data()[ch];
+                for v in row {
+                    *v += b;
+                }
+            }
+            out.extend_from_slice(y.data());
+        }
+        if mode == Mode::Train {
+            self.cached_input = Some(x.clone());
+        }
+        Ok(Tensor::from_vec(
+            vec![n, self.out_channels, geom.out_h, geom.out_w],
+            out,
+        )?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> nf_nn::Result<Tensor> {
+        let x = self
+            .cached_input
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
+        let (n, c, h, w) = x.dims4()?;
+        let geom = self.geometry(h, w)?;
+        let positions = geom.out_positions();
+        let mut grad_in = Vec::with_capacity(x.numel());
+        for img in 0..n {
+            let image = x.slice_batch(img, img + 1)?.reshape(&[c, h, w])?;
+            let cols = im2col(&image, c, &geom)?;
+            let gy = grad_out
+                .slice_batch(img, img + 1)?
+                .reshape(&[self.out_channels, positions])?;
+            let dw = matmul_a_bt(&gy, &cols)?;
+            nf_tensor::axpy(1.0, &dw, &mut self.weight.grad)?;
+            for (ch, row) in gy.data().chunks(positions).enumerate() {
+                self.bias.grad.data_mut()[ch] += row.iter().sum::<f32>();
+            }
+            // Input gradient through the fixed feedback filters.
+            let dcols = matmul_at_b(&self.feedback, &gy)?;
+            let dimg = col2im(&dcols, c, &geom)?;
+            grad_in.extend_from_slice(dimg.data());
+        }
+        Ok(Tensor::from_vec(vec![n, c, h, w], grad_in)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+}
+
+/// Feedback-alignment trainer over a small FA CNN built to mirror a spec's
+/// depth: FA convs with 2×2 pooling, flatten, FA linear head.
+pub struct FaTrainer {
+    /// Optimizer configuration.
+    pub sgd: Sgd,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Batch size.
+    pub batch: usize,
+}
+
+/// An FA network: conv stack + linear head, all FA layers.
+pub struct FaNetwork {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl FaNetwork {
+    /// Builds an FA CNN: one FA conv (+ReLU, pool every second layer) per
+    /// channel entry, then flatten + FA linear to `classes`.
+    pub fn build<R: Rng>(rng: &mut R, input_hw: usize, channels: &[usize], classes: usize) -> Self {
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        let mut in_ch = 3usize;
+        let mut hw = input_hw;
+        for (i, &out_ch) in channels.iter().enumerate() {
+            layers.push(Box::new(FaConv2d::new(rng, in_ch, out_ch, 3, 1, 1)));
+            layers.push(Box::new(nf_nn::relu::ReLU::new()));
+            if i % 2 == 1 && hw >= 4 {
+                layers.push(Box::new(nf_nn::MaxPool2d::new(2, 2)));
+                hw /= 2;
+            }
+            in_ch = out_ch;
+        }
+        layers.push(Box::new(nf_nn::Flatten::new()));
+        layers.push(Box::new(FaLinear::new(rng, in_ch * hw * hw, classes)));
+        FaNetwork { layers }
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> nf_nn::Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, mode)?;
+        }
+        Ok(cur)
+    }
+}
+
+impl FaTrainer {
+    /// Creates an FA trainer.
+    pub fn new(lr: f32, epochs: usize, batch: usize) -> Self {
+        FaTrainer {
+            sgd: Sgd::new(lr).with_momentum(0.9),
+            epochs,
+            batch,
+        }
+    }
+
+    /// Trains the FA network, evaluating after every epoch.
+    pub fn train(
+        &self,
+        net: &mut FaNetwork,
+        train: &Dataset,
+        test: &Dataset,
+    ) -> nf_nn::Result<TrainReport> {
+        let mut report = TrainReport::default();
+        for _ in 0..self.epochs {
+            let mut losses = Vec::new();
+            for (images, labels) in train.batches(self.batch) {
+                let logits = net.forward(&images, Mode::Train)?;
+                let (loss, grad) = cross_entropy(&logits, &labels)?;
+                losses.push(loss);
+                let mut g = grad;
+                for layer in net.layers.iter_mut().rev() {
+                    g = layer.backward(&g)?;
+                }
+                for layer in &mut net.layers {
+                    self.sgd.step(layer.as_mut());
+                }
+            }
+            report
+                .epoch_loss
+                .push(losses.iter().sum::<f32>() / losses.len().max(1) as f32);
+            report.train_accuracy.push(self.evaluate(net, train)?);
+            report.test_accuracy.push(self.evaluate(net, test)?);
+        }
+        Ok(report)
+    }
+
+    fn evaluate(&self, net: &mut FaNetwork, data: &Dataset) -> nf_nn::Result<f32> {
+        if data.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0.0f32;
+        let mut seen = 0usize;
+        for (images, labels) in data.batches(64) {
+            let logits = net.forward(&images, Mode::Eval)?;
+            correct += accuracy(&logits, &labels)? * labels.len() as f32;
+            seen += labels.len();
+        }
+        Ok(correct / seen as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_data::SyntheticSpec;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fa_linear_uses_feedback_not_transpose() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut fa = FaLinear::new(&mut rng, 3, 2);
+        let x = Tensor::ones(&[1, 3]);
+        fa.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::ones(&[1, 2]);
+        let gi = fa.backward(&g).unwrap();
+        // Input grad equals g·Bᵀ, not g·Wᵀ.
+        let expected = matmul_a_bt(&g, &fa.feedback).unwrap();
+        assert_eq!(gi, expected);
+        let not_expected = matmul_a_bt(&g, &fa.weight.value).unwrap();
+        assert_ne!(gi, not_expected);
+    }
+
+    #[test]
+    fn fa_learns_something_on_easy_task() {
+        // FA is weaker than BP but must still beat chance on an easy task
+        // (that is its entire role in Figure 3).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let ds = SyntheticSpec::quick(2, 8, 64).generate();
+        let mut net = FaNetwork::build(&mut rng, 8, &[6, 6], 2);
+        let report = FaTrainer::new(0.02, 6, 16)
+            .train(&mut net, &ds.train, &ds.test)
+            .unwrap();
+        assert!(report.loss_improved());
+        assert!(
+            report.final_test_accuracy() > 0.55,
+            "acc {:?}",
+            report.test_accuracy
+        );
+    }
+
+    #[test]
+    fn fa_conv_backward_requires_forward() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut conv = FaConv2d::new(&mut rng, 1, 2, 3, 1, 1);
+        assert!(conv.backward(&Tensor::zeros(&[1, 2, 4, 4])).is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! Classic greedy local learning (Belilovsky et al.) — the paper's second
+//! baseline and the algorithmic substrate NeuroFlux adapts.
+
+use crate::report::TrainReport;
+use nf_data::Dataset;
+use nf_models::{assign_aux, build_aux_head, AuxPolicy, BuiltModel, ExitCandidate};
+use nf_nn::loss::{accuracy, cross_entropy};
+use nf_nn::optim::Sgd;
+use nf_nn::{Layer, Mode, Sequential};
+use nf_tensor::Tensor;
+
+/// Local-learning trainer: every unit paired with an auxiliary classifier,
+/// updated from a *local* loss; no feedback between units (Figure 2).
+///
+/// With [`AuxPolicy::CLASSIC`] this is the classic-LL baseline. The same
+/// machinery with [`AuxPolicy::Adaptive`] is AAN-LL — NeuroFlux's first
+/// opportunity — which the core crate layers block management on top of.
+pub struct LocalLearningTrainer {
+    /// Optimizer configuration.
+    pub sgd: Sgd,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Fixed batch size (classic LL cannot adapt it; Section 3, Opp. 2).
+    pub batch: usize,
+    /// How auxiliary heads are sized.
+    pub policy: AuxPolicy,
+}
+
+/// A model trained by local learning: backbone units plus one trained
+/// auxiliary head per unit. Every head is a candidate early exit.
+pub struct LocallyTrainedModel {
+    /// The backbone (units + original head, which is trained on the final
+    /// unit's output).
+    pub model: BuiltModel,
+    /// One trained auxiliary head per unit.
+    pub aux_heads: Vec<Sequential>,
+    /// The auxiliary specs used to build the heads.
+    pub aux_specs: Vec<nf_models::AuxSpec>,
+}
+
+impl LocallyTrainedModel {
+    /// Accuracy when predicting from auxiliary head `exit` (backbone is run
+    /// in eval mode up to and including unit `exit`).
+    pub fn exit_accuracy(&mut self, exit: usize, data: &Dataset) -> nf_nn::Result<f32> {
+        if data.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0.0f32;
+        let mut seen = 0usize;
+        for (images, labels) in data.batches(64) {
+            let mut cur = images;
+            for unit in &mut self.model.units[..=exit] {
+                cur = unit.forward(&cur, Mode::Eval)?;
+            }
+            let logits = self.aux_heads[exit].forward(&cur, Mode::Eval)?;
+            correct += accuracy(&logits, &labels)? * labels.len() as f32;
+            seen += labels.len();
+        }
+        Ok(correct / seen as f32)
+    }
+
+    /// Measures validation accuracy at every exit, returning the filled-in
+    /// candidate list (Section 5.4's exit evaluation).
+    pub fn measure_exits(&mut self, val: &Dataset) -> nf_nn::Result<Vec<ExitCandidate>> {
+        let mut cands = nf_models::exit_candidates(&self.model.spec, &self.aux_specs);
+        for (i, cand) in cands.iter_mut().enumerate() {
+            cand.val_accuracy = Some(self.exit_accuracy(i, val)?);
+        }
+        Ok(cands)
+    }
+}
+
+impl LocalLearningTrainer {
+    /// Classic-LL trainer (256-filter heads, momentum-0.9 SGD).
+    pub fn classic(lr: f32, epochs: usize, batch: usize) -> Self {
+        LocalLearningTrainer {
+            sgd: Sgd::new(lr).with_momentum(0.9),
+            epochs,
+            batch,
+            policy: AuxPolicy::CLASSIC,
+        }
+    }
+
+    /// AAN-LL trainer (the paper's adaptive head sizing).
+    pub fn adaptive(lr: f32, epochs: usize, batch: usize) -> Self {
+        LocalLearningTrainer {
+            sgd: Sgd::new(lr).with_momentum(0.9),
+            epochs,
+            batch,
+            policy: AuxPolicy::Adaptive,
+        }
+    }
+
+    /// One local-learning pass of a batch through the whole model
+    /// (Algorithm 2 applied to all units): unit forward → aux forward →
+    /// local loss → update unit + aux → pass activations on (detached).
+    ///
+    /// Returns the mean local loss across units.
+    pub fn step(
+        &self,
+        model: &mut BuiltModel,
+        aux_heads: &mut [Sequential],
+        images: &Tensor,
+        labels: &[usize],
+    ) -> nf_nn::Result<f32> {
+        let mut cur = images.clone();
+        let mut total_loss = 0.0f32;
+        let n_units = model.units.len();
+        for (i, unit) in model.units.iter_mut().enumerate() {
+            let out = unit.forward(&cur, Mode::Train)?;
+            let logits = aux_heads[i].forward(&out, Mode::Train)?;
+            let (loss, grad_logits) = cross_entropy(&logits, labels)?;
+            total_loss += loss;
+            let grad_out = aux_heads[i].backward(&grad_logits)?;
+            // Update the unit from the local loss only; the returned input
+            // gradient is discarded — no feedback to earlier units.
+            let _ = unit.backward(&grad_out)?;
+            self.sgd.step(unit);
+            self.sgd.step(&mut aux_heads[i]);
+            cur = out;
+        }
+        // The original head trains on the final unit's (detached) output —
+        // the model's own final exit.
+        let logits = model.head.forward(&cur, Mode::Train)?;
+        let (loss, grad_logits) = cross_entropy(&logits, labels)?;
+        total_loss += loss;
+        let _ = model.head.backward(&grad_logits)?;
+        self.sgd.step(&mut model.head);
+        Ok(total_loss / (n_units + 1) as f32)
+    }
+
+    /// Trains a freshly built model with local learning.
+    pub fn train<R: rand::Rng>(
+        &self,
+        rng: &mut R,
+        mut model: BuiltModel,
+        train: &Dataset,
+        test: &Dataset,
+    ) -> nf_nn::Result<(LocallyTrainedModel, TrainReport)> {
+        let aux_specs = assign_aux(&model.spec, self.policy);
+        let mut aux_heads = Vec::with_capacity(aux_specs.len());
+        for spec in &aux_specs {
+            aux_heads.push(build_aux_head(rng, spec)?);
+        }
+        let mut report = TrainReport::default();
+        for _ in 0..self.epochs {
+            let mut losses = Vec::new();
+            for (images, labels) in train.batches(self.batch) {
+                losses.push(self.step(&mut model, &mut aux_heads, &images, &labels)?);
+            }
+            report
+                .epoch_loss
+                .push(losses.iter().sum::<f32>() / losses.len().max(1) as f32);
+            let mut trained = LocallyTrainedModel {
+                model,
+                aux_heads,
+                aux_specs: aux_specs.clone(),
+            };
+            let last = trained.model.units.len() - 1;
+            report
+                .train_accuracy
+                .push(trained.exit_accuracy(last, train)?);
+            report
+                .test_accuracy
+                .push(trained.exit_accuracy(last, test)?);
+            model = trained.model;
+            aux_heads = trained.aux_heads;
+        }
+        Ok((
+            LocallyTrainedModel {
+                model,
+                aux_heads,
+                aux_specs,
+            },
+            report,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_data::SyntheticSpec;
+    use nf_models::ModelSpec;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classic_ll_learns_separable_task() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let ds = SyntheticSpec::quick(3, 8, 96).generate();
+        let spec = ModelSpec::tiny("t", 8, &[8, 16], 3);
+        let model = spec.build(&mut rng).unwrap();
+        let trainer = LocalLearningTrainer {
+            policy: AuxPolicy::Fixed(8),
+            ..LocalLearningTrainer::classic(0.05, 6, 16)
+        };
+        let (mut trained, report) = trainer.train(&mut rng, model, &ds.train, &ds.test).unwrap();
+        assert!(report.loss_improved());
+        assert!(
+            report.final_test_accuracy() > 0.55,
+            "test acc {:?}",
+            report.test_accuracy
+        );
+        // Every exit is usable.
+        for exit in 0..trained.model.units.len() {
+            let acc = trained.exit_accuracy(exit, &ds.test).unwrap();
+            assert!(acc > 0.3, "exit {exit} accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn no_feedback_between_units() {
+        // Unit 0's parameters must be identical whether or not unit 1
+        // exists: local learning has no cross-unit gradients.
+        let ds = SyntheticSpec::quick(2, 8, 16).generate();
+        let (images, labels) = ds.train.batch(0, 8);
+
+        let trainer = LocalLearningTrainer {
+            policy: AuxPolicy::Fixed(4),
+            ..LocalLearningTrainer::classic(0.1, 1, 8)
+        };
+
+        // Shared-prefix initialisation: unit 0 and its head are drawn from
+        // identical dedicated RNG streams in both configurations.
+        let spec2 = ModelSpec::tiny("two", 8, &[4, 8], 2);
+        let spec1 = ModelSpec::tiny("one", 8, &[4], 2);
+        let aux2 = assign_aux(&spec2, trainer.policy);
+        let aux1 = assign_aux(&spec1, trainer.policy);
+
+        let mut rng_u0 = rand::rngs::StdRng::seed_from_u64(7);
+        let mut model2 = spec2.build(&mut rng_u0).unwrap();
+        let mut rng_u0 = rand::rngs::StdRng::seed_from_u64(7);
+        let mut model1 = spec1.build(&mut rng_u0).unwrap();
+
+        let mut rng_h = rand::rngs::StdRng::seed_from_u64(99);
+        let mut heads2: Vec<Sequential> = aux2
+            .iter()
+            .map(|a| build_aux_head(&mut rng_h, a).unwrap())
+            .collect();
+        let mut rng_h = rand::rngs::StdRng::seed_from_u64(99);
+        let mut heads1: Vec<Sequential> = aux1
+            .iter()
+            .map(|a| build_aux_head(&mut rng_h, a).unwrap())
+            .collect();
+
+        trainer
+            .step(&mut model2, &mut heads2, &images, &labels)
+            .unwrap();
+        trainer
+            .step(&mut model1, &mut heads1, &images, &labels)
+            .unwrap();
+
+        let mut params2 = Vec::new();
+        model2.units[0].visit_params(&mut |p| params2.push(p.value.clone()));
+        let mut params1 = Vec::new();
+        model1.units[0].visit_params(&mut |p| params1.push(p.value.clone()));
+        assert_eq!(params1, params2);
+    }
+
+    #[test]
+    fn measure_exits_fills_accuracies() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let ds = SyntheticSpec::quick(2, 8, 32).generate();
+        let spec = ModelSpec::tiny("t", 8, &[4, 4], 2);
+        let model = spec.build(&mut rng).unwrap();
+        let trainer = LocalLearningTrainer {
+            policy: AuxPolicy::Fixed(4),
+            ..LocalLearningTrainer::classic(0.05, 1, 16)
+        };
+        let (mut trained, _) = trainer.train(&mut rng, model, &ds.train, &ds.test).unwrap();
+        let cands = trained.measure_exits(&ds.val).unwrap();
+        assert_eq!(cands.len(), 2);
+        assert!(cands.iter().all(|c| c.val_accuracy.is_some()));
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion bench for the activation stores (§3.3's storage path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neuroflux_core::{ActivationStore, DiskStore, MemoryStore};
+use nf_tensor::Tensor;
+
+fn bench_stores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("activation_store_roundtrip");
+    for &elems in &[1024usize, 65_536, 262_144] {
+        let t = Tensor::ones(&[elems]);
+        group.bench_with_input(BenchmarkId::new("memory", elems), &elems, |b, _| {
+            let mut store = MemoryStore::new();
+            b.iter(|| {
+                store.write(0, &t).unwrap();
+                store.read(0).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("disk", elems), &elems, |b, _| {
+            let dir = std::env::temp_dir().join(format!("nf_bench_cache_{elems}"));
+            let mut store = DiskStore::new(&dir).unwrap();
+            b.iter(|| {
+                store.write(0, &t).unwrap();
+                store.read(0).unwrap()
+            });
+            std::fs::remove_dir_all(&dir).ok();
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stores
+}
+criterion_main!(benches);

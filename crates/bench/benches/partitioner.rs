@@ -1,0 +1,29 @@
+//! Criterion bench for Algorithm 1 (profile + partition), the planning
+//! cost the paper bounds at < 1.5 % of training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neuroflux_core::{partition, Profiler};
+use nf_models::{AuxPolicy, ModelSpec};
+use rand::SeedableRng;
+
+fn bench_partition(c: &mut Criterion) {
+    let profiler = Profiler::default();
+    for spec in [ModelSpec::vgg19(200), ModelSpec::resnet18(200)] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let profiles = profiler.profile(&mut rng, &spec, AuxPolicy::Adaptive);
+        c.bench_function(&format!("partition_{}", spec.name), |b| {
+            b.iter(|| partition(&profiles, 300_000_000, 512, 0.4).unwrap())
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        c.bench_function(&format!("profile_{}", spec.name), |b| {
+            b.iter(|| profiler.profile(&mut rng, &spec, AuxPolicy::Adaptive))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_partition
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for the tensor kernels every experiment runs on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nf_tensor::{im2col, matmul, Conv2dGeometry};
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    for &n in &[32usize, 64, 128] {
+        let a = nf_tensor::uniform_init(&mut rng, &[n, n], -1.0, 1.0);
+        let b = nf_tensor::uniform_init(&mut rng, &[n, n], -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| matmul(&a, &b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut group = c.benchmark_group("im2col");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for &(ch, hw) in &[(16usize, 16usize), (32, 32)] {
+        let img = nf_tensor::uniform_init(&mut rng, &[ch, hw, hw], -1.0, 1.0);
+        let geom = Conv2dGeometry::new(hw, hw, 3, 3, 1, 1).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ch}x{hw}x{hw}")),
+            &ch,
+            |bench, _| bench.iter(|| im2col(&img, ch, &geom).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    use nf_nn::{Conv2d, Layer, Mode};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut conv = Conv2d::new(&mut rng, 16, 32, 3, 1, 1).unwrap();
+    let x = nf_tensor::uniform_init(&mut rng, &[4, 16, 16, 16], -1.0, 1.0);
+    c.bench_function("conv2d_forward_4x16x16x16", |b| {
+        b.iter(|| conv.forward(&x, Mode::Eval).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_im2col, bench_conv_forward
+}
+criterion_main!(benches);

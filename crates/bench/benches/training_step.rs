@@ -1,0 +1,76 @@
+//! Criterion benches comparing one optimisation step under each paradigm
+//! at equal (tiny) scale — the per-step cost behind Figure 11's times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nf_baselines::{BpTrainer, LocalLearningTrainer};
+use nf_data::SyntheticSpec;
+use nf_models::{assign_aux, build_aux_head, AuxPolicy, ModelSpec};
+use rand::SeedableRng;
+
+fn bench_steps(c: &mut Criterion) {
+    let ds = SyntheticSpec::quick(3, 8, 32).generate();
+    let (images, labels) = ds.train.batch(0, 16);
+    let spec = ModelSpec::tiny("bench", 8, &[8, 16], 3);
+
+    // BP step.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut bp_model = spec.build(&mut rng).unwrap();
+    let bp = BpTrainer::new(0.05, 1, 16);
+    c.bench_function("bp_step", |b| {
+        b.iter(|| bp.step(&mut bp_model, &images, &labels).unwrap())
+    });
+
+    // Classic-LL step (adds auxiliary forward/backward per unit).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut ll_model = spec.build(&mut rng).unwrap();
+    let trainer = LocalLearningTrainer {
+        policy: AuxPolicy::Fixed(8),
+        ..LocalLearningTrainer::classic(0.05, 1, 16)
+    };
+    let aux = assign_aux(&spec, trainer.policy);
+    let mut heads: Vec<_> = aux
+        .iter()
+        .map(|a| build_aux_head(&mut rng, a).unwrap())
+        .collect();
+    c.bench_function("classic_ll_step", |b| {
+        b.iter(|| {
+            trainer
+                .step(&mut ll_model, &mut heads, &images, &labels)
+                .unwrap()
+        })
+    });
+
+    // NeuroFlux block step: one unit + aux only (the cached path means a
+    // deep block never touches earlier units).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut nf_model = spec.build(&mut rng).unwrap();
+    let aux = assign_aux(&spec, AuxPolicy::Adaptive);
+    let mut nf_heads: Vec<_> = aux
+        .iter()
+        .map(|a| build_aux_head(&mut rng, a).unwrap())
+        .collect();
+    let mut store = neuroflux_core::MemoryStore::new();
+    let config = neuroflux_core::NeuroFluxConfig::new(1 << 30, 16).with_epochs(1);
+    let block = neuroflux_core::Block {
+        units: 1..2,
+        batch: 16,
+    };
+    // Precompute block-1 inputs once (cached activations).
+    use nf_nn::{Layer, Mode};
+    let cached = nf_model.units[0].forward(&images, Mode::Eval).unwrap();
+    c.bench_function("neuroflux_block_step", |b| {
+        b.iter(|| {
+            let mut worker = neuroflux_core::worker::Worker::new(config, &mut store);
+            worker
+                .train_block(&mut nf_model, &mut nf_heads, &block, &cached, &labels)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_steps
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Ablation: the Partitioner's grouping threshold ρ (Algorithm 1).
+//!
+//! The paper reports that ρ = 40 % "was empirically found most effective in
+//! balancing training efficiency and model convergence across thresholds
+//! spanning 10 % to 70 %" (Section 5.2). This ablation sweeps ρ and shows
+//! the mechanism: small ρ → many small blocks (more cache traffic, more
+//! per-block regeneration passes); large ρ → few blocks whose batch is
+//! dragged down to the worst member (more SGD steps).
+//!
+//! Regenerate with: `cargo run -p nf-bench --bin ablation_rho`
+
+use neuroflux_core::{partition, Profiler};
+use nf_bench::print_table;
+use nf_memsim::{DeviceProfile, MemoryModel, TimingModel};
+use nf_models::{assign_aux, AuxPolicy, ModelSpec};
+use rand::SeedableRng;
+
+fn main() {
+    let spec = ModelSpec::vgg16(100);
+    let device = DeviceProfile::agx_orin();
+    let _mem = MemoryModel::default();
+    let timing = TimingModel::default();
+    let aux = assign_aux(&spec, AuxPolicy::Adaptive);
+    let analytics = spec.analyze();
+    let budget = 300_000_000u64;
+    let (samples, epochs) = (50_000usize, 30usize);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let profiles = Profiler::default().profile(&mut rng, &spec, AuxPolicy::Adaptive);
+
+    println!("== Ablation: grouping threshold ρ (VGG-16, 300 MB, Orin) ==");
+    let mut rows = Vec::new();
+    for rho in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7] {
+        let blocks = partition(&profiles, budget, 512, rho).unwrap();
+        // Price the run like simulate_neuroflux: train + overhead + cache.
+        let mut time_s = 0.0;
+        let mut cache_bytes = 0u64;
+        for (bi, block) in blocks.iter().enumerate() {
+            let train_flops: f64 = block
+                .units
+                .clone()
+                .map(|u| timing.unit_train_flops(&spec, u, &aux[u]))
+                .sum();
+            time_s += train_flops * samples as f64 * epochs as f64 / device.effective_flops();
+            time_s += (samples.div_ceil(block.batch) * epochs) as f64 * device.per_batch_overhead_s;
+            let fwd: f64 = block.units.clone().map(|u| analytics[u].flops as f64).sum();
+            time_s += fwd * samples as f64 / device.effective_flops();
+            let out_bytes = analytics[block.units.end - 1].out_elems as u64 * 4 * samples as u64;
+            cache_bytes += out_bytes;
+            if bi > 0 {
+                let in_bytes = analytics[block.units.start].in_elems as f64 * 4.0 * samples as f64;
+                let raw = in_bytes * epochs as f64 / device.storage_bw_bytes_s;
+                let compute =
+                    train_flops * samples as f64 * epochs as f64 / device.effective_flops();
+                time_s += (raw - compute).max(0.0);
+            }
+        }
+        let batches: Vec<String> = blocks.iter().map(|b| b.batch.to_string()).collect();
+        rows.push(vec![
+            format!("{rho:.1}"),
+            blocks.len().to_string(),
+            format!("{:.2}", time_s / 3600.0),
+            format!("{:.1}", cache_bytes as f64 / 1e9),
+            batches.join(","),
+        ]);
+    }
+    print_table(
+        &["ρ", "blocks", "time (h)", "cache (GB)", "block batches"],
+        &rows,
+    );
+    println!(
+        "\nMechanism: tightening ρ multiplies blocks (cache traffic, regeneration\n\
+         passes); loosening it merges layers whose feasible batches differ, pinning\n\
+         whole blocks to the smallest member's batch. ρ = 0.4 sits at the flat\n\
+         bottom of the curve, consistent with the paper's choice. (Convergence\n\
+         effects of very coarse blocks are not modelled here; the paper's sweep\n\
+         also weighed those.)"
+    );
+}

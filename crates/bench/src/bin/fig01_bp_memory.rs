@@ -1,0 +1,54 @@
+//! Figure 1: GPU memory breakdown (activations / model / optimizer) and
+//! relative training time for ResNet-18 and VGG-19 on Tiny ImageNet under
+//! BP at batch sizes 4, 8, and 256.
+//!
+//! Regenerate with: `cargo run -p nf-bench --bin fig01_bp_memory`
+
+use nf_bench::{mb, print_table};
+use nf_memsim::{DeviceProfile, MemoryModel, TimingModel};
+use nf_models::ModelSpec;
+
+fn main() {
+    let mem = MemoryModel::default();
+    let timing = TimingModel::default();
+    let device = DeviceProfile::agx_orin();
+    let samples = 100_000; // Tiny ImageNet training split.
+
+    for spec in [ModelSpec::resnet18(200), ModelSpec::vgg19(200)] {
+        println!("\n== {} on Tiny ImageNet (BP) ==", spec.name);
+        let mut rows = Vec::new();
+        let t256 = timing.bp_epoch_time_s(&device, &spec, samples, 256);
+        for batch in [4usize, 8, 256] {
+            let m = mem.bp_training(&spec, batch);
+            let inference = mem.inference(&spec, batch).total();
+            let rel_mem = m.total() as f64 / inference as f64;
+            let t = timing.bp_epoch_time_s(&device, &spec, samples, batch);
+            rows.push(vec![
+                batch.to_string(),
+                mb(m.activations),
+                mb(m.model),
+                mb(m.optimizer),
+                mb(m.total()),
+                format!("x{rel_mem:.1}"),
+                format!("x{:.1}", t / t256),
+            ]);
+        }
+        print_table(
+            &[
+                "batch",
+                "activations (MB)",
+                "model (MB)",
+                "optimizer (MB)",
+                "total (MB)",
+                "vs inference",
+                "time vs batch 256",
+            ],
+            &rows,
+        );
+    }
+    println!(
+        "\nPaper's shape: activations dominate training memory (x22.9 VGG-19 /\n\
+         x37.6 ResNet-18 vs inference at batch 256); batch 4 trains ~9x (VGG-19)\n\
+         and ~5x (ResNet-18) slower than batch 256."
+    );
+}

@@ -1,0 +1,44 @@
+//! Figure 5: per-layer GPU memory for training VGG-19 at batch 30 under
+//! AAN-LL, with the unused headroom below the peak layer's footprint.
+//!
+//! Regenerate with: `cargo run -p nf-bench --bin fig05_layer_memory`
+
+use nf_bench::{mb, print_table};
+use nf_memsim::{MemoryModel, TrainingParadigm};
+use nf_models::{assign_aux, AuxPolicy, ModelSpec};
+
+fn main() {
+    let spec = ModelSpec::vgg19(200);
+    let mem = MemoryModel::default();
+    let aux = assign_aux(&spec, AuxPolicy::Adaptive);
+    let analytics = spec.analyze();
+    let batch = 30;
+
+    let per_layer: Vec<u64> = analytics
+        .iter()
+        .map(|a| {
+            mem.ll_unit_training(&spec, a, &aux, batch, TrainingParadigm::BlockLocal)
+                .total()
+        })
+        .collect();
+    let peak = *per_layer.iter().max().unwrap();
+    let peak_layer = per_layer.iter().position(|&v| v == peak).unwrap();
+
+    let rows: Vec<Vec<String>> = per_layer
+        .iter()
+        .enumerate()
+        .map(|(i, &used)| {
+            let bar = "#".repeat((used * 40 / peak) as usize);
+            vec![(i + 1).to_string(), mb(used), mb(peak - used), bar]
+        })
+        .collect();
+    println!("== Figure 5: VGG-19 per-layer training memory, batch 30, AAN-LL ==");
+    print_table(&["layer", "used (MB)", "unused (MB)", ""], &rows);
+    println!(
+        "\nPeak at layer {} ({} MB). Paper's shape: an early layer (layer 2)\n\
+         dominates; deep layers leave most of the budget unused — the headroom\n\
+         AB-LL converts into larger batches.",
+        peak_layer + 1,
+        mb(peak)
+    );
+}

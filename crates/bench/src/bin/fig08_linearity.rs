@@ -1,0 +1,61 @@
+//! Figure 8: per-layer training memory is linear in batch size (VGG-11),
+//! validated through the Profiler's least-squares fits.
+//!
+//! Regenerate with: `cargo run -p nf-bench --bin fig08_linearity`
+
+use neuroflux_core::Profiler;
+use nf_bench::{mb, print_table};
+use nf_memsim::{MemoryModel, TrainingParadigm};
+use nf_models::{assign_aux, AuxPolicy, ModelSpec};
+use rand::SeedableRng;
+
+fn main() {
+    let spec = ModelSpec::vgg11(200);
+    let mem = MemoryModel::default();
+    let aux = assign_aux(&spec, AuxPolicy::Adaptive);
+    let analytics = spec.analyze();
+
+    println!("== Figure 8: per-layer memory vs batch size, VGG-11 (MB) ==");
+    let mut rows = Vec::new();
+    for batch in (10..=90).step_by(10) {
+        let mut row = vec![batch.to_string()];
+        for a in &analytics {
+            row.push(mb(mem
+                .ll_unit_training(&spec, a, &aux, batch, TrainingParadigm::BlockLocal)
+                .total()));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["batch".to_string()];
+    headers.extend((1..=spec.num_units()).map(|i| format!("L{i}")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(&headers_ref, &rows);
+
+    // The Profiler's fits: slope/intercept per layer and fit quality under
+    // measurement noise.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let profiles =
+        Profiler::default()
+            .with_noise(0.02)
+            .profile(&mut rng, &spec, AuxPolicy::Adaptive);
+    println!("\nProfiler linear fits (±2% measurement noise):");
+    let rows: Vec<Vec<String>> = profiles
+        .iter()
+        .map(|p| {
+            vec![
+                format!("L{}", p.unit + 1),
+                format!("{:.3}", p.memory.slope / 1e6),
+                format!("{:.1}", p.memory.intercept / 1e6),
+                format!("{:.4}", p.r_squared),
+            ]
+        })
+        .collect();
+    print_table(
+        &["layer", "slope (MB/sample)", "intercept (MB)", "r²"],
+        &rows,
+    );
+    println!(
+        "\nPaper's shape: every layer's footprint is affine in batch size, which is\n\
+         what lets the Profiler model memory with two coefficients per layer."
+    );
+}

@@ -1,0 +1,101 @@
+//! Observations 1 & 2: headline speedup bands of NeuroFlux vs BP and vs
+//! classic LL across the Figure 11 sweep, plus the cross-budget claim
+//! (NeuroFlux at 100 MB vs BP/LL at 500 MB).
+//!
+//! Regenerate with: `cargo run -p nf-bench --bin obs_speedups`
+
+use neuroflux_core::simulate::{sweep_point, SimConfig};
+use nf_bench::{print_table, times};
+use nf_memsim::DeviceProfile;
+use nf_models::ModelSpec;
+
+fn main() {
+    let device = DeviceProfile::agx_orin();
+    let workloads = [
+        ("vgg16/cifar10", ModelSpec::vgg16(10), 50_000),
+        ("vgg16/cifar100", ModelSpec::vgg16(100), 50_000),
+        ("vgg16/tiny", ModelSpec::vgg16(200), 100_000),
+        ("vgg19/cifar10", ModelSpec::vgg19(10), 50_000),
+        ("vgg19/cifar100", ModelSpec::vgg19(100), 50_000),
+        ("vgg19/tiny", ModelSpec::vgg19(200), 100_000),
+        ("resnet18/cifar10", ModelSpec::resnet18(10), 50_000),
+        ("resnet18/cifar100", ModelSpec::resnet18(100), 50_000),
+        ("resnet18/tiny", ModelSpec::resnet18(200), 100_000),
+    ];
+    let cfg = |budget_mb: u64, samples: usize| SimConfig {
+        budget_bytes: budget_mb * 1_000_000,
+        batch_limit: 512,
+        epochs: 30,
+        samples,
+    };
+
+    let mut bp_band: (f64, f64) = (f64::INFINITY, 0.0);
+    let mut ll_band: (f64, f64) = (f64::INFINITY, 0.0);
+    let mut rows = Vec::new();
+    for (label, spec, samples) in &workloads {
+        let mut bp_s = Vec::new();
+        let mut ll_s = Vec::new();
+        for budget in (150u64..=500).step_by(50) {
+            let (bp, ll, nf) = sweep_point(spec, &device, &cfg(budget, *samples));
+            if let Some(nf) = nf {
+                if let Some(bp) = bp {
+                    bp_s.push(bp.total_s() / nf.total_s());
+                }
+                if let Some(ll) = ll {
+                    ll_s.push(ll.total_s() / nf.total_s());
+                }
+            }
+        }
+        let minmax = |v: &[f64]| -> (f64, f64) {
+            (
+                v.iter().cloned().fold(f64::INFINITY, f64::min),
+                v.iter().cloned().fold(0.0, f64::max),
+            )
+        };
+        let (bp_lo, bp_hi) = minmax(&bp_s);
+        let (ll_lo, ll_hi) = minmax(&ll_s);
+        bp_band = (bp_band.0.min(bp_lo), bp_band.1.max(bp_hi));
+        ll_band = (ll_band.0.min(ll_lo), ll_band.1.max(ll_hi));
+        rows.push(vec![
+            label.to_string(),
+            format!("{}–{}", times(bp_lo), times(bp_hi)),
+            format!("{}–{}", times(ll_lo), times(ll_hi)),
+        ]);
+    }
+    println!("== Observation 1: NeuroFlux speedups at equal budgets (150–500 MB) ==");
+    print_table(&["workload", "vs BP", "vs classic LL"], &rows);
+    println!(
+        "\nOverall bands: vs BP {}–{} (paper: 2.3x–6.1x), vs classic LL {}–{}\n\
+         (paper: 3.3x–10.3x).",
+        times(bp_band.0),
+        times(bp_band.1),
+        times(ll_band.0),
+        times(ll_band.1)
+    );
+
+    // Observation 2: NeuroFlux at 100 MB vs BP/LL at 500 MB.
+    println!("\n== Observation 2: NeuroFlux @ 100 MB vs baselines @ 500 MB ==");
+    let mut rows = Vec::new();
+    for (label, spec, samples) in &workloads {
+        let (_, _, nf100) = sweep_point(spec, &device, &cfg(100, *samples));
+        let (bp500, ll500, _) = sweep_point(spec, &device, &cfg(500, *samples));
+        let nf = nf100.expect("NeuroFlux feasible at 100 MB");
+        rows.push(vec![
+            label.to_string(),
+            bp500
+                .map(|b| times(b.total_s() / nf.total_s()))
+                .unwrap_or("—".into()),
+            ll500
+                .map(|l| times(l.total_s() / nf.total_s()))
+                .unwrap_or("—".into()),
+        ]);
+    }
+    print_table(&["workload", "BP@500 / NF@100", "LL@500 / NF@100"], &rows);
+    println!(
+        "\nPaper: 1.3x–1.9x vs BP and 2.1x–2.5x vs LL (NeuroFlux wins on 1/5 the\n\
+         memory). Our timing model lands below 1 for BP (NeuroFlux pays auxiliary\n\
+         compute that the paper's harsher small-batch penalties hide) — the\n\
+         preserved shape is that NeuroFlux *runs* at 100 MB where both baselines\n\
+         are infeasible; see EXPERIMENTS.md."
+    );
+}

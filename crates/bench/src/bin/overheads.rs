@@ -1,0 +1,82 @@
+//! §6.4 system overheads: Profiler + Partitioner cost as a fraction of
+//! training, and activation-cache storage relative to dataset size.
+//!
+//! Regenerate with: `cargo run -p nf-bench --bin overheads`
+
+use neuroflux_core::simulate::{simulate_neuroflux, SimConfig};
+use neuroflux_core::Profiler;
+use nf_bench::{print_table, times};
+use nf_data::SyntheticSpec;
+use nf_memsim::{DeviceProfile, MemoryModel, TimingModel};
+use nf_models::{AuxPolicy, ModelSpec};
+
+fn main() {
+    let device = DeviceProfile::agx_orin();
+    let mem = MemoryModel::default();
+    let timing = TimingModel::default();
+    let profiler = Profiler::default();
+
+    println!("== §6.4 overheads ==\n");
+    println!("Profiler + Partitioner cost vs one training run (30 epochs):");
+    let mut rows = Vec::new();
+    for (spec, samples) in [
+        (ModelSpec::vgg16(100), 50_000usize),
+        (ModelSpec::vgg19(100), 50_000),
+        (ModelSpec::resnet18(100), 50_000),
+    ] {
+        let cfg = SimConfig {
+            budget_bytes: 300_000_000,
+            batch_limit: 512,
+            epochs: 30,
+            samples,
+        };
+        let profile_s =
+            profiler.profiling_flops(&spec, AuxPolicy::Adaptive) / device.effective_flops();
+        let (run, _) = simulate_neuroflux(&spec, &device, &cfg, &mem, &timing).unwrap();
+        rows.push(vec![
+            spec.name.clone(),
+            format!("{profile_s:.1} s"),
+            format!("{:.0} s", run.total_s()),
+            format!("{:.3}%", profile_s / run.total_s() * 100.0),
+        ]);
+    }
+    print_table(&["model", "profiling", "training", "fraction"], &rows);
+    println!("Paper: < 1.5% of total training time.\n");
+
+    println!("Activation-cache storage vs dataset size:");
+    let mut rows = Vec::new();
+    for (spec, ds) in [
+        (ModelSpec::vgg16(10), SyntheticSpec::cifar10(1, 1, 1)),
+        (ModelSpec::vgg19(100), SyntheticSpec::cifar100(1, 1, 1)),
+        (
+            ModelSpec::resnet18(200),
+            SyntheticSpec::tiny_imagenet(1, 1, 1),
+        ),
+    ] {
+        let samples = ds.reference_train_samples;
+        let cfg = SimConfig {
+            budget_bytes: 300_000_000,
+            batch_limit: 512,
+            epochs: 30,
+            samples,
+        };
+        let (run, blocks) = simulate_neuroflux(&spec, &device, &cfg, &mem, &timing).unwrap();
+        let dataset_bytes = ds.full_scale_bytes() as f64;
+        rows.push(vec![
+            format!("{} / {}", spec.name, ds.name),
+            format!("{:.2} GB", dataset_bytes / 1e9),
+            format!("{:.2} GB", run.cache_bytes_written as f64 / 1e9),
+            times(run.cache_bytes_written as f64 / dataset_bytes),
+            blocks.len().to_string(),
+        ]);
+    }
+    print_table(
+        &["workload", "dataset", "cache written", "ratio", "blocks"],
+        &rows,
+    );
+    println!(
+        "Paper: 1.5x–5.3x the dataset size. Our fp32 caches with finer block\n\
+         partitions land above that band (the paper's caches are likely coarser\n\
+         or quantised); same order of magnitude, easily within edge storage."
+    );
+}

@@ -1,0 +1,87 @@
+//! Scaled-training harness shared by the accuracy figures.
+//!
+//! Figures 10 and 12 and Table 2 need *real* training runs. Full-size
+//! models on full datasets are out of reach for a CPU tensor library, so
+//! these binaries train **channel-scaled** variants of the paper's
+//! architectures on reduced synthetic datasets (DESIGN.md §2's scale
+//! substitution) and transfer the *shape* of the result — which exit
+//! saturates, how accuracy orders between methods — back to the full-size
+//! analytics.
+
+use nf_data::{SplitDataset, SyntheticSpec};
+use nf_models::ModelSpec;
+
+/// A scaled stand-in for one paper workload (model × dataset).
+pub struct ScaledWorkload {
+    /// Full-size spec (used for analytics: params, FLOPs, memory).
+    pub full: ModelSpec,
+    /// The scaled spec actually trained.
+    pub scaled: ModelSpec,
+    /// The synthetic dataset.
+    pub data: SplitDataset,
+    /// Label for reports, e.g. `vgg16/cifar10`.
+    pub label: String,
+}
+
+/// Standard channel scale used by all accuracy experiments.
+pub const CHANNEL_SCALE: f64 = 0.125;
+
+/// Builds the scaled workload for a (model, dataset) pair.
+///
+/// `classes` is reduced alongside spatial/sample scale so the synthetic
+/// task is learnable in seconds: the class-count *ratio* between the
+/// cifar10/cifar100/tiny-imagenet stand-ins is preserved (8/16/24).
+pub fn workload(model: &str, dataset: &str) -> ScaledWorkload {
+    let (classes, train_n) = match dataset {
+        "cifar10" => (8usize, 512usize),
+        "cifar100" => (16, 768),
+        "tiny-imagenet" => (24, 1024),
+        other => panic!("unknown dataset {other}"),
+    };
+    let full = match model {
+        "vgg11" => ModelSpec::vgg11(classes_full(dataset)),
+        "vgg16" => ModelSpec::vgg16(classes_full(dataset)),
+        "vgg19" => ModelSpec::vgg19(classes_full(dataset)),
+        "resnet18" => ModelSpec::resnet18(classes_full(dataset)),
+        other => panic!("unknown model {other}"),
+    };
+    // Scaled variant: fewer channels, same depth/downsampling structure,
+    // synthetic classes, 32x32 inputs (like the paper's resized data).
+    let mut scaled = full.scale_channels(CHANNEL_SCALE, 2);
+    scaled.classes = classes;
+    scaled = rebuild_head(scaled, classes);
+    let mut spec = SyntheticSpec::quick(classes, 32, train_n);
+    spec.name = dataset.to_string();
+    spec.noise = 0.35;
+    let data = spec.generate();
+    ScaledWorkload {
+        full,
+        scaled,
+        data,
+        label: format!("{model}/{dataset}"),
+    }
+}
+
+/// Class counts of the paper's real datasets (for full-size analytics).
+pub fn classes_full(dataset: &str) -> usize {
+    match dataset {
+        "cifar10" => 10,
+        "cifar100" => 100,
+        "tiny-imagenet" => 200,
+        other => panic!("unknown dataset {other}"),
+    }
+}
+
+fn rebuild_head(mut spec: ModelSpec, classes: usize) -> ModelSpec {
+    let (c, h, w) = spec.final_feature_shape();
+    spec.head = match spec.head {
+        nf_models::HeadSpec::Linear { .. } => nf_models::HeadSpec::Linear {
+            in_features: c * h * w,
+            classes,
+        },
+        nf_models::HeadSpec::GapLinear { .. } => {
+            nf_models::HeadSpec::GapLinear { in_ch: c, classes }
+        }
+    };
+    spec
+}

@@ -1,0 +1,325 @@
+//! Activation cache (§3.3): storage-backed persistence of trained block
+//! outputs.
+//!
+//! When a block finishes training, the Worker runs one final forward pass
+//! and stores the block's output activations for the *entire* training set
+//! here; the next block then consumes these as its input, eliminating
+//! redundant forward passes over trained blocks. The paper's §6.4 measures
+//! this cache at 1.5–5.3× the dataset size — [`ActivationStore::bytes_stored`]
+//! reproduces that accounting.
+
+use crate::{NfError, Result};
+use nf_tensor::Tensor;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Storage backend for cached activations, keyed by block index.
+pub trait ActivationStore {
+    /// Persists the output activations of `block`.
+    fn write(&mut self, block: usize, activations: &Tensor) -> Result<()>;
+
+    /// Loads the cached output activations of `block`.
+    fn read(&self, block: usize) -> Result<Tensor>;
+
+    /// Drops the cached activations of `block` (frees storage once the next
+    /// block has consumed them).
+    fn delete(&mut self, block: usize) -> Result<()>;
+
+    /// Total bytes currently stored (the §6.4 overhead metric).
+    fn bytes_stored(&self) -> u64;
+
+    /// Peak bytes ever stored simultaneously.
+    fn peak_bytes(&self) -> u64;
+}
+
+/// Simple in-memory store (tests, small runs).
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    blocks: HashMap<usize, Tensor>,
+    peak: u64,
+}
+
+impl MemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ActivationStore for MemoryStore {
+    fn write(&mut self, block: usize, activations: &Tensor) -> Result<()> {
+        self.blocks.insert(block, activations.clone());
+        self.peak = self.peak.max(self.bytes_stored());
+        Ok(())
+    }
+
+    fn read(&self, block: usize) -> Result<Tensor> {
+        self.blocks.get(&block).cloned().ok_or(NfError::Cache {
+            op: "read",
+            block,
+            cause: "no cached activations for block".into(),
+        })
+    }
+
+    fn delete(&mut self, block: usize) -> Result<()> {
+        self.blocks.remove(&block);
+        Ok(())
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        self.blocks.values().map(|t| t.numel() as u64 * 4).sum()
+    }
+
+    fn peak_bytes(&self) -> u64 {
+        self.peak
+    }
+}
+
+/// On-disk store: one little-endian f32 file per block under a directory
+/// (the paper's SD-card/NVMe activation cache).
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    sizes: HashMap<usize, u64>,
+    peak: u64,
+}
+
+impl DiskStore {
+    /// Creates (and if needed, makes) a store under `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| NfError::Cache {
+            op: "write",
+            block: 0,
+            cause: format!("creating {}: {e}", dir.display()),
+        })?;
+        Ok(DiskStore {
+            dir,
+            sizes: HashMap::new(),
+            peak: 0,
+        })
+    }
+
+    fn path(&self, block: usize) -> PathBuf {
+        self.dir.join(format!("block_{block}.acts"))
+    }
+}
+
+impl ActivationStore for DiskStore {
+    fn write(&mut self, block: usize, activations: &Tensor) -> Result<()> {
+        let path = self.path(block);
+        let mut file = std::fs::File::create(&path).map_err(|e| NfError::Cache {
+            op: "write",
+            block,
+            cause: e.to_string(),
+        })?;
+        let werr = |e: std::io::Error| NfError::Cache {
+            op: "write",
+            block,
+            cause: e.to_string(),
+        };
+        // Header: rank, then each dim, as u64 LE; then raw f32 LE data.
+        let shape = activations.shape();
+        file.write_all(&(shape.len() as u64).to_le_bytes())
+            .map_err(werr)?;
+        for &d in shape {
+            file.write_all(&(d as u64).to_le_bytes()).map_err(werr)?;
+        }
+        let mut buf = Vec::with_capacity(activations.numel() * 4);
+        for v in activations.data() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        file.write_all(&buf).map_err(werr)?;
+        let bytes = (8 * (1 + shape.len()) + buf.len()) as u64;
+        self.sizes.insert(block, bytes);
+        self.peak = self.peak.max(self.bytes_stored());
+        Ok(())
+    }
+
+    fn read(&self, block: usize) -> Result<Tensor> {
+        let rerr = |cause: String| NfError::Cache {
+            op: "read",
+            block,
+            cause,
+        };
+        let mut file = std::fs::File::open(self.path(block)).map_err(|e| rerr(e.to_string()))?;
+        let mut u64buf = [0u8; 8];
+        file.read_exact(&mut u64buf)
+            .map_err(|e| rerr(e.to_string()))?;
+        let rank = u64::from_le_bytes(u64buf) as usize;
+        if rank > 8 {
+            return Err(rerr(format!("implausible rank {rank}")));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            file.read_exact(&mut u64buf)
+                .map_err(|e| rerr(e.to_string()))?;
+            shape.push(u64::from_le_bytes(u64buf) as usize);
+        }
+        let numel: usize = shape.iter().product();
+        let mut bytes = vec![0u8; numel * 4];
+        file.read_exact(&mut bytes)
+            .map_err(|e| rerr(e.to_string()))?;
+        let data = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Tensor::from_vec(shape, data).map_err(|e| rerr(e.to_string()))
+    }
+
+    fn delete(&mut self, block: usize) -> Result<()> {
+        let path = self.path(block);
+        if path.exists() {
+            std::fs::remove_file(&path).map_err(|e| NfError::Cache {
+                op: "delete",
+                block,
+                cause: e.to_string(),
+            })?;
+        }
+        self.sizes.remove(&block);
+        Ok(())
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        self.sizes.values().sum()
+    }
+
+    fn peak_bytes(&self) -> u64 {
+        self.peak
+    }
+}
+
+/// Fault-injection store: fails writes and/or reads on demand. Used to test
+/// that the Worker surfaces storage failures without corrupting trained
+/// state.
+#[derive(Debug, Default)]
+pub struct FailingStore {
+    inner: MemoryStore,
+    fail_writes: AtomicBool,
+    fail_reads: AtomicBool,
+}
+
+impl FailingStore {
+    /// Creates a store that initially behaves normally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Makes all subsequent writes fail.
+    pub fn fail_writes(&self, fail: bool) {
+        self.fail_writes.store(fail, Ordering::SeqCst);
+    }
+
+    /// Makes all subsequent reads fail.
+    pub fn fail_reads(&self, fail: bool) {
+        self.fail_reads.store(fail, Ordering::SeqCst);
+    }
+}
+
+impl ActivationStore for FailingStore {
+    fn write(&mut self, block: usize, activations: &Tensor) -> Result<()> {
+        if self.fail_writes.load(Ordering::SeqCst) {
+            return Err(NfError::Cache {
+                op: "write",
+                block,
+                cause: "injected write failure".into(),
+            });
+        }
+        self.inner.write(block, activations)
+    }
+
+    fn read(&self, block: usize) -> Result<Tensor> {
+        if self.fail_reads.load(Ordering::SeqCst) {
+            return Err(NfError::Cache {
+                op: "read",
+                block,
+                cause: "injected read failure".into(),
+            });
+        }
+        self.inner.read(block)
+    }
+
+    fn delete(&mut self, block: usize) -> Result<()> {
+        self.inner.delete(block)
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        self.inner.bytes_stored()
+    }
+
+    fn peak_bytes(&self) -> u64 {
+        self.inner.peak_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        Tensor::from_vec(vec![2, 3], vec![1.0, -2.5, 3.0, 0.0, 7.25, -0.125]).unwrap()
+    }
+
+    #[test]
+    fn memory_store_round_trips() {
+        let mut s = MemoryStore::new();
+        s.write(0, &sample()).unwrap();
+        assert_eq!(s.read(0).unwrap(), sample());
+        assert_eq!(s.bytes_stored(), 24);
+        s.delete(0).unwrap();
+        assert!(s.read(0).is_err());
+        assert_eq!(s.bytes_stored(), 0);
+        assert_eq!(s.peak_bytes(), 24);
+    }
+
+    #[test]
+    fn disk_store_round_trips() {
+        let dir = std::env::temp_dir().join(format!("nf_cache_test_{}", std::process::id()));
+        let mut s = DiskStore::new(&dir).unwrap();
+        s.write(3, &sample()).unwrap();
+        assert_eq!(s.read(3).unwrap(), sample());
+        assert!(s.bytes_stored() > 24, "header + payload");
+        s.delete(3).unwrap();
+        assert!(s.read(3).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_store_overwrites_blocks() {
+        let dir = std::env::temp_dir().join(format!("nf_cache_ow_{}", std::process::id()));
+        let mut s = DiskStore::new(&dir).unwrap();
+        s.write(0, &sample()).unwrap();
+        let bigger = Tensor::ones(&[4, 4]);
+        s.write(0, &bigger).unwrap();
+        assert_eq!(s.read(0).unwrap(), bigger);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failing_store_injects_faults() {
+        let mut s = FailingStore::new();
+        s.write(0, &sample()).unwrap();
+        s.fail_reads(true);
+        assert!(matches!(s.read(0), Err(NfError::Cache { op: "read", .. })));
+        s.fail_reads(false);
+        assert!(s.read(0).is_ok());
+        s.fail_writes(true);
+        assert!(matches!(
+            s.write(1, &sample()),
+            Err(NfError::Cache { op: "write", .. })
+        ));
+    }
+
+    #[test]
+    fn peak_tracks_simultaneous_blocks() {
+        let mut s = MemoryStore::new();
+        s.write(0, &Tensor::zeros(&[10])).unwrap();
+        s.write(1, &Tensor::zeros(&[10])).unwrap();
+        s.delete(0).unwrap();
+        s.write(2, &Tensor::zeros(&[10])).unwrap();
+        assert_eq!(s.peak_bytes(), 80);
+        assert_eq!(s.bytes_stored(), 80);
+    }
+}

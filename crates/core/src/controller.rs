@@ -1,0 +1,215 @@
+//! The Controller (§3/§4): end-to-end NeuroFlux orchestration.
+//!
+//! Wires the pipeline of Figure 7 together: Profiler → Partitioner →
+//! Worker → early-exit selection, producing the streamlined output model.
+
+use crate::cache::MemoryStore;
+use crate::config::NeuroFluxConfig;
+use crate::partitioner::{partition, Block};
+use crate::profiler::Profiler;
+use crate::worker::{Worker, WorkerReport};
+use crate::Result;
+use nf_data::{Dataset, SplitDataset};
+use nf_models::{build_aux_head, BuiltModel, ExitCandidate, ModelSpec};
+use nf_nn::loss::accuracy;
+use nf_nn::{Layer, Mode, Sequential};
+use rand::Rng;
+
+/// Everything a NeuroFlux run produces.
+pub struct NeuroFluxOutcome {
+    /// The trained backbone (all units + deep head).
+    pub model: BuiltModel,
+    /// One trained auxiliary head per unit (every possible exit).
+    pub aux_heads: Vec<Sequential>,
+    /// The block partition that was trained.
+    pub blocks: Vec<Block>,
+    /// Exit candidates with measured validation accuracy.
+    pub exits: Vec<ExitCandidate>,
+    /// The selected streamlined exit (§4), if any exit was measurable.
+    pub selected_exit: Option<ExitCandidate>,
+    /// Worker telemetry (losses, cache bytes).
+    pub report: WorkerReport,
+}
+
+impl NeuroFluxOutcome {
+    /// Test accuracy of the selected early-exit model.
+    pub fn selected_exit_accuracy(&mut self, data: &Dataset) -> Result<f32> {
+        let exit = match self.selected_exit {
+            Some(e) => e.unit,
+            None => return Ok(0.0),
+        };
+        exit_accuracy(&mut self.model, &mut self.aux_heads, exit, data)
+    }
+
+    /// Compression factor of the selected exit versus the full model
+    /// (Table 2's metric).
+    pub fn compression_factor(&self) -> Option<f64> {
+        self.selected_exit
+            .as_ref()
+            .map(|e| nf_models::compression_factor(&self.model.spec, e))
+    }
+}
+
+/// Inference accuracy when exiting at auxiliary head `exit`.
+pub fn exit_accuracy(
+    model: &mut BuiltModel,
+    aux_heads: &mut [Sequential],
+    exit: usize,
+    data: &Dataset,
+) -> Result<f32> {
+    if data.is_empty() {
+        return Ok(0.0);
+    }
+    let mut correct = 0.0f32;
+    let mut seen = 0usize;
+    for (images, labels) in data.batches(64) {
+        let mut cur = images;
+        for unit in &mut model.units[..=exit] {
+            cur = unit.forward(&cur, Mode::Eval)?;
+        }
+        let logits = aux_heads[exit].forward(&cur, Mode::Eval)?;
+        correct += accuracy(&logits, &labels)? * labels.len() as f32;
+        seen += labels.len();
+    }
+    Ok(correct / seen as f32)
+}
+
+/// The NeuroFlux training system.
+pub struct NeuroFluxTrainer {
+    /// Run configuration (§0 inputs).
+    pub config: NeuroFluxConfig,
+    /// Profiler used for memory modelling.
+    pub profiler: Profiler,
+}
+
+impl NeuroFluxTrainer {
+    /// Creates a trainer with the default (noise-free) profiler.
+    pub fn new(config: NeuroFluxConfig) -> Self {
+        NeuroFluxTrainer {
+            config,
+            profiler: Profiler::default(),
+        }
+    }
+
+    /// Plans the block partition for `spec` without training (Profiler +
+    /// Partitioner only).
+    pub fn plan<R: Rng>(&self, rng: &mut R, spec: &ModelSpec) -> Result<Vec<Block>> {
+        self.config.validate()?;
+        let profiles = self.profiler.profile(rng, spec, self.config.aux_policy);
+        partition(
+            &profiles,
+            self.config.budget_bytes,
+            self.config.batch_limit,
+            self.config.rho,
+        )
+    }
+
+    /// Runs the full pipeline: plan, build, block-train, measure exits,
+    /// select the streamlined output model.
+    pub fn train<R: Rng>(
+        &self,
+        rng: &mut R,
+        spec: &ModelSpec,
+        data: &SplitDataset,
+    ) -> Result<NeuroFluxOutcome> {
+        let blocks = self.plan(rng, spec)?;
+        let mut model = spec.build(rng)?;
+        let aux_specs = nf_models::assign_aux(spec, self.config.aux_policy);
+        let mut aux_heads = Vec::with_capacity(aux_specs.len());
+        for a in &aux_specs {
+            aux_heads.push(build_aux_head(rng, a)?);
+        }
+        let mut store = MemoryStore::new();
+        let mut worker = Worker::new(self.config, &mut store);
+        let report = worker.run(
+            &mut model,
+            &mut aux_heads,
+            &blocks,
+            data.train.images(),
+            data.train.labels(),
+        )?;
+        // §4: measure every exit on the validation split and pick the
+        // smallest within tolerance of the best.
+        let mut exits = nf_models::exit_candidates(spec, &aux_specs);
+        for (i, cand) in exits.iter_mut().enumerate() {
+            cand.val_accuracy = Some(exit_accuracy(&mut model, &mut aux_heads, i, &data.val)?);
+        }
+        let selected_exit = nf_models::select_exit(&exits, self.config.exit_tolerance);
+        Ok(NeuroFluxOutcome {
+            model,
+            aux_heads,
+            blocks,
+            exits,
+            selected_exit,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_data::SyntheticSpec;
+    use rand::SeedableRng;
+
+    #[test]
+    fn end_to_end_trains_and_selects_exit() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let ds = SyntheticSpec::quick(3, 8, 96).generate();
+        let spec = ModelSpec::tiny("e2e", 8, &[8, 8, 16], 3);
+        let config = NeuroFluxConfig::new(64 << 20, 16).with_epochs(4);
+        let mut outcome = NeuroFluxTrainer::new(config)
+            .train(&mut rng, &spec, &ds)
+            .unwrap();
+        let exit = outcome.selected_exit.expect("an exit must be selected");
+        assert!(exit.val_accuracy.unwrap() > 0.5, "exit {exit:?}");
+        let test_acc = outcome.selected_exit_accuracy(&ds.test).unwrap();
+        assert!(test_acc > 0.5, "test accuracy {test_acc}");
+        // The streamlined model is smaller than the full model.
+        assert!(outcome.compression_factor().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn plan_respects_budget_feasibility() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let spec = ModelSpec::tiny("p", 8, &[8, 16], 3);
+        // Generous budget: plan succeeds.
+        let config = NeuroFluxConfig::new(1 << 30, 32);
+        let blocks = NeuroFluxTrainer::new(config).plan(&mut rng, &spec).unwrap();
+        crate::partitioner::check_partition(&blocks, spec.num_units(), 32).unwrap();
+        // Absurdly small budget: infeasible.
+        let config = NeuroFluxConfig::new(1 << 10, 32);
+        assert!(matches!(
+            NeuroFluxTrainer::new(config).plan(&mut rng, &spec),
+            Err(crate::NfError::InfeasibleBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_work() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let spec = ModelSpec::tiny("p", 8, &[8], 3);
+        let config = NeuroFluxConfig::new(1 << 30, 0);
+        assert!(matches!(
+            NeuroFluxTrainer::new(config).plan(&mut rng, &spec),
+            Err(crate::NfError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn tighter_budget_means_smaller_early_batches() {
+        // AB-LL's driver: the first block's batch shrinks with the budget
+        // while later blocks keep larger batches.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let spec = ModelSpec::vgg11(10);
+        let tight = NeuroFluxTrainer::new(NeuroFluxConfig::new(60 << 20, 512))
+            .plan(&mut rng, &spec)
+            .unwrap();
+        let roomy = NeuroFluxTrainer::new(NeuroFluxConfig::new(400 << 20, 512))
+            .plan(&mut rng, &spec)
+            .unwrap();
+        assert!(tight[0].batch < roomy[0].batch);
+        // Within the tight plan, deeper blocks afford larger batches.
+        assert!(tight.last().unwrap().batch >= tight[0].batch);
+    }
+}

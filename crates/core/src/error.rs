@@ -1,0 +1,96 @@
+//! Error type for the NeuroFlux system.
+
+use std::fmt;
+
+/// Errors surfaced by the NeuroFlux profiler, partitioner, worker, and
+/// activation cache.
+#[derive(Debug)]
+pub enum NfError {
+    /// A layer operation failed.
+    Nn(nf_nn::NnError),
+    /// A tensor operation failed.
+    Tensor(nf_tensor::TensorError),
+    /// The memory budget cannot fit even a single sample for some unit.
+    InfeasibleBudget {
+        /// The binding unit index.
+        unit: usize,
+        /// The requested budget in bytes.
+        budget_bytes: u64,
+    },
+    /// The activation store failed.
+    Cache {
+        /// Operation that failed ("read"/"write"/"delete").
+        op: &'static str,
+        /// Block whose activations were involved.
+        block: usize,
+        /// Underlying cause.
+        cause: String,
+    },
+    /// Configuration is invalid (zero batch limit, empty model, …).
+    BadConfig(String),
+}
+
+impl fmt::Display for NfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NfError::Nn(e) => write!(f, "layer error: {e}"),
+            NfError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NfError::InfeasibleBudget { unit, budget_bytes } => write!(
+                f,
+                "budget of {budget_bytes} bytes cannot train unit {unit} at any batch size"
+            ),
+            NfError::Cache { op, block, cause } => {
+                write!(f, "activation cache {op} failed for block {block}: {cause}")
+            }
+            NfError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NfError::Nn(e) => Some(e),
+            NfError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nf_nn::NnError> for NfError {
+    fn from(e: nf_nn::NnError) -> Self {
+        NfError::Nn(e)
+    }
+}
+
+impl From<nf_tensor::TensorError> for NfError {
+    fn from(e: nf_tensor::TensorError) -> Self {
+        NfError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = NfError::InfeasibleBudget {
+            unit: 2,
+            budget_bytes: 1024,
+        };
+        assert!(e.to_string().contains("unit 2"));
+        let e = NfError::Cache {
+            op: "write",
+            block: 1,
+            cause: "disk full".into(),
+        };
+        assert!(e.to_string().contains("disk full"));
+        let e: NfError = nf_tensor::TensorError::ShapeDataMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
+        assert!(matches!(e, NfError::Tensor(_)));
+    }
+}

@@ -1,0 +1,322 @@
+//! Federated NeuroFlux (the paper's §8 future-work direction).
+//!
+//! The paper motivates NeuroFlux for federated learning: clients with tiny
+//! GPU budgets train locally and a server aggregates. This module provides
+//! a minimal synchronous FedAvg harness over NeuroFlux clients: every round,
+//! each client trains its own copy block-wise under its own memory budget
+//! on its own data shard, then the server averages parameters (units,
+//! auxiliary heads, and deep head) weighted by shard size.
+//!
+//! # Examples
+//!
+//! ```
+//! use neuroflux_core::federated::{FederatedConfig, run_federated};
+//! use neuroflux_core::NeuroFluxConfig;
+//! use nf_data::SyntheticSpec;
+//! use nf_models::ModelSpec;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let data = SyntheticSpec::quick(3, 8, 60).generate();
+//! let spec = ModelSpec::tiny("fed", 8, &[4, 8], 3);
+//! let fed = FederatedConfig {
+//!     clients: 3,
+//!     rounds: 1,
+//!     client_config: NeuroFluxConfig::new(16 << 20, 8).with_epochs(1),
+//! };
+//! let outcome = run_federated(&mut rng, &spec, &data, &fed).unwrap();
+//! assert_eq!(outcome.rounds_run, 1);
+//! ```
+
+use crate::cache::MemoryStore;
+use crate::config::NeuroFluxConfig;
+use crate::controller::exit_accuracy;
+use crate::worker::Worker;
+use crate::{NfError, Result};
+use nf_data::{Dataset, SplitDataset};
+use nf_models::{assign_aux, build_aux_head, BuiltModel, ModelSpec};
+use nf_nn::{Layer, Sequential};
+use nf_tensor::Tensor;
+use rand::{Rng, SeedableRng};
+
+/// Federated-run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FederatedConfig {
+    /// Number of clients (the training split is sharded round-robin).
+    pub clients: usize,
+    /// Synchronous FedAvg rounds.
+    pub rounds: usize,
+    /// Per-client NeuroFlux configuration (budget, batch limit, epochs per
+    /// block per round).
+    pub client_config: NeuroFluxConfig,
+}
+
+/// Result of a federated run.
+pub struct FederatedOutcome {
+    /// The aggregated global model.
+    pub model: BuiltModel,
+    /// Aggregated auxiliary heads (every exit of the global model).
+    pub aux_heads: Vec<Sequential>,
+    /// Global-model accuracy at the deepest auxiliary exit after each round.
+    pub round_accuracy: Vec<f32>,
+    /// Rounds actually executed.
+    pub rounds_run: usize,
+}
+
+fn snapshot(layer: &mut dyn Layer) -> Vec<Tensor> {
+    let mut out = Vec::new();
+    layer.visit_params(&mut |p| out.push(p.value.clone()));
+    out
+}
+
+fn load(layer: &mut dyn Layer, values: &[Tensor]) {
+    let mut i = 0;
+    layer.visit_params(&mut |p| {
+        p.value = values[i].clone();
+        i += 1;
+    });
+}
+
+fn add_weighted(acc: &mut [Tensor], values: &[Tensor], w: f32) {
+    for (a, v) in acc.iter_mut().zip(values) {
+        nf_tensor::axpy(w, v, a).expect("same architecture");
+    }
+}
+
+/// Runs synchronous FedAvg over NeuroFlux clients.
+///
+/// Shards `data.train` across clients (seeded shuffle + round-robin deal,
+/// giving IID shards), trains each client with block-wise adaptive
+/// local learning each round, and averages all parameters into the global
+/// model. Returns the per-round deep-exit accuracy on the shared test set.
+pub fn run_federated<R: Rng>(
+    rng: &mut R,
+    spec: &ModelSpec,
+    data: &SplitDataset,
+    fed: &FederatedConfig,
+) -> Result<FederatedOutcome> {
+    if fed.clients == 0 || fed.rounds == 0 {
+        return Err(NfError::BadConfig("clients and rounds must be > 0".into()));
+    }
+    fed.client_config.validate()?;
+
+    // Shard the training split round-robin.
+    let shards = shard_round_robin(&data.train, fed.clients)?;
+
+    // Global model + heads.
+    let mut global = spec.build(rng)?;
+    let aux_specs = assign_aux(spec, fed.client_config.aux_policy);
+    let mut global_heads = Vec::with_capacity(aux_specs.len());
+    for a in &aux_specs {
+        global_heads.push(build_aux_head(rng, a)?);
+    }
+
+    // Plan blocks once (same model/budget on every client).
+    let trainer = crate::controller::NeuroFluxTrainer::new(fed.client_config);
+    let blocks = trainer.plan(rng, spec)?;
+
+    let mut round_accuracy = Vec::with_capacity(fed.rounds);
+    for _round in 0..fed.rounds {
+        // Accumulators start at zero.
+        let mut unit_acc: Vec<Vec<Tensor>> = global
+            .units
+            .iter_mut()
+            .map(|u| {
+                snapshot(u)
+                    .iter()
+                    .map(|t| Tensor::zeros(t.shape()))
+                    .collect()
+            })
+            .collect();
+        let mut head_acc: Vec<Vec<Tensor>> = global_heads
+            .iter_mut()
+            .map(|h| {
+                snapshot(h)
+                    .iter()
+                    .map(|t| Tensor::zeros(t.shape()))
+                    .collect()
+            })
+            .collect();
+        let mut deep_acc: Vec<Tensor> = snapshot(&mut global.head)
+            .iter()
+            .map(|t| Tensor::zeros(t.shape()))
+            .collect();
+
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        for shard in &shards {
+            // Client: copy of the global state, trained on its shard.
+            let mut client = spec.build(rng)?;
+            for (cu, gu) in client.units.iter_mut().zip(global.units.iter_mut()) {
+                load(cu, &snapshot(gu));
+            }
+            let mut client_heads = Vec::with_capacity(aux_specs.len());
+            for (a, gh) in aux_specs.iter().zip(global_heads.iter_mut()) {
+                let mut h = build_aux_head(rng, a)?;
+                load(&mut h, &snapshot(gh));
+                client_heads.push(h);
+            }
+            load(&mut client.head, &snapshot(&mut global.head));
+
+            let mut store = MemoryStore::new();
+            let mut worker = Worker::new(fed.client_config, &mut store);
+            worker.run(
+                &mut client,
+                &mut client_heads,
+                &blocks,
+                shard.images(),
+                shard.labels(),
+            )?;
+
+            // FedAvg accumulation, weighted by shard size.
+            let w = shard.len() as f32 / total as f32;
+            for (acc, unit) in unit_acc.iter_mut().zip(client.units.iter_mut()) {
+                add_weighted(acc, &snapshot(unit), w);
+            }
+            for (acc, head) in head_acc.iter_mut().zip(client_heads.iter_mut()) {
+                add_weighted(acc, &snapshot(head), w);
+            }
+            add_weighted(&mut deep_acc, &snapshot(&mut client.head), w);
+        }
+
+        // Install the averaged parameters into the global model.
+        for (unit, acc) in global.units.iter_mut().zip(&unit_acc) {
+            load(unit, acc);
+        }
+        for (head, acc) in global_heads.iter_mut().zip(&head_acc) {
+            load(head, acc);
+        }
+        load(&mut global.head, &deep_acc);
+
+        // Recalibrate batch-norm running statistics for the averaged
+        // parameters: running means/variances are buffers, not parameters,
+        // so FedAvg does not aggregate them — a few training-mode forward
+        // passes over a calibration stream restore them (the standard
+        // BN-recalibration step in federated systems).
+        for _ in 0..4 {
+            for (images, _) in data.train.batches(32).take(4) {
+                let mut cur = images;
+                for unit in &mut global.units {
+                    cur = unit.forward(&cur, nf_nn::Mode::Train)?;
+                }
+            }
+        }
+        for unit in &mut global.units {
+            unit.clear_cache();
+        }
+
+        let deepest = global.units.len() - 1;
+        round_accuracy.push(exit_accuracy(
+            &mut global,
+            &mut global_heads,
+            deepest,
+            &data.test,
+        )?);
+    }
+
+    Ok(FederatedOutcome {
+        model: global,
+        aux_heads: global_heads,
+        round_accuracy,
+        rounds_run: fed.rounds,
+    })
+}
+
+fn shard_round_robin(train: &Dataset, clients: usize) -> Result<Vec<Dataset>> {
+    let n = train.len();
+    if n < clients {
+        return Err(NfError::BadConfig(format!(
+            "{n} samples cannot shard across {clients} clients"
+        )));
+    }
+    // Shuffle indices (deterministically) before dealing them out: a bare
+    // stride-`clients` split would interact with any periodic label layout
+    // — e.g. round-robin labels with `clients == classes` hands every
+    // client a single class, the worst-case non-IID split.
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5AAD);
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        indices.swap(i, j);
+    }
+    let per: usize = train.images().shape()[1..].iter().product();
+    let mut shards = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        let mut shape = train.images().shape().to_vec();
+        let mut count = 0usize;
+        for &i in indices.iter().skip(c).step_by(clients) {
+            data.extend_from_slice(&train.images().data()[i * per..(i + 1) * per]);
+            labels.push(train.labels()[i]);
+            count += 1;
+        }
+        shape[0] = count;
+        let images = Tensor::from_vec(shape, data)?;
+        shards.push(Dataset::new(images, labels)?);
+    }
+    Ok(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_data::SyntheticSpec;
+    use rand::SeedableRng;
+
+    #[test]
+    fn federated_improves_over_rounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let data = SyntheticSpec::quick(3, 8, 120).generate();
+        let spec = ModelSpec::tiny("fed", 8, &[6, 8], 3);
+        let fed = FederatedConfig {
+            clients: 3,
+            rounds: 4,
+            client_config: NeuroFluxConfig::new(32 << 20, 16).with_epochs(2),
+        };
+        let outcome = run_federated(&mut rng, &spec, &data, &fed).unwrap();
+        assert_eq!(outcome.round_accuracy.len(), 4);
+        let first = outcome.round_accuracy[0];
+        let last = *outcome.round_accuracy.last().unwrap();
+        assert!(
+            last >= first - 0.05,
+            "accuracy regressed: {:?}",
+            outcome.round_accuracy
+        );
+        assert!(
+            last > 0.5,
+            "global model must learn: {:?}",
+            outcome.round_accuracy
+        );
+    }
+
+    #[test]
+    fn sharding_partitions_exactly() {
+        let data = SyntheticSpec::quick(2, 8, 21).generate();
+        let shards = shard_round_robin(&data.train, 4).unwrap();
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 21);
+        // Round-robin: sizes differ by at most one.
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let data = SyntheticSpec::quick(2, 8, 8).generate();
+        let spec = ModelSpec::tiny("fed", 8, &[4], 2);
+        let bad = FederatedConfig {
+            clients: 0,
+            rounds: 1,
+            client_config: NeuroFluxConfig::new(16 << 20, 8),
+        };
+        assert!(run_federated(&mut rng, &spec, &data, &bad).is_err());
+        let too_many = FederatedConfig {
+            clients: 100,
+            rounds: 1,
+            client_config: NeuroFluxConfig::new(16 << 20, 8),
+        };
+        assert!(run_federated(&mut rng, &spec, &data, &too_many).is_err());
+    }
+}

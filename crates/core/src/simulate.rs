@@ -1,0 +1,375 @@
+//! Simulated-time training (Figures 11 & 12, Observations 1–3).
+//!
+//! Runs the *real* Profiler + Partitioner over full-size architectures and
+//! prices wall-clock training time with the `nf-memsim` device and timing
+//! models: compute (FLOPs / sustained throughput), per-batch overhead, and
+//! activation-cache I/O. BP and classic LL are priced with the same
+//! constants, so every comparison is apples-to-apples; only the batch
+//! sizes, resident sets, and cache traffic differ — which is exactly the
+//! paper's claim about where NeuroFlux's speedup comes from.
+
+use crate::partitioner::{partition, Block};
+use crate::profiler::Profiler;
+use crate::{NfError, Result};
+use nf_memsim::{
+    max_batch_bp, max_batch_ll_unit, DeviceProfile, MemoryModel, TimingModel, TrainingParadigm,
+};
+use nf_models::{assign_aux, AuxPolicy, ModelSpec};
+
+/// Simulated cost of one full training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedRun {
+    /// Paradigm label ("bp", "classic-ll", "neuroflux").
+    pub paradigm: &'static str,
+    /// Seconds of pure compute.
+    pub compute_s: f64,
+    /// Seconds of per-batch overhead.
+    pub overhead_s: f64,
+    /// Seconds of storage I/O (activation cache).
+    pub io_s: f64,
+    /// Batch size(s) used: single batch for BP/LL, per-block for NeuroFlux.
+    pub batches: Vec<usize>,
+    /// Total activation-cache bytes written (NeuroFlux only).
+    pub cache_bytes_written: u64,
+}
+
+impl SimulatedRun {
+    /// Total wall-clock seconds.
+    pub fn total_s(&self) -> f64 {
+        self.compute_s + self.overhead_s + self.io_s
+    }
+
+    /// Total wall-clock hours (the unit of Figure 11's y-axis).
+    pub fn total_hours(&self) -> f64 {
+        self.total_s() / 3600.0
+    }
+}
+
+/// Shared sweep parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Memory budget in bytes.
+    pub budget_bytes: u64,
+    /// User batch cap (Algorithm 1, line 4).
+    pub batch_limit: usize,
+    /// Training epochs (per block for NeuroFlux, global for BP/LL).
+    pub epochs: usize,
+    /// Training-set size.
+    pub samples: usize,
+}
+
+/// Simulates end-to-end BP training; `Err(InfeasibleBudget)` when even
+/// batch 1 exceeds the budget (Figure 11's missing BP points).
+pub fn simulate_bp(
+    spec: &ModelSpec,
+    device: &DeviceProfile,
+    cfg: &SimConfig,
+    mem: &MemoryModel,
+    timing: &TimingModel,
+) -> Result<SimulatedRun> {
+    let batch = max_batch_bp(mem, spec, cfg.budget_bytes)
+        .ok_or(NfError::InfeasibleBudget {
+            unit: 0,
+            budget_bytes: cfg.budget_bytes,
+        })?
+        .min(cfg.batch_limit);
+    let flops = timing.bp_train_flops_per_sample(spec) * cfg.samples as f64 * cfg.epochs as f64;
+    let n_batches = cfg.samples.div_ceil(batch) * cfg.epochs;
+    Ok(SimulatedRun {
+        paradigm: "bp",
+        compute_s: flops / device.effective_flops(),
+        overhead_s: n_batches as f64 * device.per_batch_overhead_s,
+        io_s: 0.0,
+        batches: vec![batch],
+        cache_bytes_written: 0,
+    })
+}
+
+/// Simulates classic-LL training: the whole backbone is resident and one
+/// fixed batch must fit **every** unit's local training footprint.
+pub fn simulate_classic_ll(
+    spec: &ModelSpec,
+    device: &DeviceProfile,
+    cfg: &SimConfig,
+    mem: &MemoryModel,
+    timing: &TimingModel,
+) -> Result<SimulatedRun> {
+    let aux = assign_aux(spec, AuxPolicy::CLASSIC);
+    let mut batch = usize::MAX;
+    for unit in 0..spec.num_units() {
+        let b = max_batch_ll_unit(
+            mem,
+            spec,
+            &aux,
+            unit,
+            cfg.budget_bytes,
+            TrainingParadigm::LocalLearning,
+        )
+        .ok_or(NfError::InfeasibleBudget {
+            unit,
+            budget_bytes: cfg.budget_bytes,
+        })?;
+        batch = batch.min(b);
+    }
+    let batch = batch.min(cfg.batch_limit);
+    let flops =
+        timing.ll_train_flops_per_sample(spec, &aux) * cfg.samples as f64 * cfg.epochs as f64;
+    let n_batches = cfg.samples.div_ceil(batch) * cfg.epochs;
+    Ok(SimulatedRun {
+        paradigm: "classic-ll",
+        compute_s: flops / device.effective_flops(),
+        overhead_s: n_batches as f64 * device.per_batch_overhead_s,
+        io_s: 0.0,
+        batches: vec![batch],
+        cache_bytes_written: 0,
+    })
+}
+
+/// Simulates a NeuroFlux run: plan blocks with the real Profiler +
+/// Partitioner, then price block-wise training with adaptive batches,
+/// cache regeneration passes, and storage I/O.
+pub fn simulate_neuroflux(
+    spec: &ModelSpec,
+    device: &DeviceProfile,
+    cfg: &SimConfig,
+    mem: &MemoryModel,
+    timing: &TimingModel,
+) -> Result<(SimulatedRun, Vec<Block>)> {
+    let profiler = Profiler {
+        memory_model: *mem,
+        ..Profiler::default()
+    };
+    // The profiler is noise-free here; rng is unused but required by the
+    // signature for the noisy case.
+    let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+    let profiles = profiler.profile(&mut rng, spec, AuxPolicy::Adaptive);
+    let blocks = partition(&profiles, cfg.budget_bytes, cfg.batch_limit, 0.4)?;
+    let aux = assign_aux(spec, AuxPolicy::Adaptive);
+    let analytics = spec.analyze();
+
+    let mut compute_s = 0.0;
+    let mut overhead_s = 0.0;
+    let mut io_s = 0.0;
+    let mut cache_bytes = 0u64;
+    let n = cfg.samples as f64;
+    for (bi, block) in blocks.iter().enumerate() {
+        // Per-epoch block training: local fwd+bwd of each unit + aux.
+        let block_train_flops: f64 = block
+            .units
+            .clone()
+            .map(|u| timing.unit_train_flops(spec, u, &aux[u]))
+            .sum();
+        let block_compute = block_train_flops * n * cfg.epochs as f64 / device.effective_flops();
+        compute_s += block_compute;
+        let batches_per_epoch = cfg.samples.div_ceil(block.batch.max(1));
+        overhead_s += (batches_per_epoch * cfg.epochs) as f64 * device.per_batch_overhead_s;
+        // Reading cached inputs each epoch (block 0 reads the dataset,
+        // already covered by per-batch overhead). The prefetcher (§3.2)
+        // streams activations while the GPU trains, so only the I/O that
+        // exceeds the block's compute time is exposed.
+        if bi > 0 {
+            let in_bytes = analytics[block.units.start].in_elems as f64 * 4.0 * n;
+            let raw_io = in_bytes * cfg.epochs as f64 / device.storage_bw_bytes_s;
+            io_s += (raw_io - block_compute).max(0.0);
+        }
+        // Final regeneration pass + cache write (§3.3); writes stream out
+        // behind the forward pass, so only the excess is exposed.
+        let fwd_flops: f64 = block.units.clone().map(|u| analytics[u].flops as f64).sum();
+        let regen_compute = fwd_flops * n / device.effective_flops();
+        compute_s += regen_compute;
+        let out_bytes = analytics[block.units.end - 1].out_elems as f64 * 4.0 * n;
+        io_s += (out_bytes / device.storage_bw_bytes_s - regen_compute).max(0.0);
+        cache_bytes += out_bytes as u64;
+    }
+    Ok((
+        SimulatedRun {
+            paradigm: "neuroflux",
+            compute_s,
+            overhead_s,
+            io_s,
+            batches: blocks.iter().map(|b| b.batch).collect(),
+            cache_bytes_written: cache_bytes,
+        },
+        blocks,
+    ))
+}
+
+/// Convenience: the three paradigms at one budget; infeasible entries are
+/// `None` (the gaps in Figure 11).
+pub fn sweep_point(
+    spec: &ModelSpec,
+    device: &DeviceProfile,
+    cfg: &SimConfig,
+) -> (
+    Option<SimulatedRun>,
+    Option<SimulatedRun>,
+    Option<SimulatedRun>,
+) {
+    let mem = MemoryModel::default();
+    let timing = TimingModel::default();
+    let bp = simulate_bp(spec, device, cfg, &mem, &timing).ok();
+    let ll = simulate_classic_ll(spec, device, cfg, &mem, &timing).ok();
+    let nf = simulate_neuroflux(spec, device, cfg, &mem, &timing)
+        .ok()
+        .map(|(run, _)| run);
+    (bp, ll, nf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1_000_000;
+
+    fn cfg(budget_mb: u64) -> SimConfig {
+        SimConfig {
+            budget_bytes: budget_mb * MB,
+            batch_limit: 512,
+            epochs: 30,
+            samples: 50_000,
+        }
+    }
+
+    #[test]
+    fn neuroflux_beats_bp_at_every_feasible_budget() {
+        // Observation 1: 2.3–6.1x over BP at equal budgets.
+        let device = DeviceProfile::agx_orin();
+        for spec in [ModelSpec::vgg16(10), ModelSpec::vgg19(100)] {
+            for budget in [250, 300, 400, 500] {
+                let (bp, _, nf) = sweep_point(&spec, &device, &cfg(budget));
+                if let (Some(bp), Some(nf)) = (bp, nf) {
+                    let speedup = bp.total_s() / nf.total_s();
+                    assert!(
+                        speedup > 1.0,
+                        "{} @ {budget}MB: speedup {speedup}",
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn speedup_band_overlaps_paper_range() {
+        // The paper reports 2.3–6.1x (vs BP) and 3.3–10.3x (vs LL) across
+        // its sweep; our bands must overlap those ranges, and classic LL
+        // must be slower than BP wherever both are feasible (aux overhead).
+        let device = DeviceProfile::agx_orin();
+        let mut bp_speedups = Vec::new();
+        let mut ll_speedups = Vec::new();
+        for spec in [
+            ModelSpec::vgg16(10),
+            ModelSpec::vgg19(10),
+            ModelSpec::resnet18(10),
+        ] {
+            for budget in [200, 250, 300, 350, 400, 450, 500] {
+                let (bp, ll, nf) = sweep_point(&spec, &device, &cfg(budget));
+                let nf = nf.expect("neuroflux always feasible at these budgets");
+                if let Some(bp) = &bp {
+                    bp_speedups.push(bp.total_s() / nf.total_s());
+                }
+                if let Some(ll) = &ll {
+                    ll_speedups.push(ll.total_s() / nf.total_s());
+                }
+                if let (Some(bp), Some(ll)) = (bp, ll) {
+                    assert!(
+                        ll.total_s() > bp.total_s(),
+                        "{} @ {budget}MB: classic LL {:.0}s !> BP {:.0}s",
+                        spec.name,
+                        ll.total_s(),
+                        bp.total_s()
+                    );
+                }
+            }
+        }
+        let max_bp = bp_speedups.iter().cloned().fold(0.0, f64::max);
+        let max_ll = ll_speedups.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            (2.0..12.0).contains(&max_bp),
+            "max BP speedup {max_bp} outside plausible band"
+        );
+        assert!(
+            (3.0..14.0).contains(&max_ll),
+            "max LL speedup {max_ll} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn neuroflux_trains_where_bp_cannot() {
+        // Observation 2: at 100 MB NeuroFlux works; BP and classic LL fail.
+        let device = DeviceProfile::agx_orin();
+        let spec = ModelSpec::vgg16(10);
+        let c = cfg(100);
+        let mem = MemoryModel::default();
+        let timing = TimingModel::default();
+        assert!(simulate_bp(&spec, &device, &c, &mem, &timing).is_err());
+        assert!(simulate_classic_ll(&spec, &device, &c, &mem, &timing).is_err());
+        let (run, blocks) = simulate_neuroflux(&spec, &device, &c, &mem, &timing).unwrap();
+        assert!(!blocks.is_empty());
+        assert!(run.total_s() > 0.0);
+    }
+
+    #[test]
+    fn neuroflux_at_100mb_is_competitive_with_bp_at_500mb() {
+        // Observation 2's stronger form: the paper measures NeuroFlux on
+        // 1/5 the memory as 1.3–1.9x *faster* than BP on the full budget.
+        // Our timing model reproduces a weaker form: NeuroFlux at 100 MB
+        // costs at most ~2.5x BP's wall-clock at 500 MB — a 5x memory
+        // reduction at a bounded slowdown, on a budget where BP cannot run
+        // at all. The gap versus the paper comes from auxiliary-head
+        // compute plus our BP batches being less starved than the paper's
+        // at 500 MB (recorded per-figure in EXPERIMENTS.md).
+        let device = DeviceProfile::agx_orin();
+        let spec = ModelSpec::vgg16(10);
+        let mem = MemoryModel::default();
+        let timing = TimingModel::default();
+        let nf = simulate_neuroflux(&spec, &device, &cfg(100), &mem, &timing)
+            .unwrap()
+            .0;
+        let bp = simulate_bp(&spec, &device, &cfg(500), &mem, &timing).unwrap();
+        let ratio = nf.total_s() / bp.total_s();
+        assert!(
+            ratio < 2.5,
+            "NF@100MB {:.0}s vs BP@500MB {:.0}s (ratio {ratio:.2})",
+            nf.total_s(),
+            bp.total_s()
+        );
+    }
+
+    #[test]
+    fn training_time_decreases_with_budget() {
+        // Figure 11's downward slope for NeuroFlux.
+        let device = DeviceProfile::agx_orin();
+        let spec = ModelSpec::vgg19(100);
+        let mem = MemoryModel::default();
+        let timing = TimingModel::default();
+        let mut prev = f64::INFINITY;
+        for budget in [100, 200, 300, 400, 500] {
+            let (run, _) = simulate_neuroflux(&spec, &device, &cfg(budget), &mem, &timing).unwrap();
+            let t = run.total_s();
+            assert!(t <= prev * 1.001, "time rose at {budget}MB: {t} > {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn cache_overhead_in_paper_band() {
+        // §6.4: activation cache totals 1.5–5.3x the dataset size.
+        let device = DeviceProfile::agx_orin();
+        let spec = ModelSpec::vgg16(10);
+        let mem = MemoryModel::default();
+        let timing = TimingModel::default();
+        let (run, _) = simulate_neuroflux(&spec, &device, &cfg(300), &mem, &timing).unwrap();
+        // Dataset ≈ 50k CIFAR images as u8: ~150 MB; as f32: ~600 MB. The
+        // cache stores f32 activations; compare against the f32 dataset.
+        // The paper reports 1.5–5.3x (likely with coarser blocks and/or
+        // quantised caches); our finer partitions land somewhat above that
+        // but in the same order of magnitude (see EXPERIMENTS.md).
+        let dataset_f32 = 50_000u64 * 3 * 32 * 32 * 4;
+        let ratio = run.cache_bytes_written as f64 / dataset_f32 as f64;
+        assert!(
+            (1.0..30.0).contains(&ratio),
+            "cache/dataset ratio {ratio} outside plausible band"
+        );
+    }
+}

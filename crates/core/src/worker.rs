@@ -1,0 +1,423 @@
+//! The Worker (§3): block-wise adaptive local learning (Algorithm 2).
+//!
+//! For each block, the Worker:
+//!
+//! 1. loads the block's input activations — the raw training set for block
+//!    0, the previous block's cached outputs otherwise (§3.1, skipping all
+//!    forward passes over trained blocks);
+//! 2. re-batches those activations to the block's own batch size — the
+//!    AB-LL prefetcher (§3.2);
+//! 3. trains every unit in the block with its local auxiliary loss for the
+//!    configured epochs (Algorithm 2);
+//! 4. runs one final forward pass and persists the block's output
+//!    activations to the [`crate::ActivationStore`] (§3.3), then evicts the
+//!    block's forward caches and the consumed upstream cache entry.
+
+use crate::cache::ActivationStore;
+use crate::config::NeuroFluxConfig;
+use crate::partitioner::Block;
+use crate::Result;
+use nf_models::BuiltModel;
+use nf_nn::loss::cross_entropy;
+use nf_nn::optim::Sgd;
+use nf_nn::{Layer, Mode, Sequential};
+use nf_tensor::Tensor;
+
+/// Telemetry from one Worker run.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerReport {
+    /// Mean local loss per epoch, per block (outer index = block).
+    pub block_losses: Vec<Vec<f32>>,
+    /// Batch size each block actually trained with.
+    pub block_batches: Vec<usize>,
+    /// Total bytes ever written to the activation cache.
+    pub cache_bytes_written: u64,
+    /// Peak bytes simultaneously resident in the cache.
+    pub cache_peak_bytes: u64,
+    /// Bytes of block parameters (+ optimizer state) serialised to storage
+    /// on eviction (§3.1).
+    pub params_bytes_evicted: u64,
+}
+
+/// Block-wise trainer operating over an [`ActivationStore`].
+pub struct Worker<'s, S: ActivationStore> {
+    /// Run configuration.
+    pub config: NeuroFluxConfig,
+    /// Storage backend for cached activations.
+    pub store: &'s mut S,
+}
+
+impl<'s, S: ActivationStore> Worker<'s, S> {
+    /// Creates a worker over `store`.
+    pub fn new(config: NeuroFluxConfig, store: &'s mut S) -> Self {
+        Worker { config, store }
+    }
+
+    fn optimizer(&self) -> Sgd {
+        Sgd::new(self.config.lr).with_momentum(self.config.momentum)
+    }
+
+    /// Trains the units of one block on `inputs` (Algorithm 2), returning
+    /// mean local loss per epoch.
+    pub fn train_block(
+        &mut self,
+        model: &mut BuiltModel,
+        aux_heads: &mut [Sequential],
+        block: &Block,
+        inputs: &Tensor,
+        labels: &[usize],
+    ) -> Result<Vec<f32>> {
+        let sgd = self.optimizer();
+        let n = inputs.shape()[0];
+        let batch = block.batch.max(1);
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs_per_block);
+        for _ in 0..self.config.epochs_per_block {
+            let mut losses = Vec::new();
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + batch).min(n);
+                // AB-LL prefetch: slice exactly this block's batch size out
+                // of the cached activation stream.
+                let mut cur = inputs.slice_batch(start, end)?;
+                let batch_labels = &labels[start..end];
+                for u in block.units.clone() {
+                    // Lines 3–7 of Algorithm 2: unit forward, auxiliary
+                    // prediction, local loss, local update.
+                    let out = model.units[u].forward(&cur, Mode::Train)?;
+                    let logits = aux_heads[u].forward(&out, Mode::Train)?;
+                    let (loss, grad_logits) = cross_entropy(&logits, batch_labels)?;
+                    losses.push(loss);
+                    let grad_out = aux_heads[u].backward(&grad_logits)?;
+                    let _ = model.units[u].backward(&grad_out)?;
+                    sgd.step(&mut model.units[u]);
+                    sgd.step(&mut aux_heads[u]);
+                    cur = out;
+                }
+                start = end;
+            }
+            epoch_losses.push(losses.iter().sum::<f32>() / losses.len().max(1) as f32);
+        }
+        Ok(epoch_losses)
+    }
+
+    /// Runs the trained block forward over all `inputs` (eval mode, in
+    /// batches) producing the activations to cache.
+    fn regenerate_activations(
+        &self,
+        model: &mut BuiltModel,
+        block: &Block,
+        inputs: &Tensor,
+    ) -> Result<Tensor> {
+        let n = inputs.shape()[0];
+        let batch = block.batch.max(1);
+        let mut parts: Vec<Tensor> = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + batch).min(n);
+            let mut cur = inputs.slice_batch(start, end)?;
+            for u in block.units.clone() {
+                cur = model.units[u].forward(&cur, Mode::Eval)?;
+            }
+            parts.push(cur);
+            start = end;
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Ok(Tensor::cat_batch(&refs)?)
+    }
+
+    /// Trains all blocks in order over the training set (the full §3 flow).
+    ///
+    /// On error (e.g. storage failure) already-trained blocks keep their
+    /// updated parameters; the error is surfaced to the caller.
+    pub fn run(
+        &mut self,
+        model: &mut BuiltModel,
+        aux_heads: &mut [Sequential],
+        blocks: &[Block],
+        images: &Tensor,
+        labels: &[usize],
+    ) -> Result<WorkerReport> {
+        let mut report = WorkerReport::default();
+        let mut written_total = 0u64;
+        for (b, block) in blocks.iter().enumerate() {
+            // §3.1: load this block's inputs — dataset for block 0, the
+            // previous block's cached activations otherwise.
+            let inputs = if b == 0 {
+                images.clone()
+            } else {
+                self.store.read(b - 1)?
+            };
+            let losses = self.train_block(model, aux_heads, block, &inputs, labels)?;
+            report.block_losses.push(losses);
+            report.block_batches.push(block.batch);
+            // §3.3: persist the trained block's outputs, then evict.
+            let acts = self.regenerate_activations(model, block, &inputs)?;
+            written_total += acts.numel() as u64 * 4;
+            self.store.write(b, &acts)?;
+            if b > 0 {
+                self.store.delete(b - 1)?;
+            }
+            for u in block.units.clone() {
+                model.units[u].clear_cache();
+                aux_heads[u].clear_cache();
+            }
+            // §3.1: the trained block itself moves to storage. Serialise
+            // unit + head parameters (with optimizer state), then restore —
+            // proving the eviction path is lossless and accounting its
+            // bytes. A device deployment would hold only the blob between
+            // blocks.
+            if self.config.evict_params {
+                for u in block.units.clone() {
+                    let blob = crate::params_io::serialize_params(&mut model.units[u]);
+                    report.params_bytes_evicted += blob.len() as u64;
+                    crate::params_io::deserialize_params(&mut model.units[u], &blob)?;
+                    let blob = crate::params_io::serialize_params(&mut aux_heads[u]);
+                    report.params_bytes_evicted += blob.len() as u64;
+                    crate::params_io::deserialize_params(&mut aux_heads[u], &blob)?;
+                }
+            }
+        }
+        // Train the original head on the final block's cached activations —
+        // the model's deepest exit.
+        if let Some(last) = blocks.len().checked_sub(1) {
+            let acts = self.store.read(last)?;
+            let sgd = self.optimizer();
+            let batch = blocks[last].batch.max(1);
+            let n = acts.shape()[0];
+            for _ in 0..self.config.epochs_per_block {
+                let mut start = 0usize;
+                while start < n {
+                    let end = (start + batch).min(n);
+                    let xb = acts.slice_batch(start, end)?;
+                    let logits = model.head.forward(&xb, Mode::Train)?;
+                    let (_, grad) = cross_entropy(&logits, &labels[start..end])?;
+                    let _ = model.head.backward(&grad)?;
+                    sgd.step(&mut model.head);
+                    start = end;
+                }
+            }
+            self.store.delete(last)?;
+        }
+        report.cache_bytes_written = written_total;
+        report.cache_peak_bytes = self.store.peak_bytes();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{FailingStore, MemoryStore};
+    use crate::NfError;
+    use nf_data::SyntheticSpec;
+    use nf_models::{assign_aux, build_aux_head, AuxPolicy, ModelSpec};
+    use rand::SeedableRng;
+
+    fn setup(
+        seed: u64,
+        channels: &[usize],
+    ) -> (BuiltModel, Vec<Sequential>, nf_data::SplitDataset) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let spec = ModelSpec::tiny("w", 8, channels, 3);
+        let model = spec.build(&mut rng).unwrap();
+        let aux = assign_aux(&spec, AuxPolicy::Fixed(4));
+        let heads = aux
+            .iter()
+            .map(|a| build_aux_head(&mut rng, a).unwrap())
+            .collect();
+        let ds = SyntheticSpec::quick(3, 8, 48).generate();
+        (model, heads, ds)
+    }
+
+    fn two_blocks() -> Vec<Block> {
+        vec![
+            Block {
+                units: 0..1,
+                batch: 8,
+            },
+            Block {
+                units: 1..2,
+                batch: 16,
+            },
+        ]
+    }
+
+    #[test]
+    fn worker_trains_all_blocks_and_reduces_loss() {
+        let (mut model, mut heads, ds) = setup(0, &[6, 8]);
+        let mut store = MemoryStore::new();
+        let config = NeuroFluxConfig::new(1 << 30, 16).with_epochs(4);
+        let mut worker = Worker::new(config, &mut store);
+        let report = worker
+            .run(
+                &mut model,
+                &mut heads,
+                &two_blocks(),
+                ds.train.images(),
+                ds.train.labels(),
+            )
+            .unwrap();
+        assert_eq!(report.block_losses.len(), 2);
+        for (b, losses) in report.block_losses.iter().enumerate() {
+            assert!(
+                losses.last().unwrap() < losses.first().unwrap(),
+                "block {b} losses {losses:?}"
+            );
+        }
+        assert_eq!(report.block_batches, vec![8, 16]);
+        assert!(report.cache_bytes_written > 0);
+    }
+
+    #[test]
+    fn cached_path_matches_direct_path_exactly() {
+        // Training block 1 from cached activations must produce *identical*
+        // parameters to training it from a live forward pass through the
+        // trained block 0 — caching is an optimisation, not an
+        // approximation.
+        let (mut model_a, mut heads_a, ds) = setup(7, &[6, 8]);
+        let mut store = MemoryStore::new();
+        let config = NeuroFluxConfig::new(1 << 30, 8).with_epochs(2);
+        let blocks = vec![
+            Block {
+                units: 0..1,
+                batch: 8,
+            },
+            Block {
+                units: 1..2,
+                batch: 8,
+            },
+        ];
+        Worker::new(config, &mut store)
+            .run(
+                &mut model_a,
+                &mut heads_a,
+                &blocks,
+                ds.train.images(),
+                ds.train.labels(),
+            )
+            .unwrap();
+
+        // Reference: same seeds, but block 1's inputs computed by re-running
+        // block 0 forward for every batch (no cache).
+        let (mut model_b, mut heads_b, _) = setup(7, &[6, 8]);
+        let mut store_b = MemoryStore::new();
+        let mut worker = Worker::new(config, &mut store_b);
+        // Train block 0 identically.
+        worker
+            .train_block(
+                &mut model_b,
+                &mut heads_b,
+                &blocks[0],
+                ds.train.images(),
+                ds.train.labels(),
+            )
+            .unwrap();
+        // Compute block-1 inputs by live forward.
+        let mut inputs = Vec::new();
+        let n = ds.train.len();
+        let mut start = 0;
+        while start < n {
+            let end = (start + 8).min(n);
+            let xb = ds.train.images().slice_batch(start, end).unwrap();
+            inputs.push(model_b.units[0].forward(&xb, Mode::Eval).unwrap());
+            start = end;
+        }
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let live = Tensor::cat_batch(&refs).unwrap();
+        worker
+            .train_block(
+                &mut model_b,
+                &mut heads_b,
+                &blocks[1],
+                &live,
+                ds.train.labels(),
+            )
+            .unwrap();
+
+        let mut params_a = Vec::new();
+        model_a.units[1].visit_params(&mut |p| params_a.push(p.value.clone()));
+        let mut params_b = Vec::new();
+        model_b.units[1].visit_params(&mut |p| params_b.push(p.value.clone()));
+        assert_eq!(params_a, params_b);
+    }
+
+    #[test]
+    fn storage_write_failure_surfaces_without_corrupting_block() {
+        let (mut model, mut heads, ds) = setup(1, &[6, 8]);
+        let mut store = FailingStore::new();
+        store.fail_writes(true);
+        let config = NeuroFluxConfig::new(1 << 30, 8).with_epochs(1);
+        let mut worker = Worker::new(config, &mut store);
+        let err = worker
+            .run(
+                &mut model,
+                &mut heads,
+                &two_blocks(),
+                ds.train.images(),
+                ds.train.labels(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, NfError::Cache { op: "write", .. }));
+        // Block 0 was trained before the failing write: its parameters must
+        // have moved from initialisation.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let fresh = ModelSpec::tiny("w", 8, &[6, 8], 3).build(&mut rng).unwrap();
+        let mut fresh = fresh;
+        let mut init_params = Vec::new();
+        fresh.units[0].visit_params(&mut |p| init_params.push(p.value.clone()));
+        let mut trained_params = Vec::new();
+        model.units[0].visit_params(&mut |p| trained_params.push(p.value.clone()));
+        assert_ne!(init_params, trained_params);
+    }
+
+    #[test]
+    fn storage_read_failure_surfaces() {
+        let (mut model, mut heads, ds) = setup(2, &[6, 8]);
+        let store = FailingStore::new();
+        let mut store = store;
+        let config = NeuroFluxConfig::new(1 << 30, 8).with_epochs(1);
+        // Fail reads only: block 0 trains and writes, block 1's read fails.
+        store.fail_reads(true);
+        let mut worker = Worker::new(config, &mut store);
+        let err = worker
+            .run(
+                &mut model,
+                &mut heads,
+                &two_blocks(),
+                ds.train.images(),
+                ds.train.labels(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, NfError::Cache { op: "read", .. }));
+    }
+
+    #[test]
+    fn consumed_cache_entries_are_deleted() {
+        let (mut model, mut heads, ds) = setup(3, &[4, 4, 4]);
+        let mut store = MemoryStore::new();
+        let config = NeuroFluxConfig::new(1 << 30, 8).with_epochs(1);
+        let blocks = vec![
+            Block {
+                units: 0..1,
+                batch: 8,
+            },
+            Block {
+                units: 1..3,
+                batch: 8,
+            },
+        ];
+        Worker::new(config, &mut store)
+            .run(
+                &mut model,
+                &mut heads,
+                &blocks,
+                ds.train.images(),
+                ds.train.labels(),
+            )
+            .unwrap();
+        // All consumed: block 0 deleted when block 1 trained; block 1 (the
+        // last) deleted after the head trained on it.
+        assert_eq!(store.bytes_stored(), 0);
+        assert!(store.peak_bytes() > 0);
+    }
+}

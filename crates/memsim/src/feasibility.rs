@@ -1,0 +1,147 @@
+//! Largest feasible batch sizes under a memory budget.
+//!
+//! Because every footprint in [`crate::memory`] is affine in batch size
+//! (`bytes = fixed + batch · slope`), the largest feasible batch is a
+//! closed-form floor division — the computation behind Figure 6 and lines
+//! 2–4 of Algorithm 1.
+
+use crate::memory::{MemoryModel, TrainingParadigm};
+use nf_models::{AuxSpec, ModelSpec};
+
+/// Largest batch at which locally training unit `unit` fits in
+/// `budget_bytes`; `None` if even batch 1 does not fit.
+pub fn max_batch_ll_unit(
+    model: &MemoryModel,
+    spec: &ModelSpec,
+    all_aux: &[AuxSpec],
+    unit: usize,
+    budget_bytes: u64,
+    paradigm: TrainingParadigm,
+) -> Option<usize> {
+    let analytics = spec.analyze();
+    let a = &analytics[unit];
+    let fixed = model
+        .ll_unit_training(spec, a, all_aux, 0, paradigm)
+        .total();
+    if fixed > budget_bytes {
+        return None;
+    }
+    let slope = model.ll_unit_activation_bytes_per_sample(spec, a, &all_aux[unit]);
+    if slope <= 0.0 {
+        return Some(usize::MAX);
+    }
+    let batch = ((budget_bytes - fixed) as f64 / slope).floor() as usize;
+    if batch == 0 {
+        None
+    } else {
+        Some(batch)
+    }
+}
+
+/// Largest feasible batch for every unit (Figure 6's bars).
+pub fn max_batch_per_unit(
+    model: &MemoryModel,
+    spec: &ModelSpec,
+    all_aux: &[AuxSpec],
+    budget_bytes: u64,
+    paradigm: TrainingParadigm,
+) -> Vec<Option<usize>> {
+    (0..spec.num_units())
+        .map(|u| max_batch_ll_unit(model, spec, all_aux, u, budget_bytes, paradigm))
+        .collect()
+}
+
+/// Largest batch at which end-to-end BP fits in `budget_bytes`; `None` if
+/// even batch 1 does not fit (the paper's "no data points below 250 MB").
+pub fn max_batch_bp(model: &MemoryModel, spec: &ModelSpec, budget_bytes: u64) -> Option<usize> {
+    let fixed = model.bp_training(spec, 0).total();
+    if fixed > budget_bytes {
+        return None;
+    }
+    let at1 = model.bp_training(spec, 1).total();
+    let slope = (at1 - fixed) as f64;
+    if slope <= 0.0 {
+        return Some(usize::MAX);
+    }
+    let batch = ((budget_bytes - fixed) as f64 / slope).floor() as usize;
+    if batch == 0 {
+        None
+    } else {
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_models::{assign_aux, AuxPolicy};
+    use proptest::prelude::*;
+
+    const MB: u64 = 1_000_000;
+
+    #[test]
+    fn later_units_afford_larger_batches() {
+        // Figure 6: feasible batch grows (non-strictly) toward deeper
+        // layers by orders of magnitude.
+        let m = MemoryModel::default();
+        let spec = ModelSpec::vgg19(200);
+        let aux = assign_aux(&spec, AuxPolicy::Adaptive);
+        let batches = max_batch_per_unit(&m, &spec, &aux, 630 * MB, TrainingParadigm::BlockLocal);
+        let first = batches[0].unwrap();
+        let last = batches.last().unwrap().unwrap();
+        assert!(
+            last > first * 10,
+            "deep units should dwarf early ones: {first} vs {last}"
+        );
+    }
+
+    #[test]
+    fn bp_has_a_hard_floor() {
+        // The fixed model+optimizer bytes alone exceed small budgets —
+        // exactly why Figure 11 has no BP points at low budgets.
+        let m = MemoryModel::default();
+        let spec = ModelSpec::vgg16(10);
+        assert!(max_batch_bp(&m, &spec, 100 * MB).is_none());
+        assert!(max_batch_bp(&m, &spec, 500 * MB).is_some());
+    }
+
+    #[test]
+    fn block_local_fits_where_classic_ll_cannot() {
+        // Observation 2: NeuroFlux trains under budgets unattainable by
+        // classic LL (whole model resident).
+        let m = MemoryModel::default();
+        let spec = ModelSpec::vgg16(10);
+        let aux = assign_aux(&spec, AuxPolicy::Adaptive);
+        let budget = 100 * MB;
+        let classic =
+            max_batch_ll_unit(&m, &spec, &aux, 0, budget, TrainingParadigm::LocalLearning);
+        let block = max_batch_ll_unit(&m, &spec, &aux, 0, budget, TrainingParadigm::BlockLocal);
+        assert!(classic.is_none(), "classic LL should not fit 100 MB");
+        assert!(block.is_some(), "NeuroFlux block mode should fit 100 MB");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn reported_batch_fits_and_is_maximal(
+            budget_mb in 40u64..2000,
+            unit in 0usize..8,
+        ) {
+            let m = MemoryModel::default();
+            let spec = ModelSpec::vgg11(10);
+            let aux = assign_aux(&spec, AuxPolicy::Adaptive);
+            let budget = budget_mb * MB;
+            if let Some(b) = max_batch_ll_unit(&m, &spec, &aux, unit, budget, TrainingParadigm::BlockLocal) {
+                let analytics = spec.analyze();
+                let fits = m
+                    .ll_unit_training(&spec, &analytics[unit], &aux, b, TrainingParadigm::BlockLocal)
+                    .total();
+                prop_assert!(fits <= budget, "batch {b} does not fit: {fits} > {budget}");
+                let over = m
+                    .ll_unit_training(&spec, &analytics[unit], &aux, b + 1, TrainingParadigm::BlockLocal)
+                    .total();
+                prop_assert!(over > budget, "batch {} also fits: {over} <= {budget}", b + 1);
+            }
+        }
+    }
+}

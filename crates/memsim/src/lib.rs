@@ -1,0 +1,37 @@
+//! GPU memory and timing models for the paper's edge devices.
+//!
+//! The paper's experiments run on NVIDIA Jetson boards and a Raspberry Pi
+//! (Table 1) — hardware unavailable here — so this crate *is* the hardware
+//! substitute (`DESIGN.md` §2): an analytic model of
+//!
+//! - **GPU memory** ([`memory`]): how many bytes inference, BP training,
+//!   and local-learning training need as a function of architecture and
+//!   batch size. Activation footprints are exact functions of tensor
+//!   shapes; retained-copy and workspace factors are documented constants.
+//!   The per-layer footprint is linear in batch size, which is precisely
+//!   the observation (Figure 8) the paper's Profiler exploits.
+//! - **time** ([`timing`]): FLOP-proportional compute plus a per-batch
+//!   overhead (data loading / kernel launch) plus storage I/O. The
+//!   per-batch overhead term is what makes small batches catastrophically
+//!   slow (Figure 1's 9× at batch 4) and is the effect NeuroFlux's larger
+//!   adaptive batches exploit.
+//! - **feasibility** ([`feasibility`]): the largest batch that fits a
+//!   memory budget, per layer or per paradigm — Figure 6 and the
+//!   infeasibility regions of Figure 11.
+//!
+//! Absolute magnitudes are calibrated per device with a single efficiency
+//! scalar (see [`DeviceProfile`]); every reproduced figure compares
+//! *shapes* (orderings, ratios, crossovers), recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod feasibility;
+pub mod memory;
+pub mod timing;
+
+pub use device::DeviceProfile;
+pub use feasibility::{max_batch_bp, max_batch_ll_unit, max_batch_per_unit};
+pub use memory::{MemoryBreakdown, MemoryModel, TrainingParadigm};
+pub use timing::TimingModel;

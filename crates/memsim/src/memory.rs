@@ -1,0 +1,394 @@
+//! Analytic GPU memory model (fp32).
+//!
+//! Components, per Section 2.2 / Figure 1 of the paper:
+//!
+//! - **model** — parameter bytes resident on the accelerator;
+//! - **optimizer** — gradient + momentum buffers (2× parameters for
+//!   momentum SGD);
+//! - **activations** — everything batch-dependent: retained layer outputs
+//!   (BP), transient in/out/gradient buffers and `im2col` lowering
+//!   workspaces (all paradigms).
+//!
+//! The batch-dependent term is **linear in batch size** by construction,
+//! which is the empirical observation (Figure 8) the NeuroFlux Profiler
+//! turns into per-layer linear predictors.
+
+use nf_models::{AuxSpec, LayerKind, ModelSpec, UnitAnalytics};
+use serde::{Deserialize, Serialize};
+
+/// Which training (or inference) regime memory is being modelled for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrainingParadigm {
+    /// Forward passes only.
+    Inference,
+    /// End-to-end backpropagation (all activations retained).
+    Backprop,
+    /// Local learning: one unit + its auxiliary head at a time, but the
+    /// whole model (and every auxiliary network) resident on the
+    /// accelerator, as in classic LL implementations.
+    LocalLearning,
+    /// NeuroFlux block mode: only the active block (+ its auxiliary heads)
+    /// is resident; other blocks live in storage.
+    BlockLocal,
+}
+
+/// A memory footprint split into the paper's three components (bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MemoryBreakdown {
+    /// Batch-dependent activation/workspace bytes.
+    pub activations: u64,
+    /// Parameter bytes.
+    pub model: u64,
+    /// Optimizer bytes (gradients + momentum).
+    pub optimizer: u64,
+}
+
+impl MemoryBreakdown {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.activations + self.model + self.optimizer
+    }
+}
+
+/// The memory model and its documented constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Bytes per tensor element (4 = fp32).
+    pub bytes_per_elem: u64,
+    /// Retained copies of each unit output under BP. A PyTorch-style stack
+    /// keeps the conv output, batch-norm output, ReLU output, and pool
+    /// bookkeeping alive per block, holds gradient buffers for the autograd
+    /// graph during the backward sweep, and pays caching-allocator
+    /// high-water marks on top. The value 12.0 is calibrated once so the
+    /// VGG-19 batch-256 activation footprint lands in the multi-GB regime
+    /// Figure 1 measures (~2.6 GB here vs ~3.2 GB in the paper).
+    pub bp_retained_copies: f64,
+    /// Copies of the in/out/auxiliary activations alive while locally
+    /// training one unit (forward chain copies + their gradients); 6.0 is
+    /// the same per-layer copy count the BP constant charges, which makes
+    /// classic-LL footprints track BP's as Figure 4 observes.
+    pub grad_copies: f64,
+    /// Whether `im2col` lowering workspaces count. Off by default: the
+    /// paper's cuDNN backend uses implicit GEMM (no materialised patch
+    /// matrix). Enable to model naive unfold-based convolution stacks.
+    pub include_workspace: bool,
+    /// Optimizer state per parameter (2.0 = gradient + momentum).
+    pub optimizer_states: f64,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel {
+            bytes_per_elem: 4,
+            bp_retained_copies: 12.0,
+            grad_copies: 6.0,
+            include_workspace: false,
+            optimizer_states: 2.0,
+        }
+    }
+}
+
+/// `im2col` workspace elements per sample for one unit (all its convs).
+fn workspace_elems(unit_kind: LayerKind, a: &UnitAnalytics) -> usize {
+    let (in_c, _, _) = a.in_shape;
+    let (out_c, out_h, out_w) = a.out_shape;
+    match unit_kind {
+        LayerKind::Conv { kernel, pool, .. } => {
+            // The conv's own (pre-pool) output geometry.
+            let (ch, cw) = if pool {
+                (out_h * 2, out_w * 2)
+            } else {
+                (out_h, out_w)
+            };
+            in_c * kernel * kernel * ch * cw
+        }
+        LayerKind::Residual { stride, .. } => {
+            let conv1 = in_c * 9 * out_h * out_w;
+            let conv2 = out_c * 9 * out_h * out_w;
+            let proj = if stride != 1 || in_c != out_c {
+                in_c * out_h * out_w
+            } else {
+                0
+            };
+            conv1 + conv2 + proj
+        }
+        LayerKind::DepthwiseSeparable { .. } => {
+            let dw = in_c * 9 * out_h * out_w;
+            let pw = in_c * out_h * out_w;
+            dw + pw
+        }
+    }
+}
+
+/// Auxiliary-head workspace elements per sample (its 3×3 conv lowering).
+fn aux_workspace_elems(aux: &AuxSpec) -> usize {
+    let (h, w) = aux.in_hw;
+    aux.in_ch * 9 * h * w
+}
+
+impl MemoryModel {
+    fn param_bytes(&self, params: usize) -> u64 {
+        params as u64 * self.bytes_per_elem
+    }
+
+    fn optimizer_bytes(&self, params: usize) -> u64 {
+        (params as f64 * self.optimizer_states) as u64 * self.bytes_per_elem
+    }
+
+    /// Inference memory: parameters + the largest transient
+    /// (input + output) across units.
+    ///
+    /// Lowering workspaces are *not* counted for inference: a forward-only
+    /// convolution can stream patch columns instead of materialising them,
+    /// which is what inference runtimes do — and why training-vs-inference
+    /// memory gaps (Figure 1's ×22.9/×37.6 annotations) are so large.
+    pub fn inference(&self, spec: &ModelSpec, batch: usize) -> MemoryBreakdown {
+        let peak_transient = spec
+            .analyze()
+            .iter()
+            .map(|a| a.in_elems + a.out_elems)
+            .max()
+            .unwrap_or(0);
+        MemoryBreakdown {
+            activations: (peak_transient * batch) as u64 * self.bytes_per_elem,
+            model: self.param_bytes(spec.total_params()),
+            optimizer: 0,
+        }
+    }
+
+    /// End-to-end BP training memory: every unit output retained
+    /// (×`bp_retained_copies`), plus the largest single-unit workspace,
+    /// plus parameters and optimizer state for the whole model.
+    pub fn bp_training(&self, spec: &ModelSpec, batch: usize) -> MemoryBreakdown {
+        let analytics = spec.analyze();
+        let input_elems = spec.input.0 * spec.input.1 * spec.input.2;
+        let retained: f64 = analytics
+            .iter()
+            .map(|a| a.out_elems as f64 * self.bp_retained_copies)
+            .sum::<f64>()
+            + input_elems as f64;
+        let peak_ws = if self.include_workspace {
+            spec.units
+                .iter()
+                .zip(&analytics)
+                .map(|(u, a)| workspace_elems(u.kind, a))
+                .max()
+                .unwrap_or(0) as f64
+                * self.grad_copies
+        } else {
+            0.0
+        };
+        MemoryBreakdown {
+            activations: ((retained + peak_ws) * batch as f64) as u64 * self.bytes_per_elem,
+            model: self.param_bytes(spec.total_params()),
+            optimizer: self.optimizer_bytes(spec.total_params()),
+        }
+    }
+
+    /// Batch-dependent activation bytes for locally training unit `unit`
+    /// with head `aux` — the **slope** of the per-layer linear model.
+    pub fn ll_unit_activation_bytes_per_sample(
+        &self,
+        spec: &ModelSpec,
+        a: &UnitAnalytics,
+        aux: &AuxSpec,
+    ) -> f64 {
+        let unit_kind = spec.units[a.index].kind;
+        let transient =
+            (a.in_elems + a.out_elems + aux.activation_elems()) as f64 * self.grad_copies;
+        let ws = if self.include_workspace {
+            (workspace_elems(unit_kind, a) + aux_workspace_elems(aux)) as f64
+        } else {
+            0.0
+        };
+        (transient + ws) * self.bytes_per_elem as f64
+    }
+
+    /// Local-learning memory for training unit `a.index` at `batch`.
+    ///
+    /// Under [`TrainingParadigm::LocalLearning`] the whole backbone *and
+    /// every auxiliary head* stay resident — classic LL constructs the full
+    /// model with all its heads on the accelerator, which is why the paper
+    /// observes classic LL using *more* GPU memory than BP (Section 3,
+    /// Opportunity 1). Under [`TrainingParadigm::BlockLocal`] only the
+    /// current unit and its head are resident (NeuroFlux evicts everything
+    /// else to storage and skips forward passes over trained blocks).
+    pub fn ll_unit_training(
+        &self,
+        spec: &ModelSpec,
+        a: &UnitAnalytics,
+        all_aux: &[AuxSpec],
+        batch: usize,
+        paradigm: TrainingParadigm,
+    ) -> MemoryBreakdown {
+        let aux = &all_aux[a.index];
+        let act = self.ll_unit_activation_bytes_per_sample(spec, a, aux) * batch as f64;
+        let resident_params = match paradigm {
+            TrainingParadigm::BlockLocal => a.params + aux.params(),
+            _ => spec.total_params() + all_aux.iter().map(|x| x.params()).sum::<usize>(),
+        };
+        MemoryBreakdown {
+            activations: act as u64,
+            model: self.param_bytes(resident_params),
+            optimizer: self.optimizer_bytes(resident_params),
+        }
+    }
+
+    /// Peak local-learning memory across all units at a fixed batch, with
+    /// the index of the binding unit (Figure 4's curve / Figure 5's bars).
+    pub fn ll_training_peak(
+        &self,
+        spec: &ModelSpec,
+        all_aux: &[AuxSpec],
+        batch: usize,
+        paradigm: TrainingParadigm,
+    ) -> (MemoryBreakdown, usize) {
+        let analytics = spec.analyze();
+        let mut best = MemoryBreakdown::default();
+        let mut arg = 0usize;
+        for a in &analytics {
+            let m = self.ll_unit_training(spec, a, all_aux, batch, paradigm);
+            if m.total() > best.total() {
+                best = m;
+                arg = a.index;
+            }
+        }
+        (best, arg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_models::{assign_aux, AuxPolicy};
+
+    fn vgg19_aan() -> (ModelSpec, Vec<AuxSpec>) {
+        let spec = ModelSpec::vgg19(200);
+        let aux = assign_aux(&spec, AuxPolicy::Adaptive);
+        (spec, aux)
+    }
+
+    #[test]
+    fn activations_dominate_bp_training_at_large_batch() {
+        // Figure 1's headline: at batch 256 the activation slice dwarfs
+        // model + optimizer.
+        let m = MemoryModel::default();
+        let spec = ModelSpec::vgg19(200);
+        let bp = m.bp_training(&spec, 256);
+        assert!(bp.activations > 4 * (bp.model + bp.optimizer));
+    }
+
+    #[test]
+    fn bp_training_far_exceeds_inference() {
+        // Figure 1 annotates training at 22.9x (VGG-19) and 37.6x
+        // (ResNet-18) the inference footprint at batch 256.
+        let m = MemoryModel::default();
+        for (spec, lo, hi) in [
+            (ModelSpec::vgg19(200), 4.0, 60.0),
+            (ModelSpec::resnet18(200), 4.0, 80.0),
+        ] {
+            let ratio =
+                m.bp_training(&spec, 256).total() as f64 / m.inference(&spec, 256).total() as f64;
+            assert!(
+                (lo..hi).contains(&ratio),
+                "{}: train/inference ratio {ratio}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn ll_memory_is_linear_in_batch() {
+        // Figure 8: per-layer memory is linear in batch size.
+        let m = MemoryModel::default();
+        let (spec, aux) = vgg19_aan();
+        let analytics = spec.analyze();
+        for a in &analytics {
+            let at10 = m
+                .ll_unit_training(&spec, a, &aux, 10, TrainingParadigm::BlockLocal)
+                .activations;
+            let at20 = m
+                .ll_unit_training(&spec, a, &aux, 20, TrainingParadigm::BlockLocal)
+                .activations;
+            let at40 = m
+                .ll_unit_training(&spec, a, &aux, 40, TrainingParadigm::BlockLocal)
+                .activations;
+            // Equal increments for equal batch increments: slope is constant.
+            let d1 = (at20 - at10) as f64;
+            let d2 = (at40 - at20) as f64 / 2.0;
+            assert!((d1 - d2).abs() <= 8.0, "non-linear: {d1} vs {d2}");
+            assert!((at40 as f64 / at10 as f64 - 4.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn early_units_bind_the_ll_peak() {
+        // Figure 5: an initial layer (index ≤ 2) dominates GPU memory.
+        let m = MemoryModel::default();
+        let (spec, aux) = vgg19_aan();
+        let (_, arg) = m.ll_training_peak(&spec, &aux, 30, TrainingParadigm::BlockLocal);
+        assert!(arg <= 2, "peak at unit {arg}");
+    }
+
+    #[test]
+    fn aan_beats_classic_ll_memory() {
+        // Figure 4's ordering at any batch: AAN-LL < classic LL, and both
+        // below BP at training batch sizes.
+        let m = MemoryModel::default();
+        let spec = ModelSpec::vgg19(200);
+        let aan = assign_aux(&spec, AuxPolicy::Adaptive);
+        let classic = assign_aux(&spec, AuxPolicy::CLASSIC);
+        for batch in [10, 30, 50, 70, 90] {
+            let a = m
+                .ll_training_peak(&spec, &aan, batch, TrainingParadigm::LocalLearning)
+                .0
+                .total();
+            let c = m
+                .ll_training_peak(&spec, &classic, batch, TrainingParadigm::LocalLearning)
+                .0
+                .total();
+            let bp = m.bp_training(&spec, batch).total();
+            let inf = m.inference(&spec, batch).total();
+            assert!(a < c, "batch {batch}: AAN {a} !< classic {c}");
+            // Section 3: "the GPU memory used during classic LL training is
+            // noted to be higher than BP" — true at the small-batch
+            // operating points those measurements use; at large batches
+            // BP's much steeper slope overtakes (Figure 4's BP curve is the
+            // steepest).
+            if batch <= 50 {
+                assert!(c > bp, "batch {batch}: classic {c} !> bp {bp}");
+            }
+            // AAN's flat slope beats BP's steep one once batches reach
+            // training sizes (at very small batches AAN's resident auxiliary
+            // parameters dominate).
+            if batch >= 30 {
+                assert!(a < bp, "batch {batch}: AAN {a} !< bp {bp}");
+            }
+            assert!(inf < a, "batch {batch}: inference {inf} !< AAN {a}");
+        }
+    }
+
+    #[test]
+    fn block_local_slashes_resident_params() {
+        let m = MemoryModel::default();
+        let (spec, aux) = vgg19_aan();
+        let analytics = spec.analyze();
+        let classic = m.ll_unit_training(
+            &spec,
+            &analytics[3],
+            &aux,
+            8,
+            TrainingParadigm::LocalLearning,
+        );
+        let block = m.ll_unit_training(&spec, &analytics[3], &aux, 8, TrainingParadigm::BlockLocal);
+        assert!(block.model * 5 < classic.model);
+        assert_eq!(block.activations, classic.activations);
+    }
+
+    #[test]
+    fn inference_needs_no_optimizer() {
+        let m = MemoryModel::default();
+        let spec = ModelSpec::vgg16(10);
+        assert_eq!(m.inference(&spec, 8).optimizer, 0);
+    }
+}

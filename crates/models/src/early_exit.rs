@@ -1,0 +1,151 @@
+//! Early-exit model analytics (Section 5.4, Table 2).
+//!
+//! After NeuroFlux trains a model, every unit's auxiliary head is a
+//! candidate exit. The deployed model at exit `k` consists of backbone
+//! units `0..=k` plus auxiliary head `k`; everything deeper is discarded.
+//! This module computes the analytic size/FLOPs of each candidate — the
+//! numbers behind Table 2's compression factors and Table 3's throughput
+//! gains.
+
+use crate::aux::AuxSpec;
+use crate::spec::ModelSpec;
+
+/// One candidate early-exit model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExitCandidate {
+    /// Exit unit index (0-based).
+    pub unit: usize,
+    /// Parameters of the deployed model (backbone prefix + auxiliary head).
+    pub params: usize,
+    /// Forward FLOPs per sample of the deployed model.
+    pub flops: u64,
+    /// Validation accuracy measured for this exit (filled in by training;
+    /// `None` for purely analytic candidates).
+    pub val_accuracy: Option<f32>,
+}
+
+/// Enumerates every exit candidate for `spec` with heads `aux`.
+///
+/// # Panics
+///
+/// Panics if `aux.len() != spec.num_units()` (heads must cover every unit).
+pub fn exit_candidates(spec: &ModelSpec, aux: &[AuxSpec]) -> Vec<ExitCandidate> {
+    assert_eq!(
+        aux.len(),
+        spec.num_units(),
+        "one auxiliary head per unit required"
+    );
+    let analytics = spec.analyze();
+    let mut prefix_params = 0usize;
+    let mut prefix_flops = 0u64;
+    let mut out = Vec::with_capacity(aux.len());
+    for (a, ax) in analytics.iter().zip(aux) {
+        prefix_params += a.params;
+        prefix_flops += a.flops;
+        out.push(ExitCandidate {
+            unit: a.index,
+            params: prefix_params + ax.params(),
+            flops: prefix_flops + ax.flops(),
+            val_accuracy: None,
+        });
+    }
+    out
+}
+
+/// Selects the paper's "best" exit: the candidate with the **smallest
+/// parameter count** among those whose validation accuracy is within
+/// `tolerance` of the maximum (Section 5.4: highest validation accuracy
+/// while maintaining the smallest parameter count).
+///
+/// Candidates without a measured accuracy are ignored. Returns `None` when
+/// nothing has been measured.
+pub fn select_exit(candidates: &[ExitCandidate], tolerance: f32) -> Option<ExitCandidate> {
+    let best_acc = candidates
+        .iter()
+        .filter_map(|c| c.val_accuracy)
+        .fold(f32::NEG_INFINITY, f32::max);
+    if best_acc == f32::NEG_INFINITY {
+        return None;
+    }
+    candidates
+        .iter()
+        .filter(|c| c.val_accuracy.map_or(false, |a| a >= best_acc - tolerance))
+        .min_by_key(|c| c.params)
+        .copied()
+}
+
+/// Compression factor of `exit` relative to the full model
+/// (Table 2's final column).
+pub fn compression_factor(spec: &ModelSpec, exit: &ExitCandidate) -> f64 {
+    spec.total_params() as f64 / exit.params.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aux::{assign_aux, AuxPolicy};
+
+    fn with_acc(mut c: ExitCandidate, acc: f32) -> ExitCandidate {
+        c.val_accuracy = Some(acc);
+        c
+    }
+
+    #[test]
+    fn candidate_params_grow_monotonically() {
+        // Exit FLOPs need not be monotone (a deep unit's auxiliary head can
+        // be cheaper than a shallow one's because its feature map is small),
+        // but deployed parameter counts only grow with depth in VGG.
+        let spec = ModelSpec::vgg16(10);
+        let aux = assign_aux(&spec, AuxPolicy::Adaptive);
+        let cands = exit_candidates(&spec, &aux);
+        assert_eq!(cands.len(), 13);
+        for w in cands.windows(2) {
+            assert!(w[1].params > w[0].params);
+        }
+        assert!(cands.iter().all(|c| c.flops > 0));
+    }
+
+    #[test]
+    fn early_exits_are_much_smaller_than_full_model() {
+        // Table 2's regime: an early-middle exit is >10x smaller.
+        let spec = ModelSpec::vgg16(10);
+        let aux = assign_aux(&spec, AuxPolicy::Adaptive);
+        let cands = exit_candidates(&spec, &aux);
+        let factor = compression_factor(&spec, &cands[4]);
+        assert!(factor > 10.0, "compression factor {factor}");
+    }
+
+    #[test]
+    fn select_exit_prefers_smallest_within_tolerance() {
+        let spec = ModelSpec::vgg11(10);
+        let aux = assign_aux(&spec, AuxPolicy::Adaptive);
+        let cands = exit_candidates(&spec, &aux);
+        let measured: Vec<ExitCandidate> = cands
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                // Accuracy saturates at unit 4 ("overthinking", Figure 10).
+                let acc = [0.3, 0.5, 0.62, 0.70, 0.72, 0.721, 0.719, 0.72][i];
+                with_acc(*c, acc)
+            })
+            .collect();
+        let chosen = select_exit(&measured, 0.005).unwrap();
+        assert_eq!(chosen.unit, 4, "first unit at the accuracy plateau");
+    }
+
+    #[test]
+    fn select_exit_without_measurements_is_none() {
+        let spec = ModelSpec::vgg11(10);
+        let aux = assign_aux(&spec, AuxPolicy::Adaptive);
+        let cands = exit_candidates(&spec, &aux);
+        assert!(select_exit(&cands, 0.01).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "one auxiliary head per unit")]
+    fn mismatched_aux_length_panics() {
+        let spec = ModelSpec::vgg11(10);
+        let aux = assign_aux(&spec, AuxPolicy::Adaptive);
+        exit_candidates(&spec, &aux[..3]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Named architectures used in the paper's evaluation.
+//!
+//! All presets follow the CIFAR-style conventions (32×32 inputs) used by
+//! the paper: the VGG variants keep five pooling stages and a single-linear
+//! head, ResNet-18 uses a 3×3 stem without the ImageNet max pool, and
+//! MobileNet is the V1 width-1.0 layout. With these conventions the total
+//! parameter counts match Table 2 of the paper (14.7M / 20.0M / 11.0M).
+
+use crate::spec::{HeadSpec, LayerKind, ModelSpec, UnitSpec};
+
+fn conv(in_ch: usize, out_ch: usize, pool: bool) -> UnitSpec {
+    UnitSpec {
+        kind: LayerKind::Conv {
+            in_ch,
+            out_ch,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            pool,
+        },
+    }
+}
+
+/// Builds a VGG spec from the standard channel/pool string, e.g.
+/// `[64, 0, 128, 0]` where `0` marks a pool attached to the previous conv.
+fn vgg_from_cfg(name: &str, cfg: &[usize], classes: usize) -> ModelSpec {
+    let mut units = Vec::new();
+    let mut in_ch = 3usize;
+    let mut i = 0;
+    while i < cfg.len() {
+        let out_ch = cfg[i];
+        debug_assert!(out_ch > 0, "cfg must not start with a pool marker");
+        let pool = i + 1 < cfg.len() && cfg[i + 1] == 0;
+        units.push(conv(in_ch, out_ch, pool));
+        in_ch = out_ch;
+        i += if pool { 2 } else { 1 };
+    }
+    let mut spec = ModelSpec {
+        name: name.to_string(),
+        input: (3, 32, 32),
+        classes,
+        units,
+        head: HeadSpec::Linear {
+            in_features: 0,
+            classes,
+        },
+    };
+    let (c, h, w) = spec.final_feature_shape();
+    spec.head = HeadSpec::Linear {
+        in_features: c * h * w,
+        classes,
+    };
+    spec
+}
+
+impl ModelSpec {
+    /// VGG-11 (8 conv units). Used by the paper's Figure 8 linearity study.
+    pub fn vgg11(classes: usize) -> ModelSpec {
+        vgg_from_cfg(
+            "vgg11",
+            &[64, 0, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0],
+            classes,
+        )
+    }
+
+    /// VGG-16 (13 conv units).
+    pub fn vgg16(classes: usize) -> ModelSpec {
+        vgg_from_cfg(
+            "vgg16",
+            &[
+                64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0,
+            ],
+            classes,
+        )
+    }
+
+    /// VGG-19 (16 conv units).
+    pub fn vgg19(classes: usize) -> ModelSpec {
+        vgg_from_cfg(
+            "vgg19",
+            &[
+                64, 64, 0, 128, 128, 0, 256, 256, 256, 256, 0, 512, 512, 512, 512, 0, 512, 512,
+                512, 512, 0,
+            ],
+            classes,
+        )
+    }
+
+    /// ResNet-18, CIFAR style: 3×3/64 stem + four stages of two basic
+    /// blocks (64, 128↓, 256↓, 512↓) + global-average-pool head.
+    ///
+    /// Units: 1 stem conv + 8 basic blocks = 9 local-learning units.
+    pub fn resnet18(classes: usize) -> ModelSpec {
+        let mut units = vec![conv(3, 64, false)];
+        let stages: [(usize, usize); 4] = [(64, 1), (128, 2), (256, 2), (512, 2)];
+        let mut in_ch = 64;
+        for (out_ch, stride) in stages {
+            units.push(UnitSpec {
+                kind: LayerKind::Residual {
+                    in_ch,
+                    out_ch,
+                    stride,
+                },
+            });
+            units.push(UnitSpec {
+                kind: LayerKind::Residual {
+                    in_ch: out_ch,
+                    out_ch,
+                    stride: 1,
+                },
+            });
+            in_ch = out_ch;
+        }
+        ModelSpec {
+            name: "resnet18".to_string(),
+            input: (3, 32, 32),
+            classes,
+            units,
+            head: HeadSpec::GapLinear {
+                in_ch: 512,
+                classes,
+            },
+        }
+    }
+
+    /// MobileNet V1 (width 1.0), CIFAR style: 3×3/32 stem + 13
+    /// depthwise-separable blocks.
+    ///
+    /// Referenced by the paper's Section 2.2 (830 MB of activations at
+    /// batch 256 vs < 35 MB for inference).
+    pub fn mobilenet(classes: usize) -> ModelSpec {
+        let mut units = vec![conv(3, 32, false)];
+        let blocks: [(usize, usize); 13] = [
+            (64, 1),
+            (128, 2),
+            (128, 1),
+            (256, 2),
+            (256, 1),
+            (512, 2),
+            (512, 1),
+            (512, 1),
+            (512, 1),
+            (512, 1),
+            (512, 1),
+            (1024, 2),
+            (1024, 1),
+        ];
+        let mut in_ch = 32;
+        for (out_ch, stride) in blocks {
+            units.push(UnitSpec {
+                kind: LayerKind::DepthwiseSeparable {
+                    in_ch,
+                    out_ch,
+                    stride,
+                },
+            });
+            in_ch = out_ch;
+        }
+        ModelSpec {
+            name: "mobilenet".to_string(),
+            input: (3, 32, 32),
+            classes,
+            head: HeadSpec::GapLinear {
+                in_ch: 1024,
+                classes,
+            },
+            units,
+        }
+    }
+
+    /// A deliberately tiny conv net for unit tests and fast CI runs:
+    /// `convs` 3×3 conv units with the given channels, pooling where
+    /// `pool[i]` is set, plus a linear head.
+    pub fn tiny(name: &str, input_hw: usize, channels: &[usize], classes: usize) -> ModelSpec {
+        let mut units = Vec::new();
+        let mut in_ch = 3usize;
+        for (i, &out_ch) in channels.iter().enumerate() {
+            // Pool on every second unit to create a downsampling boundary.
+            let pool = i % 2 == 1;
+            units.push(conv(in_ch, out_ch, pool));
+            in_ch = out_ch;
+        }
+        let mut spec = ModelSpec {
+            name: name.to_string(),
+            input: (3, input_hw, input_hw),
+            classes,
+            units,
+            head: HeadSpec::Linear {
+                in_features: 0,
+                classes,
+            },
+        };
+        let (c, h, w) = spec.final_feature_shape();
+        spec.head = HeadSpec::Linear {
+            in_features: c * h * w,
+            classes,
+        };
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_counts_match_paper() {
+        assert_eq!(ModelSpec::vgg11(10).num_units(), 8);
+        assert_eq!(ModelSpec::vgg16(10).num_units(), 13);
+        assert_eq!(ModelSpec::vgg19(10).num_units(), 16);
+        assert_eq!(ModelSpec::resnet18(10).num_units(), 9);
+        assert_eq!(ModelSpec::mobilenet(10).num_units(), 14);
+    }
+
+    #[test]
+    fn param_totals_match_table2() {
+        // Table 2: VGG-16 14.7M, VGG-19 20.0M, ResNet-18 11.0M.
+        let m = |spec: ModelSpec| spec.total_params() as f64 / 1e6;
+        assert!((m(ModelSpec::vgg16(10)) - 14.7).abs() < 0.4);
+        assert!((m(ModelSpec::vgg19(10)) - 20.0).abs() < 0.4);
+        assert!((m(ModelSpec::resnet18(10)) - 11.0).abs() < 0.4);
+    }
+
+    #[test]
+    fn vgg_feature_maps_end_at_1x1() {
+        for spec in [
+            ModelSpec::vgg11(10),
+            ModelSpec::vgg16(10),
+            ModelSpec::vgg19(10),
+        ] {
+            assert_eq!(spec.final_feature_shape(), (512, 1, 1), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn resnet_ends_at_512x4x4() {
+        assert_eq!(ModelSpec::resnet18(10).final_feature_shape(), (512, 4, 4));
+    }
+
+    #[test]
+    fn mobilenet_activation_budget_matches_paper_scale() {
+        // Section 2.2: MobileNet at batch 256 needs ~830 MB for activations
+        // (training) but < 35 MB for inference. Our analytic model should be
+        // in the same regime (hundreds of MB vs tens).
+        let spec = ModelSpec::mobilenet(200);
+        let total_act_elems: usize = spec.analyze().iter().map(|a| a.out_elems).sum();
+        let train_mb = (total_act_elems * 256 * 4) as f64 / 1e6;
+        assert!(
+            train_mb > 100.0 && train_mb < 3000.0,
+            "activation footprint {train_mb} MB out of expected regime"
+        );
+    }
+
+    #[test]
+    fn tiny_spec_is_consistent() {
+        let t = ModelSpec::tiny("t", 8, &[4, 8], 3);
+        assert_eq!(t.num_units(), 2);
+        assert_eq!(t.final_feature_shape(), (8, 4, 4));
+        assert_eq!(t.head.classes(), 3);
+    }
+}

@@ -1,0 +1,268 @@
+//! Batch normalisation over the channel dimension of NCHW tensors.
+
+use crate::error::NnError;
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use crate::Result;
+use nf_tensor::Tensor;
+
+/// Per-channel batch normalisation (training uses batch statistics and
+/// updates exponential running statistics; evaluation uses the running
+/// statistics).
+///
+/// `y = γ·(x − μ)/√(σ² + ε) + β`, with μ/σ² computed over `(N, H, W)` for
+/// each channel. The biased variance (divide by `m`) is used both for
+/// normalisation and for the running estimate, keeping the backward pass
+/// exact.
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` channels
+    /// (γ = 1, β = 0, ε = 1e-5, running-stat momentum = 0.1).
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
+    /// Running mean estimate (for tests/inspection).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Running variance estimate (for tests/inspection).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    fn check_input(&self, x: &Tensor) -> Result<(usize, usize, usize, usize)> {
+        let dims = x.dims4().map_err(|_| NnError::BadInput {
+            layer: self.name(),
+            reason: format!("expected NCHW input, got shape {:?}", x.shape()),
+        })?;
+        if dims.1 != self.channels {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!("expected {} channels, got {}", self.channels, dims.1),
+            });
+        }
+        Ok(dims)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> String {
+        format!("batchnorm2d({})", self.channels)
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, c, h, w) = self.check_input(x)?;
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let mut out = Tensor::zeros(x.shape());
+        match mode {
+            Mode::Train => {
+                let mut x_hat = Tensor::zeros(x.shape());
+                let mut inv_stds = vec![0.0f32; c];
+                for ch in 0..c {
+                    // Batch statistics over (N, H, W) for this channel.
+                    let mut mean = 0.0f32;
+                    for img in 0..n {
+                        let base = (img * c + ch) * plane;
+                        mean += x.data()[base..base + plane].iter().sum::<f32>();
+                    }
+                    mean /= m;
+                    let mut var = 0.0f32;
+                    for img in 0..n {
+                        let base = (img * c + ch) * plane;
+                        for &v in &x.data()[base..base + plane] {
+                            let d = v - mean;
+                            var += d * d;
+                        }
+                    }
+                    var /= m;
+                    let inv_std = 1.0 / (var + self.eps).sqrt();
+                    inv_stds[ch] = inv_std;
+                    let g = self.gamma.value.data()[ch];
+                    let b = self.beta.value.data()[ch];
+                    for img in 0..n {
+                        let base = (img * c + ch) * plane;
+                        for i in base..base + plane {
+                            let xh = (x.data()[i] - mean) * inv_std;
+                            x_hat.data_mut()[i] = xh;
+                            out.data_mut()[i] = g * xh + b;
+                        }
+                    }
+                    let rm = &mut self.running_mean.data_mut()[ch];
+                    *rm = (1.0 - self.momentum) * *rm + self.momentum * mean;
+                    let rv = &mut self.running_var.data_mut()[ch];
+                    *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
+                }
+                self.cache = Some(BnCache {
+                    x_hat,
+                    inv_std: inv_stds,
+                    shape: x.shape().to_vec(),
+                });
+            }
+            Mode::Eval => {
+                for ch in 0..c {
+                    let mean = self.running_mean.data()[ch];
+                    let inv_std = 1.0 / (self.running_var.data()[ch] + self.eps).sqrt();
+                    let g = self.gamma.value.data()[ch];
+                    let b = self.beta.value.data()[ch];
+                    for img in 0..n {
+                        let base = (img * c + ch) * plane;
+                        for i in base..base + plane {
+                            out.data_mut()[i] = g * (x.data()[i] - mean) * inv_std + b;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
+        if grad_out.shape() != cache.shape.as_slice() {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!(
+                    "grad shape {:?} inconsistent with cached input {:?}",
+                    grad_out.shape(),
+                    cache.shape
+                ),
+            });
+        }
+        let (n, c, h, w) = grad_out.dims4()?;
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let mut grad_in = Tensor::zeros(&cache.shape);
+        for ch in 0..c {
+            let g = self.gamma.value.data()[ch];
+            let inv_std = cache.inv_std[ch];
+            // Channel-wise reductions: Σdy, Σdy·x̂.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for img in 0..n {
+                let base = (img * c + ch) * plane;
+                for i in base..base + plane {
+                    let dy = grad_out.data()[i];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.x_hat.data()[i];
+                }
+            }
+            self.beta.grad.data_mut()[ch] += sum_dy;
+            self.gamma.grad.data_mut()[ch] += sum_dy_xhat;
+            // dx = (γ/√(σ²+ε)) · (dy − Σdy/m − x̂·Σ(dy·x̂)/m)
+            let k = g * inv_std;
+            for img in 0..n {
+                let base = (img * c + ch) * plane;
+                for i in base..base + plane {
+                    let dy = grad_out.data()[i];
+                    let xh = cache.x_hat.data()[i];
+                    grad_in.data_mut()[i] = k * (dy - sum_dy / m - xh * sum_dy_xhat / m);
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_output_is_normalised() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(vec![2, 1, 1, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
+        let var: f32 = y
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn running_stats_move_toward_batch_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::full(&[4, 1, 2, 2], 10.0);
+        bn.forward(&x, Mode::Train).unwrap();
+        // mean moves from 0 toward 10 by momentum 0.1.
+        assert!((bn.running_mean().data()[0] - 1.0).abs() < 1e-5);
+        // var moves from 1 toward 0.
+        assert!((bn.running_var().data()[0] - 0.9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn eval_uses_running_stats_and_does_not_cache() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::full(&[1, 1, 1, 2], 3.0);
+        let y = bn.forward(&x, Mode::Eval).unwrap();
+        // Running stats are (0, 1): y ≈ x.
+        for (a, b) in y.data().iter().zip(x.data()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+        assert!(bn.backward(&Tensor::ones(&[1, 1, 1, 2])).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut bn = BatchNorm2d::new(3);
+        assert!(bn
+            .forward(&Tensor::zeros(&[1, 2, 2, 2]), Mode::Train)
+            .is_err());
+        assert!(bn.forward(&Tensor::zeros(&[2, 2]), Mode::Train).is_err());
+    }
+
+    #[test]
+    fn param_count_is_two_per_channel() {
+        let mut bn = BatchNorm2d::new(8);
+        assert_eq!(bn.param_count(), 16);
+    }
+
+    #[test]
+    fn gradcheck_batchnorm() {
+        crate::gradcheck::check_layer(BatchNorm2d::new(2), &[3, 2, 2, 2], 5e-2, 41);
+    }
+}

@@ -1,0 +1,279 @@
+//! 2-D convolution layer (NCHW), lowered to matrix products via `im2col`.
+
+use crate::error::NnError;
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use crate::Result;
+use nf_tensor::{
+    col2im, he_normal, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry, Tensor,
+};
+use rand::Rng;
+
+/// 2-D convolution over NCHW input.
+///
+/// Weights are stored pre-flattened as `(c_out, c_in·k·k)` so the forward
+/// pass is a single matrix product against the `im2col` patch matrix of each
+/// image. The backward pass recomputes `im2col` rather than caching it,
+/// trading FLOPs for the activation memory the paper is concerned with.
+///
+/// # Examples
+///
+/// ```
+/// use nf_nn::{Conv2d, Layer, Mode};
+/// use nf_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(&mut rng, 3, 8, 3, 1, 1).unwrap();
+/// let y = conv.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval).unwrap();
+/// assert_eq!(y.shape(), &[2, 8, 8, 8]);
+/// ```
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a conv layer with He-normal weights and zero bias.
+    ///
+    /// `kernel`, `stride`, and `pad` are symmetric in both spatial
+    /// dimensions. Returns an error for a zero-sized kernel or stride.
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self> {
+        if kernel == 0 || stride == 0 {
+            return Err(NnError::BadInput {
+                layer: "conv2d".to_string(),
+                reason: "kernel and stride must be positive".to_string(),
+            });
+        }
+        let fan_in = in_channels * kernel * kernel;
+        Ok(Conv2d {
+            weight: Param::new(he_normal(rng, &[out_channels, fan_in], fan_in)),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            cached_input: None,
+        })
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    fn geometry(&self, h: usize, w: usize) -> Result<Conv2dGeometry> {
+        Ok(Conv2dGeometry::new(
+            h,
+            w,
+            self.kernel,
+            self.kernel,
+            self.stride,
+            self.pad,
+        )?)
+    }
+
+    fn check_input(&self, x: &Tensor) -> Result<(usize, usize, usize, usize)> {
+        let (n, c, h, w) = x.dims4().map_err(|_| NnError::BadInput {
+            layer: self.name(),
+            reason: format!("expected NCHW input, got shape {:?}", x.shape()),
+        })?;
+        if c != self.in_channels {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!("expected {} input channels, got {c}", self.in_channels),
+            });
+        }
+        Ok((n, c, h, w))
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> String {
+        format!(
+            "conv2d({}→{}, k{}, s{}, p{})",
+            self.in_channels, self.out_channels, self.kernel, self.stride, self.pad
+        )
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, c, h, w) = self.check_input(x)?;
+        let geom = self.geometry(h, w)?;
+        let (oh, ow) = (geom.out_h, geom.out_w);
+        let mut out = Vec::with_capacity(n * self.out_channels * oh * ow);
+        let bias = self.bias.value.data().to_vec();
+        for img in 0..n {
+            let image = x.slice_batch(img, img + 1)?.reshape(&[c, h, w])?;
+            let cols = im2col(&image, c, &geom)?;
+            let mut y = matmul(&self.weight.value, &cols)?;
+            // Broadcast the per-channel bias over all spatial positions.
+            let positions = geom.out_positions();
+            for (ch, row) in y.data_mut().chunks_mut(positions).enumerate() {
+                let b = bias[ch];
+                for v in row {
+                    *v += b;
+                }
+            }
+            out.extend_from_slice(y.data());
+        }
+        if mode == Mode::Train {
+            self.cached_input = Some(x.clone());
+        }
+        Ok(Tensor::from_vec(vec![n, self.out_channels, oh, ow], out)?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cached_input
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
+        let (n, c, h, w) = x.dims4()?;
+        let geom = self.geometry(h, w)?;
+        let positions = geom.out_positions();
+        let (gn, gc, goh, gow) = grad_out.dims4()?;
+        if gn != n || gc != self.out_channels || goh != geom.out_h || gow != geom.out_w {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!(
+                    "grad shape {:?} inconsistent with cached input {:?}",
+                    grad_out.shape(),
+                    x.shape()
+                ),
+            });
+        }
+        let mut grad_in = Vec::with_capacity(x.numel());
+        for img in 0..n {
+            let image = x.slice_batch(img, img + 1)?.reshape(&[c, h, w])?;
+            let cols = im2col(&image, c, &geom)?;
+            let gy = grad_out
+                .slice_batch(img, img + 1)?
+                .reshape(&[self.out_channels, positions])?;
+            // dW += gy · colsᵀ  (c_out × c·k·k)
+            let dw = matmul_a_bt(&gy, &cols)?;
+            nf_tensor::axpy(1.0, &dw, &mut self.weight.grad)?;
+            // db += row sums of gy.
+            for (ch, row) in gy.data().chunks(positions).enumerate() {
+                self.bias.grad.data_mut()[ch] += row.iter().sum::<f32>();
+            }
+            // dcols = Wᵀ · gy, then scatter back to image space.
+            let dcols = matmul_at_b(&self.weight.value, &gy)?;
+            let dimg = col2im(&dcols, c, &geom)?;
+            grad_in.extend_from_slice(dimg.data());
+        }
+        Ok(Tensor::from_vec(vec![n, c, h, w], grad_in)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(&mut rng, 1, 1, 1, 1, 0).unwrap();
+        conv.weight.value = Tensor::ones(&[1, 1]);
+        conv.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(&mut rng, 1, 1, 3, 1, 1).unwrap();
+        // Sum-of-window kernel, bias 1.
+        conv.weight.value = Tensor::ones(&[1, 9]);
+        conv.bias.value = Tensor::from_vec(vec![1], vec![1.0]).unwrap();
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        // Centre sees 9 ones + bias; corners see 4 ones + bias.
+        assert_eq!(y.at(&[0, 0, 1, 1]), 10.0);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 5.0);
+    }
+
+    #[test]
+    fn stride_halves_spatial_dims() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(&mut rng, 2, 4, 3, 2, 1).unwrap();
+        let y = conv
+            .forward(&Tensor::zeros(&[1, 2, 8, 8]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.shape(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_wrong_channels_and_rank() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(&mut rng, 3, 4, 3, 1, 1).unwrap();
+        assert!(conv
+            .forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Train)
+            .is_err());
+        assert!(conv
+            .forward(&Tensor::zeros(&[3, 4, 4]), Mode::Train)
+            .is_err());
+        assert!(Conv2d::new(&mut rng, 1, 1, 0, 1, 0).is_err());
+        assert!(Conv2d::new(&mut rng, 1, 1, 3, 0, 0).is_err());
+    }
+
+    #[test]
+    fn backward_needs_forward_and_consistent_grad() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(&mut rng, 1, 2, 3, 1, 1).unwrap();
+        assert!(conv.backward(&Tensor::zeros(&[1, 2, 4, 4])).is_err());
+        conv.forward(&Tensor::zeros(&[1, 1, 4, 4]), Mode::Train)
+            .unwrap();
+        assert!(conv.backward(&Tensor::zeros(&[1, 2, 3, 3])).is_err());
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(&mut rng, 3, 16, 3, 1, 1).unwrap();
+        assert_eq!(conv.param_count(), 16 * 3 * 9 + 16);
+    }
+
+    #[test]
+    fn gradcheck_conv2d() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let conv = Conv2d::new(&mut rng, 2, 3, 3, 1, 1).unwrap();
+        crate::gradcheck::check_layer(conv, &[2, 2, 4, 4], 5e-2, 21);
+    }
+
+    #[test]
+    fn gradcheck_strided_conv2d() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let conv = Conv2d::new(&mut rng, 1, 2, 2, 2, 0).unwrap();
+        crate::gradcheck::check_layer(conv, &[1, 1, 4, 4], 5e-2, 22);
+    }
+}

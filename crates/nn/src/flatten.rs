@@ -1,0 +1,93 @@
+//! Flatten layer: collapses all non-batch dimensions.
+
+use crate::error::NnError;
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use crate::Result;
+use nf_tensor::Tensor;
+
+/// Reshapes `(N, d₁, d₂, …)` to `(N, d₁·d₂·…)`.
+///
+/// # Examples
+///
+/// ```
+/// use nf_nn::{Flatten, Layer, Mode};
+/// use nf_tensor::Tensor;
+///
+/// let mut f = Flatten::new();
+/// let y = f.forward(&Tensor::zeros(&[2, 3, 4, 4]), Mode::Eval).unwrap();
+/// assert_eq!(y.shape(), &[2, 48]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> String {
+        "flatten".to_string()
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        if x.rank() < 1 {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: "rank-0 input".to_string(),
+            });
+        }
+        let n = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        if mode == Mode::Train {
+            self.cached_shape = Some(x.shape().to_vec());
+        }
+        Ok(x.reshaped(&[n, rest])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .cached_shape
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
+        Ok(grad_out.reshaped(&shape)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn clear_cache(&mut self) {
+        self.cached_shape = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_shapes() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 2, 2]);
+        let y = f.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[2, 12]);
+        let gi = f.backward(&Tensor::ones(&[2, 12])).unwrap();
+        assert_eq!(gi.shape(), x.shape());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut f = Flatten::new();
+        assert!(f.backward(&Tensor::zeros(&[1, 4])).is_err());
+    }
+
+    #[test]
+    fn rejects_scalar() {
+        let mut f = Flatten::new();
+        assert!(f.forward(&Tensor::scalar(1.0), Mode::Train).is_err());
+    }
+}

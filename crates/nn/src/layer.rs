@@ -1,0 +1,83 @@
+//! The [`Layer`] trait: explicit forward/backward with owned caches.
+
+use crate::param::Param;
+use crate::Result;
+use nf_tensor::Tensor;
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Training forwards cache whatever the backward pass needs (inputs, masks,
+/// batch statistics) and update running statistics; evaluation forwards are
+/// cache-free and use running statistics. This distinction is precisely the
+/// "training needs all the activations, inference does not" asymmetry that
+/// motivates the paper (Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: cache for backward, use batch statistics.
+    Train,
+    /// Inference: no caching, use running statistics.
+    Eval,
+}
+
+/// A differentiable network component with explicit state.
+///
+/// Contract:
+/// - `forward(x, Mode::Train)` must cache enough to answer one subsequent
+///   `backward` call; `forward(x, Mode::Eval)` must not allocate caches.
+/// - `backward(grad_out)` consumes the cache, **accumulates** parameter
+///   gradients into [`Param::grad`], and returns the gradient with respect
+///   to the layer input. Calling it twice without an intervening forward is
+///   an error ([`crate::NnError::NoForwardCache`]).
+/// - Gradients accumulate across backward calls until [`Layer::zero_grad`].
+pub trait Layer {
+    /// Human-readable layer name (used in error messages and reports).
+    fn name(&self) -> String;
+
+    /// Computes the layer output for `x`.
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Computes the input gradient from the output gradient, accumulating
+    /// parameter gradients.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// Visits every trainable parameter (used by optimizers and reporting).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Total number of scalar trainable parameters.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.numel());
+        n
+    }
+
+    /// Zeroes all accumulated parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Drops any cached forward state (e.g. when evicting a trained block
+    /// from "GPU memory" in the NeuroFlux worker).
+    fn clear_cache(&mut self) {}
+}
+
+impl Layer for Box<dyn Layer> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        self.as_mut().forward(x, mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        self.as_mut().backward(grad_out)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.as_mut().visit_params(f)
+    }
+
+    fn clear_cache(&mut self) {
+        self.as_mut().clear_cache()
+    }
+}

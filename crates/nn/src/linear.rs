@@ -1,0 +1,191 @@
+//! Fully-connected layer.
+
+use crate::error::NnError;
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use crate::Result;
+use nf_tensor::{he_normal, matmul, matmul_a_bt, matmul_at_b, sum_axis0, Tensor};
+use rand::Rng;
+
+/// Fully-connected layer: `y = x·W + b` with `W: (in, out)`, `b: (out)`.
+///
+/// Accepts rank-2 input `(batch, in_features)`.
+///
+/// # Examples
+///
+/// ```
+/// use nf_nn::{Layer, Linear, Mode};
+/// use nf_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut l = Linear::new(&mut rng, 3, 5);
+/// let y = l.forward(&Tensor::zeros(&[2, 3]), Mode::Eval).unwrap();
+/// assert_eq!(y.shape(), &[2, 5]);
+/// ```
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with He-normal weights and zero bias.
+    pub fn new<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        Linear {
+            weight: Param::new(he_normal(rng, &[in_features, out_features], in_features)),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Read-only access to the weight parameter (for tests/inspection).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> String {
+        format!("linear({}→{})", self.in_features, self.out_features)
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (_, cols) = x.dims2().map_err(|_| NnError::BadInput {
+            layer: self.name(),
+            reason: format!("expected rank-2 input, got shape {:?}", x.shape()),
+        })?;
+        if cols != self.in_features {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!("expected {} features, got {cols}", self.in_features),
+            });
+        }
+        let mut y = matmul(x, &self.weight.value)?;
+        let b = self.bias.value.data();
+        let out = self.out_features;
+        for row in y.data_mut().chunks_mut(out) {
+            for (v, bv) in row.iter_mut().zip(b) {
+                *v += bv;
+            }
+        }
+        if mode == Mode::Train {
+            self.cached_input = Some(x.clone());
+        }
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cached_input
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
+        // dW = xᵀ · g, db = Σ_rows g, dx = g · Wᵀ.
+        let dw = matmul_at_b(&x, grad_out)?;
+        nf_tensor::axpy(1.0, &dw, &mut self.weight.grad)?;
+        let db = sum_axis0(grad_out)?;
+        nf_tensor::axpy(1.0, &db, &mut self.bias.grad)?;
+        Ok(matmul_a_bt(grad_out, &self.weight.value)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut l = Linear::new(&mut rng, 2, 2);
+        l.weight.value = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]).unwrap();
+        l.bias.value = Tensor::from_vec(vec![2], vec![0.5, -0.5]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2], vec![1., 1.]).unwrap();
+        let y = l.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn rejects_wrong_feature_count() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut l = Linear::new(&mut rng, 3, 2);
+        assert!(matches!(
+            l.forward(&Tensor::zeros(&[1, 4]), Mode::Train),
+            Err(NnError::BadInput { .. })
+        ));
+        assert!(l.forward(&Tensor::zeros(&[4]), Mode::Train).is_err());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut l = Linear::new(&mut rng, 2, 2);
+        assert!(matches!(
+            l.backward(&Tensor::zeros(&[1, 2])),
+            Err(NnError::NoForwardCache { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_mode_does_not_cache() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut l = Linear::new(&mut rng, 2, 2);
+        l.forward(&Tensor::zeros(&[1, 2]), Mode::Eval).unwrap();
+        assert!(l.backward(&Tensor::zeros(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn param_count_is_correct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut l = Linear::new(&mut rng, 3, 5);
+        assert_eq!(l.param_count(), 3 * 5 + 5);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut l = Linear::new(&mut rng, 2, 1);
+        let x = Tensor::ones(&[1, 2]);
+        let g = Tensor::ones(&[1, 1]);
+        l.forward(&x, Mode::Train).unwrap();
+        l.backward(&g).unwrap();
+        let first = l.weight.grad.clone();
+        l.forward(&x, Mode::Train).unwrap();
+        l.backward(&g).unwrap();
+        for (a, b) in l.weight.grad.data().iter().zip(first.data()) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+        l.zero_grad();
+        assert!(l.weight.grad.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gradcheck_linear() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let layer = Linear::new(&mut rng, 3, 2);
+        crate::gradcheck::check_layer(layer, &[2, 3], 4e-2, 11);
+    }
+}

@@ -1,0 +1,249 @@
+//! Pooling layers over NCHW tensors.
+
+use crate::error::NnError;
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use crate::Result;
+use nf_tensor::{
+    avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, Conv2dGeometry, Tensor,
+};
+
+/// Max pooling with a square window.
+///
+/// # Examples
+///
+/// ```
+/// use nf_nn::{Layer, MaxPool2d, Mode};
+/// use nf_tensor::Tensor;
+///
+/// let mut p = MaxPool2d::new(2, 2);
+/// let y = p.forward(&Tensor::zeros(&[1, 3, 8, 8]), Mode::Eval).unwrap();
+/// assert_eq!(y.shape(), &[1, 3, 4, 4]);
+/// ```
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input shape)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with the given square kernel and stride.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d {
+            kernel,
+            stride,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> String {
+        format!("maxpool({}x{}, s{})", self.kernel, self.kernel, self.stride)
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (_, _, h, w) = x.dims4().map_err(|_| NnError::BadInput {
+            layer: self.name(),
+            reason: format!("expected NCHW input, got shape {:?}", x.shape()),
+        })?;
+        let geom = Conv2dGeometry::new(h, w, self.kernel, self.kernel, self.stride, 0)?;
+        let (y, arg) = max_pool2d(x, &geom)?;
+        if mode == Mode::Train {
+            self.cache = Some((arg, x.shape().to_vec()));
+        }
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (arg, shape) = self
+            .cache
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
+        Ok(max_pool2d_backward(grad_out, &arg, &shape)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+/// Average pooling with a square window.
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+    cache: Option<(Conv2dGeometry, Vec<usize>)>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer with the given square kernel/stride.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        AvgPool2d {
+            kernel,
+            stride,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> String {
+        format!("avgpool({}x{}, s{})", self.kernel, self.kernel, self.stride)
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (_, _, h, w) = x.dims4().map_err(|_| NnError::BadInput {
+            layer: self.name(),
+            reason: format!("expected NCHW input, got shape {:?}", x.shape()),
+        })?;
+        let geom = Conv2dGeometry::new(h, w, self.kernel, self.kernel, self.stride, 0)?;
+        let y = avg_pool2d(x, &geom)?;
+        if mode == Mode::Train {
+            self.cache = Some((geom, x.shape().to_vec()));
+        }
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (geom, shape) = self
+            .cache
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
+        Ok(avg_pool2d_backward(grad_out, &geom, &shape)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+/// Global average pooling: `(N, C, H, W) → (N, C)`.
+///
+/// Used as the downsampling stage of every auxiliary network (Equation 2's
+/// `F_n`) and before the final classifier of ResNet.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    cache: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cache: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> String {
+        "global_avgpool".to_string()
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, c, h, w) = x.dims4().map_err(|_| NnError::BadInput {
+            layer: self.name(),
+            reason: format!("expected NCHW input, got shape {:?}", x.shape()),
+        })?;
+        let plane = h * w;
+        let inv = 1.0 / plane as f32;
+        let mut out = Vec::with_capacity(n * c);
+        for chunk in x.data().chunks(plane) {
+            out.push(chunk.iter().sum::<f32>() * inv);
+        }
+        if mode == Mode::Train {
+            self.cache = Some(x.shape().to_vec());
+        }
+        Ok(Tensor::from_vec(vec![n, c], out)?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .cache
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
+        let (h, w) = (shape[2], shape[3]);
+        let plane = h * w;
+        let inv = 1.0 / plane as f32;
+        let (n, c) = grad_out.dims2()?;
+        if n != shape[0] || c != shape[1] {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!(
+                    "grad shape {:?} inconsistent with cached input {shape:?}",
+                    grad_out.shape()
+                ),
+            });
+        }
+        let mut out = Vec::with_capacity(n * c * plane);
+        for &g in grad_out.data() {
+            out.extend(std::iter::repeat(g * inv).take(plane));
+        }
+        Ok(Tensor::from_vec(shape, out)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_layer_shapes_and_backward() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 2.0, 3.0]).unwrap();
+        let y = p.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.data(), &[5.0]);
+        let gi = p.backward(&Tensor::ones(&[1, 1, 1, 1])).unwrap();
+        assert_eq!(gi.data(), &[0.0, 1.0, 0.0, 0.0]);
+        assert!(p.backward(&Tensor::ones(&[1, 1, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn global_avg_pool_means_planes() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![1.0, 3.0, 5.0, 7.0]).unwrap();
+        let y = p.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[2.0, 6.0]);
+        let gi = p.backward(&Tensor::ones(&[1, 2])).unwrap();
+        assert_eq!(gi.data(), &[0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn pools_reject_non_nchw() {
+        assert!(MaxPool2d::new(2, 2)
+            .forward(&Tensor::zeros(&[4, 4]), Mode::Train)
+            .is_err());
+        assert!(AvgPool2d::new(2, 2)
+            .forward(&Tensor::zeros(&[4, 4]), Mode::Train)
+            .is_err());
+        assert!(GlobalAvgPool::new()
+            .forward(&Tensor::zeros(&[4, 4]), Mode::Train)
+            .is_err());
+    }
+
+    #[test]
+    fn gradcheck_pools() {
+        crate::gradcheck::check_layer(MaxPool2d::new(2, 2), &[1, 2, 4, 4], 2e-2, 31);
+        crate::gradcheck::check_layer(AvgPool2d::new(2, 2), &[1, 2, 4, 4], 2e-2, 32);
+        crate::gradcheck::check_layer(GlobalAvgPool::new(), &[2, 3, 4, 4], 2e-2, 33);
+    }
+
+    #[test]
+    fn avg_pool_layer_shape() {
+        let mut p = AvgPool2d::new(2, 2);
+        let y = p.forward(&Tensor::ones(&[2, 3, 8, 8]), Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[2, 3, 4, 4]);
+        for &v in y.data() {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Rectified linear unit.
+
+use crate::error::NnError;
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use crate::Result;
+use nf_tensor::Tensor;
+
+/// Element-wise `max(0, x)` with a cached mask for the backward pass.
+///
+/// # Examples
+///
+/// ```
+/// use nf_nn::{Layer, Mode, relu::ReLU};
+/// use nf_tensor::Tensor;
+///
+/// let mut r = ReLU::new();
+/// let x = Tensor::from_vec(vec![3], vec![-1.0, 0.0, 2.0]).unwrap();
+/// let y = r.forward(&x, Mode::Eval).unwrap();
+/// assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+/// ```
+#[derive(Debug, Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// Creates a new ReLU activation.
+    pub fn new() -> Self {
+        ReLU { mask: None }
+    }
+}
+
+impl Layer for ReLU {
+    fn name(&self) -> String {
+        "relu".to_string()
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        if mode == Mode::Train {
+            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        Ok(x.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
+        if mask.len() != grad_out.numel() {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!(
+                    "grad has {} elements but cached mask has {}",
+                    grad_out.numel(),
+                    mask.len()
+                ),
+            });
+        }
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Ok(Tensor::from_vec(grad_out.shape().to_vec(), data)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn clear_cache(&mut self) {
+        self.mask = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_masks_negative_inputs() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![4], vec![-2.0, -0.0, 0.5, 3.0]).unwrap();
+        r.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::ones(&[4]);
+        let gi = r.backward(&g).unwrap();
+        assert_eq!(gi.data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn double_backward_errors() {
+        let mut r = ReLU::new();
+        r.forward(&Tensor::ones(&[2]), Mode::Train).unwrap();
+        r.backward(&Tensor::ones(&[2])).unwrap();
+        assert!(r.backward(&Tensor::ones(&[2])).is_err());
+    }
+
+    #[test]
+    fn mismatched_grad_shape_errors() {
+        let mut r = ReLU::new();
+        r.forward(&Tensor::ones(&[2]), Mode::Train).unwrap();
+        assert!(r.backward(&Tensor::ones(&[3])).is_err());
+    }
+
+    #[test]
+    fn has_no_params() {
+        let mut r = ReLU::new();
+        assert_eq!(r.param_count(), 0);
+    }
+
+    #[test]
+    fn gradcheck_relu() {
+        crate::gradcheck::check_layer(ReLU::new(), &[2, 5], 2e-2, 3);
+    }
+}

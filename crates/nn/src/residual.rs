@@ -1,0 +1,226 @@
+//! ResNet basic block with identity or projection shortcut.
+
+use crate::batchnorm::BatchNorm2d;
+use crate::conv2d::Conv2d;
+use crate::error::NnError;
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use crate::relu::ReLU;
+use crate::Result;
+use nf_tensor::{add, Tensor};
+use rand::Rng;
+
+/// The ResNet-18 basic block:
+/// `y = relu(bn2(conv2(relu(bn1(conv1(x))))) + shortcut(x))`.
+///
+/// When `stride > 1` or the channel count changes, the shortcut is a
+/// 1×1 strided convolution followed by batch norm (the standard "projection
+/// shortcut"); otherwise it is the identity.
+pub struct BasicBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: ReLU,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    shortcut: Option<(Conv2d, BatchNorm2d)>,
+    /// Mask of the final ReLU (cached in train mode).
+    final_mask: Option<Vec<bool>>,
+}
+
+impl BasicBlock {
+    /// Creates a basic block mapping `in_channels → out_channels` with the
+    /// given stride on the first convolution.
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+    ) -> Result<Self> {
+        let shortcut = if stride != 1 || in_channels != out_channels {
+            Some((
+                Conv2d::new(rng, in_channels, out_channels, 1, stride, 0)?,
+                BatchNorm2d::new(out_channels),
+            ))
+        } else {
+            None
+        };
+        Ok(BasicBlock {
+            conv1: Conv2d::new(rng, in_channels, out_channels, 3, stride, 1)?,
+            bn1: BatchNorm2d::new(out_channels),
+            relu1: ReLU::new(),
+            conv2: Conv2d::new(rng, out_channels, out_channels, 3, 1, 1)?,
+            bn2: BatchNorm2d::new(out_channels),
+            shortcut,
+            final_mask: None,
+        })
+    }
+
+    /// Whether this block uses a projection shortcut.
+    pub fn has_projection(&self) -> bool {
+        self.shortcut.is_some()
+    }
+}
+
+impl Layer for BasicBlock {
+    fn name(&self) -> String {
+        format!(
+            "basic_block({}→{}, s{})",
+            self.conv1.in_channels(),
+            self.conv1.out_channels(),
+            if self.has_projection() { "proj" } else { "id" }
+        )
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let main = self.conv1.forward(x, mode)?;
+        let main = self.bn1.forward(&main, mode)?;
+        let main = self.relu1.forward(&main, mode)?;
+        let main = self.conv2.forward(&main, mode)?;
+        let main = self.bn2.forward(&main, mode)?;
+        let skip = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let s = conv.forward(x, mode)?;
+                bn.forward(&s, mode)?
+            }
+            None => x.clone(),
+        };
+        let pre = add(&main, &skip).map_err(|e| NnError::BadInput {
+            layer: self.name(),
+            reason: format!("main/shortcut shape mismatch: {e}"),
+        })?;
+        if mode == Mode::Train {
+            self.final_mask = Some(pre.data().iter().map(|&v| v > 0.0).collect());
+        }
+        Ok(pre.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .final_mask
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
+        if mask.len() != grad_out.numel() {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: "grad shape inconsistent with cached forward".to_string(),
+            });
+        }
+        // Gradient through the final ReLU, then split to both branches.
+        let d_pre = Tensor::from_vec(
+            grad_out.shape().to_vec(),
+            grad_out
+                .data()
+                .iter()
+                .zip(&mask)
+                .map(|(&g, &m)| if m { g } else { 0.0 })
+                .collect(),
+        )?;
+        // Main branch, in reverse.
+        let g = self.bn2.backward(&d_pre)?;
+        let g = self.conv2.backward(&g)?;
+        let g = self.relu1.backward(&g)?;
+        let g = self.bn1.backward(&g)?;
+        let d_main = self.conv1.backward(&g)?;
+        // Shortcut branch.
+        let d_skip = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let g = bn.backward(&d_pre)?;
+                conv.backward(&g)?
+            }
+            None => d_pre,
+        };
+        Ok(add(&d_main, &d_skip)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        self.bn1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.bn2.visit_params(f);
+        if let Some((conv, bn)) = &mut self.shortcut {
+            conv.visit_params(f);
+            bn.visit_params(f);
+        }
+    }
+
+    fn clear_cache(&mut self) {
+        self.conv1.clear_cache();
+        self.bn1.clear_cache();
+        self.relu1.clear_cache();
+        self.conv2.clear_cache();
+        self.bn2.clear_cache();
+        if let Some((conv, bn)) = &mut self.shortcut {
+            conv.clear_cache();
+            bn.clear_cache();
+        }
+        self.final_mask = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_block_preserves_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut b = BasicBlock::new(&mut rng, 4, 4, 1).unwrap();
+        assert!(!b.has_projection());
+        let y = b
+            .forward(&Tensor::zeros(&[2, 4, 8, 8]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.shape(), &[2, 4, 8, 8]);
+    }
+
+    #[test]
+    fn downsampling_block_projects() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut b = BasicBlock::new(&mut rng, 4, 8, 2).unwrap();
+        assert!(b.has_projection());
+        let y = b
+            .forward(&Tensor::zeros(&[1, 4, 8, 8]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.shape(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut b = BasicBlock::new(&mut rng, 2, 2, 1).unwrap();
+        assert!(b.backward(&Tensor::zeros(&[1, 2, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn full_train_cycle_produces_grads() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut b = BasicBlock::new(&mut rng, 2, 4, 2).unwrap();
+        let x = nf_tensor::uniform_init(&mut rng, &[2, 2, 8, 8], -1.0, 1.0);
+        let y = b.forward(&x, Mode::Train).unwrap();
+        let gi = b.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gi.shape(), x.shape());
+        let mut any_grad = false;
+        b.visit_params(&mut |p| {
+            if p.grad.data().iter().any(|&v| v != 0.0) {
+                any_grad = true;
+            }
+        });
+        assert!(any_grad);
+    }
+
+    #[test]
+    fn gradcheck_identity_block() {
+        // Composed blocks stack two ReLUs, so probe points land nearer to
+        // kinks than in single-layer checks; tolerance is accordingly looser.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let b = BasicBlock::new(&mut rng, 2, 2, 1).unwrap();
+        crate::gradcheck::check_layer(b, &[2, 2, 4, 4], 1.2e-1, 63);
+    }
+
+    #[test]
+    fn gradcheck_projection_block() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let b = BasicBlock::new(&mut rng, 2, 4, 2).unwrap();
+        crate::gradcheck::check_layer(b, &[2, 2, 4, 4], 8e-2, 62);
+    }
+}

@@ -1,0 +1,155 @@
+//! Ordered container of layers.
+
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use crate::Result;
+use nf_tensor::Tensor;
+
+/// A stack of layers applied in order; backward runs in reverse.
+///
+/// End-to-end backpropagation over a `Sequential` is the paper's BP
+/// baseline; NeuroFlux instead builds many small `Sequential`s (one per
+/// layer + auxiliary head) and trains them locally.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a container from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Creates an empty container.
+    pub fn empty() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to the layers.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers.
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Consumes the container, returning its layers.
+    pub fn into_layers(self) -> Vec<Box<dyn Layer>> {
+        self.layers
+    }
+
+    /// Runs a forward pass up to (excluding) `end`, returning the
+    /// intermediate activation. `forward_until(x, mode, len())` is the full
+    /// forward pass.
+    pub fn forward_until(&mut self, x: &Tensor, mode: Mode, end: usize) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in self.layers.iter_mut().take(end) {
+            cur = layer.forward(&cur, mode)?;
+        }
+        Ok(cur)
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> String {
+        format!("sequential[{}]", self.layers.len())
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        self.forward_until(x, mode, self.layers.len())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut grad = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad)?;
+        }
+        Ok(grad)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn clear_cache(&mut self) {
+        for layer in &mut self.layers {
+            layer.clear_cache();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::relu::ReLU;
+    use rand::SeedableRng;
+
+    fn two_layer() -> Sequential {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        Sequential::new(vec![
+            Box::new(Linear::new(&mut rng, 3, 4)),
+            Box::new(ReLU::new()),
+            Box::new(Linear::new(&mut rng, 4, 2)),
+        ])
+    }
+
+    #[test]
+    fn forward_backward_chain() {
+        let mut net = two_layer();
+        let x = Tensor::ones(&[2, 3]);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[2, 2]);
+        let gi = net.backward(&Tensor::ones(&[2, 2])).unwrap();
+        assert_eq!(gi.shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn forward_until_stops_early() {
+        let mut net = two_layer();
+        let x = Tensor::ones(&[2, 3]);
+        let mid = net.forward_until(&x, Mode::Eval, 1).unwrap();
+        assert_eq!(mid.shape(), &[2, 4]);
+        let nothing = net.forward_until(&x, Mode::Eval, 0).unwrap();
+        assert_eq!(nothing, x);
+    }
+
+    #[test]
+    fn param_count_sums_children() {
+        let mut net = two_layer();
+        assert_eq!(net.param_count(), (3 * 4 + 4) + (4 * 2 + 2));
+    }
+
+    #[test]
+    fn clear_cache_prevents_backward() {
+        let mut net = two_layer();
+        net.forward(&Tensor::ones(&[1, 3]), Mode::Train).unwrap();
+        net.clear_cache();
+        assert!(net.backward(&Tensor::ones(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn gradcheck_sequential() {
+        crate::gradcheck::check_layer(two_layer(), &[2, 3], 4e-2, 51);
+    }
+}

@@ -1,0 +1,302 @@
+//! Convolution lowering: `im2col` / `col2im`.
+//!
+//! A 2-D convolution over an NCHW input is lowered to one matrix product per
+//! batch element: the receptive-field patches are unrolled into the columns
+//! of a `(C·KH·KW) × (OH·OW)` matrix, which the kernel matrix
+//! `(C_out) × (C·KH·KW)` multiplies. `col2im` is the exact adjoint and is
+//! what the backward pass uses to scatter patch gradients back onto the
+//! input; the pair being mutually adjoint is property-tested below.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Static geometry of a 2-D convolution (or pooling) window.
+///
+/// # Examples
+///
+/// ```
+/// use nf_tensor::Conv2dGeometry;
+///
+/// let g = Conv2dGeometry::new(32, 32, 3, 3, 1, 1).unwrap();
+/// assert_eq!((g.out_h, g.out_w), (32, 32)); // 'same' padding
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Computes output dimensions, validating that the window fits.
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the kernel does not fit in
+    /// the padded input or if `stride` is zero.
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        k_h: usize,
+        k_w: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self> {
+        if stride == 0 {
+            return Err(TensorError::InvalidGeometry("stride must be > 0".into()));
+        }
+        if k_h == 0 || k_w == 0 {
+            return Err(TensorError::InvalidGeometry("kernel must be > 0".into()));
+        }
+        let padded_h = in_h + 2 * pad;
+        let padded_w = in_w + 2 * pad;
+        if k_h > padded_h || k_w > padded_w {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {k_h}x{k_w} larger than padded input {padded_h}x{padded_w}"
+            )));
+        }
+        Ok(Conv2dGeometry {
+            in_h,
+            in_w,
+            k_h,
+            k_w,
+            stride,
+            pad,
+            out_h: (padded_h - k_h) / stride + 1,
+            out_w: (padded_w - k_w) / stride + 1,
+        })
+    }
+
+    /// Number of output positions (`out_h * out_w`).
+    pub fn out_positions(&self) -> usize {
+        self.out_h * self.out_w
+    }
+}
+
+/// Unrolls one image `(c, in_h, in_w)` into patch columns
+/// `(c*k_h*k_w, out_h*out_w)`.
+///
+/// `image` must be a rank-3 tensor `(c, h, w)` consistent with `geom`.
+pub fn im2col(image: &Tensor, channels: usize, geom: &Conv2dGeometry) -> Result<Tensor> {
+    if image.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            op: "im2col",
+            expected: 3,
+            actual: image.rank(),
+        });
+    }
+    let shape = image.shape();
+    if shape[0] != channels || shape[1] != geom.in_h || shape[2] != geom.in_w {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col",
+            lhs: shape.to_vec(),
+            rhs: vec![channels, geom.in_h, geom.in_w],
+        });
+    }
+    let rows = channels * geom.k_h * geom.k_w;
+    let cols = geom.out_positions();
+    let src = image.data();
+    let mut out = vec![0.0f32; rows * cols];
+    let (in_h, in_w) = (geom.in_h as isize, geom.in_w as isize);
+    for c in 0..channels {
+        let plane = &src[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+        for kh in 0..geom.k_h {
+            for kw in 0..geom.k_w {
+                let row = (c * geom.k_h + kh) * geom.k_w + kw;
+                let dst_row = &mut out[row * cols..(row + 1) * cols];
+                let mut col = 0usize;
+                for oy in 0..geom.out_h {
+                    let iy = (oy * geom.stride + kh) as isize - geom.pad as isize;
+                    for ox in 0..geom.out_w {
+                        let ix = (ox * geom.stride + kw) as isize - geom.pad as isize;
+                        if iy >= 0 && iy < in_h && ix >= 0 && ix < in_w {
+                            dst_row[col] = plane[iy as usize * geom.in_w + ix as usize];
+                        }
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![rows, cols], out)
+}
+
+/// Adjoint of [`im2col`]: scatters patch columns back onto an image,
+/// accumulating where patches overlap.
+///
+/// `cols` must have shape `(channels*k_h*k_w, out_h*out_w)`; the result is a
+/// rank-3 `(channels, in_h, in_w)` tensor.
+pub fn col2im(cols: &Tensor, channels: usize, geom: &Conv2dGeometry) -> Result<Tensor> {
+    let (rows, n_cols) = cols.dims2()?;
+    if rows != channels * geom.k_h * geom.k_w || n_cols != geom.out_positions() {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: cols.shape().to_vec(),
+            rhs: vec![channels * geom.k_h * geom.k_w, geom.out_positions()],
+        });
+    }
+    let src = cols.data();
+    let mut out = vec![0.0f32; channels * geom.in_h * geom.in_w];
+    let (in_h, in_w) = (geom.in_h as isize, geom.in_w as isize);
+    for c in 0..channels {
+        let plane = &mut out[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+        for kh in 0..geom.k_h {
+            for kw in 0..geom.k_w {
+                let row = (c * geom.k_h + kh) * geom.k_w + kw;
+                let src_row = &src[row * n_cols..(row + 1) * n_cols];
+                let mut col = 0usize;
+                for oy in 0..geom.out_h {
+                    let iy = (oy * geom.stride + kh) as isize - geom.pad as isize;
+                    for ox in 0..geom.out_w {
+                        let ix = (ox * geom.stride + kw) as isize - geom.pad as isize;
+                        if iy >= 0 && iy < in_h && ix >= 0 && ix < in_w {
+                            plane[iy as usize * geom.in_w + ix as usize] += src_row[col];
+                        }
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![channels, geom.in_h, geom.in_w], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn geometry_same_padding() {
+        let g = Conv2dGeometry::new(8, 8, 3, 3, 1, 1).unwrap();
+        assert_eq!((g.out_h, g.out_w), (8, 8));
+        let g = Conv2dGeometry::new(8, 8, 2, 2, 2, 0).unwrap();
+        assert_eq!((g.out_h, g.out_w), (4, 4));
+    }
+
+    #[test]
+    fn geometry_rejects_degenerate() {
+        assert!(Conv2dGeometry::new(4, 4, 3, 3, 0, 1).is_err());
+        assert!(Conv2dGeometry::new(2, 2, 5, 5, 1, 0).is_err());
+        assert!(Conv2dGeometry::new(4, 4, 0, 1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no padding: im2col is just a reshape.
+        let img = Tensor::from_vec(vec![2, 2, 2], (0..8).map(|i| i as f32).collect()).unwrap();
+        let g = Conv2dGeometry::new(2, 2, 1, 1, 1, 0).unwrap();
+        let cols = im2col(&img, 2, &g).unwrap();
+        assert_eq!(cols.shape(), &[2, 4]);
+        assert_eq!(cols.data(), img.data());
+    }
+
+    #[test]
+    fn im2col_known_patches() {
+        // 1 channel 3x3 image, 2x2 kernel, stride 1, no pad -> 4 patches.
+        let img = Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|i| i as f32).collect()).unwrap();
+        let g = Conv2dGeometry::new(3, 3, 2, 2, 1, 0).unwrap();
+        let cols = im2col(&img, 1, &g).unwrap();
+        assert_eq!(cols.shape(), &[4, 4]);
+        // Patch top-left corners: 1 2 / 4 5. Row r of cols = kernel position r
+        // across all patches.
+        assert_eq!(cols.data()[0..4], [1.0, 2.0, 4.0, 5.0]); // k(0,0)
+        assert_eq!(cols.data()[4..8], [2.0, 3.0, 5.0, 6.0]); // k(0,1)
+        assert_eq!(cols.data()[8..12], [4.0, 5.0, 7.0, 8.0]); // k(1,0)
+        assert_eq!(cols.data()[12..16], [5.0, 6.0, 8.0, 9.0]); // k(1,1)
+    }
+
+    #[test]
+    fn padding_fills_zeros() {
+        let img = Tensor::ones(&[1, 1, 1]);
+        let g = Conv2dGeometry::new(1, 1, 3, 3, 1, 1).unwrap();
+        let cols = im2col(&img, 1, &g).unwrap();
+        // Only the centre kernel tap hits the single pixel.
+        let total: f32 = cols.data().iter().sum();
+        assert_eq!(total, 1.0);
+        assert_eq!(cols.at(&[4, 0]), 1.0);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let img = Tensor::zeros(&[1, 3, 3]);
+        let g = Conv2dGeometry::new(4, 4, 2, 2, 1, 0).unwrap();
+        assert!(im2col(&img, 1, &g).is_err());
+        let cols = Tensor::zeros(&[3, 3]);
+        assert!(col2im(&cols, 1, &g).is_err());
+    }
+
+    /// Inner product identity `<im2col(x), y> == <x, col2im(y)>` — the two
+    /// maps are adjoint, which is exactly what conv backward relies on.
+    fn adjointness_case(c: usize, h: usize, k: usize, stride: usize, pad: usize, seed: u64) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = Conv2dGeometry::new(h, h, k, k, stride, pad).unwrap();
+        let x = Tensor::from_vec(
+            vec![c, h, h],
+            (0..c * h * h).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
+        let rows = c * k * k;
+        let cols_n = g.out_positions();
+        let y = Tensor::from_vec(
+            vec![rows, cols_n],
+            (0..rows * cols_n)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect(),
+        )
+        .unwrap();
+        let lhs: f32 = im2col(&x, c, &g)
+            .unwrap()
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(col2im(&y, c, &g).unwrap().data())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+            "adjointness violated: {lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn im2col_col2im_are_adjoint() {
+        adjointness_case(1, 4, 3, 1, 1, 0);
+        adjointness_case(2, 5, 3, 2, 1, 1);
+        adjointness_case(3, 6, 2, 2, 0, 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn adjointness_property(
+            c in 1usize..3,
+            h in 3usize..7,
+            k in 1usize..4,
+            stride in 1usize..3,
+            pad in 0usize..2,
+            seed in 0u64..1000,
+        ) {
+            prop_assume!(k <= h + 2 * pad);
+            adjointness_case(c, h, k, stride, pad, seed);
+        }
+    }
+}

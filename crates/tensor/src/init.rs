@@ -1,0 +1,110 @@
+//! Seeded random weight initialisers.
+//!
+//! All randomness in the workspace flows through caller-supplied RNGs so
+//! every experiment is reproducible from a single seed.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// He (Kaiming) normal initialisation: `N(0, sqrt(2 / fan_in))`.
+///
+/// The standard initialisation for ReLU networks; used for every conv and
+/// linear layer in the workspace.
+pub fn he_normal<R: Rng>(rng: &mut R, shape: &[usize], fan_in: usize) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    let numel: usize = shape.iter().product();
+    let data = (0..numel).map(|_| sample_normal(rng) * std).collect();
+    Tensor::from_vec(shape.to_vec(), data).expect("shape/product invariant")
+}
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng>(
+    rng: &mut R,
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    let numel: usize = shape.iter().product();
+    let data = (0..numel).map(|_| rng.gen_range(-a..=a)).collect();
+    Tensor::from_vec(shape.to_vec(), data).expect("shape/product invariant")
+}
+
+/// Uniform initialisation `U(lo, hi)`.
+pub fn uniform_init<R: Rng>(rng: &mut R, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+    let numel: usize = shape.iter().product();
+    let data = (0..numel).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(shape.to_vec(), data).expect("shape/product invariant")
+}
+
+/// One standard-normal sample via Box–Muller (avoids a `rand_distr` dep).
+fn sample_normal<R: Rng>(rng: &mut R) -> f32 {
+    loop {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let t = he_normal(&mut rng, &[64, 64], 64);
+        let mean: f32 = t.data().iter().sum::<f32>() / t.numel() as f32;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.numel() as f32;
+        let expected_var = 2.0 / 64.0;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!(
+            (var - expected_var).abs() < expected_var * 0.25,
+            "var {var} vs {expected_var}"
+        );
+    }
+
+    #[test]
+    fn xavier_uniform_is_bounded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = (6.0f32 / 20.0).sqrt();
+        let t = xavier_uniform(&mut rng, &[10, 10], 10, 10);
+        for &v in t.data() {
+            assert!(v.abs() <= a + 1e-6);
+        }
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(1);
+        let mut b = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(
+            he_normal(&mut a, &[3, 3], 9).data(),
+            he_normal(&mut b, &[3, 3], 9).data()
+        );
+        let mut c = rand::rngs::StdRng::seed_from_u64(2);
+        assert_ne!(
+            he_normal(&mut a, &[3, 3], 9).data(),
+            he_normal(&mut c, &[3, 3], 9).data()
+        );
+    }
+
+    #[test]
+    fn uniform_respects_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let t = uniform_init(&mut rng, &[100], -0.5, 0.5);
+        for &v in t.data() {
+            assert!((-0.5..0.5).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Dense `f32` tensor substrate for the NeuroFlux reproduction.
+//!
+//! This crate provides the minimal numerical kernel that the rest of the
+//! workspace is built on: an owned, row-major, `f32` n-dimensional array
+//! ([`Tensor`]) plus the handful of operations CNN training needs —
+//! element-wise arithmetic, matrix multiplication, `im2col`/`col2im`
+//! convolution lowering, pooling helpers, reductions, and seeded random
+//! initialisers.
+//!
+//! The paper's training stack (PyTorch on a Jetson GPU) is unavailable in
+//! this environment, so this crate *is* the substitute substrate; see
+//! `DESIGN.md` §2. Everything is deliberately simple, allocation-explicit,
+//! and `unsafe`-free: correctness (validated by finite-difference gradient
+//! checks one crate up) matters more than peak FLOPs for reproducing the
+//! paper's *shape* results.
+//!
+//! # Examples
+//!
+//! ```
+//! use nf_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = nf_tensor::matmul(&a, &b).unwrap();
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod init;
+mod matmul;
+mod ops;
+mod pool;
+mod reduce;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use error::TensorError;
+pub use init::{he_normal, uniform_init, xavier_uniform};
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b, transpose2d};
+pub use ops::{add, axpy, hadamard, sub};
+pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward};
+pub use reduce::{argmax_rows, mean_all, softmax_rows, sum_all, sum_axis0};
+pub use tensor::Tensor;
+
+/// Convenience alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,251 @@
+//! Max and average pooling over NCHW tensors, with exact backward passes.
+
+use crate::conv::Conv2dGeometry;
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+fn check_nchw(op: &'static str, x: &Tensor, geom: &Conv2dGeometry) -> Result<(usize, usize)> {
+    let (n, c, h, w) = x.dims4().map_err(|_| TensorError::RankMismatch {
+        op,
+        expected: 4,
+        actual: x.rank(),
+    })?;
+    if h != geom.in_h || w != geom.in_w {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: x.shape().to_vec(),
+            rhs: vec![n, c, geom.in_h, geom.in_w],
+        });
+    }
+    Ok((n, c))
+}
+
+/// Max pooling; returns the pooled tensor and the flat argmax index of every
+/// output element (needed by the backward pass).
+///
+/// Padding positions are treated as `-inf`, so a window fully inside padding
+/// never wins.
+pub fn max_pool2d(x: &Tensor, geom: &Conv2dGeometry) -> Result<(Tensor, Vec<usize>)> {
+    let (n, c) = check_nchw("max_pool2d", x, geom)?;
+    let (oh, ow) = (geom.out_h, geom.out_w);
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut arg = vec![0usize; n * c * oh * ow];
+    let src = x.data();
+    let plane = geom.in_h * geom.in_w;
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * plane;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = base;
+                    for ky in 0..geom.k_h {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        if iy < 0 || iy >= geom.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..geom.k_w {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if ix < 0 || ix >= geom.in_w as isize {
+                                continue;
+                            }
+                            let idx = base + iy as usize * geom.in_w + ix as usize;
+                            if src[idx] > best {
+                                best = src[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = ((img * c + ch) * oh + oy) * ow + ox;
+                    out[o] = best;
+                    arg[o] = best_idx;
+                }
+            }
+        }
+    }
+    Ok((Tensor::from_vec(vec![n, c, oh, ow], out)?, arg))
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the input
+/// element that won the max.
+pub fn max_pool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_shape: &[usize],
+) -> Result<Tensor> {
+    if grad_out.numel() != argmax.len() {
+        return Err(TensorError::ShapeDataMismatch {
+            expected: grad_out.numel(),
+            actual: argmax.len(),
+        });
+    }
+    let mut grad_in = Tensor::zeros(input_shape);
+    let gi = grad_in.data_mut();
+    for (g, &idx) in grad_out.data().iter().zip(argmax) {
+        gi[idx] += g;
+    }
+    Ok(grad_in)
+}
+
+/// Average pooling over the window defined by `geom`.
+///
+/// The divisor is the full window size `k_h * k_w` (PyTorch's
+/// `count_include_pad=True` semantics), which keeps the backward pass an
+/// exact adjoint.
+pub fn avg_pool2d(x: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
+    let (n, c) = check_nchw("avg_pool2d", x, geom)?;
+    let (oh, ow) = (geom.out_h, geom.out_w);
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let src = x.data();
+    let plane = geom.in_h * geom.in_w;
+    let inv = 1.0 / (geom.k_h * geom.k_w) as f32;
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * plane;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..geom.k_h {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        if iy < 0 || iy >= geom.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..geom.k_w {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if ix < 0 || ix >= geom.in_w as isize {
+                                continue;
+                            }
+                            acc += src[base + iy as usize * geom.in_w + ix as usize];
+                        }
+                    }
+                    out[((img * c + ch) * oh + oy) * ow + ox] = acc * inv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![n, c, oh, ow], out)
+}
+
+/// Backward pass of [`avg_pool2d`]: spreads each output gradient uniformly
+/// over its window.
+pub fn avg_pool2d_backward(
+    grad_out: &Tensor,
+    geom: &Conv2dGeometry,
+    input_shape: &[usize],
+) -> Result<Tensor> {
+    let (n, c, oh, ow) = grad_out.dims4()?;
+    if oh != geom.out_h || ow != geom.out_w {
+        return Err(TensorError::ShapeMismatch {
+            op: "avg_pool2d_backward",
+            lhs: grad_out.shape().to_vec(),
+            rhs: vec![n, c, geom.out_h, geom.out_w],
+        });
+    }
+    let mut grad_in = Tensor::zeros(input_shape);
+    let gi = grad_in.data_mut();
+    let go = grad_out.data();
+    let plane = geom.in_h * geom.in_w;
+    let inv = 1.0 / (geom.k_h * geom.k_w) as f32;
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * plane;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = go[((img * c + ch) * oh + oy) * ow + ox] * inv;
+                    for ky in 0..geom.k_h {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        if iy < 0 || iy >= geom.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..geom.k_w {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if ix < 0 || ix >= geom.in_w as isize {
+                                continue;
+                            }
+                            gi[base + iy as usize * geom.in_w + ix as usize] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_known_values() {
+        let x = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1., 2., 3., 4., //
+                5., 6., 7., 8., //
+                9., 10., 11., 12., //
+                13., 14., 15., 16.,
+            ],
+        )
+        .unwrap();
+        let g = Conv2dGeometry::new(4, 4, 2, 2, 2, 0).unwrap();
+        let (out, arg) = max_pool2d(&x, &g).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[6., 8., 14., 16.]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1., 9., 3., 4.]).unwrap();
+        let g = Conv2dGeometry::new(2, 2, 2, 2, 2, 0).unwrap();
+        let (_, arg) = max_pool2d(&x, &g).unwrap();
+        let go = Tensor::from_vec(vec![1, 1, 1, 1], vec![2.5]).unwrap();
+        let gi = max_pool2d_backward(&go, &arg, x.shape()).unwrap();
+        assert_eq!(gi.data(), &[0., 2.5, 0., 0.]);
+    }
+
+    #[test]
+    fn avg_pool_known_values() {
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let g = Conv2dGeometry::new(2, 2, 2, 2, 2, 0).unwrap();
+        let out = avg_pool2d(&x, &g).unwrap();
+        assert_eq!(out.data(), &[2.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_is_adjoint() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let g = Conv2dGeometry::new(6, 6, 3, 3, 2, 1).unwrap();
+        let x = Tensor::from_vec(
+            vec![2, 3, 6, 6],
+            (0..2 * 3 * 36).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
+        let y = avg_pool2d(&x, &g).unwrap();
+        let gy = Tensor::from_vec(
+            y.shape().to_vec(),
+            (0..y.numel()).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
+        let gx = avg_pool2d_backward(&gy, &g, x.shape()).unwrap();
+        let lhs: f32 = y.data().iter().zip(gy.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(gx.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn pooling_rejects_bad_shapes() {
+        let g = Conv2dGeometry::new(4, 4, 2, 2, 2, 0).unwrap();
+        let bad_rank = Tensor::zeros(&[4, 4]);
+        assert!(max_pool2d(&bad_rank, &g).is_err());
+        assert!(avg_pool2d(&bad_rank, &g).is_err());
+        let wrong_hw = Tensor::zeros(&[1, 1, 3, 3]);
+        assert!(max_pool2d(&wrong_hw, &g).is_err());
+        let go = Tensor::zeros(&[1, 1, 3, 3]);
+        assert!(avg_pool2d_backward(&go, &g, &[1, 1, 4, 4]).is_err());
+        assert!(max_pool2d_backward(&go, &[0; 4], &[1, 1, 4, 4]).is_err());
+    }
+}

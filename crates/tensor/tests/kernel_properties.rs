@@ -1,0 +1,109 @@
+//! Property-based tests over the tensor kernels: algebraic identities that
+//! must hold for any inputs.
+
+use nf_tensor::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn matrix(r: usize, c: usize, seed: u64) -> Tensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    uniform_init(&mut rng, &[r, c], -2.0, 2.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A + B)·C == A·C + B·C (distributivity).
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000
+    ) {
+        let a = matrix(m, k, seed);
+        let b = matrix(m, k, seed.wrapping_add(1));
+        let c = matrix(k, n, seed.wrapping_add(2));
+        let lhs = matmul(&add(&a, &b).unwrap(), &c).unwrap();
+        let rhs = add(&matmul(&a, &c).unwrap(), &matmul(&b, &c).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Softmax is invariant to a constant shift of the logits.
+    #[test]
+    fn softmax_shift_invariance(
+        rows in 1usize..4, cols in 1usize..6, shift in -5.0f32..5.0, seed in 0u64..1000
+    ) {
+        let t = matrix(rows, cols, seed);
+        let shifted = t.map(|v| v + shift);
+        let a = softmax_rows(&t).unwrap();
+        let b = softmax_rows(&shifted).unwrap();
+        for (x, y) in a.data().iter().zip(b.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// slice_batch then cat_batch reconstructs the original tensor for any
+    /// split point — the AB-LL re-batching primitive must be lossless.
+    #[test]
+    fn rebatching_is_lossless(
+        n in 2usize..8, per in 1usize..6, cut in 1usize..7, seed in 0u64..1000
+    ) {
+        let cut = cut.min(n - 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = uniform_init(&mut rng, &[n, per], -1.0, 1.0);
+        let a = t.slice_batch(0, cut).unwrap();
+        let b = t.slice_batch(cut, n).unwrap();
+        prop_assert_eq!(Tensor::cat_batch(&[&a, &b]).unwrap(), t);
+    }
+
+    /// Pooling never increases the max and never decreases the min.
+    #[test]
+    fn max_pool_bounded_by_input(seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = uniform_init(&mut rng, &[1, 2, 4, 4], -3.0, 3.0);
+        let geom = Conv2dGeometry::new(4, 4, 2, 2, 2, 0).unwrap();
+        let (y, _) = max_pool2d(&x, &geom).unwrap();
+        let in_max = x.data().iter().cloned().fold(f32::MIN, f32::max);
+        let out_max = y.data().iter().cloned().fold(f32::MIN, f32::max);
+        prop_assert!(out_max <= in_max + 1e-6);
+        // Every pooled value exists somewhere in the input.
+        for v in y.data() {
+            prop_assert!(x.data().iter().any(|u| (u - v).abs() < 1e-6));
+        }
+    }
+
+    /// Average pooling preserves the global mean for exact tilings.
+    #[test]
+    fn avg_pool_preserves_mean(seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = uniform_init(&mut rng, &[2, 3, 4, 4], -1.0, 1.0);
+        let geom = Conv2dGeometry::new(4, 4, 2, 2, 2, 0).unwrap();
+        let y = avg_pool2d(&x, &geom).unwrap();
+        prop_assert!((mean_all(&x) - mean_all(&y)).abs() < 1e-5);
+    }
+
+    /// Convolving with a one-hot kernel extracts the corresponding shifted
+    /// input plane (im2col correctness against a direct definition).
+    #[test]
+    fn one_hot_kernel_selects_tap(tap in 0usize..9, seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let img = uniform_init(&mut rng, &[1, 5, 5], -1.0, 1.0);
+        let geom = Conv2dGeometry::new(5, 5, 3, 3, 1, 1).unwrap();
+        let cols = im2col(&img, 1, &geom).unwrap();
+        // Row `tap` of the patch matrix is the input shifted by the tap
+        // offset (with zero padding at the borders).
+        let (dy, dx) = (tap / 3, tap % 3);
+        for oy in 0..5usize {
+            for ox in 0..5usize {
+                let iy = oy as isize + dy as isize - 1;
+                let ix = ox as isize + dx as isize - 1;
+                let expected = if iy >= 0 && iy < 5 && ix >= 0 && ix < 5 {
+                    img.at(&[0, iy as usize, ix as usize])
+                } else {
+                    0.0
+                };
+                prop_assert_eq!(cols.at(&[tap, oy * 5 + ox]), expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Edge-budget training: what fits, and how fast, at each GPU memory
+//! budget (the scenario behind the paper's Figure 11).
+//!
+//! ```sh
+//! cargo run --example edge_budget_training --release
+//! ```
+//!
+//! Sweeps memory budgets from 100 MB to 500 MB for full-size VGG-16 on a
+//! simulated Jetson AGX Orin and reports, per budget: whether vanilla BP
+//! and classic local learning can run at all, the block partition NeuroFlux
+//! chooses, and the simulated wall-clock training time of each method.
+
+use neuroflux_core::simulate::{simulate_bp, simulate_classic_ll, simulate_neuroflux, SimConfig};
+use nf_memsim::{DeviceProfile, MemoryModel, TimingModel};
+use nf_models::ModelSpec;
+
+fn main() {
+    let device = DeviceProfile::agx_orin();
+    let spec = ModelSpec::vgg16(10); // CIFAR-10-scale VGG-16
+    let mem = MemoryModel::default();
+    let timing = TimingModel::default();
+
+    println!(
+        "training {} ({:.1}M params) on {}, 50k samples x 30 epochs\n",
+        spec.name,
+        spec.total_params() as f64 / 1e6,
+        device.name
+    );
+    println!(
+        "{:>7} | {:>12} | {:>12} | {:>12} | {}",
+        "budget", "BP", "classic LL", "NeuroFlux", "NeuroFlux blocks (units @ batch)"
+    );
+
+    for budget_mb in [100u64, 150, 200, 250, 300, 350, 400, 450, 500] {
+        let cfg = SimConfig {
+            budget_bytes: budget_mb * 1_000_000,
+            batch_limit: 512,
+            epochs: 30,
+            samples: 50_000,
+        };
+        let fmt = |r: Result<f64, ()>| match r {
+            Ok(h) => format!("{h:9.2} h"),
+            Err(()) => "   — OOM —".to_string(),
+        };
+        let bp = simulate_bp(&spec, &device, &cfg, &mem, &timing)
+            .map(|r| r.total_hours())
+            .map_err(|_| ());
+        let ll = simulate_classic_ll(&spec, &device, &cfg, &mem, &timing)
+            .map(|r| r.total_hours())
+            .map_err(|_| ());
+        let (nf, blocks) = simulate_neuroflux(&spec, &device, &cfg, &mem, &timing)
+            .expect("NeuroFlux plans under every budget in this sweep");
+        let plan: Vec<String> = blocks
+            .iter()
+            .map(|b| format!("{}..{}@{}", b.units.start, b.units.end, b.batch))
+            .collect();
+        println!(
+            "{budget_mb:>4} MB | {:>12} | {:>12} | {:>9.2} h  | {}",
+            fmt(bp),
+            fmt(ll),
+            nf.total_hours(),
+            plan.join(" ")
+        );
+    }
+
+    println!(
+        "\nNeuroFlux trains under every budget; BP and classic LL drop out at the\n\
+         tight end (the paper's Observation 2), and where they do run NeuroFlux's\n\
+         larger adaptive batches make it faster (Observation 1)."
+    );
+}

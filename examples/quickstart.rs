@@ -1,0 +1,83 @@
+//! Quickstart: train a small CNN with NeuroFlux under a memory budget.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+//!
+//! This walks the full paper pipeline on a laptop-sized problem:
+//! profile → partition into blocks → block-wise adaptive local learning
+//! with activation caching → early-exit selection.
+
+use neuroflux_core::{NeuroFluxConfig, NeuroFluxTrainer};
+use nf_data::SyntheticSpec;
+use nf_models::ModelSpec;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    // A synthetic 4-class dataset (stand-in for CIFAR; see DESIGN.md §2).
+    let data = SyntheticSpec::quick(4, 16, 256).generate();
+    println!(
+        "dataset: {} train / {} val / {} test samples, {} classes",
+        data.train.len(),
+        data.val.len(),
+        data.test.len(),
+        data.spec.classes
+    );
+
+    // A small VGG-style CNN: 6 conv units, pooling every second unit.
+    let spec = ModelSpec::tiny("quickstart-cnn", 16, &[8, 16, 16, 32, 32, 32], 4);
+    println!(
+        "model: {} with {} units, {} parameters",
+        spec.name,
+        spec.num_units(),
+        spec.total_params()
+    );
+
+    // NeuroFlux inputs (§0): memory budget + batch-size limit.
+    let config = NeuroFluxConfig::new(32 << 20, 32)
+        .with_epochs(5)
+        .with_lr(0.05);
+    let trainer = NeuroFluxTrainer::new(config);
+
+    // Peek at the plan the Profiler + Partitioner produce (Algorithm 1).
+    let blocks = trainer.plan(&mut rng, &spec).expect("planning failed");
+    println!("\npartition under a 32 MiB budget:");
+    for (i, b) in blocks.iter().enumerate() {
+        println!(
+            "  block {i}: units {:?} trained at batch {}",
+            b.units, b.batch
+        );
+    }
+
+    // Train (Algorithm 2 + activation caching), then inspect the exits.
+    let mut outcome = trainer
+        .train(&mut rng, &spec, &data)
+        .expect("training failed");
+    println!("\nper-exit validation accuracy:");
+    for exit in &outcome.exits {
+        println!(
+            "  exit at unit {}: {:.1}% ({} params)",
+            exit.unit,
+            exit.val_accuracy.unwrap_or(0.0) * 100.0,
+            exit.params
+        );
+    }
+
+    let selected = outcome.selected_exit.expect("an exit is always selected");
+    let test_acc = outcome
+        .selected_exit_accuracy(&data.test)
+        .expect("evaluation failed");
+    println!(
+        "\nselected exit: unit {} — test accuracy {:.1}%, {:.1}x smaller than the full model",
+        selected.unit,
+        test_acc * 100.0,
+        outcome.compression_factor().unwrap()
+    );
+    println!(
+        "activation cache: {} KiB written at peak {} KiB",
+        outcome.report.cache_bytes_written / 1024,
+        outcome.report.cache_peak_bytes / 1024
+    );
+}

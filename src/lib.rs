@@ -1,0 +1,29 @@
+//! NeuroFlux — a from-scratch Rust reproduction of *"NeuroFlux:
+//! Memory-Efficient CNN Training Using Adaptive Local Learning"*
+//! (Saikumar & Varghese, EuroSys 2024).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`tensor`] — dense f32 tensors, matmul, im2col convolution, pooling;
+//! - [`nn`] — layers with explicit per-layer backward, losses, optimizers;
+//! - [`models`] — VGG/ResNet/MobileNet specs, analytics, auxiliary heads;
+//! - [`data`] — seeded synthetic CIFAR/Tiny-ImageNet stand-ins;
+//! - [`memsim`] — Jetson/Pi device profiles, GPU memory + timing models;
+//! - [`baselines`] — BP, classic local learning, FA, SP trainers;
+//! - [`core`] — the NeuroFlux system: Profiler, Partitioner, Worker,
+//!   activation cache, early-exit selection, and simulated sweeps.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the architecture and
+//! substitution rationale, and `EXPERIMENTS.md` for paper-vs-measured
+//! results. Runnable demos live in `examples/`; every figure and table of
+//! the paper regenerates from `crates/bench`.
+
+#![forbid(unsafe_code)]
+
+pub use neuroflux_core as core;
+pub use nf_baselines as baselines;
+pub use nf_data as data;
+pub use nf_memsim as memsim;
+pub use nf_models as models;
+pub use nf_nn as nn;
+pub use nf_tensor as tensor;
