@@ -23,6 +23,9 @@ pub struct BpTrainer {
     pub epochs: usize,
     /// Batch size.
     pub batch: usize,
+    /// GEMM kernel backend the run computes on (blocked parallel unless
+    /// overridden).
+    pub kernel_backend: nf_tensor::KernelBackend,
 }
 
 impl BpTrainer {
@@ -32,6 +35,7 @@ impl BpTrainer {
             sgd: Sgd::new(lr).with_momentum(0.9),
             epochs,
             batch,
+            kernel_backend: nf_tensor::KernelBackend::default(),
         }
     }
 
@@ -66,6 +70,11 @@ impl BpTrainer {
         train: &Dataset,
         test: &Dataset,
     ) -> nf_nn::Result<TrainReport> {
+        // Pin every layer to the configured backend (rather than mutating
+        // the process-global default, which would race concurrent runs).
+        for unit in &mut model.units {
+            unit.set_kernel_backend(self.kernel_backend);
+        }
         let mut report = TrainReport::default();
         for _ in 0..self.epochs {
             let mut losses = Vec::new();

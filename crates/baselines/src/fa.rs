@@ -13,7 +13,9 @@ use nf_nn::loss::{accuracy, cross_entropy};
 use nf_nn::optim::Sgd;
 use nf_nn::{Layer, Mode, NnError, Param};
 use nf_tensor::{
-    col2im, he_normal, im2col, matmul, matmul_a_bt, matmul_at_b, sum_axis0, Conv2dGeometry, Tensor,
+    col2im_batch, global_backend, he_normal, im2col_batch, matmul_a_bt_with, matmul_at_b_with,
+    matmul_with, nchw_to_posrows, posrows_to_nchw, sum_axis0, Conv2dGeometry, KernelBackend,
+    Tensor,
 };
 use rand::Rng;
 
@@ -25,6 +27,7 @@ pub struct FaLinear {
     feedback: Tensor,
     in_features: usize,
     out_features: usize,
+    backend: Option<KernelBackend>,
     cached_input: Option<Tensor>,
 }
 
@@ -37,8 +40,13 @@ impl FaLinear {
             feedback: he_normal(rng, &[in_features, out_features], in_features),
             in_features,
             out_features,
+            backend: None,
             cached_input: None,
         }
+    }
+
+    fn backend(&self) -> KernelBackend {
+        self.backend.unwrap_or_else(global_backend)
     }
 }
 
@@ -48,7 +56,7 @@ impl Layer for FaLinear {
     }
 
     fn forward(&mut self, x: &Tensor, mode: Mode) -> nf_nn::Result<Tensor> {
-        let mut y = matmul(x, &self.weight.value)?;
+        let mut y = matmul_with(self.backend(), x, &self.weight.value)?;
         let b = self.bias.value.data();
         for row in y.data_mut().chunks_mut(self.out_features) {
             for (v, bv) in row.iter_mut().zip(b) {
@@ -66,12 +74,13 @@ impl Layer for FaLinear {
             .cached_input
             .take()
             .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
-        let dw = matmul_at_b(&x, grad_out)?;
+        let backend = self.backend();
+        let dw = matmul_at_b_with(backend, &x, grad_out)?;
         nf_tensor::axpy(1.0, &dw, &mut self.weight.grad)?;
         let db = sum_axis0(grad_out)?;
         nf_tensor::axpy(1.0, &db, &mut self.bias.grad)?;
         // The error signal travels through the *feedback* matrix.
-        Ok(matmul_a_bt(grad_out, &self.feedback)?)
+        Ok(matmul_a_bt_with(backend, grad_out, &self.feedback)?)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -81,6 +90,10 @@ impl Layer for FaLinear {
 
     fn clear_cache(&mut self) {
         self.cached_input = None;
+    }
+
+    fn set_kernel_backend(&mut self, backend: KernelBackend) {
+        self.backend = Some(backend);
     }
 }
 
@@ -95,6 +108,7 @@ pub struct FaConv2d {
     kernel: usize,
     stride: usize,
     pad: usize,
+    backend: Option<KernelBackend>,
     cached_input: Option<Tensor>,
 }
 
@@ -118,8 +132,13 @@ impl FaConv2d {
             kernel,
             stride,
             pad,
+            backend: None,
             cached_input: None,
         }
+    }
+
+    fn backend(&self) -> KernelBackend {
+        self.backend.unwrap_or_else(global_backend)
     }
 
     fn geometry(&self, h: usize, w: usize) -> nf_nn::Result<Conv2dGeometry> {
@@ -148,25 +167,25 @@ impl Layer for FaConv2d {
             });
         }
         let geom = self.geometry(h, w)?;
-        let mut out = Vec::with_capacity(n * self.out_channels * geom.out_positions());
-        for img in 0..n {
-            let image = x.slice_batch(img, img + 1)?.reshape(&[c, h, w])?;
-            let cols = im2col(&image, c, &geom)?;
-            let mut y = matmul(&self.weight.value, &cols)?;
-            for (ch, row) in y.data_mut().chunks_mut(geom.out_positions()).enumerate() {
-                let b = self.bias.value.data()[ch];
-                for v in row {
-                    *v += b;
-                }
+        // Batched lowering: one GEMM for the whole minibatch (same shape
+        // as nf-nn's Conv2d fast path).
+        let cols = im2col_batch(x, &geom)?;
+        let mut y = matmul_a_bt_with(self.backend(), &cols, &self.weight.value)?; // N·P × C_out
+        let bias = self.bias.value.data();
+        for row in y.data_mut().chunks_mut(self.out_channels) {
+            for (v, b) in row.iter_mut().zip(bias) {
+                *v += b;
             }
-            out.extend_from_slice(y.data());
         }
         if mode == Mode::Train {
             self.cached_input = Some(x.clone());
         }
-        Ok(Tensor::from_vec(
-            vec![n, self.out_channels, geom.out_h, geom.out_w],
-            out,
+        Ok(posrows_to_nchw(
+            &y,
+            n,
+            self.out_channels,
+            geom.out_h,
+            geom.out_w,
         )?)
     }
 
@@ -177,25 +196,20 @@ impl Layer for FaConv2d {
             .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
         let (n, c, h, w) = x.dims4()?;
         let geom = self.geometry(h, w)?;
-        let positions = geom.out_positions();
-        let mut grad_in = Vec::with_capacity(x.numel());
-        for img in 0..n {
-            let image = x.slice_batch(img, img + 1)?.reshape(&[c, h, w])?;
-            let cols = im2col(&image, c, &geom)?;
-            let gy = grad_out
-                .slice_batch(img, img + 1)?
-                .reshape(&[self.out_channels, positions])?;
-            let dw = matmul_a_bt(&gy, &cols)?;
-            nf_tensor::axpy(1.0, &dw, &mut self.weight.grad)?;
-            for (ch, row) in gy.data().chunks(positions).enumerate() {
-                self.bias.grad.data_mut()[ch] += row.iter().sum::<f32>();
+        let backend = self.backend();
+        let cols = im2col_batch(&x, &geom)?;
+        let g = nchw_to_posrows(grad_out)?; // N·P × C_out
+        let dw = matmul_at_b_with(backend, &g, &cols)?;
+        nf_tensor::axpy(1.0, &dw, &mut self.weight.grad)?;
+        let db = self.bias.grad.data_mut();
+        for row in g.data().chunks(self.out_channels) {
+            for (d, &v) in db.iter_mut().zip(row) {
+                *d += v;
             }
-            // Input gradient through the fixed feedback filters.
-            let dcols = matmul_at_b(&self.feedback, &gy)?;
-            let dimg = col2im(&dcols, c, &geom)?;
-            grad_in.extend_from_slice(dimg.data());
         }
-        Ok(Tensor::from_vec(vec![n, c, h, w], grad_in)?)
+        // Input gradient through the fixed feedback filters.
+        let dcols = matmul_with(backend, &g, &self.feedback)?; // N·P × C·K·K
+        Ok(col2im_batch(&dcols, n, c, &geom)?)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -205,6 +219,10 @@ impl Layer for FaConv2d {
 
     fn clear_cache(&mut self) {
         self.cached_input = None;
+    }
+
+    fn set_kernel_backend(&mut self, backend: KernelBackend) {
+        self.backend = Some(backend);
     }
 }
 
@@ -217,6 +235,8 @@ pub struct FaTrainer {
     pub epochs: usize,
     /// Batch size.
     pub batch: usize,
+    /// GEMM kernel backend the run computes on.
+    pub kernel_backend: nf_tensor::KernelBackend,
 }
 
 /// An FA network: conv stack + linear head, all FA layers.
@@ -261,6 +281,7 @@ impl FaTrainer {
             sgd: Sgd::new(lr).with_momentum(0.9),
             epochs,
             batch,
+            kernel_backend: nf_tensor::KernelBackend::default(),
         }
     }
 
@@ -271,6 +292,11 @@ impl FaTrainer {
         train: &Dataset,
         test: &Dataset,
     ) -> nf_nn::Result<TrainReport> {
+        // Pin every layer to the configured backend (rather than mutating
+        // the process-global default, which would race concurrent runs).
+        for layer in &mut net.layers {
+            layer.set_kernel_backend(self.kernel_backend);
+        }
         let mut report = TrainReport::default();
         for _ in 0..self.epochs {
             let mut losses = Vec::new();
@@ -325,9 +351,9 @@ mod tests {
         let g = Tensor::ones(&[1, 2]);
         let gi = fa.backward(&g).unwrap();
         // Input grad equals g·Bᵀ, not g·Wᵀ.
-        let expected = matmul_a_bt(&g, &fa.feedback).unwrap();
+        let expected = nf_tensor::matmul_a_bt(&g, &fa.feedback).unwrap();
         assert_eq!(gi, expected);
-        let not_expected = matmul_a_bt(&g, &fa.weight.value).unwrap();
+        let not_expected = nf_tensor::matmul_a_bt(&g, &fa.weight.value).unwrap();
         assert_ne!(gi, not_expected);
     }
 

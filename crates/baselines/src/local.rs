@@ -24,6 +24,8 @@ pub struct LocalLearningTrainer {
     pub batch: usize,
     /// How auxiliary heads are sized.
     pub policy: AuxPolicy,
+    /// GEMM kernel backend the run computes on.
+    pub kernel_backend: nf_tensor::KernelBackend,
 }
 
 /// A model trained by local learning: backbone units plus one trained
@@ -78,6 +80,7 @@ impl LocalLearningTrainer {
             epochs,
             batch,
             policy: AuxPolicy::CLASSIC,
+            kernel_backend: nf_tensor::KernelBackend::default(),
         }
     }
 
@@ -88,6 +91,7 @@ impl LocalLearningTrainer {
             epochs,
             batch,
             policy: AuxPolicy::Adaptive,
+            kernel_backend: nf_tensor::KernelBackend::default(),
         }
     }
 
@@ -137,10 +141,17 @@ impl LocalLearningTrainer {
         train: &Dataset,
         test: &Dataset,
     ) -> nf_nn::Result<(LocallyTrainedModel, TrainReport)> {
+        // Pin every layer to the configured backend (rather than mutating
+        // the process-global default, which would race concurrent runs).
+        for unit in &mut model.units {
+            unit.set_kernel_backend(self.kernel_backend);
+        }
         let aux_specs = assign_aux(&model.spec, self.policy);
         let mut aux_heads = Vec::with_capacity(aux_specs.len());
         for spec in &aux_specs {
-            aux_heads.push(build_aux_head(rng, spec)?);
+            let mut head = build_aux_head(rng, spec)?;
+            head.set_kernel_backend(self.kernel_backend);
+            aux_heads.push(head);
         }
         let mut report = TrainReport::default();
         for _ in 0..self.epochs {

@@ -32,6 +32,8 @@ pub struct SpTrainer {
     pub batch: usize,
     /// Prototype EMA momentum.
     pub proto_momentum: f32,
+    /// GEMM kernel backend the run computes on.
+    pub kernel_backend: nf_tensor::KernelBackend,
 }
 
 /// Per-layer class prototypes in flattened output space.
@@ -97,6 +99,7 @@ impl SpTrainer {
             epochs,
             batch,
             proto_momentum: 0.2,
+            kernel_backend: nf_tensor::KernelBackend::default(),
         }
     }
 
@@ -108,6 +111,11 @@ impl SpTrainer {
         train: &Dataset,
         test: &Dataset,
     ) -> nf_nn::Result<(TrainReport, Vec<f32>)> {
+        // Pin every layer to the configured backend (rather than mutating
+        // the process-global default, which would race concurrent runs).
+        for unit in &mut model.units {
+            unit.set_kernel_backend(self.kernel_backend);
+        }
         let classes = model.spec.classes;
         let n_units = model.units.len();
         let mut protos: Vec<Prototypes> = (0..n_units).map(|_| Prototypes::new(classes)).collect();

@@ -1,7 +1,7 @@
 //! Criterion benches for the tensor kernels every experiment runs on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nf_tensor::{im2col, matmul, Conv2dGeometry};
+use nf_tensor::{im2col, matmul, matmul_with, Conv2dGeometry, KernelBackend};
 use rand::SeedableRng;
 
 fn bench_matmul(c: &mut Criterion) {
@@ -15,6 +15,39 @@ fn bench_matmul(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// Naive vs blocked vs blocked-parallel on CNN-relevant GEMM shapes, so the
+/// backend speedup is measured rather than asserted. Shapes:
+/// `128×1152×256` is a batched 3×3 conv lowering (`N·OH·OW=128` rows of
+/// `C_in·9=1152` patch values against 256 output channels), `256³` is the
+/// square reference point, and `512×4608×64` is a wide im2col panel from an
+/// early VGG layer at batch 8.
+fn bench_gemm_backends(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let backends = [
+        KernelBackend::Naive,
+        KernelBackend::Blocked,
+        KernelBackend::BlockedParallel,
+    ];
+    for &(m, k, n) in &[
+        (128usize, 1152usize, 256usize),
+        (256, 256, 256),
+        (512, 4608, 64),
+    ] {
+        let mut group = c.benchmark_group(format!("gemm_{m}x{k}x{n}"));
+        group.sample_size(10);
+        let a = nf_tensor::uniform_init(&mut rng, &[m, k], -1.0, 1.0);
+        let b = nf_tensor::uniform_init(&mut rng, &[k, n], -1.0, 1.0);
+        for backend in backends {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(backend.name()),
+                &backend,
+                |bench, &backend| bench.iter(|| matmul_with(backend, &a, &b).unwrap()),
+            );
+        }
+        group.finish();
+    }
 }
 
 fn bench_im2col(c: &mut Criterion) {
@@ -45,6 +78,6 @@ fn bench_conv_forward(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_im2col, bench_conv_forward
+    targets = bench_matmul, bench_gemm_backends, bench_im2col, bench_conv_forward
 }
 criterion_main!(benches);

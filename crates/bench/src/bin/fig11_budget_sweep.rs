@@ -9,6 +9,9 @@ use nf_bench::print_table;
 use nf_memsim::DeviceProfile;
 use nf_models::ModelSpec;
 
+/// Named architecture constructor, parameterised by class count.
+type NamedSpec = (&'static str, fn(usize) -> ModelSpec);
+
 fn main() {
     let device = DeviceProfile::agx_orin();
     let datasets = [
@@ -16,7 +19,7 @@ fn main() {
         ("cifar100", 100, 50_000),
         ("tiny-imagenet", 200, 100_000),
     ];
-    let models: [(&str, fn(usize) -> ModelSpec); 3] = [
+    let models: [NamedSpec; 3] = [
         ("vgg16", ModelSpec::vgg16),
         ("vgg19", ModelSpec::vgg19),
         ("resnet18", ModelSpec::resnet18),

@@ -77,6 +77,9 @@ fn main() {
         }
 
         let mut rows = Vec::new();
+        // Row `e` reads parallel per-epoch series; indexing them all by
+        // `e` is the clearest form.
+        #[allow(clippy::needless_range_loop)]
         for e in 0..epochs {
             let t = |per: Option<f64>| {
                 per.map(|h| format!("{:.2}", h * (e + 1) as f64))

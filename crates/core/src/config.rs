@@ -1,6 +1,7 @@
 //! NeuroFlux run configuration (the system's four inputs, §0 of Figure 7).
 
 use nf_models::AuxPolicy;
+use nf_tensor::KernelBackend;
 
 /// The user-facing knobs of a NeuroFlux training run.
 ///
@@ -33,6 +34,10 @@ pub struct NeuroFluxConfig {
     /// moved to storage"). Disable only to isolate the activation cache in
     /// ablations.
     pub evict_params: bool,
+    /// GEMM kernel backend every layer's matrix products run on
+    /// (the blocked, rayon-parallel kernel by default; the naive reference
+    /// kernel is selectable for A/B runs and debugging).
+    pub kernel_backend: KernelBackend,
 }
 
 impl NeuroFluxConfig {
@@ -48,7 +53,14 @@ impl NeuroFluxConfig {
             epochs_per_block: 3,
             exit_tolerance: 0.005,
             evict_params: true,
+            kernel_backend: KernelBackend::default(),
         }
+    }
+
+    /// Sets the GEMM kernel backend the run's layers compute on.
+    pub fn with_kernel_backend(mut self, backend: KernelBackend) -> Self {
+        self.kernel_backend = backend;
+        self
     }
 
     /// Sets epochs per block.

@@ -137,6 +137,17 @@ impl<'s, S: ActivationStore> Worker<'s, S> {
         images: &Tensor,
         labels: &[usize],
     ) -> Result<WorkerReport> {
+        // Run every layer's matrix products on the configured kernel
+        // backend (the blocked parallel kernel unless overridden). Pin
+        // per-layer rather than mutating the process-global default, which
+        // would race concurrent runs; no layers are built after this point
+        // in a run, so pinning covers everything.
+        for unit in &mut model.units {
+            unit.set_kernel_backend(self.config.kernel_backend);
+        }
+        for head in aux_heads.iter_mut() {
+            head.set_kernel_backend(self.config.kernel_backend);
+        }
         let mut report = WorkerReport::default();
         let mut written_total = 0u64;
         for (b, block) in blocks.iter().enumerate() {

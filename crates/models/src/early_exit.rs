@@ -69,7 +69,7 @@ pub fn select_exit(candidates: &[ExitCandidate], tolerance: f32) -> Option<ExitC
     }
     candidates
         .iter()
-        .filter(|c| c.val_accuracy.map_or(false, |a| a >= best_acc - tolerance))
+        .filter(|c| c.val_accuracy.is_some_and(|a| a >= best_acc - tolerance))
         .min_by_key(|c| c.params)
         .copied()
 }

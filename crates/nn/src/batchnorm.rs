@@ -86,6 +86,9 @@ impl Layer for BatchNorm2d {
             Mode::Train => {
                 let mut x_hat = Tensor::zeros(x.shape());
                 let mut inv_stds = vec![0.0f32; c];
+                // Indexing by channel everywhere (x, out, the running
+                // stats) reads clearer than an enumerate over one of them.
+                #[allow(clippy::needless_range_loop)]
                 for ch in 0..c {
                     // Batch statistics over (N, H, W) for this channel.
                     let mut mean = 0.0f32;

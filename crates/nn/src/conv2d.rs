@@ -5,16 +5,24 @@ use crate::layer::{Layer, Mode};
 use crate::param::Param;
 use crate::Result;
 use nf_tensor::{
-    col2im, he_normal, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry, Tensor,
+    col2im_batch, global_backend, he_normal, im2col_batch, matmul_a_bt_with, matmul_at_b_with,
+    matmul_with, nchw_to_posrows, posrows_to_nchw, Conv2dGeometry, KernelBackend, Tensor,
 };
 use rand::Rng;
 
 /// 2-D convolution over NCHW input.
 ///
-/// Weights are stored pre-flattened as `(c_out, c_in·k·k)` so the forward
-/// pass is a single matrix product against the `im2col` patch matrix of each
-/// image. The backward pass recomputes `im2col` rather than caching it,
-/// trading FLOPs for the activation memory the paper is concerned with.
+/// Weights are stored pre-flattened as `(c_out, c_in·k·k)`. The whole
+/// minibatch is lowered at once: one `(N·OH·OW) × (C·KH·KW)` `im2col`
+/// matrix and a *single* large GEMM per pass, instead of one small GEMM per
+/// sample — large products are what the blocked/parallel kernel backends
+/// are fast at. The backward pass recomputes `im2col` rather than caching
+/// it, trading FLOPs for the activation memory the paper is concerned
+/// with.
+///
+/// Matrix products run on the layer's pinned [`KernelBackend`] if
+/// [`Layer::set_kernel_backend`] (or [`Conv2d::with_backend`]) was called,
+/// otherwise on the process-global default.
 ///
 /// # Examples
 ///
@@ -36,6 +44,7 @@ pub struct Conv2d {
     kernel: usize,
     stride: usize,
     pad: usize,
+    backend: Option<KernelBackend>,
     cached_input: Option<Tensor>,
 }
 
@@ -67,8 +76,19 @@ impl Conv2d {
             kernel,
             stride,
             pad,
+            backend: None,
             cached_input: None,
         })
+    }
+
+    /// Pins the GEMM backend this layer runs on (builder form).
+    pub fn with_backend(mut self, backend: KernelBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    fn backend(&self) -> KernelBackend {
+        self.backend.unwrap_or_else(global_backend)
     }
 
     /// Output channel count.
@@ -116,29 +136,25 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
-        let (n, c, h, w) = self.check_input(x)?;
+        let (n, _, h, w) = self.check_input(x)?;
         let geom = self.geometry(h, w)?;
-        let (oh, ow) = (geom.out_h, geom.out_w);
-        let mut out = Vec::with_capacity(n * self.out_channels * oh * ow);
-        let bias = self.bias.value.data().to_vec();
-        for img in 0..n {
-            let image = x.slice_batch(img, img + 1)?.reshape(&[c, h, w])?;
-            let cols = im2col(&image, c, &geom)?;
-            let mut y = matmul(&self.weight.value, &cols)?;
-            // Broadcast the per-channel bias over all spatial positions.
-            let positions = geom.out_positions();
-            for (ch, row) in y.data_mut().chunks_mut(positions).enumerate() {
-                let b = bias[ch];
-                for v in row {
-                    *v += b;
-                }
+        let backend = self.backend();
+        // One batched lowering + one large GEMM for the whole minibatch:
+        // (N·P × C·K·K) · (C_out × C·K·K)ᵀ -> N·P × C_out.
+        let cols = im2col_batch(x, &geom)?;
+        let mut y = matmul_a_bt_with(backend, &cols, &self.weight.value)?;
+        // Broadcast the per-channel bias over every output position (rows
+        // are positions, columns are output channels).
+        let bias = self.bias.value.data();
+        for row in y.data_mut().chunks_mut(self.out_channels) {
+            for (v, b) in row.iter_mut().zip(bias) {
+                *v += b;
             }
-            out.extend_from_slice(y.data());
         }
         if mode == Mode::Train {
             self.cached_input = Some(x.clone());
         }
-        Ok(Tensor::from_vec(vec![n, self.out_channels, oh, ow], out)?)
+        posrows_to_nchw(&y, n, self.out_channels, geom.out_h, geom.out_w).map_err(NnError::from)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -148,7 +164,6 @@ impl Layer for Conv2d {
             .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
         let (n, c, h, w) = x.dims4()?;
         let geom = self.geometry(h, w)?;
-        let positions = geom.out_positions();
         let (gn, gc, goh, gow) = grad_out.dims4()?;
         if gn != n || gc != self.out_channels || goh != geom.out_h || gow != geom.out_w {
             return Err(NnError::BadInput {
@@ -160,26 +175,24 @@ impl Layer for Conv2d {
                 ),
             });
         }
-        let mut grad_in = Vec::with_capacity(x.numel());
-        for img in 0..n {
-            let image = x.slice_batch(img, img + 1)?.reshape(&[c, h, w])?;
-            let cols = im2col(&image, c, &geom)?;
-            let gy = grad_out
-                .slice_batch(img, img + 1)?
-                .reshape(&[self.out_channels, positions])?;
-            // dW += gy · colsᵀ  (c_out × c·k·k)
-            let dw = matmul_a_bt(&gy, &cols)?;
-            nf_tensor::axpy(1.0, &dw, &mut self.weight.grad)?;
-            // db += row sums of gy.
-            for (ch, row) in gy.data().chunks(positions).enumerate() {
-                self.bias.grad.data_mut()[ch] += row.iter().sum::<f32>();
+        let backend = self.backend();
+        // Recompute the batched lowering (FLOPs for memory, as per-sample
+        // did) and run the whole batch's three products as single GEMMs.
+        let cols = im2col_batch(&x, &geom)?;
+        // g is N·P × C_out; dW += gᵀ · cols  (C_out × C·K·K).
+        let g = nchw_to_posrows(grad_out)?;
+        let dw = matmul_at_b_with(backend, &g, &cols)?;
+        nf_tensor::axpy(1.0, &dw, &mut self.weight.grad)?;
+        // db += column sums of g.
+        let db = self.bias.grad.data_mut();
+        for row in g.data().chunks(self.out_channels) {
+            for (d, &v) in db.iter_mut().zip(row) {
+                *d += v;
             }
-            // dcols = Wᵀ · gy, then scatter back to image space.
-            let dcols = matmul_at_b(&self.weight.value, &gy)?;
-            let dimg = col2im(&dcols, c, &geom)?;
-            grad_in.extend_from_slice(dimg.data());
         }
-        Ok(Tensor::from_vec(vec![n, c, h, w], grad_in)?)
+        // dcols = g · W (N·P × C·K·K), scattered back to image space.
+        let dcols = matmul_with(backend, &g, &self.weight.value)?;
+        Ok(col2im_batch(&dcols, n, c, &geom)?)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -189,6 +202,10 @@ impl Layer for Conv2d {
 
     fn clear_cache(&mut self) {
         self.cached_input = None;
+    }
+
+    fn set_kernel_backend(&mut self, backend: KernelBackend) {
+        self.backend = Some(backend);
     }
 }
 

@@ -28,7 +28,7 @@ pub fn check_layer<L: Layer>(mut layer: L, input_shape: &[usize], tol: f32, seed
         input_shape.to_vec(),
         (0..numel)
             .map(|_| {
-                let mag = rng.gen_range(0.2..1.0);
+                let mag: f32 = rng.gen_range(0.2..1.0);
                 if rng.gen_bool(0.5) {
                     mag
                 } else {

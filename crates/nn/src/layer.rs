@@ -58,6 +58,12 @@ pub trait Layer {
     /// Drops any cached forward state (e.g. when evicting a trained block
     /// from "GPU memory" in the NeuroFlux worker).
     fn clear_cache(&mut self) {}
+
+    /// Pins the GEMM kernel backend this layer (and any child layers) runs
+    /// its matrix products on. Layers without a GEMM hot path ignore it;
+    /// layers that have one default to the process-global backend
+    /// ([`nf_tensor::global_backend`]) until pinned.
+    fn set_kernel_backend(&mut self, _backend: nf_tensor::KernelBackend) {}
 }
 
 impl Layer for Box<dyn Layer> {
@@ -79,5 +85,9 @@ impl Layer for Box<dyn Layer> {
 
     fn clear_cache(&mut self) {
         self.as_mut().clear_cache()
+    }
+
+    fn set_kernel_backend(&mut self, backend: nf_tensor::KernelBackend) {
+        self.as_mut().set_kernel_backend(backend)
     }
 }

@@ -4,12 +4,18 @@ use crate::error::NnError;
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
 use crate::Result;
-use nf_tensor::{he_normal, matmul, matmul_a_bt, matmul_at_b, sum_axis0, Tensor};
+use nf_tensor::{
+    global_backend, he_normal, matmul_a_bt_with, matmul_at_b_with, matmul_with, sum_axis0,
+    KernelBackend, Tensor,
+};
 use rand::Rng;
 
 /// Fully-connected layer: `y = x·W + b` with `W: (in, out)`, `b: (out)`.
 ///
-/// Accepts rank-2 input `(batch, in_features)`.
+/// Accepts rank-2 input `(batch, in_features)`. Matrix products run on the
+/// layer's pinned [`KernelBackend`] if [`Layer::set_kernel_backend`] (or
+/// [`Linear::with_backend`]) was called, otherwise on the process-global
+/// default.
 ///
 /// # Examples
 ///
@@ -28,6 +34,7 @@ pub struct Linear {
     bias: Param,
     in_features: usize,
     out_features: usize,
+    backend: Option<KernelBackend>,
     cached_input: Option<Tensor>,
 }
 
@@ -39,8 +46,19 @@ impl Linear {
             bias: Param::new(Tensor::zeros(&[out_features])),
             in_features,
             out_features,
+            backend: None,
             cached_input: None,
         }
+    }
+
+    /// Pins the GEMM backend this layer runs on (builder form).
+    pub fn with_backend(mut self, backend: KernelBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    fn backend(&self) -> KernelBackend {
+        self.backend.unwrap_or_else(global_backend)
     }
 
     /// Input feature count.
@@ -75,7 +93,7 @@ impl Layer for Linear {
                 reason: format!("expected {} features, got {cols}", self.in_features),
             });
         }
-        let mut y = matmul(x, &self.weight.value)?;
+        let mut y = matmul_with(self.backend(), x, &self.weight.value)?;
         let b = self.bias.value.data();
         let out = self.out_features;
         for row in y.data_mut().chunks_mut(out) {
@@ -95,11 +113,12 @@ impl Layer for Linear {
             .take()
             .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
         // dW = xᵀ · g, db = Σ_rows g, dx = g · Wᵀ.
-        let dw = matmul_at_b(&x, grad_out)?;
+        let backend = self.backend();
+        let dw = matmul_at_b_with(backend, &x, grad_out)?;
         nf_tensor::axpy(1.0, &dw, &mut self.weight.grad)?;
         let db = sum_axis0(grad_out)?;
         nf_tensor::axpy(1.0, &db, &mut self.bias.grad)?;
-        Ok(matmul_a_bt(grad_out, &self.weight.value)?)
+        Ok(matmul_a_bt_with(backend, grad_out, &self.weight.value)?)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -109,6 +128,10 @@ impl Layer for Linear {
 
     fn clear_cache(&mut self) {
         self.cached_input = None;
+    }
+
+    fn set_kernel_backend(&mut self, backend: KernelBackend) {
+        self.backend = Some(backend);
     }
 }
 

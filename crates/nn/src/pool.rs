@@ -1,4 +1,8 @@
 //! Pooling layers over NCHW tensors.
+//!
+//! Pooling has no GEMM hot path, so these layers are unaffected by the
+//! kernel-backend selection seam ([`Layer::set_kernel_backend`] is a
+//! no-op here); their cost is a linear scan the memory system bounds.
 
 use crate::error::NnError;
 use crate::layer::{Layer, Mode};
@@ -179,7 +183,7 @@ impl Layer for GlobalAvgPool {
         }
         let mut out = Vec::with_capacity(n * c * plane);
         for &g in grad_out.data() {
-            out.extend(std::iter::repeat(g * inv).take(plane));
+            out.extend(std::iter::repeat_n(g * inv, plane));
         }
         Ok(Tensor::from_vec(shape, out)?)
     }

@@ -96,6 +96,12 @@ impl Layer for Sequential {
             layer.clear_cache();
         }
     }
+
+    fn set_kernel_backend(&mut self, backend: nf_tensor::KernelBackend) {
+        for layer in &mut self.layers {
+            layer.set_kernel_backend(backend);
+        }
+    }
 }
 
 #[cfg(test)]

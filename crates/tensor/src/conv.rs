@@ -1,15 +1,52 @@
-//! Convolution lowering: `im2col` / `col2im`.
+//! Convolution lowering: `im2col` / `col2im`, per-sample and batched.
 //!
-//! A 2-D convolution over an NCHW input is lowered to one matrix product per
-//! batch element: the receptive-field patches are unrolled into the columns
-//! of a `(C·KH·KW) × (OH·OW)` matrix, which the kernel matrix
-//! `(C_out) × (C·KH·KW)` multiplies. `col2im` is the exact adjoint and is
-//! what the backward pass uses to scatter patch gradients back onto the
-//! input; the pair being mutually adjoint is property-tested below.
+//! A 2-D convolution over an NCHW input is lowered to a matrix product.
+//! Two lowerings are provided:
+//!
+//! - **Per-sample** ([`im2col`] / [`col2im`]): one `(C·KH·KW) × (OH·OW)`
+//!   patch matrix per image, multiplied by the `(C_out) × (C·KH·KW)`
+//!   kernel matrix. Kept as the reference the batched path is tested
+//!   against, and for callers that stream one image at a time.
+//! - **Batched** ([`im2col_batch`] / [`col2im_batch`]): one
+//!   `(N·OH·OW) × (C·KH·KW)` patch matrix for the whole minibatch, so the
+//!   convolution is a *single* large GEMM instead of `N` small ones — large
+//!   GEMMs are where the blocked/parallel kernel backends earn their keep.
+//!   [`nchw_to_posrows`] / [`posrows_to_nchw`] convert activations between
+//!   NCHW and the batched lowering's position-major row layout.
+//!
+//! Each `col2im*` is the exact adjoint of its `im2col*`, which is what the
+//! backward pass relies on; adjointness is property-tested below.
 
 use crate::error::TensorError;
 use crate::tensor::Tensor;
 use crate::Result;
+use rayon::prelude::*;
+
+/// Minimum total elements before the batched lowerings fan samples out
+/// across threads. The vendored rayon spawns OS threads per call (no
+/// persistent pool), so small lowerings — gradcheck shapes, tiny test
+/// models — must stay inline or spawn/join overhead dwarfs the copy work.
+const PAR_MIN_ELEMS: usize = 1 << 16;
+
+/// Runs `work(sample_index, sample_chunk)` over `out` split into
+/// `chunk_len`-sized sample chunks — in parallel only when `work_elems`
+/// (the number of elements the operation actually touches, which for the
+/// scatter direction is the cols matrix, not the output) clears
+/// [`PAR_MIN_ELEMS`].
+fn for_each_sample_chunk<F>(out: &mut [f32], chunk_len: usize, work_elems: usize, work: F)
+where
+    F: Fn(usize, &mut [f32]) + Send + Sync,
+{
+    if work_elems >= PAR_MIN_ELEMS {
+        out.par_chunks_mut(chunk_len)
+            .enumerate()
+            .for_each(|(img, chunk)| work(img, chunk));
+    } else {
+        for (img, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            work(img, chunk);
+        }
+    }
+}
 
 /// Static geometry of a 2-D convolution (or pooling) window.
 ///
@@ -173,6 +210,159 @@ pub fn col2im(cols: &Tensor, channels: usize, geom: &Conv2dGeometry) -> Result<T
     Tensor::from_vec(vec![channels, geom.in_h, geom.in_w], out)
 }
 
+/// Unrolls a whole NCHW minibatch into patch rows
+/// `(n*out_h*out_w + oy*out_w + ox, (c*k_h + kh)*k_w + kw)` — the
+/// `(N·OH·OW) × (C·KH·KW)` layout that turns a convolution into one large
+/// GEMM against the kernel matrix.
+///
+/// `input` must be rank-4 `(n, channels, in_h, in_w)` consistent with
+/// `geom`. Samples are unrolled in parallel when threads are available.
+pub fn im2col_batch(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
+    let (n, channels, h, w) = input.dims4().map_err(|_| TensorError::RankMismatch {
+        op: "im2col_batch",
+        expected: 4,
+        actual: input.rank(),
+    })?;
+    if h != geom.in_h || w != geom.in_w {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col_batch",
+            lhs: input.shape().to_vec(),
+            rhs: vec![n, channels, geom.in_h, geom.in_w],
+        });
+    }
+    let positions = geom.out_positions();
+    let patch = channels * geom.k_h * geom.k_w;
+    let src = input.data();
+    let sample_len = channels * geom.in_h * geom.in_w;
+    let mut out = vec![0.0f32; n * positions * patch];
+    let (in_h, in_w) = (geom.in_h as isize, geom.in_w as isize);
+    let total = out.len();
+    for_each_sample_chunk(&mut out, positions * patch, total, |img, block| {
+        let image = &src[img * sample_len..(img + 1) * sample_len];
+        for oy in 0..geom.out_h {
+            for ox in 0..geom.out_w {
+                let row =
+                    &mut block[(oy * geom.out_w + ox) * patch..(oy * geom.out_w + ox + 1) * patch];
+                let mut col = 0usize;
+                for c in 0..channels {
+                    let plane = &image[c * geom.in_h * geom.in_w..];
+                    for kh in 0..geom.k_h {
+                        let iy = (oy * geom.stride + kh) as isize - geom.pad as isize;
+                        for kw in 0..geom.k_w {
+                            let ix = (ox * geom.stride + kw) as isize - geom.pad as isize;
+                            if iy >= 0 && iy < in_h && ix >= 0 && ix < in_w {
+                                row[col] = plane[iy as usize * geom.in_w + ix as usize];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    Tensor::from_vec(vec![n * positions, patch], out)
+}
+
+/// Adjoint of [`im2col_batch`]: scatters patch rows back onto an NCHW
+/// minibatch, accumulating where receptive fields overlap.
+///
+/// `cols` must have shape `(n·out_h·out_w, channels·k_h·k_w)`; the result
+/// is `(n, channels, in_h, in_w)`.
+pub fn col2im_batch(
+    cols: &Tensor,
+    n: usize,
+    channels: usize,
+    geom: &Conv2dGeometry,
+) -> Result<Tensor> {
+    let (rows, patch) = cols.dims2()?;
+    let positions = geom.out_positions();
+    if rows != n * positions || patch != channels * geom.k_h * geom.k_w {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im_batch",
+            lhs: cols.shape().to_vec(),
+            rhs: vec![n * positions, channels * geom.k_h * geom.k_w],
+        });
+    }
+    let src = cols.data();
+    let sample_len = channels * geom.in_h * geom.in_w;
+    let mut out = vec![0.0f32; n * sample_len];
+    let (in_h, in_w) = (geom.in_h as isize, geom.in_w as isize);
+    // Scatter work is proportional to the cols matrix (src), which is
+    // ~K·K times larger than the output image it lands on.
+    for_each_sample_chunk(&mut out, sample_len, src.len(), |img, image| {
+        let block = &src[img * positions * patch..(img + 1) * positions * patch];
+        for oy in 0..geom.out_h {
+            for ox in 0..geom.out_w {
+                let row =
+                    &block[(oy * geom.out_w + ox) * patch..(oy * geom.out_w + ox + 1) * patch];
+                let mut col = 0usize;
+                for c in 0..channels {
+                    let plane_off = c * geom.in_h * geom.in_w;
+                    for kh in 0..geom.k_h {
+                        let iy = (oy * geom.stride + kh) as isize - geom.pad as isize;
+                        for kw in 0..geom.k_w {
+                            let ix = (ox * geom.stride + kw) as isize - geom.pad as isize;
+                            if iy >= 0 && iy < in_h && ix >= 0 && ix < in_w {
+                                image[plane_off + iy as usize * geom.in_w + ix as usize] +=
+                                    row[col];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    Tensor::from_vec(vec![n, channels, geom.in_h, geom.in_w], out)
+}
+
+/// Permutes an NCHW tensor to the batched lowering's position-major layout
+/// `(N·H·W, C)`: row `(n*H*W + p)` holds the `C` channel values at spatial
+/// position `p` of sample `n`.
+pub fn nchw_to_posrows(x: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = x.dims4()?;
+    let plane = h * w;
+    let src = x.data();
+    let mut out = vec![0.0f32; n * c * plane];
+    for img in 0..n {
+        let sample = &src[img * c * plane..(img + 1) * c * plane];
+        let block = &mut out[img * plane * c..(img + 1) * plane * c];
+        for ch in 0..c {
+            let splane = &sample[ch * plane..(ch + 1) * plane];
+            for (p, &v) in splane.iter().enumerate() {
+                block[p * c + ch] = v;
+            }
+        }
+    }
+    Tensor::from_vec(vec![n * plane, c], out)
+}
+
+/// Inverse of [`nchw_to_posrows`]: `(N·H·W, C)` rows back to `(N, C, H, W)`.
+pub fn posrows_to_nchw(rows: &Tensor, n: usize, c: usize, h: usize, w: usize) -> Result<Tensor> {
+    let (r, cols) = rows.dims2()?;
+    let plane = h * w;
+    if r != n * plane || cols != c {
+        return Err(TensorError::ShapeMismatch {
+            op: "posrows_to_nchw",
+            lhs: rows.shape().to_vec(),
+            rhs: vec![n * plane, c],
+        });
+    }
+    let src = rows.data();
+    let mut out = vec![0.0f32; n * c * plane];
+    for img in 0..n {
+        let block = &src[img * plane * c..(img + 1) * plane * c];
+        let sample = &mut out[img * c * plane..(img + 1) * c * plane];
+        for p in 0..plane {
+            let row = &block[p * c..(p + 1) * c];
+            for (ch, &v) in row.iter().enumerate() {
+                sample[ch * plane + p] = v;
+            }
+        }
+    }
+    Tensor::from_vec(vec![n, c, h, w], out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +488,116 @@ mod tests {
             prop_assume!(k <= h + 2 * pad);
             adjointness_case(c, h, k, stride, pad, seed);
         }
+    }
+
+    fn random_nchw(n: usize, c: usize, h: usize, w: usize, seed: u64) -> Tensor {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Tensor::from_vec(
+            vec![n, c, h, w],
+            (0..n * c * h * w)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// The batched unroll must contain exactly the per-sample unrolls,
+    /// transposed into row-major patch rows.
+    fn batch_matches_per_sample_case(
+        n: usize,
+        c: usize,
+        h: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) {
+        let g = Conv2dGeometry::new(h, h, k, k, stride, pad).unwrap();
+        let x = random_nchw(n, c, h, h, (n * 1000 + c * 100 + h * 10 + k) as u64);
+        let batch = im2col_batch(&x, &g).unwrap();
+        let positions = g.out_positions();
+        let patch = c * k * k;
+        assert_eq!(batch.shape(), &[n * positions, patch]);
+        for img in 0..n {
+            let image = x
+                .slice_batch(img, img + 1)
+                .unwrap()
+                .reshape(&[c, h, h])
+                .unwrap();
+            let per_sample = im2col(&image, c, &g).unwrap(); // (patch, positions)
+            for p in 0..positions {
+                for q in 0..patch {
+                    assert_eq!(
+                        batch.at(&[img * positions + p, q]),
+                        per_sample.at(&[q, p]),
+                        "sample {img} position {p} patch {q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_batch_matches_per_sample() {
+        batch_matches_per_sample_case(1, 1, 3, 2, 1, 0);
+        batch_matches_per_sample_case(3, 2, 5, 3, 1, 1);
+        batch_matches_per_sample_case(2, 3, 6, 2, 2, 0);
+        batch_matches_per_sample_case(4, 1, 4, 3, 2, 1);
+    }
+
+    #[test]
+    fn batch_pair_is_adjoint() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let (n, c, h) = (3usize, 2usize, 5usize);
+        let g = Conv2dGeometry::new(h, h, 3, 3, 1, 1).unwrap();
+        let x = random_nchw(n, c, h, h, 7);
+        let rows = n * g.out_positions();
+        let patch = c * 9;
+        let y = Tensor::from_vec(
+            vec![rows, patch],
+            (0..rows * patch)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect(),
+        )
+        .unwrap();
+        let lhs: f32 = im2col_batch(&x, &g)
+            .unwrap()
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(col2im_batch(&y, n, c, &g).unwrap().data())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+            "batched adjointness violated: {lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn posrows_round_trips() {
+        let x = random_nchw(2, 3, 4, 5, 11);
+        let rows = nchw_to_posrows(&x).unwrap();
+        assert_eq!(rows.shape(), &[2 * 4 * 5, 3]);
+        // Row (n*H*W + p) column c == x[n, c, p].
+        assert_eq!(rows.at(&[0, 1]), x.at(&[0, 1, 0, 0]));
+        assert_eq!(rows.at(&[21, 2]), x.at(&[1, 2, 0, 1]));
+        let back = posrows_to_nchw(&rows, 2, 3, 4, 5).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn batch_shape_validation() {
+        let g = Conv2dGeometry::new(4, 4, 3, 3, 1, 1).unwrap();
+        assert!(im2col_batch(&Tensor::zeros(&[2, 1, 3, 3]), &g).is_err());
+        assert!(im2col_batch(&Tensor::zeros(&[1, 4, 4]), &g).is_err());
+        assert!(col2im_batch(&Tensor::zeros(&[5, 9]), 2, 1, &g).is_err());
+        assert!(posrows_to_nchw(&Tensor::zeros(&[7, 3]), 2, 3, 2, 2).is_err());
     }
 }

@@ -1,0 +1,295 @@
+//! The fast GEMM backend: cache-blocked, register-blocked, optionally
+//! parallel over row panels.
+
+use super::GemmBackend;
+use rayon::prelude::*;
+
+/// Rows of `A`/`C` processed together by the register micro-kernel: `MR`
+/// output rows stay resident in registers while one row of `B` streams
+/// past, dividing `B` traffic by `MR` relative to the naive loop. With
+/// `JT = 32`, the `MR × JT` accumulator tile is 16 AVX-512 (32 AVX2)
+/// vectors — sized to the 32-register file of AVX-512 hosts.
+const MR: usize = 8;
+
+/// `K`-dimension cache block: `KC` rows of `B` (`KC × NC` floats) are
+/// re-read `MR`-rows-at-a-time while they are hot in L2.
+const KC: usize = 256;
+
+/// `N`-dimension cache block: output row segments of `NC` floats (1 KiB)
+/// stay in L1 across the `KC` rank-1 updates.
+const NC: usize = 256;
+
+/// Minimum `M·K·N` before the parallel variant spins up worker threads;
+/// below this the spawn/join overhead of the scoped-thread pool outweighs
+/// the work (the vendored rayon has no persistent pool).
+const PAR_MIN_FLOPS: usize = 1 << 19;
+
+/// Cache-blocked GEMM with an `MR × JT` register-tile micro-kernel.
+///
+/// Layout: the output is walked in `MR`-row panels (the parallel unit);
+/// within a panel the `K` and `N` dimensions are tiled `KC × NC` so one
+/// `B` tile is reused from cache by all rows of the panel. The micro-kernel
+/// accumulates an `MR × JT` output tile in locals across the whole `K`
+/// block — zero output traffic in the inner loop — which the compiler
+/// auto-vectorises; all code is safe Rust (`nf-tensor` forbids `unsafe`).
+///
+/// `Aᵀ·B` and `A·Bᵀ` are computed by explicitly transposing the small
+/// operand once (`O(K·M)` / `O(N·K)` — negligible against the `O(M·K·N)`
+/// product) and running the same main kernel, so all three variants share
+/// one fast path.
+#[derive(Debug)]
+pub struct BlockedGemm {
+    parallel: bool,
+}
+
+impl BlockedGemm {
+    /// Single-threaded variant.
+    pub const fn serial() -> Self {
+        BlockedGemm { parallel: false }
+    }
+
+    /// Variant that fans row panels out across threads for large products.
+    pub const fn parallel() -> Self {
+        BlockedGemm { parallel: true }
+    }
+
+    fn gemm_into(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        out.fill(0.0);
+        // Degenerate products (any zero dimension) are an empty or
+        // all-zero result; bail before chunking `out` by `MR * n`, which
+        // would panic on a zero chunk size.
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let panel = |panel_idx: usize, opanel: &mut [f32]| {
+            let i0 = panel_idx * MR;
+            let rows = opanel.len() / n;
+            let mut kk0 = 0;
+            while kk0 < k {
+                let kc = KC.min(k - kk0);
+                let mut jj0 = 0;
+                while jj0 < n {
+                    let nc = NC.min(n - jj0);
+                    if rows == MR {
+                        micro_mr(a, b, k, n, i0, kk0, kc, jj0, nc, opanel);
+                    } else {
+                        micro_tail(a, b, k, n, i0, rows, kk0, kc, jj0, nc, opanel);
+                    }
+                    jj0 += nc;
+                }
+                kk0 += kc;
+            }
+        };
+        if self.parallel && m * k * n >= PAR_MIN_FLOPS {
+            out.par_chunks_mut(MR * n)
+                .enumerate()
+                .for_each(|(idx, opanel)| panel(idx, opanel));
+        } else {
+            for (idx, opanel) in out.chunks_mut(MR * n).enumerate() {
+                panel(idx, opanel);
+            }
+        }
+    }
+}
+
+/// `N`-dimension register tile: an `MR × JT` block of `C` is accumulated in
+/// locals (registers, once vectorised) across the whole `KC` loop, so the
+/// inner loop does no output loads/stores at all.
+const JT: usize = 32;
+
+/// Micro-kernel for a full `MR`-row panel: `MR × JT` register tiles over
+/// the `[jj0, jj0+nc)` segment, with an axpy fallback for the `nc % JT`
+/// tail columns.
+#[allow(clippy::too_many_arguments)]
+fn micro_mr(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+    kk0: usize,
+    kc: usize,
+    jj0: usize,
+    nc: usize,
+    opanel: &mut [f32],
+) {
+    let mut jt = 0;
+    while jt + JT <= nc {
+        let mut acc = [[0.0f32; JT]; MR];
+        for kk in kk0..kk0 + kc {
+            let off = kk * n + jj0 + jt;
+            let brow: &[f32; JT] = b[off..off + JT].try_into().expect("JT slice");
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = a[(i0 + r) * k + kk];
+                for l in 0..JT {
+                    accr[l] += av * brow[l];
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            let off = r * n + jj0 + jt;
+            let orow = &mut opanel[off..off + JT];
+            for l in 0..JT {
+                orow[l] += accr[l];
+            }
+        }
+        jt += JT;
+    }
+    if jt < nc {
+        micro_tail(a, b, k, n, i0, MR, kk0, kc, jj0 + jt, nc - jt, opanel);
+    }
+}
+
+/// Fallback for the final panel when `M` is not a multiple of `MR`.
+#[allow(clippy::too_many_arguments)]
+fn micro_tail(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+    rows: usize,
+    kk0: usize,
+    kc: usize,
+    jj0: usize,
+    nc: usize,
+    opanel: &mut [f32],
+) {
+    for (r, orow) in opanel.chunks_mut(n).enumerate().take(rows) {
+        let oseg = &mut orow[jj0..jj0 + nc];
+        for kk in kk0..kk0 + kc {
+            let av = a[(i0 + r) * k + kk];
+            let brow = &b[kk * n + jj0..kk * n + jj0 + nc];
+            for (o, &bv) in oseg.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Out-of-place transpose of a packed `rows × cols` matrix.
+fn transpose(rows: usize, cols: usize, src: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * cols];
+    for i in 0..rows {
+        let srow = &src[i * cols..(i + 1) * cols];
+        for (j, &v) in srow.iter().enumerate() {
+            out[j * rows + i] = v;
+        }
+    }
+    out
+}
+
+impl GemmBackend for BlockedGemm {
+    fn name(&self) -> &'static str {
+        if self.parallel {
+            "blocked-parallel"
+        } else {
+            "blocked"
+        }
+    }
+
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        self.gemm_into(m, k, n, a, b, out);
+    }
+
+    fn gemm_at_b(&self, k: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(a.len(), k * m);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        let at = transpose(k, m, a); // K×M -> M×K
+        self.gemm_into(m, k, n, &at, b, out);
+    }
+
+    fn gemm_a_bt(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), n * k);
+        debug_assert_eq!(out.len(), m * n);
+        let bt = transpose(n, k, b); // N×K -> K×N
+        self.gemm_into(m, k, n, a, &bt, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{GemmBackend, NaiveGemm};
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..rows * cols).map(|_| rng.gen_range(-2.0..2.0)).collect()
+    }
+
+    fn assert_matches_naive(m: usize, k: usize, n: usize, backend: &BlockedGemm) {
+        let a = mat(m, k, (m * 31 + k) as u64);
+        let b = mat(k, n, (k * 17 + n) as u64);
+        let naive = NaiveGemm;
+
+        let mut want = vec![0.0f32; m * n];
+        let mut got = vec![0.0f32; m * n];
+        naive.gemm(m, k, n, &a, &b, &mut want);
+        backend.gemm(m, k, n, &a, &b, &mut got);
+        for (x, y) in want.iter().zip(&got) {
+            assert!((x - y).abs() < 1e-4 * (1.0 + x.abs()), "gemm {x} vs {y}");
+        }
+
+        // aᵀ·b with a stored K×M.
+        let at = mat(k, m, (m * 7 + k) as u64);
+        naive.gemm_at_b(k, m, n, &at, &b, &mut want);
+        backend.gemm_at_b(k, m, n, &at, &b, &mut got);
+        for (x, y) in want.iter().zip(&got) {
+            assert!((x - y).abs() < 1e-4 * (1.0 + x.abs()), "at_b {x} vs {y}");
+        }
+
+        // a·bᵀ with b stored N×K.
+        let bt = mat(n, k, (n * 13 + k) as u64);
+        naive.gemm_a_bt(m, k, n, &a, &bt, &mut want);
+        backend.gemm_a_bt(m, k, n, &a, &bt, &mut got);
+        for (x, y) in want.iter().zip(&got) {
+            assert!((x - y).abs() < 1e-4 * (1.0 + x.abs()), "a_bt {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn zero_dimension_products_are_empty_or_zero() {
+        // (m, 0)·(0, n) is an all-zero (m, n); any zero outer dim is an
+        // empty result. Must not panic on the MR-panel chunking.
+        for backend in [BlockedGemm::serial(), BlockedGemm::parallel()] {
+            let mut out = vec![1.0f32; 6];
+            backend.gemm(2, 0, 3, &[], &[], &mut out);
+            assert_eq!(out, [0.0; 6]);
+            backend.gemm(3, 4, 0, &[0.0; 12], &[], &mut []);
+            backend.gemm(0, 4, 3, &[], &[0.0; 12], &mut []);
+            backend.gemm_at_b(4, 0, 3, &[], &[0.0; 12], &mut []);
+            backend.gemm_a_bt(2, 3, 0, &[0.0; 6], &[], &mut []);
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_across_shapes() {
+        // Shapes straddling every blocking boundary: panel remainders
+        // (m % MR(=8) != 0), K/N smaller and larger than KC/NC, and
+        // single-element dims.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (4, 4, 4),
+            (5, 300, 7),
+            (8, 64, 300),
+            (17, 257, 33),
+            (64, 512, 9),
+        ] {
+            assert_matches_naive(m, k, n, &BlockedGemm::serial());
+            assert_matches_naive(m, k, n, &BlockedGemm::parallel());
+        }
+    }
+
+    #[test]
+    fn parallel_threshold_paths_agree() {
+        // Just above the parallel threshold with an odd panel remainder.
+        assert_matches_naive(131, 65, 67, &BlockedGemm::parallel());
+    }
+}

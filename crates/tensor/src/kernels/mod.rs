@@ -1,0 +1,139 @@
+//! Pluggable GEMM kernel backends.
+//!
+//! Every convolution and fully-connected layer in the workspace lowers to
+//! one of three dense matrix products — `A·B`, `Aᵀ·B`, `A·Bᵀ` — so this
+//! seam is *the* compute hot path of every training experiment. The
+//! [`GemmBackend`] trait abstracts the implementation; two are provided:
+//!
+//! - [`NaiveGemm`] — the original streaming `i-k-j` loops. Slow but
+//!   obviously correct; kept as the reference oracle the fast path is
+//!   property-tested against.
+//! - [`BlockedGemm`] — cache-blocked with an `MR × JT` register-tile
+//!   micro-kernel (8 rows × 32 columns), optionally parallel over row
+//!   panels via rayon. This is the default.
+//!
+//! Selection is either explicit (`matmul_with` and friends, or calling a
+//! backend directly) or through the process-global default
+//! ([`set_global_backend`] / [`global_backend`]), which
+//! `NeuroFluxConfig::kernel_backend` and the baseline trainers set at the
+//! start of a run. The global default starts as
+//! [`KernelBackend::BlockedParallel`], so everything runs on the fast path
+//! unless a caller opts out.
+
+mod blocked;
+mod naive;
+
+pub use blocked::BlockedGemm;
+pub use naive::NaiveGemm;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A dense single-precision matrix-multiplication implementation.
+///
+/// All matrices are row-major, fully packed slices. Implementations
+/// overwrite `out` completely; they must not read it.
+pub trait GemmBackend: Send + Sync {
+    /// Backend name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// `out (M×N) = a (M×K) · b (K×N)`.
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]);
+
+    /// `out (M×N) = aᵀ · b` with `a` stored as `K×M`, `b` as `K×N`.
+    fn gemm_at_b(&self, k: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]);
+
+    /// `out (M×N) = a · bᵀ` with `a` stored as `M×K`, `b` as `N×K`.
+    fn gemm_a_bt(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]);
+}
+
+/// The selectable GEMM implementations, as a plain value that can sit in a
+/// config struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelBackend {
+    /// Reference `i-k-j` loops, single-threaded.
+    Naive,
+    /// Cache-blocked micro-kernel, single-threaded.
+    Blocked,
+    /// Cache-blocked micro-kernel, parallel over row panels.
+    #[default]
+    BlockedParallel,
+}
+
+static NAIVE: NaiveGemm = NaiveGemm;
+static BLOCKED: BlockedGemm = BlockedGemm::serial();
+static BLOCKED_PARALLEL: BlockedGemm = BlockedGemm::parallel();
+
+impl KernelBackend {
+    /// The backend implementation this variant selects.
+    pub fn backend(self) -> &'static dyn GemmBackend {
+        match self {
+            KernelBackend::Naive => &NAIVE,
+            KernelBackend::Blocked => &BLOCKED,
+            KernelBackend::BlockedParallel => &BLOCKED_PARALLEL,
+        }
+    }
+
+    /// Stable name (`naive`, `blocked`, `blocked-parallel`).
+    pub fn name(self) -> &'static str {
+        self.backend().name()
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            KernelBackend::Naive => 0,
+            KernelBackend::Blocked => 1,
+            KernelBackend::BlockedParallel => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => KernelBackend::Naive,
+            1 => KernelBackend::Blocked,
+            _ => KernelBackend::BlockedParallel,
+        }
+    }
+}
+
+static GLOBAL_BACKEND: AtomicU8 = AtomicU8::new(2); // BlockedParallel
+
+/// Sets the process-global default backend used by [`crate::matmul`] and
+/// friends when no explicit backend is given.
+pub fn set_global_backend(backend: KernelBackend) {
+    GLOBAL_BACKEND.store(backend.to_u8(), Ordering::Relaxed);
+}
+
+/// The current process-global default backend.
+pub fn global_backend() -> KernelBackend {
+    KernelBackend::from_u8(GLOBAL_BACKEND.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_blocked_parallel() {
+        assert_eq!(KernelBackend::default(), KernelBackend::BlockedParallel);
+        assert_eq!(KernelBackend::default().name(), "blocked-parallel");
+    }
+
+    #[test]
+    fn global_backend_round_trips() {
+        let before = global_backend();
+        set_global_backend(KernelBackend::Naive);
+        assert_eq!(global_backend(), KernelBackend::Naive);
+        set_global_backend(before);
+        assert_eq!(global_backend(), before);
+    }
+
+    #[test]
+    fn backend_names_are_distinct() {
+        let names = [
+            KernelBackend::Naive.name(),
+            KernelBackend::Blocked.name(),
+            KernelBackend::BlockedParallel.name(),
+        ];
+        assert_eq!(names, ["naive", "blocked", "blocked-parallel"]);
+    }
+}

@@ -9,10 +9,12 @@
 //!
 //! The paper's training stack (PyTorch on a Jetson GPU) is unavailable in
 //! this environment, so this crate *is* the substitute substrate; see
-//! `DESIGN.md` §2. Everything is deliberately simple, allocation-explicit,
-//! and `unsafe`-free: correctness (validated by finite-difference gradient
-//! checks one crate up) matters more than peak FLOPs for reproducing the
-//! paper's *shape* results.
+//! `DESIGN.md` §2. Everything is allocation-explicit and `unsafe`-free.
+//! The GEMM hot path is pluggable (see [`kernels`]): a naive reference
+//! backend validates a cache-blocked, optionally rayon-parallel backend
+//! that is the default everywhere, so experiments run as fast as safe
+//! scalar Rust allows while correctness stays anchored to the oracle (and
+//! to finite-difference gradient checks one crate up).
 //!
 //! # Examples
 //!
@@ -31,16 +33,22 @@
 mod conv;
 mod error;
 mod init;
+pub mod kernels;
 mod matmul;
 mod ops;
 mod pool;
 mod reduce;
 mod tensor;
 
-pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use conv::{
+    col2im, col2im_batch, im2col, im2col_batch, nchw_to_posrows, posrows_to_nchw, Conv2dGeometry,
+};
 pub use error::TensorError;
 pub use init::{he_normal, uniform_init, xavier_uniform};
-pub use matmul::{matmul, matmul_a_bt, matmul_at_b, transpose2d};
+pub use kernels::{global_backend, set_global_backend, GemmBackend, KernelBackend};
+pub use matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_with, matmul_at_b, matmul_at_b_with, matmul_with, transpose2d,
+};
 pub use ops::{add, axpy, hadamard, sub};
 pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward};
 pub use reduce::{argmax_rows, mean_all, softmax_rows, sum_all, sum_axis0};

@@ -1,12 +1,15 @@
-//! Dense matrix multiplication kernels.
+//! Dense matrix multiplication entry points.
 //!
 //! All convolutions in the workspace are lowered to these kernels via
 //! `im2col`, so this is the hot path of every training experiment. The
-//! implementation is a cache-friendly `i-k-j` loop over row-major buffers —
-//! no blocking heroics, but ~10× faster than the naive `i-j-k` order and
-//! entirely safe code.
+//! actual arithmetic lives in the pluggable [`crate::kernels`] backends;
+//! the functions here validate shapes and dispatch — to the process-global
+//! default backend ([`matmul`], [`matmul_at_b`], [`matmul_a_bt`]) or to an
+//! explicit one (the `*_with` variants, used by property tests and
+//! benchmarks to pin a specific implementation).
 
 use crate::error::TensorError;
+use crate::kernels::{global_backend, KernelBackend};
 use crate::tensor::Tensor;
 use crate::Result;
 
@@ -24,7 +27,7 @@ fn check2(op: &'static str, a: &Tensor, b: &Tensor) -> Result<((usize, usize), (
     Ok((ad, bd))
 }
 
-/// Matrix product `a (M×K) · b (K×N) -> (M×N)`.
+/// Matrix product `a (M×K) · b (K×N) -> (M×N)` on the global backend.
 ///
 /// # Examples
 ///
@@ -37,6 +40,11 @@ fn check2(op: &'static str, a: &Tensor, b: &Tensor) -> Result<((usize, usize), (
 /// assert_eq!(c.data(), &[3.0, 7.0]);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_with(global_backend(), a, b)
+}
+
+/// [`matmul`] on an explicit backend.
+pub fn matmul_with(backend: KernelBackend, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let ((m, k), (k2, n)) = check2("matmul", a, b)?;
     if k != k2 {
         return Err(TensorError::ShapeMismatch {
@@ -45,30 +53,24 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().to_vec(),
         });
     }
-    let av = a.data();
-    let bv = b.data();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (kk, &aik) in arow.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bv[kk * n..(kk + 1) * n];
-            for (o, &bkj) in orow.iter_mut().zip(brow) {
-                *o += aik * bkj;
-            }
-        }
-    }
+    backend
+        .backend()
+        .gemm(m, k, n, a.data(), b.data(), &mut out);
     Tensor::from_vec(vec![m, n], out)
 }
 
 /// Product `aᵀ (K×M)ᵀ · b (K×N) -> (M×N)` without materialising `aᵀ`.
 ///
 /// Layer backward passes need `Xᵀ·G` for weight gradients; this avoids the
-/// transpose copy.
+/// transpose copy at the call site (the blocked backend may still pack
+/// internally).
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_at_b_with(global_backend(), a, b)
+}
+
+/// [`matmul_at_b`] on an explicit backend.
+pub fn matmul_at_b_with(backend: KernelBackend, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let ((k, m), (k2, n)) = check2("matmul_at_b", a, b)?;
     if k != k2 {
         return Err(TensorError::ShapeMismatch {
@@ -77,24 +79,10 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().to_vec(),
         });
     }
-    let av = a.data();
-    let bv = b.data();
     let mut out = vec![0.0f32; m * n];
-    // out[i][j] = Σ_k a[k][i] * b[k][j]; iterate k outermost so both reads
-    // stream through memory.
-    for kk in 0..k {
-        let arow = &av[kk * m..(kk + 1) * m];
-        let brow = &bv[kk * n..(kk + 1) * n];
-        for (i, &aki) in arow.iter().enumerate() {
-            if aki == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bkj) in orow.iter_mut().zip(brow) {
-                *o += aki * bkj;
-            }
-        }
-    }
+    backend
+        .backend()
+        .gemm_at_b(k, m, n, a.data(), b.data(), &mut out);
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -102,6 +90,11 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Layer backward passes need `G·Wᵀ` for input gradients.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_a_bt_with(global_backend(), a, b)
+}
+
+/// [`matmul_a_bt`] on an explicit backend.
+pub fn matmul_a_bt_with(backend: KernelBackend, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let ((m, k), (n, k2)) = check2("matmul_a_bt", a, b)?;
     if k != k2 {
         return Err(TensorError::ShapeMismatch {
@@ -110,21 +103,10 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().to_vec(),
         });
     }
-    let av = a.data();
-    let bv = b.data();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bv[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            *o = acc;
-        }
-    }
+    backend
+        .backend()
+        .gemm_a_bt(m, k, n, a.data(), b.data(), &mut out);
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -157,34 +139,46 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    const ALL_BACKENDS: [KernelBackend; 3] = [
+        KernelBackend::Naive,
+        KernelBackend::Blocked,
+        KernelBackend::BlockedParallel,
+    ];
+
     #[test]
     fn matmul_known_value() {
         let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
         let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
-        let c = matmul(&a, &b).unwrap();
-        assert_eq!(c.shape(), &[2, 2]);
-        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+        for backend in ALL_BACKENDS {
+            let c = matmul_with(backend, &a, &b).unwrap();
+            assert_eq!(c.shape(), &[2, 2]);
+            assert_eq!(c.data(), &[58., 64., 139., 154.], "{}", backend.name());
+        }
     }
 
     #[test]
     fn inner_dim_mismatch_errors() {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 2]);
-        assert!(matmul(&a, &b).is_err());
-        assert!(matmul(&a, &Tensor::zeros(&[3])).is_err());
+        for backend in ALL_BACKENDS {
+            assert!(matmul_with(backend, &a, &b).is_err());
+            assert!(matmul_with(backend, &a, &Tensor::zeros(&[3])).is_err());
+        }
     }
 
     #[test]
     fn fused_transpose_variants_match_explicit() {
         let a = Tensor::from_vec(vec![3, 2], vec![1., 2., 3., 4., 5., 6.]).unwrap();
         let b = Tensor::from_vec(vec![3, 4], (0..12).map(|i| i as f32).collect()).unwrap();
-        let expected = matmul(&transpose2d(&a).unwrap(), &b).unwrap();
-        assert_eq!(matmul_at_b(&a, &b).unwrap(), expected);
-
         let c = Tensor::from_vec(vec![2, 3], vec![1., 0., -1., 2., 1., 0.]).unwrap();
         let d = Tensor::from_vec(vec![4, 3], (0..12).map(|i| i as f32 * 0.5).collect()).unwrap();
-        let expected = matmul(&c, &transpose2d(&d).unwrap()).unwrap();
-        assert_eq!(matmul_a_bt(&c, &d).unwrap(), expected);
+        for backend in ALL_BACKENDS {
+            let expected = matmul_with(backend, &transpose2d(&a).unwrap(), &b).unwrap();
+            assert_eq!(matmul_at_b_with(backend, &a, &b).unwrap(), expected);
+
+            let expected = matmul_with(backend, &c, &transpose2d(&d).unwrap()).unwrap();
+            assert_eq!(matmul_a_bt_with(backend, &c, &d).unwrap(), expected);
+        }
     }
 
     fn matrix(r: usize, c: usize) -> impl Strategy<Value = Tensor> {
@@ -214,7 +208,7 @@ mod tests {
             let lhs = transpose2d(&matmul(&a, &b).unwrap()).unwrap();
             let rhs = matmul(&transpose2d(&b).unwrap(), &transpose2d(&a).unwrap()).unwrap();
             for (x, y) in lhs.data().iter().zip(rhs.data()) {
-                prop_assert!((x - y).abs() < 1e-3);
+                prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
             }
         }
     }

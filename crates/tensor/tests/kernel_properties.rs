@@ -10,6 +10,15 @@ fn matrix(r: usize, c: usize, seed: u64) -> Tensor {
     uniform_init(&mut rng, &[r, c], -2.0, 2.0)
 }
 
+/// Max absolute elementwise difference, scaled by magnitude.
+fn max_rel_diff(a: &Tensor, b: &Tensor) -> f32 {
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| (x - y).abs() / (1.0 + x.abs()))
+        .fold(0.0, f32::max)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -82,6 +91,37 @@ proptest! {
         prop_assert!((mean_all(&x) - mean_all(&y)).abs() < 1e-5);
     }
 
+    /// The blocked and blocked-parallel backends must reproduce the naive
+    /// reference on random shapes, for all three GEMM variants, within
+    /// 1e-4 — shapes range past the kernels' MR/KC/NC blocking boundaries.
+    #[test]
+    fn fast_backends_match_naive_reference(
+        m in 1usize..40, k in 1usize..300, n in 1usize..40, seed in 0u64..1000
+    ) {
+        let a = matrix(m, k, seed);
+        let b = matrix(k, n, seed.wrapping_add(1));
+        let at = matrix(k, m, seed.wrapping_add(2));
+        let bt = matrix(n, k, seed.wrapping_add(3));
+        for backend in [KernelBackend::Blocked, KernelBackend::BlockedParallel] {
+            let name = backend.name();
+
+            let want = matmul_with(KernelBackend::Naive, &a, &b).unwrap();
+            let got = matmul_with(backend, &a, &b).unwrap();
+            let d = max_rel_diff(&want, &got);
+            prop_assert!(d < 1e-4, "{name} gemm diverges: {d}");
+
+            let want = matmul_at_b_with(KernelBackend::Naive, &at, &b).unwrap();
+            let got = matmul_at_b_with(backend, &at, &b).unwrap();
+            let d = max_rel_diff(&want, &got);
+            prop_assert!(d < 1e-4, "{name} at_b diverges: {d}");
+
+            let want = matmul_a_bt_with(KernelBackend::Naive, &a, &bt).unwrap();
+            let got = matmul_a_bt_with(backend, &a, &bt).unwrap();
+            let d = max_rel_diff(&want, &got);
+            prop_assert!(d < 1e-4, "{name} a_bt diverges: {d}");
+        }
+    }
+
     /// Convolving with a one-hot kernel extracts the corresponding shifted
     /// input plane (im2col correctness against a direct definition).
     #[test]
@@ -97,7 +137,7 @@ proptest! {
             for ox in 0..5usize {
                 let iy = oy as isize + dy as isize - 1;
                 let ix = ox as isize + dx as isize - 1;
-                let expected = if iy >= 0 && iy < 5 && ix >= 0 && ix < 5 {
+                let expected = if (0..5).contains(&iy) && (0..5).contains(&ix) {
                     img.at(&[0, iy as usize, ix as usize])
                 } else {
                     0.0

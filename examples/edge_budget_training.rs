@@ -27,8 +27,8 @@ fn main() {
         device.name
     );
     println!(
-        "{:>7} | {:>12} | {:>12} | {:>12} | {}",
-        "budget", "BP", "classic LL", "NeuroFlux", "NeuroFlux blocks (units @ batch)"
+        "{:>7} | {:>12} | {:>12} | {:>12} | NeuroFlux blocks (units @ batch)",
+        "budget", "BP", "classic LL", "NeuroFlux"
     );
 
     for budget_mb in [100u64, 150, 200, 250, 300, 350, 400, 450, 500] {

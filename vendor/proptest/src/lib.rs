@@ -1,0 +1,278 @@
+//! Offline stand-in for `proptest`: randomised property testing without
+//! shrinking.
+//!
+//! Supports the subset the workspace uses: the `proptest!` macro (with an
+//! optional `#![proptest_config(..)]` header), range and tuple strategies,
+//! `prop_map` / `prop_flat_map`, `collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros. Failing
+//! cases are reported with their sampled inputs via `Debug`; they are not
+//! shrunk. Each test derives its RNG seed from the test name, so runs are
+//! deterministic per test but distinct across tests.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+
+pub mod strategy;
+
+/// Outcome of one generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case violated the property; message describes how.
+    Fail(String),
+    /// The case did not meet a `prop_assume!` precondition; it is skipped.
+    Reject,
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Drives one property: samples cases until `cfg.cases` accepted runs pass.
+///
+/// Called by the expansion of [`proptest!`]; not public API of real
+/// proptest, but harmless to expose.
+pub fn run_cases<F>(cfg: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    use rand::SeedableRng;
+    // Deterministic per-test seed: FNV-1a over the test name.
+    let seed = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let max_rejects = 64 * cfg.cases.max(1) as u64;
+    while accepted < cfg.cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest {name}: too many prop_assume! rejections \
+                         ({rejected}) for {accepted}/{} accepted cases",
+                        cfg.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {name} failed: {msg}");
+            }
+        }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Number of elements a [`vec`] strategy generates: exact or ranged.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose length is drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.lo..self.len.hi_exclusive);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, TestCaseError,
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are sampled from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let strategies = ($($strat,)+);
+                $crate::run_cases(cfg, stringify!($name), |rng| {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::sample(&strategies, rng);
+                    let case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    case()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Fails the current case (without panicking the whole test) if `cond` is
+/// false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case if `lhs != rhs`, printing both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Skips the current case (does not count towards the case budget) if
+/// `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_tuples((a, b) in (1usize..5, 1usize..5), x in -1.0f32..1.0) {
+            prop_assert!((1..5).contains(&a));
+            prop_assert!((1..5).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn assume_skips(v in 0u64..10) {
+            prop_assume!(v != 3);
+            prop_assert!(v != 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(n in 1usize..4) {
+            prop_assert!(n < 4);
+        }
+    }
+
+    #[test]
+    fn flat_map_and_vec_compose() {
+        use rand::SeedableRng;
+        let strat = (2usize..5, 2usize..5).prop_flat_map(|(r, c)| {
+            crate::collection::vec(0.0f32..1.0, r * c).prop_map(move |v| (r, c, v))
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let (r, c, v) = strat.sample(&mut rng);
+            assert_eq!(v.len(), r * c);
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+}

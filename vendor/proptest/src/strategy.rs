@@ -1,0 +1,128 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating random values (no shrinking in this stub).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds from
+    /// it (dependent generation).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Always yields clones of one value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);

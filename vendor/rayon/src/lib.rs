@@ -1,0 +1,270 @@
+//! Offline stand-in for `rayon`: the slice/iterator subset the GEMM
+//! kernels use, implemented with `std::thread::scope`.
+//!
+//! Differences from real rayon, by design:
+//!
+//! - no global thread pool — each `for_each` spawns its workers and joins
+//!   them (fine for the coarse-grained panel parallelism the kernels use;
+//!   a panel is hundreds of microseconds of FLOPs);
+//! - work is split into contiguous per-thread runs rather than stolen
+//!   dynamically, so per-chunk cost imbalance is not rebalanced;
+//! - on a single-core host everything runs inline with zero spawns.
+//!
+//! The call-site API (`par_chunks_mut(..).enumerate().for_each(..)`,
+//! `par_iter_mut`, `join`, `current_num_threads`) matches rayon, so the
+//! registry crate can be swapped back in without touching kernel code.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            let rb = hb.join().expect("rayon-stub: join worker panicked");
+            (ra, rb)
+        })
+    }
+}
+
+/// Everything a caller needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IndexedParallelIterator, ParallelIterator};
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+/// Parallel iterator traits (eager, subset of rayon's).
+pub mod iter {
+    /// Consuming operations shared by all parallel iterators here.
+    pub trait ParallelIterator: Sized {
+        /// The item the closure receives.
+        type Item;
+
+        /// Applies `f` to every item, in parallel when threads are available.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Send + Sync;
+    }
+
+    /// Marker for iterators with a known length / stable indexing.
+    pub trait IndexedParallelIterator: ParallelIterator {
+        /// Pairs each item with its index.
+        fn enumerate(self) -> crate::slice::Enumerate<Self> {
+            crate::slice::Enumerate { inner: self }
+        }
+    }
+}
+
+/// Parallel slice splitting, mirroring `rayon::slice`.
+pub mod slice {
+    use crate::current_num_threads;
+    use crate::iter::{IndexedParallelIterator, ParallelIterator};
+
+    /// `&[T] -> par_chunks` extension.
+    pub trait ParallelSlice<T: Sync> {
+        /// Splits into read-only chunks of `size` (last may be shorter).
+        fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+    }
+
+    /// `&mut [T] -> par_chunks_mut / par_iter_mut` extensions.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Splits into mutable chunks of `size` (last may be shorter).
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+            assert!(size > 0, "chunk size must be positive");
+            ParChunks { slice: self, size }
+        }
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+            assert!(size > 0, "chunk size must be positive");
+            ParChunksMut { slice: self, size }
+        }
+    }
+
+    /// Parallel read-only chunk iterator.
+    pub struct ParChunks<'a, T> {
+        slice: &'a [T],
+        size: usize,
+    }
+
+    /// Parallel mutable chunk iterator.
+    pub struct ParChunksMut<'a, T> {
+        slice: &'a mut [T],
+        size: usize,
+    }
+
+    /// Index-pairing adapter returned by [`IndexedParallelIterator::enumerate`].
+    pub struct Enumerate<I> {
+        pub(crate) inner: I,
+    }
+
+    fn chunk_count(len: usize, size: usize) -> usize {
+        len.div_ceil(size)
+    }
+
+    /// Splits `total` chunks into at most `threads` contiguous runs.
+    fn runs(total: usize, threads: usize) -> Vec<(usize, usize)> {
+        let threads = threads.min(total).max(1);
+        let per = total / threads;
+        let extra = total % threads;
+        let mut out = Vec::with_capacity(threads);
+        let mut start = 0;
+        for t in 0..threads {
+            let n = per + usize::from(t < extra);
+            out.push((start, n));
+            start += n;
+        }
+        out
+    }
+
+    impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+        type Item = &'a [T];
+
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Send + Sync,
+        {
+            Enumerate { inner: self }.for_each(|(_, c)| f(c));
+        }
+    }
+
+    impl<'a, T: Sync> IndexedParallelIterator for ParChunks<'a, T> {}
+
+    impl<'a, T: Sync> ParallelIterator for Enumerate<ParChunks<'a, T>> {
+        type Item = (usize, &'a [T]);
+
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Send + Sync,
+        {
+            let ParChunks { slice, size } = self.inner;
+            let total = chunk_count(slice.len(), size);
+            let threads = current_num_threads();
+            if threads <= 1 || total <= 1 {
+                for (i, c) in slice.chunks(size).enumerate() {
+                    f((i, c));
+                }
+                return;
+            }
+            std::thread::scope(|s| {
+                let f = &f;
+                for (first, n) in runs(total, threads) {
+                    let lo = first * size;
+                    let hi = ((first + n) * size).min(slice.len());
+                    let part = &slice[lo..hi];
+                    s.spawn(move || {
+                        for (i, c) in part.chunks(size).enumerate() {
+                            f((first + i, c));
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    impl<'a, T: Send + Sync> ParallelIterator for ParChunksMut<'a, T> {
+        type Item = &'a mut [T];
+
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Send + Sync,
+        {
+            Enumerate { inner: self }.for_each(|(_, c)| f(c));
+        }
+    }
+
+    impl<'a, T: Send + Sync> IndexedParallelIterator for ParChunksMut<'a, T> {}
+
+    impl<'a, T: Send + Sync> ParallelIterator for Enumerate<ParChunksMut<'a, T>> {
+        type Item = (usize, &'a mut [T]);
+
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Send + Sync,
+        {
+            let ParChunksMut { slice, size } = self.inner;
+            let total = chunk_count(slice.len(), size);
+            let threads = current_num_threads();
+            if threads <= 1 || total <= 1 {
+                for (i, c) in slice.chunks_mut(size).enumerate() {
+                    f((i, c));
+                }
+                return;
+            }
+            std::thread::scope(|s| {
+                let f = &f;
+                let mut rest = slice;
+                for (first, n) in runs(total, threads) {
+                    let hi = (n * size).min(rest.len());
+                    let (part, tail) = std::mem::take(&mut rest).split_at_mut(hi);
+                    rest = tail;
+                    s.spawn(move || {
+                        for (i, c) in part.chunks_mut(size).enumerate() {
+                            f((first + i, c));
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_enumerate_covers_all_chunks() {
+        let mut data = vec![0u64; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, c)| {
+            for v in c.iter_mut() {
+                *v = i as u64 + 1;
+            }
+        });
+        for (j, &v) in data.iter().enumerate() {
+            assert_eq!(v, (j / 10) as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn par_chunks_reads_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let data: Vec<u64> = (0..1000).collect();
+        let sum = AtomicU64::new(0);
+        data.par_chunks(7).for_each(|c| {
+            sum.fetch_add(c.iter().sum::<u64>(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`: the two marker traits plus no-op derive
+//! macros, enough for types annotated `#[derive(Serialize, Deserialize)]`
+//! to compile. Nothing in the workspace serialises through serde yet
+//! (parameter eviction uses its own byte format); when a real format is
+//! needed, point the manifest back at crates.io — call sites are
+//! compatible.
+
+#![forbid(unsafe_code)]
+
+// Trait and derive macro share a name, in different namespaces, exactly as
+// in real serde: `use serde::Serialize` imports both.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serialisable types (no-op in the vendored stub).
+pub trait Serialize {}
+
+/// Marker for deserialisable types (no-op in the vendored stub).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the vendored `serde` stub.
+//!
+//! The derives intentionally expand to nothing: the stub's `Serialize` /
+//! `Deserialize` traits are pure markers and no code in the workspace
+//! requires the impls to exist. This keeps `#[derive(Serialize,
+//! Deserialize)]` annotations compiling without syn/quote.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
