@@ -1,7 +1,7 @@
 //! Shared helpers for the figure/table regeneration binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
-//! paper's evaluation (see DESIGN.md §5 for the index) and prints the same
+//! paper's evaluation (see DESIGN.md §7 for the index) and prints the same
 //! rows/series the paper plots. Helpers here keep the output format
 //! consistent and hold the scaled-training harness that accuracy figures
 //! share.

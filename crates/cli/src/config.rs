@@ -1,0 +1,776 @@
+//! The `nf` config schema: typed sections, TOML/JSON loading, resolution
+//! into workspace types, and snapshot rendering.
+//!
+//! A run config has five sections — `[run]`, `[model]`, `[dataset]`,
+//! `[train]`, and optionally `[baseline]` / `[sweep]` — documented field
+//! by field in `DESIGN.md` §6. [`RunConfig::from_value`] reads a parsed
+//! [`Value`] tree with per-field error messages;
+//! [`RunConfig::to_value`] renders the *resolved* config back out, which
+//! is what `runs/<name>/config.toml` snapshots (a snapshot re-parses to an
+//! identical `RunConfig`, the round-trip property the tests pin).
+
+use crate::error::{CliError, Result};
+use crate::value::Value;
+use neuroflux_core::NeuroFluxConfig;
+use nf_data::SyntheticSpec;
+use nf_models::{AuxPolicy, ModelSpec};
+use nf_tensor::KernelBackend;
+use serde::{Deserialize, Serialize};
+
+/// `[run]`: identity and placement of the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSection {
+    /// Run name; the run directory is `<out_dir>/<name>`.
+    pub name: String,
+    /// Master seed for model init and planning (dataset has its own).
+    pub seed: u64,
+    /// Directory run artifacts are written under.
+    pub out_dir: String,
+}
+
+/// `[model]`: which architecture to train.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSection {
+    /// `vgg11|vgg16|vgg19|resnet18|mobilenet` or `tiny`.
+    pub preset: String,
+    /// Conv channels per unit (`tiny` only).
+    pub channels: Option<Vec<usize>>,
+    /// Channel-scale factor applied to a named preset (e.g. `0.25` for
+    /// CPU-sized runs; `DESIGN.md` §2).
+    pub scale: Option<f64>,
+    /// Rounding granularity for `scale` (default 4).
+    pub granularity: usize,
+    /// Square input resolution override. Defaults to the dataset's
+    /// `image_hw`; the model is re-headed to match.
+    pub input_size: Option<usize>,
+}
+
+/// `[dataset]`: which synthetic dataset to generate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSection {
+    /// `cifar10|cifar100|tiny-imagenet` or `quick`.
+    pub preset: String,
+    /// Class count (`quick` only).
+    pub classes: Option<usize>,
+    /// Square image size (`quick` only).
+    pub image_hw: Option<usize>,
+    /// Training-split size.
+    pub train: usize,
+    /// Validation-split size (default `train / 4`).
+    pub val: Option<usize>,
+    /// Test-split size (default `train / 4`).
+    pub test: Option<usize>,
+    /// Pixel-noise override.
+    pub noise: Option<f64>,
+    /// Dataset seed override.
+    pub seed: Option<u64>,
+}
+
+/// `[train]`: the NeuroFlux run configuration (§0 inputs + loop knobs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainSection {
+    /// GPU memory budget in bytes (configs may write `budget_mb` instead;
+    /// 1 MB = 10⁶ bytes, the paper's unit).
+    pub budget_bytes: u64,
+    /// Batch-size cap (Algorithm 1, line 4).
+    pub batch_limit: usize,
+    /// Grouping threshold ρ.
+    pub rho: f64,
+    /// Learning rate.
+    pub lr: f64,
+    /// SGD momentum.
+    pub momentum: f64,
+    /// Epochs per block.
+    pub epochs_per_block: usize,
+    /// Early-exit selection tolerance (accuracy points, 0–1).
+    pub exit_tolerance: f64,
+    /// Whether trained blocks round-trip through serialised storage.
+    pub evict_params: bool,
+    /// GEMM kernel backend (`naive|blocked|blocked-parallel`).
+    pub kernel_backend: KernelBackend,
+    /// Auxiliary-head policy (`adaptive|classic|fixed:<n>`).
+    pub aux_policy: AuxPolicy,
+}
+
+/// `[baseline]`: knobs for `nf baseline <bp|ll|fa|sp>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineSection {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Fixed batch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f64,
+}
+
+/// `[sweep]`: device-budget sweep for `nf sweep` (runs the analytic
+/// `nf-memsim` models, not real training).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSection {
+    /// Device slugs (`pi4b|jetson-nano|xavier-nx|agx-orin`).
+    pub devices: Vec<String>,
+    /// Memory budgets to sweep, in MB (10⁶ bytes).
+    pub budgets_mb: Vec<u64>,
+    /// Batch-size cap.
+    pub batch_limit: usize,
+    /// Simulated training epochs.
+    pub epochs: usize,
+    /// Simulated training-set size.
+    pub samples: usize,
+}
+
+/// A fully-parsed `nf` config file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// `[run]` section.
+    pub run: RunSection,
+    /// `[model]` section.
+    pub model: ModelSection,
+    /// `[dataset]` section.
+    pub dataset: DatasetSection,
+    /// `[train]` section.
+    pub train: TrainSection,
+    /// `[baseline]` section (optional; defaults used by `nf baseline`).
+    pub baseline: Option<BaselineSection>,
+    /// `[sweep]` section (required by `nf sweep` only).
+    pub sweep: Option<SweepSection>,
+}
+
+/// A table wrapper producing `[section].key`-qualified error messages.
+struct Section<'v> {
+    name: &'static str,
+    table: Option<&'v Value>,
+}
+
+impl<'v> Section<'v> {
+    fn of(root: &'v Value, name: &'static str) -> Self {
+        Section {
+            name,
+            table: root.get(name),
+        }
+    }
+
+    fn required(root: &'v Value, name: &'static str) -> Result<Self> {
+        if root.get(name).is_none() {
+            return Err(CliError::new(format!("missing [{name}] section")));
+        }
+        Ok(Self::of(root, name))
+    }
+
+    fn exists(&self) -> bool {
+        self.table.is_some()
+    }
+
+    fn get(&self, key: &str) -> Option<&'v Value> {
+        self.table.and_then(|t| t.get(key))
+    }
+
+    fn missing(&self, key: &str) -> CliError {
+        CliError::new(format!("missing required key [{}].{key}", self.name))
+    }
+
+    fn bad(&self, key: &str, expected: &str) -> CliError {
+        CliError::new(format!("[{}].{key} must be {expected}", self.name))
+    }
+
+    fn str_req(&self, key: &str) -> Result<String> {
+        self.get(key)
+            .ok_or_else(|| self.missing(key))?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| self.bad(key, "a string"))
+    }
+
+    fn usize_req(&self, key: &str) -> Result<usize> {
+        self.usize_opt(key)?.ok_or_else(|| self.missing(key))
+    }
+
+    fn usize_opt(&self, key: &str) -> Result<Option<usize>> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => {
+                let i = v.as_int().ok_or_else(|| self.bad(key, "an integer"))?;
+                usize::try_from(i)
+                    .map(Some)
+                    .map_err(|_| self.bad(key, "a non-negative integer"))
+            }
+        }
+    }
+
+    fn u64_opt(&self, key: &str) -> Result<Option<u64>> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => {
+                let i = v.as_int().ok_or_else(|| self.bad(key, "an integer"))?;
+                u64::try_from(i)
+                    .map(Some)
+                    .map_err(|_| self.bad(key, "a non-negative integer"))
+            }
+        }
+    }
+
+    fn f64_opt(&self, key: &str) -> Result<Option<f64>> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_float()
+                .map(Some)
+                .ok_or_else(|| self.bad(key, "a number")),
+        }
+    }
+
+    fn bool_or(&self, key: &str, default: bool) -> Result<bool> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.as_bool().ok_or_else(|| self.bad(key, "a boolean")),
+        }
+    }
+
+    fn usize_array_opt(&self, key: &str) -> Result<Option<Vec<usize>>> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| self.bad(key, "an array of integers"))?;
+                items
+                    .iter()
+                    .map(|item| {
+                        item.as_int()
+                            .and_then(|i| usize::try_from(i).ok())
+                            .ok_or_else(|| self.bad(key, "an array of non-negative integers"))
+                    })
+                    .collect::<Result<Vec<_>>>()
+                    .map(Some)
+            }
+        }
+    }
+
+    fn str_array_opt(&self, key: &str) -> Result<Option<Vec<String>>> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| self.bad(key, "an array of strings"))?;
+                items
+                    .iter()
+                    .map(|item| {
+                        item.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| self.bad(key, "an array of strings"))
+                    })
+                    .collect::<Result<Vec<_>>>()
+                    .map(Some)
+            }
+        }
+    }
+}
+
+impl RunConfig {
+    /// Loads a config from a `.toml` or `.json` file (decided by
+    /// extension; anything other than `.json` parses as TOML).
+    pub fn load(path: &std::path::Path) -> Result<RunConfig> {
+        let value = if path.extension().is_some_and(|e| e == "json") {
+            crate::json::parse_file(path)?
+        } else {
+            crate::toml::parse_file(path)?
+        };
+        Self::from_value(&value)
+    }
+
+    /// Reads a config out of a parsed document tree.
+    pub fn from_value(root: &Value) -> Result<RunConfig> {
+        let run = Section::required(root, "run")?;
+        let run = RunSection {
+            name: run.str_req("name")?,
+            seed: run.u64_opt("seed")?.unwrap_or(0),
+            out_dir: run
+                .get("out_dir")
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| run.bad("out_dir", "a string"))
+                })
+                .transpose()?
+                .unwrap_or_else(|| "runs".to_string()),
+        };
+        if run.name.is_empty() || run.name.contains(['/', '\\', '.']) {
+            return Err(CliError::new(
+                "[run].name must be non-empty and free of path separators and dots",
+            ));
+        }
+
+        let model = Section::required(root, "model")?;
+        let model = ModelSection {
+            preset: model.str_req("preset")?,
+            channels: model.usize_array_opt("channels")?,
+            scale: model.f64_opt("scale")?,
+            granularity: model.usize_opt("granularity")?.unwrap_or(4).max(1),
+            input_size: model.usize_opt("input_size")?,
+        };
+
+        let dataset = Section::required(root, "dataset")?;
+        let dataset = DatasetSection {
+            preset: dataset.str_req("preset")?,
+            classes: dataset.usize_opt("classes")?,
+            image_hw: dataset.usize_opt("image_hw")?,
+            train: dataset.usize_req("train")?,
+            val: dataset.usize_opt("val")?,
+            test: dataset.usize_opt("test")?,
+            noise: dataset.f64_opt("noise")?,
+            seed: dataset.u64_opt("seed")?,
+        };
+
+        let train = Section::required(root, "train")?;
+        let budget_bytes = match (train.u64_opt("budget_bytes")?, train.f64_opt("budget_mb")?) {
+            (Some(b), _) => b,
+            (None, Some(mb)) => (mb * 1e6) as u64,
+            (None, None) => return Err(train.missing("budget_mb (or budget_bytes)")),
+        };
+        let kernel_backend = match train.get("kernel_backend") {
+            None => KernelBackend::default(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| train.bad("kernel_backend", "a string"))?
+                .parse::<KernelBackend>()
+                .map_err(|e| CliError::new(format!("[train].kernel_backend: {e}")))?,
+        };
+        let aux_policy = match train.get("aux_policy") {
+            None => AuxPolicy::Adaptive,
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| train.bad("aux_policy", "a string"))?
+                .parse::<AuxPolicy>()
+                .map_err(|e| CliError::new(format!("[train].aux_policy: {e}")))?,
+        };
+        let train = TrainSection {
+            budget_bytes,
+            batch_limit: train.usize_req("batch_limit")?,
+            rho: train.f64_opt("rho")?.unwrap_or(0.4),
+            lr: train.f64_opt("lr")?.unwrap_or(0.05),
+            momentum: train.f64_opt("momentum")?.unwrap_or(0.9),
+            epochs_per_block: train.usize_opt("epochs_per_block")?.unwrap_or(3),
+            exit_tolerance: train.f64_opt("exit_tolerance")?.unwrap_or(0.005),
+            evict_params: train.bool_or("evict_params", true)?,
+            kernel_backend,
+            aux_policy,
+        };
+
+        let baseline = Section::of(root, "baseline");
+        let baseline = if baseline.exists() {
+            Some(BaselineSection {
+                epochs: baseline.usize_opt("epochs")?.unwrap_or(5),
+                batch: baseline.usize_opt("batch")?.unwrap_or(16),
+                lr: baseline.f64_opt("lr")?.unwrap_or(0.05),
+            })
+        } else {
+            None
+        };
+
+        let sweep = Section::of(root, "sweep");
+        let sweep = if sweep.exists() {
+            let devices = sweep
+                .str_array_opt("devices")?
+                .or_else(|| {
+                    sweep
+                        .get("device")
+                        .and_then(Value::as_str)
+                        .map(|d| vec![d.to_string()])
+                })
+                .ok_or_else(|| sweep.missing("devices"))?;
+            let budgets_mb = sweep
+                .usize_array_opt("budgets_mb")?
+                .ok_or_else(|| sweep.missing("budgets_mb"))?
+                .into_iter()
+                .map(|b| b as u64)
+                .collect();
+            Some(SweepSection {
+                devices,
+                budgets_mb,
+                batch_limit: sweep.usize_opt("batch_limit")?.unwrap_or(512),
+                epochs: sweep.usize_opt("epochs")?.unwrap_or(30),
+                samples: sweep.usize_opt("samples")?.unwrap_or(50_000),
+            })
+        } else {
+            None
+        };
+
+        let config = RunConfig {
+            run,
+            model,
+            dataset,
+            train,
+            baseline,
+            sweep,
+        };
+        // Resolution validates the cross-section constraints (model fits
+        // dataset geometry, NeuroFlux config sanity) up front.
+        config.resolve()?;
+        Ok(config)
+    }
+
+    /// Renders the resolved config back into a document tree; the snapshot
+    /// written to `runs/<name>/config.toml`.
+    pub fn to_value(&self) -> Value {
+        let mut root = Value::table();
+        let mut run = Value::table();
+        run.insert("name", Value::Str(self.run.name.clone()));
+        run.insert("seed", Value::Int(self.run.seed as i64));
+        run.insert("out_dir", Value::Str(self.run.out_dir.clone()));
+        root.insert("run", run);
+
+        let mut model = Value::table();
+        model.insert("preset", Value::Str(self.model.preset.clone()));
+        if let Some(channels) = &self.model.channels {
+            model.insert(
+                "channels",
+                Value::Array(channels.iter().map(|&c| Value::Int(c as i64)).collect()),
+            );
+        }
+        if let Some(scale) = self.model.scale {
+            model.insert("scale", Value::Float(scale));
+        }
+        model.insert("granularity", Value::Int(self.model.granularity as i64));
+        if let Some(hw) = self.model.input_size {
+            model.insert("input_size", Value::Int(hw as i64));
+        }
+        root.insert("model", model);
+
+        let mut dataset = Value::table();
+        dataset.insert("preset", Value::Str(self.dataset.preset.clone()));
+        if let Some(classes) = self.dataset.classes {
+            dataset.insert("classes", Value::Int(classes as i64));
+        }
+        if let Some(hw) = self.dataset.image_hw {
+            dataset.insert("image_hw", Value::Int(hw as i64));
+        }
+        dataset.insert("train", Value::Int(self.dataset.train as i64));
+        if let Some(val) = self.dataset.val {
+            dataset.insert("val", Value::Int(val as i64));
+        }
+        if let Some(test) = self.dataset.test {
+            dataset.insert("test", Value::Int(test as i64));
+        }
+        if let Some(noise) = self.dataset.noise {
+            dataset.insert("noise", Value::Float(noise));
+        }
+        if let Some(seed) = self.dataset.seed {
+            dataset.insert("seed", Value::Int(seed as i64));
+        }
+        root.insert("dataset", dataset);
+
+        let mut train = Value::table();
+        train.insert("budget_bytes", Value::Int(self.train.budget_bytes as i64));
+        train.insert("batch_limit", Value::Int(self.train.batch_limit as i64));
+        train.insert("rho", Value::Float(self.train.rho));
+        train.insert("lr", Value::Float(self.train.lr));
+        train.insert("momentum", Value::Float(self.train.momentum));
+        train.insert(
+            "epochs_per_block",
+            Value::Int(self.train.epochs_per_block as i64),
+        );
+        train.insert("exit_tolerance", Value::Float(self.train.exit_tolerance));
+        train.insert("evict_params", Value::Bool(self.train.evict_params));
+        train.insert(
+            "kernel_backend",
+            Value::Str(self.train.kernel_backend.name().to_string()),
+        );
+        train.insert("aux_policy", Value::Str(self.train.aux_policy.name()));
+        root.insert("train", train);
+
+        if let Some(b) = &self.baseline {
+            let mut baseline = Value::table();
+            baseline.insert("epochs", Value::Int(b.epochs as i64));
+            baseline.insert("batch", Value::Int(b.batch as i64));
+            baseline.insert("lr", Value::Float(b.lr));
+            root.insert("baseline", baseline);
+        }
+        if let Some(s) = &self.sweep {
+            let mut sweep = Value::table();
+            sweep.insert(
+                "devices",
+                Value::Array(s.devices.iter().map(|d| Value::Str(d.clone())).collect()),
+            );
+            sweep.insert(
+                "budgets_mb",
+                Value::Array(s.budgets_mb.iter().map(|&b| Value::Int(b as i64)).collect()),
+            );
+            sweep.insert("batch_limit", Value::Int(s.batch_limit as i64));
+            sweep.insert("epochs", Value::Int(s.epochs as i64));
+            sweep.insert("samples", Value::Int(s.samples as i64));
+            root.insert("sweep", sweep);
+        }
+        root
+    }
+
+    /// Resolves the dataset section into a generator spec.
+    pub fn resolve_dataset(&self) -> Result<SyntheticSpec> {
+        let d = &self.dataset;
+        let val = d.val.unwrap_or(d.train / 4);
+        let test = d.test.unwrap_or(d.train / 4);
+        let mut spec = match d.preset.as_str() {
+            "quick" => {
+                let classes = d.classes.ok_or_else(|| {
+                    CliError::new("[dataset].classes is required for preset \"quick\"")
+                })?;
+                let image_hw = d.image_hw.ok_or_else(|| {
+                    CliError::new("[dataset].image_hw is required for preset \"quick\"")
+                })?;
+                let mut s = SyntheticSpec::quick(classes, image_hw, d.train);
+                s.val = val.max(classes);
+                s.test = test.max(classes);
+                s
+            }
+            name => {
+                SyntheticSpec::by_name(name, d.train, val.max(1), test.max(1)).ok_or_else(|| {
+                    CliError::new(format!(
+                        "unknown dataset preset {name:?} (expected quick, {})",
+                        SyntheticSpec::preset_names().join(", ")
+                    ))
+                })?
+            }
+        };
+        if let Some(noise) = d.noise {
+            spec = spec.with_noise(noise as f32);
+        }
+        if let Some(seed) = d.seed {
+            spec = spec.with_seed(seed);
+        }
+        if spec.train == 0 {
+            return Err(CliError::new("[dataset].train must be > 0"));
+        }
+        Ok(spec)
+    }
+
+    /// Resolves the model section against the dataset geometry.
+    pub fn resolve_model(&self, dataset: &SyntheticSpec) -> Result<ModelSpec> {
+        let m = &self.model;
+        let target_hw = m.input_size.unwrap_or(dataset.image_hw);
+        let spec = match m.preset.as_str() {
+            "tiny" => {
+                let channels = m.channels.clone().ok_or_else(|| {
+                    CliError::new("[model].channels is required for preset \"tiny\"")
+                })?;
+                if channels.is_empty() || channels.contains(&0) {
+                    return Err(CliError::new("[model].channels must be non-empty, all > 0"));
+                }
+                ModelSpec::tiny("tiny", target_hw, &channels, dataset.classes)
+            }
+            name => {
+                let mut spec = ModelSpec::by_name(name, dataset.classes).ok_or_else(|| {
+                    CliError::new(format!(
+                        "unknown model preset {name:?} (expected tiny, {})",
+                        ModelSpec::preset_names().join(", ")
+                    ))
+                })?;
+                if let Some(scale) = m.scale {
+                    if scale <= 0.0 || !scale.is_finite() {
+                        return Err(CliError::new("[model].scale must be a finite number > 0"));
+                    }
+                    spec = spec.scale_channels(scale, m.granularity);
+                }
+                if spec.input.1 != target_hw {
+                    spec = safe_with_input_size(&spec, target_hw)?;
+                }
+                spec
+            }
+        };
+        let (_, h, w) = spec.final_feature_shape();
+        if h == 0 || w == 0 {
+            return Err(CliError::new(format!(
+                "model {} collapses to zero spatial extent at input {target_hw}×{target_hw}",
+                spec.name
+            )));
+        }
+        Ok(spec)
+    }
+
+    /// Resolves the `[train]` section into a [`NeuroFluxConfig`].
+    pub fn resolve_train(&self) -> Result<NeuroFluxConfig> {
+        let t = &self.train;
+        let mut config = NeuroFluxConfig::new(t.budget_bytes, t.batch_limit)
+            .with_rho(t.rho)
+            .with_lr(t.lr as f32)
+            .with_epochs(t.epochs_per_block)
+            .with_exit_tolerance(t.exit_tolerance as f32)
+            .with_aux_policy(t.aux_policy)
+            .with_kernel_backend(t.kernel_backend);
+        config.momentum = t.momentum as f32;
+        config.evict_params = t.evict_params;
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Resolves all three training inputs at once.
+    pub fn resolve(&self) -> Result<(ModelSpec, SyntheticSpec, NeuroFluxConfig)> {
+        let dataset = self.resolve_dataset()?;
+        let model = self.resolve_model(&dataset)?;
+        let config = self.resolve_train()?;
+        Ok((model, dataset, config))
+    }
+
+    /// The `[baseline]` section, or its documented defaults.
+    pub fn baseline(&self) -> BaselineSection {
+        self.baseline.clone().unwrap_or(BaselineSection {
+            epochs: 5,
+            batch: 16,
+            lr: 0.05,
+        })
+    }
+}
+
+/// [`ModelSpec::with_input_size`] panics on resolution collapse; pre-check
+/// and surface a config error instead.
+fn safe_with_input_size(spec: &ModelSpec, hw: usize) -> Result<ModelSpec> {
+    let mut probe = spec.clone();
+    probe.input = (spec.input.0, hw, hw);
+    let (_, h, w) = probe.final_feature_shape();
+    if h == 0 || w == 0 {
+        return Err(CliError::new(format!(
+            "model {} cannot run at {hw}×{hw}: too many downsampling stages \
+             (raise [dataset].image_hw or set [model].input_size)",
+            spec.name
+        )));
+    }
+    Ok(spec.with_input_size(hw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quickstart_toml() -> &'static str {
+        r#"
+[run]
+name = "qs"
+seed = 42
+
+[model]
+preset = "tiny"
+channels = [8, 16]
+
+[dataset]
+preset = "quick"
+classes = 3
+image_hw = 8
+train = 64
+
+[train]
+budget_mb = 32
+batch_limit = 16
+epochs_per_block = 2
+"#
+    }
+
+    fn parse_config(text: &str) -> RunConfig {
+        RunConfig::from_value(&crate::toml::parse(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn quickstart_parses_and_resolves() {
+        let cfg = parse_config(quickstart_toml());
+        assert_eq!(cfg.run.name, "qs");
+        assert_eq!(cfg.run.out_dir, "runs");
+        let (model, dataset, nf) = cfg.resolve().unwrap();
+        assert_eq!(model.num_units(), 2);
+        assert_eq!(model.classes, 3);
+        assert_eq!(dataset.classes, 3);
+        assert_eq!(nf.budget_bytes, 32_000_000);
+        assert_eq!(nf.batch_limit, 16);
+        assert_eq!(nf.epochs_per_block, 2);
+        assert_eq!(nf.kernel_backend, KernelBackend::BlockedParallel);
+        assert_eq!(nf.aux_policy, AuxPolicy::Adaptive);
+    }
+
+    #[test]
+    fn snapshot_round_trips_to_identical_config() {
+        let cfg = parse_config(quickstart_toml());
+        let rendered = cfg.to_value().to_toml();
+        let back = parse_config(&rendered);
+        assert_eq!(cfg, back, "snapshot:\n{rendered}");
+        // And again, to make sure the snapshot is a fixed point.
+        assert_eq!(back.to_value().to_toml(), rendered);
+    }
+
+    #[test]
+    fn preset_model_scales_and_resizes() {
+        let cfg = parse_config(
+            r#"
+[run]
+name = "vgg"
+
+[model]
+preset = "vgg11"
+scale = 0.25
+
+[dataset]
+preset = "cifar10"
+train = 128
+
+[train]
+budget_mb = 64
+batch_limit = 32
+aux_policy = "classic"
+kernel_backend = "naive"
+"#,
+        );
+        let (model, dataset, nf) = cfg.resolve().unwrap();
+        assert!(model.name.starts_with("vgg11"));
+        assert_eq!(model.classes, 10);
+        assert!(model.total_params() < ModelSpec::vgg11(10).total_params() / 4);
+        assert_eq!(dataset.val, 32);
+        assert_eq!(nf.aux_policy, AuxPolicy::CLASSIC);
+        assert_eq!(nf.kernel_backend, KernelBackend::Naive);
+    }
+
+    #[test]
+    fn config_errors_name_the_field() {
+        let must_fail = [
+            ("", "missing [run] section"),
+            ("[run]\nseed = 1", "missing required key [run].name"),
+            (
+                "[run]\nname = \"a/b\"\n[model]\npreset=\"tiny\"\n[dataset]\npreset=\"quick\"\ntrain=8\n[train]\nbudget_mb=1\nbatch_limit=1",
+                "path separators",
+            ),
+            (
+                "[run]\nname=\"x\"\n[model]\npreset=\"tiny\"\n[dataset]\npreset=\"quick\"\nclasses=2\nimage_hw=8\ntrain=8\n[train]\nbatch_limit=1",
+                "budget_mb",
+            ),
+            (
+                "[run]\nname=\"x\"\n[model]\npreset=\"nope\"\n[dataset]\npreset=\"quick\"\nclasses=2\nimage_hw=8\ntrain=8\n[train]\nbudget_mb=1\nbatch_limit=1",
+                "unknown model preset",
+            ),
+            (
+                "[run]\nname=\"x\"\n[model]\npreset=\"tiny\"\nchannels=[4]\n[dataset]\npreset=\"nope\"\ntrain=8\n[train]\nbudget_mb=1\nbatch_limit=1",
+                "unknown dataset preset",
+            ),
+            (
+                "[run]\nname=\"x\"\n[model]\npreset=\"vgg19\"\n[dataset]\npreset=\"quick\"\nclasses=2\nimage_hw=8\ntrain=8\n[train]\nbudget_mb=64\nbatch_limit=8",
+                "downsampling",
+            ),
+            (
+                "[run]\nname=\"x\"\n[model]\npreset=\"tiny\"\nchannels=[4]\n[dataset]\npreset=\"quick\"\nclasses=2\nimage_hw=8\ntrain=8\n[train]\nbudget_mb=1\nbatch_limit=1\nkernel_backend=\"cuda\"",
+                "kernel backend",
+            ),
+        ];
+        for (doc, needle) in must_fail {
+            let err = crate::toml::parse(doc)
+                .and_then(|v| RunConfig::from_value(&v))
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains(needle), "{doc:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn tiny_preset_requires_channels() {
+        let err = crate::toml::parse(
+            "[run]\nname=\"x\"\n[model]\npreset=\"tiny\"\n[dataset]\npreset=\"quick\"\nclasses=2\nimage_hw=8\ntrain=8\n[train]\nbudget_mb=1\nbatch_limit=1",
+        )
+        .and_then(|v| RunConfig::from_value(&v))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("[model].channels"), "{err}");
+    }
+}

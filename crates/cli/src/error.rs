@@ -1,0 +1,87 @@
+//! CLI error type: a message, plus a structured case for interruptions so
+//! the kill-and-resume tests (and scripts) can distinguish "cancelled, run
+//! dir is resumable" from real failures.
+
+use std::fmt;
+
+/// Errors surfaced by `nf` commands.
+#[derive(Debug)]
+pub enum CliError {
+    /// A failure with a human-readable message.
+    Msg(String),
+    /// The run was interrupted (progress hook requested cancellation);
+    /// the run directory holds a checkpoint covering this many blocks and
+    /// can be finished with `--resume`.
+    Interrupted {
+        /// Blocks fully trained (and checkpointed) before the cancellation.
+        completed_blocks: usize,
+    },
+}
+
+impl CliError {
+    /// Creates a message error.
+    pub fn new(msg: impl Into<String>) -> Self {
+        CliError::Msg(msg.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Msg(m) => f.write_str(m),
+            CliError::Interrupted { completed_blocks } => write!(
+                f,
+                "run interrupted after {completed_blocks} completed block(s); \
+                 finish it with `nf train <config> --resume`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<neuroflux_core::NfError> for CliError {
+    fn from(e: neuroflux_core::NfError) -> Self {
+        match e {
+            neuroflux_core::NfError::Interrupted { completed_blocks } => {
+                CliError::Interrupted { completed_blocks }
+            }
+            other => CliError::Msg(other.to_string()),
+        }
+    }
+}
+
+impl From<nf_nn::NnError> for CliError {
+    fn from(e: nf_nn::NnError) -> Self {
+        CliError::Msg(e.to_string())
+    }
+}
+
+impl From<nf_tensor::TensorError> for CliError {
+    fn from(e: nf_tensor::TensorError) -> Self {
+        CliError::Msg(e.to_string())
+    }
+}
+
+/// Convenience alias for fallible CLI operations.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interrupted_maps_from_core() {
+        let e: CliError = neuroflux_core::NfError::Interrupted {
+            completed_blocks: 2,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            CliError::Interrupted {
+                completed_blocks: 2
+            }
+        ));
+        assert!(e.to_string().contains("--resume"));
+    }
+}

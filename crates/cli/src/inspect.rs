@@ -1,0 +1,298 @@
+//! `nf inspect <run-dir>`: renders a run's `metrics.json` as an
+//! `EXPERIMENTS.md`-style paper-vs-measured report.
+//!
+//! Paper reference values (the bands the reproduction is judged against,
+//! same constants the `neuroflux-core::simulate` tests assert):
+//!
+//! - training speedup vs BP at equal budgets: **2.3–6.1×** (Observation 1);
+//! - training speedup vs classic LL: **3.3–10.3×**;
+//! - activation-cache footprint: **1.5–5.3×** the dataset size (§6.4);
+//! - early-exit selection: an intermediate exit beats or matches the
+//!   deepest one ("overthinking", Figure 10), giving a compression
+//!   factor > 1 (Table 2).
+
+use crate::error::{CliError, Result};
+use crate::rundir::RunDir;
+use crate::value::Value;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Paper band: NeuroFlux speedup over BP (Observation 1).
+pub const PAPER_BP_SPEEDUP: (f64, f64) = (2.3, 6.1);
+/// Paper band: NeuroFlux speedup over classic LL.
+pub const PAPER_LL_SPEEDUP: (f64, f64) = (3.3, 10.3);
+/// Paper band: activation-cache bytes over dataset bytes (§6.4).
+pub const PAPER_CACHE_RATIO: (f64, f64) = (1.5, 5.3);
+
+/// Inspects the run directory at `path`, returning the rendered report.
+pub fn run_inspect(path: &Path) -> Result<String> {
+    let run_dir = RunDir::open(path)?;
+    if !run_dir.is_complete() {
+        let hint = if run_dir.is_resumable() {
+            " (a checkpoint exists — finish the run with `nf train <config> --resume`)"
+        } else {
+            ""
+        };
+        return Err(CliError::new(format!(
+            "{} has no metrics.json; the run never completed{hint}",
+            path.display()
+        )));
+    }
+    let metrics = run_dir.read_metrics()?;
+    let kind = metrics.get("kind").and_then(Value::as_str).unwrap_or("?");
+    match kind {
+        "train" => Ok(render_train(&metrics)),
+        "sweep" => Ok(render_sweep(&metrics)),
+        "baseline" => Ok(render_baseline(&metrics)),
+        other => Err(CliError::new(format!(
+            "metrics.json has unknown kind {other:?}"
+        ))),
+    }
+}
+
+fn band_status(measured: f64, band: (f64, f64)) -> &'static str {
+    if measured < band.0 {
+        "below paper band"
+    } else if measured > band.1 {
+        "above paper band"
+    } else {
+        "within paper band"
+    }
+}
+
+fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+fn render_train(m: &Value) -> String {
+    let mut out = String::new();
+    let name = m.get("name").and_then(Value::as_str).unwrap_or("?");
+    let model = m
+        .get("model")
+        .and_then(|t| t.get("name"))
+        .and_then(Value::as_str)
+        .unwrap_or("?");
+    let _ = writeln!(out, "# Run `{name}` — NeuroFlux training ({model})\n");
+
+    // Paper-vs-measured table.
+    let _ = writeln!(out, "| metric | measured | paper | status |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    let n_units = m
+        .get("model")
+        .and_then(|t| t.get("units"))
+        .and_then(Value::as_int)
+        .unwrap_or(0);
+    match m.get("selected_exit") {
+        Some(Value::Table(_)) => {
+            let unit = m
+                .get("selected_exit")
+                .and_then(|t| t.get("unit"))
+                .and_then(Value::as_int)
+                .unwrap_or(-1);
+            let status = if unit + 1 < n_units {
+                "reproduced: intermediate exit selected"
+            } else {
+                "deepest exit selected"
+            };
+            let _ = writeln!(
+                out,
+                "| selected exit | unit {unit} of {n_units} | Fig. 10: intermediate exits suffice (\"overthinking\") | {status} |"
+            );
+        }
+        _ => {
+            let _ = writeln!(
+                out,
+                "| selected exit | none | Fig. 10: intermediate exits suffice | not reproduced |"
+            );
+        }
+    }
+    if let Some(c) = m.get("compression_factor").and_then(Value::as_float) {
+        let status = if c > 1.0 {
+            "reproduced: streamlined model is smaller"
+        } else {
+            "not reproduced"
+        };
+        let _ = writeln!(
+            out,
+            "| compression factor | {c:.2}× | Table 2: > 1× (up to ~10×) | {status} |"
+        );
+    }
+    // Cache footprint vs the dataset's f32 byte size.
+    let cache_bytes = m
+        .get("cache")
+        .and_then(|t| t.get("bytes_written"))
+        .and_then(Value::as_int)
+        .unwrap_or(0) as f64;
+    let dataset_bytes = dataset_f32_bytes(m);
+    if cache_bytes > 0.0 && dataset_bytes > 0.0 {
+        let ratio = cache_bytes / dataset_bytes;
+        let _ = writeln!(
+            out,
+            "| activation cache / dataset | {ratio:.1}× | §6.4: {:.1}–{:.1}× | {} |",
+            PAPER_CACHE_RATIO.0,
+            PAPER_CACHE_RATIO.1,
+            band_status(ratio, PAPER_CACHE_RATIO)
+        );
+    }
+    if let Some(acc) = m.get("test_accuracy").and_then(Value::as_float) {
+        let _ = writeln!(
+            out,
+            "| test accuracy (selected exit) | {} | — (synthetic stand-in data) | informational |",
+            pct(acc)
+        );
+    }
+
+    // Exit table.
+    if let Some(exits) = m.get("exits").and_then(Value::as_array) {
+        let selected = m
+            .get("selected_exit")
+            .and_then(|t| t.get("unit"))
+            .and_then(Value::as_int);
+        let _ = writeln!(out, "\n## Exit candidates\n");
+        let _ = writeln!(out, "| unit | params | val accuracy | |");
+        let _ = writeln!(out, "|---|---|---|---|");
+        for e in exits {
+            let unit = e.get("unit").and_then(Value::as_int).unwrap_or(-1);
+            let params = e.get("params").and_then(Value::as_int).unwrap_or(0);
+            let acc = e
+                .get("val_accuracy")
+                .and_then(Value::as_float)
+                .map(pct)
+                .unwrap_or_else(|| "—".into());
+            let mark = if selected == Some(unit) {
+                "← selected"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "| {unit} | {params} | {acc} | {mark} |");
+        }
+    }
+
+    // Block plan.
+    if let Some(blocks) = m.get("blocks").and_then(Value::as_array) {
+        let _ = writeln!(out, "\n## Block plan (AB-LL)\n");
+        let _ = writeln!(out, "| block | units | batch |");
+        let _ = writeln!(out, "|---|---|---|");
+        for (i, b) in blocks.iter().enumerate() {
+            let units = b.get("units").and_then(Value::as_array);
+            let (s, e) = match units {
+                Some([a, b]) => (a.as_int().unwrap_or(0), b.as_int().unwrap_or(0)),
+                _ => (0, 0),
+            };
+            let batch = b.get("batch").and_then(Value::as_int).unwrap_or(0);
+            let _ = writeln!(out, "| {i} | {s}..{e} | {batch} |");
+        }
+    }
+    out
+}
+
+/// Dataset f32 byte size reconstructed from the config snapshot embedded in
+/// the metrics (train samples × 3 channels × hw² × 4 bytes).
+fn dataset_f32_bytes(m: &Value) -> f64 {
+    let config = match m.get("config") {
+        Some(c) => c,
+        None => return 0.0,
+    };
+    let dataset = match config.get("dataset") {
+        Some(d) => d,
+        None => return 0.0,
+    };
+    let train = m
+        .get("train_samples")
+        .and_then(Value::as_int)
+        .or_else(|| dataset.get("train").and_then(Value::as_int))
+        .unwrap_or(0) as f64;
+    let hw = dataset
+        .get("image_hw")
+        .and_then(Value::as_int)
+        .unwrap_or(32) as f64;
+    train * 3.0 * hw * hw * 4.0
+}
+
+fn render_sweep(m: &Value) -> String {
+    let mut out = String::new();
+    let name = m.get("name").and_then(Value::as_str).unwrap_or("?");
+    let model = m.get("model").and_then(Value::as_str).unwrap_or("?");
+    let _ = writeln!(out, "# Run `{name}` — device-budget sweep ({model})\n");
+    let _ = writeln!(
+        out,
+        "Paper bands: {:.1}–{:.1}× vs BP, {:.1}–{:.1}× vs classic LL (Observation 1).\n",
+        PAPER_BP_SPEEDUP.0, PAPER_BP_SPEEDUP.1, PAPER_LL_SPEEDUP.0, PAPER_LL_SPEEDUP.1
+    );
+    for device in m
+        .get("devices")
+        .and_then(Value::as_array)
+        .unwrap_or_default()
+    {
+        let dev_name = device.get("device").and_then(Value::as_str).unwrap_or("?");
+        let _ = writeln!(out, "## {dev_name}\n");
+        let _ = writeln!(
+            out,
+            "| budget (MB) | bp (h) | classic-ll (h) | neuroflux (h) | vs BP | vs LL | status |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+        for p in device
+            .get("points")
+            .and_then(Value::as_array)
+            .unwrap_or_default()
+        {
+            let budget = p.get("budget_mb").and_then(Value::as_int).unwrap_or(0);
+            let hours = |key: &str| -> String {
+                match p.get(key) {
+                    Some(Value::Table(_)) => {
+                        let s = p
+                            .get(key)
+                            .and_then(|t| t.get("total_s"))
+                            .and_then(Value::as_float)
+                            .unwrap_or(0.0);
+                        format!("{:.1}", s / 3600.0)
+                    }
+                    _ => "infeasible".to_string(),
+                }
+            };
+            let vs_bp = p.get("speedup_vs_bp").and_then(Value::as_float);
+            let vs_ll = p.get("speedup_vs_ll").and_then(Value::as_float);
+            let fmt_speedup =
+                |s: Option<f64>| s.map(|s| format!("{s:.1}×")).unwrap_or_else(|| "—".into());
+            let status = match vs_bp {
+                Some(s) => band_status(s, PAPER_BP_SPEEDUP),
+                None => "BP infeasible (NeuroFlux-only region)",
+            };
+            let _ = writeln!(
+                out,
+                "| {budget} | {} | {} | {} | {} | {} | {status} |",
+                hours("bp"),
+                hours("classic_ll"),
+                hours("neuroflux"),
+                fmt_speedup(vs_bp),
+                fmt_speedup(vs_ll),
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn render_baseline(m: &Value) -> String {
+    let mut out = String::new();
+    let name = m.get("name").and_then(Value::as_str).unwrap_or("?");
+    let paradigm = m.get("paradigm").and_then(Value::as_str).unwrap_or("?");
+    let _ = writeln!(out, "# Run `{name}` — baseline `{paradigm}`\n");
+    let _ = writeln!(out, "| metric | value |");
+    let _ = writeln!(out, "|---|---|");
+    if let Some(acc) = m.get("final_test_accuracy").and_then(Value::as_float) {
+        let _ = writeln!(out, "| final test accuracy | {} |", pct(acc));
+    }
+    if let Some(losses) = m.get("epoch_loss").and_then(Value::as_array) {
+        let first = losses.first().and_then(Value::as_float).unwrap_or(0.0);
+        let last = losses.last().and_then(Value::as_float).unwrap_or(0.0);
+        let _ = writeln!(out, "| epochs | {} |", losses.len());
+        let _ = writeln!(out, "| loss first → last | {first:.4} → {last:.4} |");
+    }
+    let _ = writeln!(
+        out,
+        "\nCompare against a NeuroFlux run of the same config with \
+         `nf train` + `nf inspect` (Figure 3's quadrant)."
+    );
+    out
+}

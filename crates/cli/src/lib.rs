@@ -1,0 +1,47 @@
+//! `nf` — the config-driven NeuroFlux experiment runner.
+//!
+//! Everything the workspace can do — the full NeuroFlux pipeline, all four
+//! baseline paradigms, and the analytic device sweeps — driven from one
+//! declarative TOML/JSON config file instead of bespoke `main`s, with
+//! every run persisted as a durable, inspectable artifact:
+//!
+//! ```text
+//! nf train    <config> [--resume|--force] [--quiet]   # NeuroFlux pipeline
+//! nf baseline <bp|ll|fa|sp> <config> [--quiet]        # comparison trainers
+//! nf sweep    <config> [--quiet]                      # nf-memsim budget sweep
+//! nf inspect  <run-dir>                               # paper-vs-measured report
+//! ```
+//!
+//! Runs live in `runs/<name>/` — resolved config snapshot, `metrics.json`,
+//! a per-block checkpoint, and the on-disk activation cache — see
+//! [`rundir`] for the layout and `DESIGN.md` §6 for the config schema.
+//! Interrupted runs (crash, kill, cancellation) restart from the last
+//! completed block with `--resume` and finish with the same final metrics
+//! as an uninterrupted run.
+//!
+//! The library portion exists so integration tests (and other tools) can
+//! drive commands in-process; `src/main.rs` is a thin argv wrapper.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod baseline;
+pub mod config;
+pub mod error;
+pub mod inspect;
+pub mod json;
+pub mod progress;
+pub mod rundir;
+pub mod sweep;
+pub mod toml;
+pub mod train;
+pub mod value;
+
+pub use baseline::{run_baseline, Paradigm};
+pub use config::RunConfig;
+pub use error::{CliError, Result};
+pub use inspect::run_inspect;
+pub use rundir::RunDir;
+pub use sweep::run_sweep;
+pub use train::{run_train, TrainOptions, TrainSummary};
+pub use value::Value;

@@ -1,0 +1,127 @@
+//! The `nf` binary: thin argv parsing over the `nf-cli` library.
+
+use nf_cli::{run_baseline, run_inspect, run_sweep, run_train, Paradigm, RunConfig, TrainOptions};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+nf — config-driven NeuroFlux experiment runner
+
+USAGE:
+    nf train <config.toml> [--resume] [--force] [--quiet]
+    nf baseline <bp|ll|fa|sp> <config.toml> [--quiet]
+    nf sweep <config.toml> [--quiet]
+    nf inspect <run-dir>
+    nf help
+
+Runs are written to <out_dir>/<name>/ (config snapshot, metrics.json,
+checkpoint, activation cache). See DESIGN.md for the config schema and
+README.md for a 60-second walkthrough.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> nf_cli::Result<()> {
+    let mut positional = Vec::new();
+    let mut resume = false;
+    let mut force = false;
+    let mut quiet = false;
+    for arg in args {
+        match arg.as_str() {
+            "--resume" => resume = true,
+            "--force" => force = true,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" | "help" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other if other.starts_with('-') => {
+                return Err(nf_cli::CliError::new(format!("unknown flag {other:?}")));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let command = positional.first().map(String::as_str);
+    match command {
+        Some("train") => {
+            let config_path = positional
+                .get(1)
+                .ok_or_else(|| nf_cli::CliError::new("usage: nf train <config.toml> [--resume]"))?;
+            let cfg = RunConfig::load(Path::new(config_path))?;
+            let opts = TrainOptions {
+                resume,
+                force,
+                quiet,
+                interrupt_after_blocks: None,
+            };
+            let summary = run_train(&cfg, &opts)?;
+            if !quiet {
+                println!("\nrun complete: {}", summary.run_dir.root().display());
+                println!(
+                    "inspect it with: nf inspect {}",
+                    summary.run_dir.root().display()
+                );
+            }
+            Ok(())
+        }
+        Some("baseline") => {
+            let paradigm = positional.get(1).ok_or_else(|| {
+                nf_cli::CliError::new("usage: nf baseline <bp|ll|fa|sp> <config.toml>")
+            })?;
+            let config_path = positional.get(2).ok_or_else(|| {
+                nf_cli::CliError::new("usage: nf baseline <bp|ll|fa|sp> <config.toml>")
+            })?;
+            let paradigm = Paradigm::parse(paradigm)?;
+            let cfg = RunConfig::load(Path::new(config_path))?;
+            let (run_dir, metrics) = run_baseline(&cfg, paradigm)?;
+            if !quiet {
+                if let Some(acc) = metrics
+                    .get("final_test_accuracy")
+                    .and_then(nf_cli::Value::as_float)
+                {
+                    println!(
+                        "{} final test accuracy: {:.1}%",
+                        paradigm.name(),
+                        acc * 100.0
+                    );
+                }
+                println!("run complete: {}", run_dir.root().display());
+            }
+            Ok(())
+        }
+        Some("sweep") => {
+            let config_path = positional
+                .get(1)
+                .ok_or_else(|| nf_cli::CliError::new("usage: nf sweep <config.toml>"))?;
+            let cfg = RunConfig::load(Path::new(config_path))?;
+            let (run_dir, _) = run_sweep(&cfg, quiet)?;
+            if !quiet {
+                println!("run complete: {}", run_dir.root().display());
+            }
+            Ok(())
+        }
+        Some("inspect") => {
+            let run_path = positional
+                .get(1)
+                .ok_or_else(|| nf_cli::CliError::new("usage: nf inspect <run-dir>"))?;
+            let report = run_inspect(Path::new(run_path))?;
+            println!("{report}");
+            Ok(())
+        }
+        Some(other) => Err(nf_cli::CliError::new(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
+        None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Human-readable rendering of [`TrainEvent`]s for the terminal.
+
+use neuroflux_core::TrainEvent;
+
+/// Prints training progress lines (or swallows them in quiet mode).
+#[derive(Debug)]
+pub struct ProgressPrinter {
+    quiet: bool,
+}
+
+impl ProgressPrinter {
+    /// Creates a printer; `quiet` suppresses all output.
+    pub fn new(quiet: bool) -> Self {
+        ProgressPrinter { quiet }
+    }
+
+    /// Renders one event to stdout.
+    pub fn observe(&mut self, event: &TrainEvent) {
+        if self.quiet {
+            return;
+        }
+        match event {
+            TrainEvent::BlockSkipped { block, total } => {
+                println!(
+                    "block {}/{}: already complete in checkpoint, skipping",
+                    block + 1,
+                    total
+                );
+            }
+            TrainEvent::BlockStarted {
+                block,
+                total,
+                units,
+                batch,
+            } => {
+                println!(
+                    "block {}/{}: units {}..{} at batch {}",
+                    block + 1,
+                    total,
+                    units.0,
+                    units.1,
+                    batch
+                );
+            }
+            TrainEvent::EpochFinished {
+                block,
+                epoch,
+                epochs,
+                mean_loss,
+            } => {
+                println!(
+                    "  block {} epoch {}/{}: loss {mean_loss:.4}",
+                    block + 1,
+                    epoch + 1,
+                    epochs
+                );
+            }
+            TrainEvent::BlockFinished { block, total } => {
+                println!(
+                    "block {}/{}: done (activations cached, params checkpointed)",
+                    block + 1,
+                    total
+                );
+            }
+            TrainEvent::HeadTrained => println!("deep head trained"),
+            TrainEvent::ExitMeasured { exit, val_accuracy } => {
+                println!(
+                    "exit {}: validation accuracy {:.1}%",
+                    exit,
+                    val_accuracy * 100.0
+                );
+            }
+        }
+    }
+}

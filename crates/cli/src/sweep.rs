@@ -1,0 +1,115 @@
+//! `nf sweep <config>`: device-budget sweeps over the analytic
+//! `nf-memsim` models (the paper's Figure 11/12 machinery), persisted as a
+//! run artifact like any training run.
+
+use crate::config::RunConfig;
+use crate::error::{CliError, Result};
+use crate::rundir::RunDir;
+use crate::value::Value;
+use neuroflux_core::simulate::{sweep_point, SimConfig, SimulatedRun};
+use nf_memsim::DeviceProfile;
+use std::time::Instant;
+
+/// Executes the `[sweep]` section; returns the run directory and metrics.
+pub fn run_sweep(cfg: &RunConfig, quiet: bool) -> Result<(RunDir, Value)> {
+    let sweep = cfg
+        .sweep
+        .clone()
+        .ok_or_else(|| CliError::new("config has no [sweep] section (required by `nf sweep`)"))?;
+    if sweep.budgets_mb.is_empty() || sweep.devices.is_empty() {
+        return Err(CliError::new(
+            "[sweep].devices and [sweep].budgets_mb must be non-empty",
+        ));
+    }
+    let dataset = cfg.resolve_dataset()?;
+    let spec = cfg.resolve_model(&dataset)?;
+    let run_dir = RunDir::create(&cfg.run.out_dir, &format!("{}-sweep", cfg.run.name))?;
+    run_dir.write_config(cfg)?;
+    let start = Instant::now();
+
+    let mut device_tables = Vec::new();
+    for slug in &sweep.devices {
+        let device = DeviceProfile::by_name(slug).ok_or_else(|| {
+            CliError::new(format!(
+                "unknown device {slug:?} (expected one of {})",
+                DeviceProfile::preset_names().join(", ")
+            ))
+        })?;
+        if !quiet {
+            println!("{} — {} points", device.name, sweep.budgets_mb.len());
+        }
+        let mut points = Vec::new();
+        for &budget_mb in &sweep.budgets_mb {
+            let sim = SimConfig {
+                budget_bytes: budget_mb * 1_000_000,
+                batch_limit: sweep.batch_limit,
+                epochs: sweep.epochs,
+                samples: sweep.samples,
+            };
+            let (bp, ll, nf) = sweep_point(&spec, &device, &sim);
+            let mut point = Value::table();
+            point.insert("budget_mb", Value::Int(budget_mb as i64));
+            point.insert("bp", run_value(&bp));
+            point.insert("classic_ll", run_value(&ll));
+            point.insert("neuroflux", run_value(&nf));
+            if let (Some(bp), Some(nf)) = (&bp, &nf) {
+                point.insert("speedup_vs_bp", Value::Float(bp.total_s() / nf.total_s()));
+            }
+            if let (Some(ll), Some(nf)) = (&ll, &nf) {
+                point.insert("speedup_vs_ll", Value::Float(ll.total_s() / nf.total_s()));
+            }
+            if !quiet {
+                let fmt = |r: &Option<SimulatedRun>| match r {
+                    Some(r) => format!("{:.1} h", r.total_hours()),
+                    None => "infeasible".to_string(),
+                };
+                println!(
+                    "  {budget_mb:>5} MB: bp {:>10}  ll {:>10}  neuroflux {:>10}",
+                    fmt(&bp),
+                    fmt(&ll),
+                    fmt(&nf)
+                );
+            }
+            points.push(point);
+        }
+        let mut table = Value::table();
+        table.insert("device", Value::Str(device.name.clone()));
+        table.insert("slug", Value::Str(slug.clone()));
+        table.insert("points", Value::Array(points));
+        device_tables.push(table);
+    }
+
+    let mut m = Value::table();
+    m.insert("kind", Value::Str("sweep".into()));
+    m.insert("name", Value::Str(cfg.run.name.clone()));
+    m.insert("config", cfg.to_value());
+    m.insert("model", Value::Str(spec.name.clone()));
+    m.insert("devices", Value::Array(device_tables));
+    m.insert("wall_seconds", Value::Float(start.elapsed().as_secs_f64()));
+    run_dir.write_metrics(&m)?;
+    Ok((run_dir, m))
+}
+
+/// Serialises one simulated run (or `null` when infeasible at the budget —
+/// the gaps in Figure 11).
+fn run_value(run: &Option<SimulatedRun>) -> Value {
+    match run {
+        None => Value::Null,
+        Some(r) => {
+            let mut t = Value::table();
+            t.insert("total_s", Value::Float(r.total_s()));
+            t.insert("compute_s", Value::Float(r.compute_s));
+            t.insert("overhead_s", Value::Float(r.overhead_s));
+            t.insert("io_s", Value::Float(r.io_s));
+            t.insert(
+                "batches",
+                Value::Array(r.batches.iter().map(|&b| Value::Int(b as i64)).collect()),
+            );
+            t.insert(
+                "cache_bytes_written",
+                Value::Int(r.cache_bytes_written as i64),
+            );
+            t
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! A minimal TOML parser covering the subset the `nf` config schema uses.
+//!
+//! Supported: `[section]` and `[nested.section]` headers, `key = value`
+//! pairs, basic strings with the common escapes, integers (with optional
+//! `_` separators), floats, booleans, single-line arrays, `#` comments,
+//! and blank lines. Unsupported (rejected with a line-numbered error, not
+//! silently misread): multi-line strings/arrays, inline tables, dates,
+//! array-of-tables headers, and dotted keys.
+//!
+//! The config schema (`DESIGN.md` §6) stays inside this subset on purpose:
+//! the workspace's vendored `serde` is a no-op stub, so this parser is the
+//! offline stand-in for the `toml` crate.
+
+use crate::error::CliError;
+use crate::value::Value;
+
+/// Parses a TOML document into a [`Value::Table`].
+pub fn parse(input: &str) -> Result<Value, CliError> {
+    let mut root = Value::table();
+    // Path of the currently open [section].
+    let mut current: Vec<String> = Vec::new();
+    for (idx, raw_line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            if header.starts_with('[') {
+                return Err(err(lineno, "array-of-tables ([[...]]) is not supported"));
+            }
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unterminated section header"))?;
+            if header.trim().is_empty() {
+                return Err(err(lineno, "empty section header"));
+            }
+            current = header.split('.').map(|p| p.trim().to_string()).collect();
+            if current.iter().any(|p| p.is_empty()) {
+                return Err(err(lineno, "empty component in section path"));
+            }
+            // Materialise the section even if it stays empty.
+            table_at(&mut root, &current, lineno)?;
+            continue;
+        }
+        let (key, rest) = line
+            .split_once('=')
+            .ok_or_else(|| err(lineno, "expected `key = value` or `[section]`"))?;
+        let key = key.trim();
+        if key.is_empty() {
+            return Err(err(lineno, "empty key"));
+        }
+        if key.contains('.') {
+            return Err(err(lineno, "dotted keys are not supported"));
+        }
+        let key = key.trim_matches('"');
+        let (value, remainder) = parse_value(rest.trim(), lineno)?;
+        if !remainder.trim().is_empty() {
+            return Err(err(
+                lineno,
+                &format!("trailing content after value: {remainder:?}"),
+            ));
+        }
+        let table = table_at(&mut root, &current, lineno)?;
+        if table.get(key).is_some() {
+            return Err(err(lineno, &format!("duplicate key {key:?}")));
+        }
+        table.insert(key, value);
+    }
+    Ok(root)
+}
+
+/// Reads the TOML file at `path`.
+pub fn parse_file(path: &std::path::Path) -> Result<Value, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("reading {}: {e}", path.display())))?;
+    parse(&text).map_err(|e| CliError::new(format!("{}: {e}", path.display())))
+}
+
+fn err(lineno: usize, msg: &str) -> CliError {
+    CliError::new(format!("TOML parse error on line {lineno}: {msg}"))
+}
+
+/// Strips a `#` comment, respecting `#` inside basic strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string => escaped = !escaped,
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+/// Walks (creating as needed) the nested table at `path`.
+fn table_at<'a>(
+    root: &'a mut Value,
+    path: &[String],
+    lineno: usize,
+) -> Result<&'a mut Value, CliError> {
+    let mut cur = root;
+    for part in path {
+        if cur.get(part).is_none() {
+            cur.insert(part, Value::table());
+        }
+        let next = match cur {
+            Value::Table(entries) => &mut entries.iter_mut().find(|(k, _)| k == part).unwrap().1,
+            _ => unreachable!(),
+        };
+        if !matches!(next, Value::Table(_)) {
+            return Err(err(
+                lineno,
+                &format!("section path component {part:?} is already a non-table value"),
+            ));
+        }
+        cur = next;
+    }
+    Ok(cur)
+}
+
+/// Parses one value from the front of `input`; returns it plus the rest.
+fn parse_value(input: &str, lineno: usize) -> Result<(Value, &str), CliError> {
+    let input = input.trim_start();
+    let mut chars = input.chars();
+    match chars.next() {
+        None => Err(err(lineno, "missing value")),
+        Some('"') => parse_string(input, lineno),
+        Some('[') => parse_array(input, lineno),
+        Some('t') if input.starts_with("true") => Ok((Value::Bool(true), &input[4..])),
+        Some('f') if input.starts_with("false") => Ok((Value::Bool(false), &input[5..])),
+        _ => parse_number(input, lineno),
+    }
+}
+
+fn parse_string(input: &str, lineno: usize) -> Result<(Value, &str), CliError> {
+    debug_assert!(input.starts_with('"'));
+    let mut out = String::new();
+    let mut iter = input.char_indices().skip(1);
+    while let Some((i, c)) = iter.next() {
+        match c {
+            '"' => return Ok((Value::Str(out), &input[i + 1..])),
+            '\\' => {
+                let (_, esc) = iter
+                    .next()
+                    .ok_or_else(|| err(lineno, "unterminated escape"))?;
+                match esc {
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    other => {
+                        return Err(err(lineno, &format!("unsupported escape \\{other}")));
+                    }
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err(err(lineno, "unterminated string"))
+}
+
+fn parse_array(input: &str, lineno: usize) -> Result<(Value, &str), CliError> {
+    debug_assert!(input.starts_with('['));
+    let mut items = Vec::new();
+    let mut rest = &input[1..];
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix(']') {
+            return Ok((Value::Array(items), after));
+        }
+        if rest.is_empty() {
+            return Err(err(
+                lineno,
+                "unterminated array (multi-line arrays are not supported)",
+            ));
+        }
+        let (value, after) = parse_value(rest, lineno)?;
+        items.push(value);
+        rest = after.trim_start();
+        if let Some(after_comma) = rest.strip_prefix(',') {
+            rest = after_comma;
+        } else if !rest.starts_with(']') {
+            return Err(err(lineno, "expected `,` or `]` in array"));
+        }
+    }
+}
+
+fn parse_number(input: &str, lineno: usize) -> Result<(Value, &str), CliError> {
+    let end = input
+        .find(|c: char| !(c.is_ascii_alphanumeric() || "+-._".contains(c)))
+        .unwrap_or(input.len());
+    let (token, rest) = input.split_at(end);
+    let cleaned: String = token.chars().filter(|&c| c != '_').collect();
+    if cleaned.is_empty() {
+        return Err(err(lineno, &format!("expected a value, found {input:?}")));
+    }
+    if !cleaned.contains(['.', 'e', 'E'])
+        || cleaned.starts_with("0x")
+        || cleaned.starts_with("0o")
+        || cleaned.starts_with("0b")
+    {
+        if let Ok(i) = cleaned.parse::<i64>() {
+            return Ok((Value::Int(i), rest));
+        }
+    }
+    match cleaned.parse::<f64>() {
+        Ok(f) => Ok((Value::Float(f), rest)),
+        Err(_) => Err(err(lineno, &format!("cannot parse value {token:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_arrays() {
+        let doc = r#"
+# a comment
+top = 1
+
+[run]
+name = "quickstart"  # trailing comment
+seed = 42
+frac = 0.5
+flag = true
+channels = [8, 16, 32]
+label = "a # not a comment"
+
+[train.inner]
+lr = 1e-2
+"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("top"), Some(&Value::Int(1)));
+        let run = v.get("run").unwrap();
+        assert_eq!(run.get("name").and_then(Value::as_str), Some("quickstart"));
+        assert_eq!(run.get("seed"), Some(&Value::Int(42)));
+        assert_eq!(run.get("frac"), Some(&Value::Float(0.5)));
+        assert_eq!(run.get("flag"), Some(&Value::Bool(true)));
+        assert_eq!(
+            run.get("channels").unwrap().as_array().unwrap(),
+            &[Value::Int(8), Value::Int(16), Value::Int(32)]
+        );
+        assert_eq!(
+            run.get("label").and_then(Value::as_str),
+            Some("a # not a comment")
+        );
+        let inner = v.get("train").unwrap().get("inner").unwrap();
+        assert_eq!(inner.get("lr"), Some(&Value::Float(1e-2)));
+    }
+
+    #[test]
+    fn underscored_integers_and_negatives() {
+        let v = parse("big = 1_000_000\nneg = -3\nnegf = -0.25").unwrap();
+        assert_eq!(v.get("big"), Some(&Value::Int(1_000_000)));
+        assert_eq!(v.get("neg"), Some(&Value::Int(-3)));
+        assert_eq!(v.get("negf"), Some(&Value::Float(-0.25)));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = parse(r#"s = "a\n\"b\"\\c""#).unwrap();
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("a\n\"b\"\\c"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (doc, needle) in [
+            ("x 1", "line 1"),
+            ("[sec\nx = 1", "unterminated section"),
+            ("x = 1\nx = 2", "duplicate key"),
+            ("a = [1, 2", "array"),
+            ("a = [", "unterminated array"),
+            ("a = \"oops", "unterminated string"),
+            ("a.b = 1", "dotted keys"),
+            ("[[t]]\n", "not supported"),
+            ("x = zebra", "cannot parse"),
+        ] {
+            let e = parse(doc).unwrap_err().to_string();
+            assert!(e.contains(needle), "{doc:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn round_trips_with_value_to_toml() {
+        let doc = "\
+top = 3
+
+[run]
+name = \"x\"
+ratio = 0.25
+ints = [1, 2]
+";
+        let v = parse(doc).unwrap();
+        let rendered = v.to_toml();
+        let reparsed = parse(&rendered).unwrap();
+        assert_eq!(v, reparsed, "rendered:\n{rendered}");
+    }
+}

@@ -1,0 +1,322 @@
+//! A small dynamic value model shared by the TOML and JSON front-ends.
+//!
+//! The workspace's `serde` is the offline marker stub (`vendor/README.md`),
+//! so the CLI carries its own minimal document model: configs parse
+//! *into* a [`Value`] tree (from TOML or JSON), typed config structs read
+//! out of it, and run artifacts render back out of it (JSON for
+//! `metrics.json`, TOML for the config snapshot). When real serde becomes
+//! available the typed structs already carry the derive annotations; this
+//! module is the part that would be replaced by `toml`/`serde_json`.
+
+use std::fmt::Write as _;
+
+/// A dynamically-typed configuration/metrics value.
+///
+/// Tables preserve insertion order (`Vec` of pairs, not a map) so
+/// round-tripped documents stay diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer (TOML integer, JSON number without fraction/exponent).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Value>),
+    /// Ordered key → value table (TOML table, JSON object).
+    Table(Vec<(String, Value)>),
+    /// JSON `null` (never produced by the TOML parser).
+    Null,
+}
+
+impl Value {
+    /// An empty table.
+    pub fn table() -> Value {
+        Value::Table(Vec::new())
+    }
+
+    /// Inserts (or replaces) `key` in a table; panics on non-tables.
+    pub fn insert(&mut self, key: &str, value: Value) {
+        match self {
+            Value::Table(entries) => {
+                if let Some(e) = entries.iter_mut().find(|(k, _)| k == key) {
+                    e.1 = value;
+                } else {
+                    entries.push((key.to_string(), value));
+                }
+            }
+            _ => panic!("insert on non-table value"),
+        }
+    }
+
+    /// Looks up `key` in a table (`None` for missing keys or non-tables).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Table(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The table's entries, if this is a table.
+    pub fn entries(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Table(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer content, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `f64` (integers coerce).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean content, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array content, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as pretty-printed JSON (2-space indent).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Float(f) => write_json_float(out, *f),
+            Value::Str(s) => write_json_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    item.write_json(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                let _ = write!(out, "{pad}]");
+            }
+            Value::Table(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    write_json_string(out, k);
+                    out.push_str(": ");
+                    v.write_json(out, indent + 1);
+                    if i + 1 < entries.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+        }
+    }
+
+    /// Renders a table as a TOML document (top level must be a table whose
+    /// nested tables become `[section]` headers). Scalar/array keys print
+    /// before sub-tables, matching conventional TOML layout.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        let entries = self.entries().expect("TOML document root must be a table");
+        render_toml_table(&mut out, entries, "");
+        out
+    }
+}
+
+fn render_toml_table(out: &mut String, entries: &[(String, Value)], prefix: &str) {
+    for (k, v) in entries {
+        if !matches!(v, Value::Table(_)) {
+            let _ = write!(out, "{k} = ");
+            render_toml_value(out, v);
+            out.push('\n');
+        }
+    }
+    for (k, v) in entries {
+        if let Value::Table(sub) = v {
+            let path = if prefix.is_empty() {
+                k.clone()
+            } else {
+                format!("{prefix}.{k}")
+            };
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "[{path}]");
+            render_toml_table(out, sub, &path);
+        }
+    }
+}
+
+fn render_toml_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("\"\""), // TOML has no null; unused
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) => write_toml_float(out, *f),
+        Value::Str(s) => write_json_string(out, s), // TOML basic strings share JSON escaping
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_toml_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Table(_) => unreachable!("nested tables render as [sections]"),
+    }
+}
+
+fn write_json_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        if f == f.trunc() && f.abs() < 1e15 {
+            // Keep a fractional part so the value re-parses as a float.
+            let _ = write!(out, "{f:.1}");
+        } else {
+            let _ = write!(out, "{f}");
+        }
+    } else {
+        // JSON has no Inf/NaN; clamp to null like serde_json's lossy mode.
+        out.push_str("null");
+    }
+}
+
+fn write_toml_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        if f == f.trunc() && f.abs() < 1e15 {
+            let _ = write!(out, "{f:.1}");
+        } else {
+            let _ = write!(out, "{f}");
+        }
+    } else if f.is_nan() {
+        out.push_str("nan");
+    } else if f > 0.0 {
+        out.push_str("inf");
+    } else {
+        out.push_str("-inf");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_insert_get_and_replace() {
+        let mut t = Value::table();
+        t.insert("a", Value::Int(1));
+        t.insert("b", Value::Str("x".into()));
+        t.insert("a", Value::Int(2));
+        assert_eq!(t.get("a"), Some(&Value::Int(2)));
+        assert_eq!(t.get("b").and_then(Value::as_str), Some("x"));
+        assert_eq!(t.get("c"), None);
+        assert_eq!(t.entries().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn float_coercion_from_int() {
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(0.5).as_float(), Some(0.5));
+        assert_eq!(Value::Str("3".into()).as_float(), None);
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_indents() {
+        let mut t = Value::table();
+        t.insert("s", Value::Str("a\"b\nc".into()));
+        t.insert("xs", Value::Array(vec![Value::Int(1), Value::Float(2.0)]));
+        let json = t.to_json();
+        assert!(json.contains("\"a\\\"b\\nc\""));
+        assert!(json.contains("2.0"), "whole floats keep a fraction: {json}");
+    }
+
+    #[test]
+    fn toml_rendering_orders_scalars_before_sections() {
+        let mut root = Value::table();
+        let mut run = Value::table();
+        run.insert("name", Value::Str("x".into()));
+        run.insert("seed", Value::Int(7));
+        root.insert("run", run);
+        let toml = root.to_toml();
+        assert!(toml.contains("[run]"));
+        assert!(toml.contains("name = \"x\""));
+        assert!(toml.contains("seed = 7"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Kill-and-resume integration test: an interrupted `nf train` run,
+//! resumed in a "fresh process", must reproduce the uninterrupted run's
+//! final metrics exactly. Also covers the end-to-end acceptance path:
+//! train → artifacts on disk → inspect.
+
+use nf_cli::{run_inspect, run_train, CliError, RunConfig, TrainOptions, Value};
+use std::path::PathBuf;
+
+/// A small 2+-block config (ρ = 0 keeps every unit in its own block so an
+/// interruption after block 1 is genuinely mid-run).
+fn test_config(out_dir: &std::path::Path, name: &str) -> RunConfig {
+    let toml = format!(
+        r#"
+[run]
+name = "{name}"
+seed = 7
+out_dir = "{}"
+
+[model]
+preset = "tiny"
+channels = [6, 8]
+
+[dataset]
+preset = "quick"
+classes = 3
+image_hw = 8
+train = 48
+
+[train]
+budget_bytes = 131072
+batch_limit = 8
+epochs_per_block = 2
+rho = 0.0
+"#,
+        out_dir.display()
+    );
+    RunConfig::from_value(&nf_cli::toml::parse(&toml).unwrap()).unwrap()
+}
+
+fn temp_base(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nf_cli_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The metrics fields that define the run's outcome (everything except
+/// wall-clock time and the resume marker).
+fn outcome_fields(metrics: &Value) -> Vec<(String, Value)> {
+    let mut out = Vec::new();
+    for key in [
+        "blocks",
+        "block_losses",
+        "exits",
+        "selected_exit",
+        "compression_factor",
+        "test_accuracy",
+    ] {
+        out.push((key.to_string(), metrics.get(key).cloned().unwrap()));
+    }
+    // Cache totals must match too (peak may legitimately differ only if
+    // the resumed process saw fewer simultaneous blocks — it does not
+    // here, but bytes_written is the § 6.4 metric and must be identical).
+    out.push((
+        "cache_bytes_written".into(),
+        metrics
+            .get("cache")
+            .and_then(|c| c.get("bytes_written"))
+            .cloned()
+            .unwrap(),
+    ));
+    out
+}
+
+#[test]
+fn interrupted_run_resumed_matches_uninterrupted() {
+    let base = temp_base("resume");
+    let out_a = base.join("a");
+    let out_b = base.join("b");
+
+    // Reference: uninterrupted run.
+    let cfg_a = test_config(&out_a, "ref");
+    let opts = TrainOptions {
+        quiet: true,
+        ..TrainOptions::default()
+    };
+    let reference = run_train(&cfg_a, &opts).unwrap();
+    let n_blocks = reference
+        .metrics
+        .get("blocks")
+        .and_then(Value::as_array)
+        .unwrap()
+        .len();
+    assert!(
+        n_blocks >= 2,
+        "test config must produce ≥ 2 blocks, got {n_blocks}"
+    );
+
+    // Interrupted run: cancelled after block 1 of n.
+    let cfg_b = test_config(&out_b, "victim");
+    let err = run_train(
+        &cfg_b,
+        &TrainOptions {
+            quiet: true,
+            interrupt_after_blocks: Some(1),
+            ..TrainOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CliError::Interrupted {
+                completed_blocks: 1
+            }
+        ),
+        "{err}"
+    );
+
+    // The aborted run dir looks exactly like a kill: checkpoint + cache,
+    // no metrics.
+    let run_dir = out_b.join("victim");
+    assert!(run_dir.join("checkpoint.nfck").is_file());
+    assert!(run_dir.join("cache").is_dir());
+    assert!(!run_dir.join("metrics.json").exists());
+    // Inspecting an incomplete run points at --resume.
+    let msg = run_inspect(&run_dir).unwrap_err().to_string();
+    assert!(msg.contains("--resume"), "{msg}");
+
+    // Resuming with an *edited* config is refused — earlier blocks were
+    // trained under the snapshot's settings.
+    let mut edited = cfg_b.clone();
+    edited.train.lr = 0.123;
+    let err = run_train(
+        &edited,
+        &TrainOptions {
+            resume: true,
+            quiet: true,
+            ..TrainOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("snapshot"), "{err}");
+
+    // Resume (a fresh RunConfig, as a new process would load it from the
+    // snapshot) and compare outcomes.
+    let snapshot = RunConfig::load(&run_dir.join("config.toml")).unwrap();
+    assert_eq!(snapshot, cfg_b, "config snapshot must round-trip");
+    let resumed = run_train(
+        &snapshot,
+        &TrainOptions {
+            resume: true,
+            quiet: true,
+            ..TrainOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.metrics.get("resumed"), Some(&Value::Bool(true)));
+    assert_eq!(
+        outcome_fields(&resumed.metrics),
+        outcome_fields(&reference.metrics),
+        "resumed run must reproduce the uninterrupted final metrics"
+    );
+
+    // Resuming a *completed* run is refused.
+    let err = run_train(
+        &snapshot,
+        &TrainOptions {
+            resume: true,
+            quiet: true,
+            ..TrainOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("already completed"), "{err}");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn train_writes_all_artifacts_and_inspect_renders() {
+    let base = temp_base("artifacts");
+    let cfg = test_config(&base, "arts");
+    let summary = run_train(
+        &cfg,
+        &TrainOptions {
+            quiet: true,
+            ..TrainOptions::default()
+        },
+    )
+    .unwrap();
+    let root = summary.run_dir.root();
+    assert!(root.join("config.toml").is_file());
+    assert!(root.join("metrics.json").is_file());
+    assert!(
+        root.join("checkpoint.nfck").is_file(),
+        "final model artifact"
+    );
+    // The activation cache drains on completion (§3.3 eviction).
+    let leftover: Vec<_> = std::fs::read_dir(root.join("cache"))
+        .map(|rd| rd.flatten().collect())
+        .unwrap_or_default();
+    assert!(leftover.is_empty(), "cache must drain: {leftover:?}");
+
+    // The checkpoint is re-loadable and marks the run complete.
+    let ck = neuroflux_core::Checkpoint::load(&root.join("checkpoint.nfck")).unwrap();
+    assert!(ck.head_trained);
+    assert_eq!(
+        ck.completed_blocks,
+        summary
+            .metrics
+            .get("blocks")
+            .and_then(Value::as_array)
+            .unwrap()
+            .len()
+    );
+
+    // Refusing to clobber a completed run without --force.
+    let err = run_train(
+        &cfg,
+        &TrainOptions {
+            quiet: true,
+            ..TrainOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("--force"), "{err}");
+
+    // Inspect renders the paper-vs-measured report.
+    let report = run_inspect(root).unwrap();
+    assert!(
+        report.contains("| metric | measured | paper | status |"),
+        "{report}"
+    );
+    assert!(report.contains("Exit candidates"), "{report}");
+    assert!(report.contains("Block plan"), "{report}");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn checkpoint_reload_reproduces_inference() {
+    // Acceptance: the run's checkpoint is a usable model artifact — load
+    // it into a freshly built model and get identical logits.
+    use nf_models::assign_aux;
+    use rand::SeedableRng;
+
+    let base = temp_base("ckload");
+    let cfg = test_config(&base, "ck");
+    run_train(
+        &cfg,
+        &TrainOptions {
+            quiet: true,
+            ..TrainOptions::default()
+        },
+    )
+    .unwrap();
+    let (spec, _, nf) = cfg.resolve().unwrap();
+    let ck = neuroflux_core::Checkpoint::load(&base.join("ck").join("checkpoint.nfck")).unwrap();
+
+    let build = |seed: u64| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let model = spec.build(&mut rng).unwrap();
+        let heads: Vec<_> = assign_aux(&spec, nf.aux_policy)
+            .iter()
+            .map(|a| nf_models::build_aux_head(&mut rng, a).unwrap())
+            .collect();
+        (model, heads)
+    };
+    let (mut a, mut ha) = build(1);
+    let (mut b, mut hb) = build(2);
+    ck.restore(&mut a, &mut ha).unwrap();
+    ck.restore(&mut b, &mut hb).unwrap();
+    let x = nf_tensor::Tensor::ones(&[2, 3, 8, 8]);
+    assert_eq!(a.infer(&x).unwrap(), b.infer(&x).unwrap());
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -16,6 +16,25 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Storage backend for cached activations, keyed by block index.
+///
+/// # Examples
+///
+/// The Worker only sees this trait, so an in-memory store, the on-disk
+/// store, and test fault injectors are interchangeable:
+///
+/// ```
+/// use neuroflux_core::{ActivationStore, MemoryStore};
+/// use nf_tensor::Tensor;
+///
+/// let mut store = MemoryStore::new();
+/// let acts = Tensor::ones(&[4, 8]);
+/// store.write(0, &acts)?;
+/// assert_eq!(store.read(0)?, acts);
+/// assert_eq!(store.bytes_stored(), 4 * 8 * 4);
+/// store.delete(0)?;
+/// assert_eq!(store.bytes_stored(), 0);
+/// # Ok::<(), neuroflux_core::NfError>(())
+/// ```
 pub trait ActivationStore {
     /// Persists the output activations of `block`.
     fn write(&mut self, block: usize, activations: &Tensor) -> Result<()>;
@@ -32,6 +51,31 @@ pub trait ActivationStore {
 
     /// Peak bytes ever stored simultaneously.
     fn peak_bytes(&self) -> u64;
+}
+
+// Mutable references forward to the underlying store, so APIs taking a
+// generic `S: ActivationStore` also accept `&mut dyn ActivationStore`
+// (which is how the Controller threads a caller-chosen store through).
+impl<S: ActivationStore + ?Sized> ActivationStore for &mut S {
+    fn write(&mut self, block: usize, activations: &Tensor) -> Result<()> {
+        (**self).write(block, activations)
+    }
+
+    fn read(&self, block: usize) -> Result<Tensor> {
+        (**self).read(block)
+    }
+
+    fn delete(&mut self, block: usize) -> Result<()> {
+        (**self).delete(block)
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        (**self).bytes_stored()
+    }
+
+    fn peak_bytes(&self) -> u64 {
+        (**self).peak_bytes()
+    }
 }
 
 /// Simple in-memory store (tests, small runs).
@@ -104,6 +148,36 @@ impl DiskStore {
 
     fn path(&self, block: usize) -> PathBuf {
         self.dir.join(format!("block_{block}.acts"))
+    }
+
+    /// Opens a store under `dir`, re-registering any `block_*.acts` files a
+    /// previous process left behind so `bytes_stored` accounts for them and
+    /// `read` serves them. This is the resume path: an interrupted run's
+    /// cached activations become the restart point.
+    pub fn recover(dir: impl Into<PathBuf>) -> Result<Self> {
+        let mut store = Self::new(dir)?;
+        let entries = std::fs::read_dir(&store.dir).map_err(|e| NfError::Cache {
+            op: "read",
+            block: 0,
+            cause: format!("scanning {}: {e}", store.dir.display()),
+        })?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let block = match name
+                .strip_prefix("block_")
+                .and_then(|s| s.strip_suffix(".acts"))
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                Some(b) => b,
+                None => continue,
+            };
+            if let Ok(meta) = entry.metadata() {
+                store.sizes.insert(block, meta.len());
+            }
+        }
+        store.peak = store.bytes_stored();
+        Ok(store)
     }
 }
 
@@ -284,6 +358,36 @@ mod tests {
         s.delete(3).unwrap();
         assert!(s.read(3).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_store_recovers_existing_blocks() {
+        let dir = std::env::temp_dir().join(format!("nf_cache_rec_{}", std::process::id()));
+        {
+            let mut s = DiskStore::new(&dir).unwrap();
+            s.write(0, &sample()).unwrap();
+            s.write(2, &sample()).unwrap();
+        }
+        // A fresh process recovering the directory sees both blocks.
+        let recovered = DiskStore::recover(&dir).unwrap();
+        assert_eq!(recovered.read(0).unwrap(), sample());
+        assert_eq!(recovered.read(2).unwrap(), sample());
+        assert!(recovered.read(1).is_err());
+        assert!(recovered.bytes_stored() > 0);
+        assert_eq!(recovered.peak_bytes(), recovered.bytes_stored());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mut_reference_forwards_store_impl() {
+        fn write_via_generic<S: ActivationStore>(mut store: S) -> u64 {
+            store.write(0, &sample()).unwrap();
+            store.bytes_stored()
+        }
+        let mut s = MemoryStore::new();
+        let dyn_ref: &mut dyn ActivationStore = &mut s;
+        assert_eq!(write_via_generic(dyn_ref), 24);
+        assert_eq!(s.bytes_stored(), 24);
     }
 
     #[test]

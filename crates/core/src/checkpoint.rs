@@ -1,0 +1,409 @@
+//! Durable training checkpoints built on the §3.1 parameter codec.
+//!
+//! NeuroFlux already serialises every trained block to storage when it is
+//! evicted ([`crate::params_io`]); this module turns that codec into a
+//! *run-level* artifact: a single file capturing the whole model (units +
+//! deep head + auxiliary heads, optimizer state included), how many blocks
+//! have completed, and the Worker telemetry accumulated so far. Together
+//! with the on-disk activation cache ([`crate::DiskStore`]) this is enough
+//! to restart an interrupted block-wise run from the last completed block
+//! and converge to bit-identical final parameters — block training itself
+//! draws no randomness, so the only state that matters is what this file
+//! holds.
+//!
+//! Format (all integers little-endian): magic `NFCK`, version `u32`,
+//! completed-block count, a `head_trained` flag, the serialised
+//! [`WorkerReport`], then length-prefixed [`crate::params_io`] blobs for
+//! each unit, the head, and each auxiliary head. Files are written to a
+//! temporary sibling and atomically renamed, so a crash mid-write never
+//! corrupts the previous checkpoint.
+
+use crate::params_io::{deserialize_params, serialize_params};
+use crate::worker::WorkerReport;
+use crate::{NfError, Result};
+use nf_models::BuiltModel;
+use nf_nn::Sequential;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"NFCK";
+const VERSION: u32 = 1;
+
+/// A point-in-time snapshot of a NeuroFlux training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Number of blocks fully trained (and whose activations are cached).
+    pub completed_blocks: usize,
+    /// Whether the deep head has finished training on the final block's
+    /// activations (the step after the last block).
+    pub head_trained: bool,
+    /// Worker telemetry accumulated up to this snapshot.
+    pub report: WorkerReport,
+    unit_blobs: Vec<Vec<u8>>,
+    head_blob: Vec<u8>,
+    aux_blobs: Vec<Vec<u8>>,
+}
+
+/// Receives model snapshots at block boundaries during a Worker run.
+///
+/// The Worker calls [`CheckpointSink::save_state`] after every completed
+/// block (and once more after the deep head trains); implementations decide
+/// where the snapshot goes. [`FileCheckpoint`] writes it to disk, which is
+/// what gives `nf train --resume` its restart point.
+pub trait CheckpointSink {
+    /// Persists a snapshot of the run.
+    ///
+    /// `model` and `aux_heads` are borrowed mutably only because parameter
+    /// traversal ([`nf_nn::Layer::visit_params`]) requires it; sinks must
+    /// not mutate the parameters.
+    fn save_state(
+        &mut self,
+        completed_blocks: usize,
+        head_trained: bool,
+        model: &mut BuiltModel,
+        aux_heads: &mut [Sequential],
+        report: &WorkerReport,
+    ) -> Result<()>;
+}
+
+impl Checkpoint {
+    /// Captures the full state of `model` + `aux_heads` (values, optimizer
+    /// state, step counts) along with run progress.
+    pub fn capture(
+        completed_blocks: usize,
+        head_trained: bool,
+        model: &mut BuiltModel,
+        aux_heads: &mut [Sequential],
+        report: &WorkerReport,
+    ) -> Self {
+        Checkpoint {
+            completed_blocks,
+            head_trained,
+            report: report.clone(),
+            unit_blobs: model
+                .units
+                .iter_mut()
+                .map(|u| serialize_params(u))
+                .collect(),
+            head_blob: serialize_params(&mut model.head),
+            aux_blobs: aux_heads.iter_mut().map(|h| serialize_params(h)).collect(),
+        }
+    }
+
+    /// Restores the captured parameters into `model` + `aux_heads`, which
+    /// must have the same architecture the checkpoint was captured from.
+    pub fn restore(&self, model: &mut BuiltModel, aux_heads: &mut [Sequential]) -> Result<()> {
+        if model.units.len() != self.unit_blobs.len() || aux_heads.len() != self.aux_blobs.len() {
+            return Err(NfError::Checkpoint {
+                op: "restore",
+                cause: format!(
+                    "architecture mismatch: checkpoint has {} units / {} aux heads, model has {} / {}",
+                    self.unit_blobs.len(),
+                    self.aux_blobs.len(),
+                    model.units.len(),
+                    aux_heads.len()
+                ),
+            });
+        }
+        for (unit, blob) in model.units.iter_mut().zip(&self.unit_blobs) {
+            deserialize_params(unit, blob)?;
+        }
+        deserialize_params(&mut model.head, &self.head_blob)?;
+        for (head, blob) in aux_heads.iter_mut().zip(&self.aux_blobs) {
+            deserialize_params(head, blob)?;
+        }
+        Ok(())
+    }
+
+    /// Serialises the checkpoint to its on-disk byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.completed_blocks as u64).to_le_bytes());
+        out.push(self.head_trained as u8);
+        // Worker report.
+        out.extend_from_slice(&(self.report.block_losses.len() as u64).to_le_bytes());
+        for losses in &self.report.block_losses {
+            out.extend_from_slice(&(losses.len() as u64).to_le_bytes());
+            for l in losses {
+                out.extend_from_slice(&l.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.report.block_batches.len() as u64).to_le_bytes());
+        for &b in &self.report.block_batches {
+            out.extend_from_slice(&(b as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&self.report.cache_bytes_written.to_le_bytes());
+        out.extend_from_slice(&self.report.cache_peak_bytes.to_le_bytes());
+        out.extend_from_slice(&self.report.params_bytes_evicted.to_le_bytes());
+        // Parameter blobs.
+        let write_blobs = |out: &mut Vec<u8>, blobs: &[Vec<u8>]| {
+            out.extend_from_slice(&(blobs.len() as u64).to_le_bytes());
+            for blob in blobs {
+                out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+                out.extend_from_slice(blob);
+            }
+        };
+        write_blobs(&mut out, &self.unit_blobs);
+        out.extend_from_slice(&(self.head_blob.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.head_blob);
+        write_blobs(&mut out, &self.aux_blobs);
+        out
+    }
+
+    /// Parses the byte format produced by [`Checkpoint::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let err = |cause: String| NfError::Checkpoint { op: "read", cause };
+        let trunc = || err("truncated checkpoint".to_string());
+        let mut cur = 0usize;
+        let take = |cur: &mut usize, n: usize| -> Result<&[u8]> {
+            // Lengths come from the (possibly corrupt) file; checked_add
+            // keeps a garbage length an error instead of a debug-build
+            // overflow panic.
+            let end = cur.checked_add(n).ok_or_else(trunc)?;
+            let chunk = bytes.get(*cur..end).ok_or_else(trunc)?;
+            *cur = end;
+            Ok(chunk)
+        };
+        let read_u64 = |cur: &mut usize| -> Result<u64> {
+            Ok(u64::from_le_bytes(take(cur, 8)?.try_into().unwrap()))
+        };
+        if take(&mut cur, 4)? != MAGIC {
+            return Err(err("bad magic (not a NeuroFlux checkpoint)".to_string()));
+        }
+        let version = u32::from_le_bytes(take(&mut cur, 4)?.try_into().unwrap());
+        if version != VERSION {
+            return Err(err(format!("unsupported checkpoint version {version}")));
+        }
+        let completed_blocks = read_u64(&mut cur)? as usize;
+        let head_trained = take(&mut cur, 1)?[0] != 0;
+        let sane = |n: u64| -> Result<usize> {
+            if n > 1 << 20 {
+                Err(err(format!("implausible count {n}")))
+            } else {
+                Ok(n as usize)
+            }
+        };
+        let n_blocks = sane(read_u64(&mut cur)?)?;
+        let mut report = WorkerReport::default();
+        for _ in 0..n_blocks {
+            let n = sane(read_u64(&mut cur)?)?;
+            let mut losses = Vec::with_capacity(n);
+            for _ in 0..n {
+                losses.push(f32::from_le_bytes(take(&mut cur, 4)?.try_into().unwrap()));
+            }
+            report.block_losses.push(losses);
+        }
+        let n_batches = sane(read_u64(&mut cur)?)?;
+        for _ in 0..n_batches {
+            report.block_batches.push(read_u64(&mut cur)? as usize);
+        }
+        report.cache_bytes_written = read_u64(&mut cur)?;
+        report.cache_peak_bytes = read_u64(&mut cur)?;
+        report.params_bytes_evicted = read_u64(&mut cur)?;
+        let read_blobs = |cur: &mut usize| -> Result<Vec<Vec<u8>>> {
+            let n = sane(read_u64(cur)?)?;
+            let mut blobs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = read_u64(cur)? as usize;
+                blobs.push(take(cur, len)?.to_vec());
+            }
+            Ok(blobs)
+        };
+        let unit_blobs = read_blobs(&mut cur)?;
+        let head_len = read_u64(&mut cur)? as usize;
+        let head_blob = take(&mut cur, head_len)?.to_vec();
+        let aux_blobs = read_blobs(&mut cur)?;
+        Ok(Checkpoint {
+            completed_blocks,
+            head_trained,
+            report,
+            unit_blobs,
+            head_blob,
+            aux_blobs,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically (temp file + rename).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let werr = |cause: String| NfError::Checkpoint { op: "write", cause };
+        let tmp = path.with_extension("nfck.tmp");
+        std::fs::write(&tmp, self.to_bytes())
+            .map_err(|e| werr(format!("{}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path).map_err(|e| werr(format!("{}: {e}", path.display())))
+    }
+
+    /// Loads a checkpoint previously written by [`Checkpoint::save`].
+    pub fn load(path: &Path) -> Result<Self> {
+        let bytes = std::fs::read(path).map_err(|e| NfError::Checkpoint {
+            op: "read",
+            cause: format!("{}: {e}", path.display()),
+        })?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// A [`CheckpointSink`] that writes every snapshot to one file on disk
+/// (atomically, so the previous snapshot survives a crash mid-write).
+#[derive(Debug, Clone)]
+pub struct FileCheckpoint {
+    path: PathBuf,
+}
+
+impl FileCheckpoint {
+    /// Creates a sink writing to `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        FileCheckpoint { path: path.into() }
+    }
+
+    /// The file snapshots are written to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl CheckpointSink for FileCheckpoint {
+    fn save_state(
+        &mut self,
+        completed_blocks: usize,
+        head_trained: bool,
+        model: &mut BuiltModel,
+        aux_heads: &mut [Sequential],
+        report: &WorkerReport,
+    ) -> Result<()> {
+        Checkpoint::capture(completed_blocks, head_trained, model, aux_heads, report)
+            .save(&self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_data::SyntheticSpec;
+    use nf_models::{assign_aux, build_aux_head, AuxPolicy, ModelSpec};
+    use nf_nn::Layer;
+    use nf_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn trained_setup(seed: u64) -> (BuiltModel, Vec<Sequential>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let spec = ModelSpec::tiny("ck", 8, &[4, 8], 3);
+        let mut model = spec.build(&mut rng).unwrap();
+        let aux = assign_aux(&spec, AuxPolicy::Fixed(4));
+        let mut heads: Vec<Sequential> = aux
+            .iter()
+            .map(|a| build_aux_head(&mut rng, a).unwrap())
+            .collect();
+        // Train a little so optimizer state exists.
+        let ds = SyntheticSpec::quick(3, 8, 24).generate();
+        let config = crate::NeuroFluxConfig::new(1 << 30, 8).with_epochs(1);
+        let mut store = crate::MemoryStore::new();
+        let blocks = crate::partitioner::partition(
+            &crate::Profiler::default().profile(&mut rng, &spec, AuxPolicy::Fixed(4)),
+            1 << 30,
+            8,
+            0.4,
+        )
+        .unwrap();
+        crate::worker::Worker::new(config, &mut store)
+            .run(
+                &mut model,
+                &mut heads,
+                &blocks,
+                ds.train.images(),
+                ds.train.labels(),
+            )
+            .unwrap();
+        (model, heads)
+    }
+
+    #[test]
+    fn byte_format_round_trips() {
+        let (mut model, mut heads) = trained_setup(0);
+        let report = WorkerReport {
+            block_losses: vec![vec![1.5, 0.5], vec![0.25]],
+            block_batches: vec![8, 16],
+            cache_bytes_written: 1234,
+            cache_peak_bytes: 999,
+            params_bytes_evicted: 42,
+        };
+        let ck = Checkpoint::capture(2, true, &mut model, &mut heads, &report);
+        let back = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(ck, back);
+        assert_eq!(back.completed_blocks, 2);
+        assert!(back.head_trained);
+        assert_eq!(back.report, report);
+    }
+
+    #[test]
+    fn restore_reproduces_identical_inference() {
+        let (mut model, mut heads) = trained_setup(1);
+        let report = WorkerReport::default();
+        let ck = Checkpoint::capture(1, false, &mut model, &mut heads, &report);
+
+        // A differently initialised model of the same architecture.
+        let (mut other, mut other_heads) = trained_setup(99);
+        let x = Tensor::ones(&[2, 3, 8, 8]);
+        assert_ne!(
+            model.infer(&x).unwrap(),
+            other.infer(&x).unwrap(),
+            "different seeds must differ before restore"
+        );
+        ck.restore(&mut other, &mut other_heads).unwrap();
+        assert_eq!(model.infer(&x).unwrap(), other.infer(&x).unwrap());
+        // Aux heads restored too: exit-0 logits agree.
+        let mut cur = x.clone();
+        cur = model.units[0].forward(&cur, nf_nn::Mode::Eval).unwrap();
+        let a = heads[0].forward(&cur, nf_nn::Mode::Eval).unwrap();
+        let mut cur = x.clone();
+        cur = other.units[0].forward(&cur, nf_nn::Mode::Eval).unwrap();
+        let b = other_heads[0].forward(&cur, nf_nn::Mode::Eval).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn save_load_round_trips_on_disk() {
+        let (mut model, mut heads) = trained_setup(2);
+        let ck = Checkpoint::capture(1, false, &mut model, &mut heads, &WorkerReport::default());
+        let dir = std::env::temp_dir().join(format!("nf_ck_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.nfck");
+        ck.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        // No temp file left behind.
+        assert!(!path.with_extension("nfck.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_inputs_are_rejected() {
+        let (mut model, mut heads) = trained_setup(3);
+        let ck = Checkpoint::capture(1, false, &mut model, &mut heads, &WorkerReport::default());
+        let bytes = ck.to_bytes();
+        assert!(Checkpoint::from_bytes(&bytes[..bytes.len() / 3]).is_err());
+        assert!(Checkpoint::from_bytes(b"not a checkpoint").is_err());
+        // A blob length of u64::MAX must error, not overflow the cursor:
+        // hand-build a header claiming one unit blob of absurd length.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(b"NFCK");
+        huge.extend_from_slice(&1u32.to_le_bytes()); // version
+        huge.extend_from_slice(&0u64.to_le_bytes()); // completed_blocks
+        huge.push(0); // head_trained
+        huge.extend_from_slice(&0u64.to_le_bytes()); // n_blocks
+        huge.extend_from_slice(&0u64.to_le_bytes()); // n_batches
+        huge.extend_from_slice(&[0u8; 24]); // cache counters
+        huge.extend_from_slice(&1u64.to_le_bytes()); // one unit blob...
+        huge.extend_from_slice(&u64::MAX.to_le_bytes()); // ...of length MAX
+        assert!(matches!(
+            Checkpoint::from_bytes(&huge),
+            Err(NfError::Checkpoint { op: "read", .. })
+        ));
+        // Architecture mismatch is caught before any blob parsing.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut wrong = ModelSpec::tiny("w", 8, &[4], 3).build(&mut rng).unwrap();
+        assert!(matches!(
+            ck.restore(&mut wrong, &mut []),
+            Err(NfError::Checkpoint { op: "restore", .. })
+        ));
+    }
+}

@@ -3,17 +3,35 @@
 //! Wires the pipeline of Figure 7 together: Profiler → Partitioner →
 //! Worker → early-exit selection, producing the streamlined output model.
 
-use crate::cache::MemoryStore;
+use crate::cache::{ActivationStore, MemoryStore};
 use crate::config::NeuroFluxConfig;
 use crate::partitioner::{partition, Block};
 use crate::profiler::Profiler;
-use crate::worker::{Worker, WorkerReport};
-use crate::Result;
+use crate::worker::{RunHooks, TrainEvent, Worker, WorkerReport};
+use crate::{NfError, Result};
 use nf_data::{Dataset, SplitDataset};
 use nf_models::{build_aux_head, BuiltModel, ExitCandidate, ModelSpec};
 use nf_nn::loss::accuracy;
 use nf_nn::{Layer, Mode, Sequential};
 use rand::Rng;
+
+/// Caller-supplied extension points for [`NeuroFluxTrainer::train_with`].
+///
+/// Everything defaults to the plain [`NeuroFluxTrainer::train`] behaviour:
+/// an in-memory activation store, no progress reporting, no checkpointing,
+/// and a fresh (non-resumed) run.
+#[derive(Default)]
+pub struct TrainHooks<'h> {
+    /// Activation store the Worker caches block outputs in. `None` uses a
+    /// run-private [`MemoryStore`]; the CLI passes a
+    /// [`crate::DiskStore`] inside the run directory so an interrupted
+    /// run's cache survives the process.
+    pub store: Option<&'h mut dyn ActivationStore>,
+    /// Worker-level hooks: progress observer, checkpoint sink, and resume
+    /// state. The Controller also routes its own
+    /// [`TrainEvent::ExitMeasured`] events through `run.progress`.
+    pub run: RunHooks<'h>,
+}
 
 /// Everything a NeuroFlux run produces.
 pub struct NeuroFluxOutcome {
@@ -75,6 +93,27 @@ pub fn exit_accuracy(
 }
 
 /// The NeuroFlux training system.
+///
+/// # Examples
+///
+/// The full pipeline — plan, build, block-train with activation caching,
+/// measure exits, select the streamlined model — in one call:
+///
+/// ```
+/// use neuroflux_core::{NeuroFluxConfig, NeuroFluxTrainer};
+/// use nf_data::SyntheticSpec;
+/// use nf_models::ModelSpec;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let data = SyntheticSpec::quick(3, 8, 48).generate();
+/// let spec = ModelSpec::tiny("doc", 8, &[4, 8], 3);
+/// let trainer = NeuroFluxTrainer::new(NeuroFluxConfig::new(6 << 20, 16).with_epochs(2));
+/// let outcome = trainer.train(&mut rng, &spec, &data)?;
+/// assert_eq!(outcome.report.block_batches.len(), outcome.blocks.len());
+/// assert!(outcome.selected_exit.is_some());
+/// # Ok::<(), neuroflux_core::NfError>(())
+/// ```
 pub struct NeuroFluxTrainer {
     /// Run configuration (§0 inputs).
     pub config: NeuroFluxConfig,
@@ -112,6 +151,26 @@ impl NeuroFluxTrainer {
         spec: &ModelSpec,
         data: &SplitDataset,
     ) -> Result<NeuroFluxOutcome> {
+        self.train_with(rng, spec, data, TrainHooks::default())
+    }
+
+    /// [`NeuroFluxTrainer::train`] with caller-supplied [`TrainHooks`]:
+    /// a persistent activation store, progress reporting, per-block
+    /// checkpointing, and resume.
+    ///
+    /// Resume contract: pass the same `spec`, `data`, config, and a `rng`
+    /// seeded identically to the original run (planning and model building
+    /// replay deterministically; the checkpoint then overwrites every
+    /// parameter and optimizer state), plus the recovered activation store.
+    /// The resumed run finishes with exactly the state the uninterrupted
+    /// run would have reached.
+    pub fn train_with<R: Rng>(
+        &self,
+        rng: &mut R,
+        spec: &ModelSpec,
+        data: &SplitDataset,
+        mut hooks: TrainHooks<'_>,
+    ) -> Result<NeuroFluxOutcome> {
         let blocks = self.plan(rng, spec)?;
         let mut model = spec.build(rng)?;
         let aux_specs = nf_models::assign_aux(spec, self.config.aux_policy);
@@ -119,20 +178,37 @@ impl NeuroFluxTrainer {
         for a in &aux_specs {
             aux_heads.push(build_aux_head(rng, a)?);
         }
-        let mut store = MemoryStore::new();
-        let mut worker = Worker::new(self.config, &mut store);
-        let report = worker.run(
+        let mut default_store = MemoryStore::new();
+        let store: &mut dyn ActivationStore = match hooks.store {
+            Some(store) => store,
+            None => &mut default_store,
+        };
+        let mut worker = Worker::new(self.config, store);
+        let report = worker.run_with(
             &mut model,
             &mut aux_heads,
             &blocks,
             data.train.images(),
             data.train.labels(),
+            &mut hooks.run,
         )?;
         // §4: measure every exit on the validation split and pick the
         // smallest within tolerance of the best.
         let mut exits = nf_models::exit_candidates(spec, &aux_specs);
         for (i, cand) in exits.iter_mut().enumerate() {
-            cand.val_accuracy = Some(exit_accuracy(&mut model, &mut aux_heads, i, &data.val)?);
+            let acc = exit_accuracy(&mut model, &mut aux_heads, i, &data.val)?;
+            cand.val_accuracy = Some(acc);
+            if let Some(p) = hooks.run.progress.as_mut() {
+                let keep_going = p(&TrainEvent::ExitMeasured {
+                    exit: i,
+                    val_accuracy: acc,
+                });
+                if !keep_going {
+                    return Err(NfError::Interrupted {
+                        completed_blocks: blocks.len(),
+                    });
+                }
+            }
         }
         let selected_exit = nf_models::select_exit(&exits, self.config.exit_tolerance);
         Ok(NeuroFluxOutcome {

@@ -28,6 +28,20 @@ pub enum NfError {
     },
     /// Configuration is invalid (zero batch limit, empty model, …).
     BadConfig(String),
+    /// Checkpoint serialisation, I/O, or restore failed.
+    Checkpoint {
+        /// Operation that failed ("read"/"write"/"restore").
+        op: &'static str,
+        /// Underlying cause.
+        cause: String,
+    },
+    /// A progress callback requested cancellation mid-run; state up to the
+    /// last completed block is checkpointed (when a sink is attached) and
+    /// the run can be resumed.
+    Interrupted {
+        /// Blocks fully trained before the interruption.
+        completed_blocks: usize,
+    },
 }
 
 impl fmt::Display for NfError {
@@ -43,6 +57,13 @@ impl fmt::Display for NfError {
                 write!(f, "activation cache {op} failed for block {block}: {cause}")
             }
             NfError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            NfError::Checkpoint { op, cause } => {
+                write!(f, "checkpoint {op} failed: {cause}")
+            }
+            NfError::Interrupted { completed_blocks } => write!(
+                f,
+                "training interrupted after {completed_blocks} completed block(s)"
+            ),
         }
     }
 }

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod confidence_exit;
 mod config;
 pub mod controller;
@@ -57,13 +58,15 @@ pub mod simulate;
 pub mod worker;
 
 pub use cache::{ActivationStore, DiskStore, FailingStore, MemoryStore};
+pub use checkpoint::{Checkpoint, CheckpointSink, FileCheckpoint};
 pub use confidence_exit::{CascadePrediction, CascadeReport, ConfidenceCascade};
 pub use config::NeuroFluxConfig;
-pub use controller::{NeuroFluxOutcome, NeuroFluxTrainer};
+pub use controller::{NeuroFluxOutcome, NeuroFluxTrainer, TrainHooks};
 pub use error::NfError;
 pub use params_io::{deserialize_params, serialize_params};
 pub use partitioner::{partition, Block};
 pub use profiler::{LinearMemoryModel, Profiler, UnitProfile};
+pub use worker::{RunHooks, TrainEvent, Worker, WorkerReport};
 
 /// Convenience alias for fallible NeuroFlux operations.
 pub type Result<T> = std::result::Result<T, NfError>;

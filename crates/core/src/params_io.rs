@@ -8,7 +8,10 @@
 //!
 //! Format: for each parameter in `visit_params` order — rank (u64 LE), the
 //! dims (u64 LE each), the value buffer (f32 LE), one u64 state-tensor
-//! count, then each state tensor's buffer (shapes match the value).
+//! count, then each state tensor's buffer (shapes match the value). After
+//! the parameters, each persistent buffer in `visit_buffers` order
+//! (batch-norm running statistics): rank, dims, data — so a restored layer
+//! reproduces *inference*, not just training state.
 
 use crate::{NfError, Result};
 use nf_nn::Layer;
@@ -33,6 +36,16 @@ pub fn serialize_params(layer: &mut dyn Layer) -> Vec<u8> {
             }
         }
         out.extend_from_slice(&p.steps.to_le_bytes());
+    });
+    layer.visit_buffers(&mut |t| {
+        let shape = t.shape();
+        out.extend_from_slice(&(shape.len() as u64).to_le_bytes());
+        for &d in shape {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        for v in t.data() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
     });
     out
 }
@@ -97,6 +110,35 @@ pub fn deserialize_params(layer: &mut dyn Layer, bytes: &[u8]) -> Result<()> {
                     .push(Tensor::from_vec(shape.clone(), data).map_err(|e| e.to_string())?);
             }
             p.steps = read_u64(bytes, &mut cursor).ok_or_else(trunc)?;
+            Ok(())
+        };
+        if let Err(msg) = go() {
+            failure = Some(msg);
+        }
+    });
+    layer.visit_buffers(&mut |t| {
+        if failure.is_some() {
+            return;
+        }
+        let mut go = || -> std::result::Result<(), String> {
+            let trunc = || "truncated buffer blob".to_string();
+            let rank = read_u64(bytes, &mut cursor).ok_or_else(trunc)? as usize;
+            if rank > 8 {
+                return Err(format!("implausible buffer rank {rank}"));
+            }
+            let mut shape = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                shape.push(read_u64(bytes, &mut cursor).ok_or_else(trunc)? as usize);
+            }
+            if shape != t.shape() {
+                return Err(format!(
+                    "buffer shape mismatch: stored {shape:?}, layer has {:?}",
+                    t.shape()
+                ));
+            }
+            let numel: usize = shape.iter().product();
+            let data = read_f32s(bytes, &mut cursor, numel).ok_or_else(trunc)?;
+            *t = Tensor::from_vec(shape, data).map_err(|e| e.to_string())?;
             Ok(())
         };
         if let Err(msg) = go() {
@@ -170,6 +212,34 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let mut wrong = Sequential::new(vec![Box::new(Linear::new(&mut rng, 4, 2))]);
         assert!(deserialize_params(&mut wrong, &bytes).is_err());
+    }
+
+    #[test]
+    fn batchnorm_running_stats_round_trip() {
+        // Running statistics are buffers, not params; eval-mode inference
+        // depends on them, so the codec must carry them (checkpoint/resume
+        // measures exits in eval mode).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let make = |rng: &mut rand::rngs::StdRng| {
+            Sequential::new(vec![
+                Box::new(nf_nn::Conv2d::new(rng, 2, 3, 3, 1, 1).unwrap()) as Box<dyn Layer>,
+                Box::new(nf_nn::BatchNorm2d::new(3)),
+            ])
+        };
+        let mut a = make(&mut rng);
+        // Train-mode forwards move the running stats off their init values.
+        let x = Tensor::ones(&[4, 2, 5, 5]);
+        for _ in 0..3 {
+            a.forward(&x, Mode::Train).unwrap();
+        }
+        let bytes = serialize_params(&mut a);
+        let mut b = make(&mut rng);
+        deserialize_params(&mut b, &bytes).unwrap();
+        let probe = Tensor::ones(&[2, 2, 5, 5]);
+        assert_eq!(
+            a.forward(&probe, Mode::Eval).unwrap(),
+            b.forward(&probe, Mode::Eval).unwrap()
+        );
     }
 
     #[test]

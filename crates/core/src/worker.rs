@@ -14,17 +14,94 @@
 //!    block's forward caches and the consumed upstream cache entry.
 
 use crate::cache::ActivationStore;
+use crate::checkpoint::{Checkpoint, CheckpointSink};
 use crate::config::NeuroFluxConfig;
 use crate::partitioner::Block;
-use crate::Result;
+use crate::{NfError, Result};
 use nf_models::BuiltModel;
 use nf_nn::loss::cross_entropy;
 use nf_nn::optim::Sgd;
 use nf_nn::{Layer, Mode, Sequential};
 use nf_tensor::Tensor;
 
+/// Progress notifications emitted during a Worker run (and exit
+/// measurement, via the Controller).
+///
+/// Observers receive these through the `progress` hook of [`RunHooks`] /
+/// [`crate::controller::TrainHooks`]; returning `false` from the hook
+/// cancels the run with [`NfError::Interrupted`]. This is how the `nf`
+/// CLI renders per-block/per-epoch status and how tests induce a
+/// controlled interruption for `--resume` coverage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainEvent {
+    /// A block was already complete in the resumed-from checkpoint and is
+    /// being skipped.
+    BlockSkipped {
+        /// Block index (0-based).
+        block: usize,
+        /// Total number of blocks in the plan.
+        total: usize,
+    },
+    /// Training of one block is starting.
+    BlockStarted {
+        /// Block index (0-based).
+        block: usize,
+        /// Total number of blocks in the plan.
+        total: usize,
+        /// Unit range `[start, end)` the block covers.
+        units: (usize, usize),
+        /// Batch size the block trains at.
+        batch: usize,
+    },
+    /// One epoch of a block finished.
+    EpochFinished {
+        /// Block index (0-based).
+        block: usize,
+        /// Epoch index within the block (0-based).
+        epoch: usize,
+        /// Epochs each block trains for.
+        epochs: usize,
+        /// Mean local loss across the epoch's unit updates.
+        mean_loss: f32,
+    },
+    /// A block finished training and its activations are cached.
+    BlockFinished {
+        /// Block index (0-based).
+        block: usize,
+        /// Total number of blocks in the plan.
+        total: usize,
+    },
+    /// The deep head finished training on the final block's activations.
+    HeadTrained,
+    /// An exit candidate's validation accuracy was measured
+    /// (Controller-emitted, after the Worker run).
+    ExitMeasured {
+        /// Exit unit index (0-based).
+        exit: usize,
+        /// Measured validation accuracy.
+        val_accuracy: f32,
+    },
+}
+
+/// Optional observers and restart state for one Worker run.
+///
+/// The default hooks reproduce the plain [`Worker::run`] behaviour: no
+/// progress reporting, no checkpointing, start from block 0.
+#[derive(Default)]
+pub struct RunHooks<'h> {
+    /// Called on every [`TrainEvent`]; returning `false` cancels the run.
+    pub progress: Option<&'h mut dyn FnMut(&TrainEvent) -> bool>,
+    /// Receives a model snapshot after every completed block (and after
+    /// head training), enabling `--resume`.
+    pub checkpoint: Option<&'h mut dyn CheckpointSink>,
+    /// Resume state: restores parameters and telemetry, then skips the
+    /// blocks the checkpoint already completed (their activations must be
+    /// present in the store — see [`crate::DiskStore::recover`]).
+    pub resume_from: Option<&'h Checkpoint>,
+}
+
 /// Telemetry from one Worker run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorkerReport {
     /// Mean local loss per epoch, per block (outer index = block).
     pub block_losses: Vec<Vec<f32>>,
@@ -40,14 +117,17 @@ pub struct WorkerReport {
 }
 
 /// Block-wise trainer operating over an [`ActivationStore`].
-pub struct Worker<'s, S: ActivationStore> {
+///
+/// `S: ?Sized` so a `Worker<'_, dyn ActivationStore>` works: the
+/// Controller threads caller-supplied stores through as trait objects.
+pub struct Worker<'s, S: ActivationStore + ?Sized> {
     /// Run configuration.
     pub config: NeuroFluxConfig,
     /// Storage backend for cached activations.
     pub store: &'s mut S,
 }
 
-impl<'s, S: ActivationStore> Worker<'s, S> {
+impl<'s, S: ActivationStore + ?Sized> Worker<'s, S> {
     /// Creates a worker over `store`.
     pub fn new(config: NeuroFluxConfig, store: &'s mut S) -> Self {
         Worker { config, store }
@@ -67,11 +147,27 @@ impl<'s, S: ActivationStore> Worker<'s, S> {
         inputs: &Tensor,
         labels: &[usize],
     ) -> Result<Vec<f32>> {
+        self.train_block_observed(model, aux_heads, block, inputs, labels, 0, &mut None)
+    }
+
+    /// [`Worker::train_block`] with per-epoch [`TrainEvent::EpochFinished`]
+    /// notifications; `block_idx` labels the events.
+    #[allow(clippy::too_many_arguments)]
+    fn train_block_observed(
+        &mut self,
+        model: &mut BuiltModel,
+        aux_heads: &mut [Sequential],
+        block: &Block,
+        inputs: &Tensor,
+        labels: &[usize],
+        block_idx: usize,
+        progress: &mut Option<&mut dyn FnMut(&TrainEvent) -> bool>,
+    ) -> Result<Vec<f32>> {
         let sgd = self.optimizer();
         let n = inputs.shape()[0];
         let batch = block.batch.max(1);
         let mut epoch_losses = Vec::with_capacity(self.config.epochs_per_block);
-        for _ in 0..self.config.epochs_per_block {
+        for epoch in 0..self.config.epochs_per_block {
             let mut losses = Vec::new();
             let mut start = 0usize;
             while start < n {
@@ -95,7 +191,21 @@ impl<'s, S: ActivationStore> Worker<'s, S> {
                 }
                 start = end;
             }
-            epoch_losses.push(losses.iter().sum::<f32>() / losses.len().max(1) as f32);
+            let mean_loss = losses.iter().sum::<f32>() / losses.len().max(1) as f32;
+            epoch_losses.push(mean_loss);
+            if let Some(p) = progress.as_mut() {
+                let keep_going = p(&TrainEvent::EpochFinished {
+                    block: block_idx,
+                    epoch,
+                    epochs: self.config.epochs_per_block,
+                    mean_loss,
+                });
+                if !keep_going {
+                    return Err(NfError::Interrupted {
+                        completed_blocks: block_idx,
+                    });
+                }
+            }
         }
         Ok(epoch_losses)
     }
@@ -137,6 +247,33 @@ impl<'s, S: ActivationStore> Worker<'s, S> {
         images: &Tensor,
         labels: &[usize],
     ) -> Result<WorkerReport> {
+        self.run_with(
+            model,
+            aux_heads,
+            blocks,
+            images,
+            labels,
+            &mut RunHooks::default(),
+        )
+    }
+
+    /// [`Worker::run`] with progress reporting, checkpointing, and resume.
+    ///
+    /// With `hooks.resume_from` set, parameters and telemetry are restored
+    /// from the checkpoint and training restarts at its first incomplete
+    /// block, reading that block's inputs from the activation store — so a
+    /// resumed run converges to exactly the state an uninterrupted run
+    /// reaches (block training draws no randomness; see
+    /// [`crate::checkpoint`]).
+    pub fn run_with(
+        &mut self,
+        model: &mut BuiltModel,
+        aux_heads: &mut [Sequential],
+        blocks: &[Block],
+        images: &Tensor,
+        labels: &[usize],
+        hooks: &mut RunHooks<'_>,
+    ) -> Result<WorkerReport> {
         // Run every layer's matrix products on the configured kernel
         // backend (the blocked parallel kernel unless overridden). Pin
         // per-layer rather than mutating the process-global default, which
@@ -148,9 +285,49 @@ impl<'s, S: ActivationStore> Worker<'s, S> {
         for head in aux_heads.iter_mut() {
             head.set_kernel_backend(self.config.kernel_backend);
         }
-        let mut report = WorkerReport::default();
-        let mut written_total = 0u64;
+        let (mut report, start_block, resume_peak, resume_head_trained) = match hooks.resume_from {
+            Some(ck) => {
+                ck.restore(model, aux_heads)?;
+                (
+                    ck.report.clone(),
+                    ck.completed_blocks,
+                    ck.report.cache_peak_bytes,
+                    ck.head_trained,
+                )
+            }
+            None => (WorkerReport::default(), 0, 0, false),
+        };
+        // Resume housekeeping: only block start_block-1's activations are
+        // needed; older entries can survive on disk when a kill landed in
+        // the checkpoint-then-delete window below. Drop them.
+        for stale in 0..start_block.saturating_sub(1) {
+            self.store.delete(stale)?;
+        }
         for (b, block) in blocks.iter().enumerate() {
+            if b < start_block {
+                // Completed before the checkpoint: parameters restored, the
+                // last such block's activations already cached. Durable
+                // progress is the checkpointed count, not this loop index.
+                emit_event(
+                    &mut hooks.progress,
+                    TrainEvent::BlockSkipped {
+                        block: b,
+                        total: blocks.len(),
+                    },
+                    start_block,
+                )?;
+                continue;
+            }
+            emit_event(
+                &mut hooks.progress,
+                TrainEvent::BlockStarted {
+                    block: b,
+                    total: blocks.len(),
+                    units: (block.units.start, block.units.end),
+                    batch: block.batch,
+                },
+                b,
+            )?;
             // §3.1: load this block's inputs — dataset for block 0, the
             // previous block's cached activations otherwise.
             let inputs = if b == 0 {
@@ -158,16 +335,21 @@ impl<'s, S: ActivationStore> Worker<'s, S> {
             } else {
                 self.store.read(b - 1)?
             };
-            let losses = self.train_block(model, aux_heads, block, &inputs, labels)?;
+            let losses = self.train_block_observed(
+                model,
+                aux_heads,
+                block,
+                &inputs,
+                labels,
+                b,
+                &mut hooks.progress,
+            )?;
             report.block_losses.push(losses);
             report.block_batches.push(block.batch);
             // §3.3: persist the trained block's outputs, then evict.
             let acts = self.regenerate_activations(model, block, &inputs)?;
-            written_total += acts.numel() as u64 * 4;
+            report.cache_bytes_written += acts.numel() as u64 * 4;
             self.store.write(b, &acts)?;
-            if b > 0 {
-                self.store.delete(b - 1)?;
-            }
             for u in block.units.clone() {
                 model.units[u].clear_cache();
                 aux_heads[u].clear_cache();
@@ -187,32 +369,76 @@ impl<'s, S: ActivationStore> Worker<'s, S> {
                     crate::params_io::deserialize_params(&mut aux_heads[u], &blob)?;
                 }
             }
+            report.cache_peak_bytes = resume_peak.max(self.store.peak_bytes());
+            if let Some(sink) = hooks.checkpoint.as_mut() {
+                sink.save_state(b + 1, false, model, aux_heads, &report)?;
+            }
+            // Evict the consumed upstream entry only *after* the checkpoint
+            // covering this block is durable: a kill between delete and
+            // checkpoint would otherwise leave the previous checkpoint
+            // pointing at activations that no longer exist, making the run
+            // unresumable. (A kill after the checkpoint merely leaves a
+            // stale entry, cleaned up by the resume housekeeping above.)
+            if b > 0 {
+                self.store.delete(b - 1)?;
+            }
+            emit_event(
+                &mut hooks.progress,
+                TrainEvent::BlockFinished {
+                    block: b,
+                    total: blocks.len(),
+                },
+                b + 1,
+            )?;
         }
         // Train the original head on the final block's cached activations —
-        // the model's deepest exit.
+        // the model's deepest exit. Skipped when the resumed-from
+        // checkpoint already covers it (head parameters were restored).
         if let Some(last) = blocks.len().checked_sub(1) {
-            let acts = self.store.read(last)?;
-            let sgd = self.optimizer();
-            let batch = blocks[last].batch.max(1);
-            let n = acts.shape()[0];
-            for _ in 0..self.config.epochs_per_block {
-                let mut start = 0usize;
-                while start < n {
-                    let end = (start + batch).min(n);
-                    let xb = acts.slice_batch(start, end)?;
-                    let logits = model.head.forward(&xb, Mode::Train)?;
-                    let (_, grad) = cross_entropy(&logits, &labels[start..end])?;
-                    let _ = model.head.backward(&grad)?;
-                    sgd.step(&mut model.head);
-                    start = end;
+            if !resume_head_trained {
+                let acts = self.store.read(last)?;
+                let sgd = self.optimizer();
+                let batch = blocks[last].batch.max(1);
+                let n = acts.shape()[0];
+                for _ in 0..self.config.epochs_per_block {
+                    let mut start = 0usize;
+                    while start < n {
+                        let end = (start + batch).min(n);
+                        let xb = acts.slice_batch(start, end)?;
+                        let logits = model.head.forward(&xb, Mode::Train)?;
+                        let (_, grad) = cross_entropy(&logits, &labels[start..end])?;
+                        let _ = model.head.backward(&grad)?;
+                        sgd.step(&mut model.head);
+                        start = end;
+                    }
                 }
+                if let Some(sink) = hooks.checkpoint.as_mut() {
+                    sink.save_state(blocks.len(), true, model, aux_heads, &report)?;
+                }
+                emit_event(&mut hooks.progress, TrainEvent::HeadTrained, blocks.len())?;
             }
             self.store.delete(last)?;
         }
-        report.cache_bytes_written = written_total;
-        report.cache_peak_bytes = self.store.peak_bytes();
+        report.cache_peak_bytes = resume_peak.max(self.store.peak_bytes());
         Ok(report)
     }
+}
+
+/// Delivers `event` to the progress hook (if any); translates a `false`
+/// return into [`NfError::Interrupted`] with `completed` blocks done.
+fn emit_event(
+    progress: &mut Option<&mut dyn FnMut(&TrainEvent) -> bool>,
+    event: TrainEvent,
+    completed: usize,
+) -> Result<()> {
+    if let Some(p) = progress.as_mut() {
+        if !p(&event) {
+            return Err(NfError::Interrupted {
+                completed_blocks: completed,
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -400,6 +626,108 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, NfError::Cache { op: "read", .. }));
+    }
+
+    #[test]
+    fn interrupted_run_resumes_to_identical_state() {
+        use crate::checkpoint::{Checkpoint, FileCheckpoint};
+        use crate::DiskStore;
+
+        let dir = std::env::temp_dir().join(format!("nf_resume_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck_path = dir.join("checkpoint.nfck");
+        let config = NeuroFluxConfig::new(1 << 30, 8).with_epochs(2);
+        let blocks = two_blocks();
+
+        // Reference: uninterrupted run.
+        let (mut model_ref, mut heads_ref, ds) = setup(11, &[6, 8]);
+        let mut store_ref = MemoryStore::new();
+        let report_ref = Worker::new(config, &mut store_ref)
+            .run(
+                &mut model_ref,
+                &mut heads_ref,
+                &blocks,
+                ds.train.images(),
+                ds.train.labels(),
+            )
+            .unwrap();
+
+        // Interrupted run: cancel right after block 0 completes (its
+        // checkpoint and cached activations are already durable).
+        let (mut model, mut heads, _) = setup(11, &[6, 8]);
+        let mut store = DiskStore::new(dir.join("cache")).unwrap();
+        let mut sink = FileCheckpoint::new(&ck_path);
+        let mut cancel = |e: &TrainEvent| !matches!(e, TrainEvent::BlockFinished { block: 0, .. });
+        let err = Worker::new(config, &mut store)
+            .run_with(
+                &mut model,
+                &mut heads,
+                &blocks,
+                ds.train.images(),
+                ds.train.labels(),
+                &mut RunHooks {
+                    progress: Some(&mut cancel),
+                    checkpoint: Some(&mut sink),
+                    resume_from: None,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NfError::Interrupted {
+                completed_blocks: 1
+            }
+        ));
+
+        // Resume in a "fresh process": rebuild from the same seed, restore
+        // the checkpoint, recover the on-disk cache.
+        let (mut model2, mut heads2, _) = setup(11, &[6, 8]);
+        let ck = Checkpoint::load(&ck_path).unwrap();
+        assert_eq!(ck.completed_blocks, 1);
+        let mut store2 = DiskStore::recover(dir.join("cache")).unwrap();
+        let mut skipped = Vec::new();
+        let mut observe = |e: &TrainEvent| {
+            if let TrainEvent::BlockSkipped { block, .. } = e {
+                skipped.push(*block);
+            }
+            true
+        };
+        let report = Worker::new(config, &mut store2)
+            .run_with(
+                &mut model2,
+                &mut heads2,
+                &blocks,
+                ds.train.images(),
+                ds.train.labels(),
+                &mut RunHooks {
+                    progress: Some(&mut observe),
+                    checkpoint: None,
+                    resume_from: Some(&ck),
+                },
+            )
+            .unwrap();
+        assert_eq!(skipped, vec![0]);
+
+        // The resumed run reaches exactly the uninterrupted final state.
+        assert_eq!(report.block_losses, report_ref.block_losses);
+        assert_eq!(report.block_batches, report_ref.block_batches);
+        assert_eq!(report.cache_bytes_written, report_ref.cache_bytes_written);
+        let params = |m: &mut BuiltModel| {
+            let mut out = Vec::new();
+            for u in &mut m.units {
+                u.visit_params(&mut |p| out.push(p.value.clone()));
+            }
+            m.head.visit_params(&mut |p| out.push(p.value.clone()));
+            out
+        };
+        assert_eq!(params(&mut model2), params(&mut model_ref));
+        let x = Tensor::ones(&[1, 3, 8, 8]);
+        assert_eq!(
+            model2.infer(&x).unwrap(),
+            model_ref.infer(&x).unwrap(),
+            "resumed inference must match uninterrupted"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

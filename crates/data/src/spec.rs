@@ -2,6 +2,7 @@
 
 use crate::dataset::SplitDataset;
 use crate::generator;
+use serde::{Deserialize, Serialize};
 
 /// Parameters of a synthetic dataset.
 ///
@@ -9,7 +10,7 @@ use crate::generator;
 /// sample counts default to sizes that train in reasonable CPU time and can
 /// be overridden for full-scale accounting (e.g. storage-overhead
 /// experiments use [`SyntheticSpec::full_scale_bytes`]).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SyntheticSpec {
     /// Dataset name (used in reports).
     pub name: String,
@@ -35,6 +36,36 @@ pub struct SyntheticSpec {
 }
 
 impl SyntheticSpec {
+    /// Names accepted by [`SyntheticSpec::by_name`].
+    pub fn preset_names() -> [&'static str; 3] {
+        ["cifar10", "cifar100", "tiny-imagenet"]
+    }
+
+    /// Looks up a dataset preset by its stable name with the given split
+    /// sizes; `None` for unknown names. (The `quick` family is not listed —
+    /// it is parameterised by class count and image size, so configs spell
+    /// it out explicitly.)
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nf_data::SyntheticSpec;
+    ///
+    /// let spec = SyntheticSpec::by_name("cifar100", 512, 64, 64).unwrap();
+    /// assert_eq!(spec.classes, 100);
+    /// assert!(SyntheticSpec::by_name("imagenet", 1, 1, 1).is_none());
+    /// ```
+    pub fn by_name(name: &str, train: usize, val: usize, test: usize) -> Option<Self> {
+        match name {
+            "cifar10" => Some(SyntheticSpec::cifar10(train, val, test)),
+            "cifar100" => Some(SyntheticSpec::cifar100(train, val, test)),
+            "tiny-imagenet" | "tiny_imagenet" => {
+                Some(SyntheticSpec::tiny_imagenet(train, val, test))
+            }
+            _ => None,
+        }
+    }
+
     /// CIFAR-10 stand-in: 10 classes, 32×32×3.
     pub fn cifar10(train: usize, val: usize, test: usize) -> Self {
         SyntheticSpec {
@@ -135,6 +166,16 @@ impl SyntheticSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn preset_names_resolve() {
+        for name in SyntheticSpec::preset_names() {
+            let s = SyntheticSpec::by_name(name, 10, 5, 5).expect(name);
+            assert_eq!(s.name, name);
+            assert_eq!((s.train, s.val, s.test), (10, 5, 5));
+        }
+        assert!(SyntheticSpec::by_name("mnist", 1, 1, 1).is_none());
+    }
 
     #[test]
     fn presets_match_paper_structure() {

@@ -125,6 +125,34 @@ impl DeviceProfile {
         ]
     }
 
+    /// Slugs accepted by [`DeviceProfile::by_name`], in Table 1 order.
+    pub fn preset_names() -> [&'static str; 4] {
+        ["pi4b", "jetson-nano", "xavier-nx", "agx-orin"]
+    }
+
+    /// Looks up a Table 1 device by slug (`pi4b`, `jetson-nano`,
+    /// `xavier-nx`, `agx-orin`; underscores also accepted). `None` for
+    /// unknown slugs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nf_memsim::DeviceProfile;
+    ///
+    /// let orin = DeviceProfile::by_name("agx-orin").unwrap();
+    /// assert_eq!(orin, DeviceProfile::agx_orin());
+    /// assert!(DeviceProfile::by_name("h100").is_none());
+    /// ```
+    pub fn by_name(name: &str) -> Option<DeviceProfile> {
+        match name {
+            "pi4b" => Some(Self::pi4b()),
+            "jetson-nano" | "jetson_nano" | "nano" => Some(Self::jetson_nano()),
+            "xavier-nx" | "xavier_nx" => Some(Self::xavier_nx()),
+            "agx-orin" | "agx_orin" | "orin" => Some(Self::agx_orin()),
+            _ => None,
+        }
+    }
+
     /// Sustained FLOPs/second on CNN kernels.
     pub fn effective_flops(&self) -> f64 {
         self.peak_tflops * 1e12 * self.compute_efficiency

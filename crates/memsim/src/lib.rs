@@ -24,7 +24,7 @@
 //! *shapes* (orderings, ratios, crossovers), recorded in `EXPERIMENTS.md`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod device;
 pub mod feasibility;

@@ -14,9 +14,10 @@
 //!   channel counts.
 
 use crate::spec::{ModelSpec, UnitAnalytics};
+use serde::{Deserialize, Serialize};
 
 /// How auxiliary conv filter counts are chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AuxPolicy {
     /// Fixed filter count for every unit (classic LL uses 256).
     Fixed(usize),
@@ -27,6 +28,43 @@ pub enum AuxPolicy {
 impl AuxPolicy {
     /// Classic local learning: 256 filters everywhere.
     pub const CLASSIC: AuxPolicy = AuxPolicy::Fixed(256);
+
+    /// Stable name for configs and reports (`adaptive`, `classic`, or
+    /// `fixed:<filters>`).
+    pub fn name(&self) -> String {
+        match *self {
+            AuxPolicy::Adaptive => "adaptive".to_string(),
+            AuxPolicy::Fixed(256) => "classic".to_string(),
+            AuxPolicy::Fixed(f) => format!("fixed:{f}"),
+        }
+    }
+}
+
+impl std::str::FromStr for AuxPolicy {
+    type Err = String;
+
+    /// Parses the names produced by [`AuxPolicy::name`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "adaptive" | "aan" => Ok(AuxPolicy::Adaptive),
+            "classic" => Ok(AuxPolicy::CLASSIC),
+            other => {
+                if let Some(n) = other.strip_prefix("fixed:") {
+                    let filters: usize = n
+                        .parse()
+                        .map_err(|_| format!("bad fixed aux filter count {n:?}"))?;
+                    if filters == 0 {
+                        return Err("fixed aux filter count must be > 0".to_string());
+                    }
+                    Ok(AuxPolicy::Fixed(filters))
+                } else {
+                    Err(format!(
+                        "unknown aux policy {other:?} (expected adaptive, classic, or fixed:<n>)"
+                    ))
+                }
+            }
+        }
+    }
 }
 
 /// Analytic description of one auxiliary network.

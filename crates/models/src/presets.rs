@@ -54,6 +54,38 @@ fn vgg_from_cfg(name: &str, cfg: &[usize], classes: usize) -> ModelSpec {
 }
 
 impl ModelSpec {
+    /// Names accepted by [`ModelSpec::by_name`], in lookup order.
+    pub fn preset_names() -> [&'static str; 5] {
+        ["vgg11", "vgg16", "vgg19", "resnet18", "mobilenet"]
+    }
+
+    /// Looks up an evaluation preset by its stable name.
+    ///
+    /// Returns `None` for unknown names; [`ModelSpec::preset_names`] lists
+    /// the accepted set. This is the resolution step config-driven runs
+    /// (`nf train`) use to turn `model.preset = "vgg16"` into a spec.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nf_models::ModelSpec;
+    ///
+    /// let spec = ModelSpec::by_name("resnet18", 100).unwrap();
+    /// assert_eq!(spec.name, "resnet18");
+    /// assert_eq!(spec.classes, 100);
+    /// assert!(ModelSpec::by_name("alexnet", 10).is_none());
+    /// ```
+    pub fn by_name(name: &str, classes: usize) -> Option<ModelSpec> {
+        match name {
+            "vgg11" => Some(ModelSpec::vgg11(classes)),
+            "vgg16" => Some(ModelSpec::vgg16(classes)),
+            "vgg19" => Some(ModelSpec::vgg19(classes)),
+            "resnet18" => Some(ModelSpec::resnet18(classes)),
+            "mobilenet" => Some(ModelSpec::mobilenet(classes)),
+            _ => None,
+        }
+    }
+
     /// VGG-11 (8 conv units). Used by the paper's Figure 8 linearity study.
     pub fn vgg11(classes: usize) -> ModelSpec {
         vgg_from_cfg(
@@ -202,6 +234,16 @@ impl ModelSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_preset_name_resolves() {
+        for name in ModelSpec::preset_names() {
+            let spec = ModelSpec::by_name(name, 10).expect(name);
+            assert_eq!(spec.name, name);
+            assert_eq!(spec.classes, 10);
+        }
+        assert!(ModelSpec::by_name("lenet", 10).is_none());
+    }
 
     #[test]
     fn unit_counts_match_paper() {

@@ -43,6 +43,13 @@ pub trait Layer {
     /// Visits every trainable parameter (used by optimizers and reporting).
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
 
+    /// Visits every persistent non-trainable buffer — state that is not a
+    /// parameter but must survive serialisation for inference to
+    /// reproduce, such as batch-norm running statistics. Layers without
+    /// such state (the default) visit nothing. Buffers are visited in a
+    /// deterministic order, the contract checkpointing relies on.
+    fn visit_buffers(&mut self, _f: &mut dyn FnMut(&mut Tensor)) {}
+
     /// Total number of scalar trainable parameters.
     fn param_count(&mut self) -> usize {
         let mut n = 0;
@@ -81,6 +88,10 @@ impl Layer for Box<dyn Layer> {
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.as_mut().visit_params(f)
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.as_mut().visit_buffers(f)
     }
 
     fn clear_cache(&mut self) {

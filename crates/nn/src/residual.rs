@@ -143,6 +143,14 @@ impl Layer for BasicBlock {
         }
     }
 
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.bn1.visit_buffers(f);
+        self.bn2.visit_buffers(f);
+        if let Some((_, bn)) = &mut self.shortcut {
+            bn.visit_buffers(f);
+        }
+    }
+
     fn set_kernel_backend(&mut self, backend: nf_tensor::KernelBackend) {
         self.conv1.set_kernel_backend(backend);
         self.conv2.set_kernel_backend(backend);

@@ -91,6 +91,12 @@ impl Layer for Sequential {
         }
     }
 
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_buffers(f);
+        }
+    }
+
     fn clear_cache(&mut self) {
         for layer in &mut self.layers {
             layer.clear_cache();

@@ -26,12 +26,31 @@ mod naive;
 pub use blocked::BlockedGemm;
 pub use naive::NaiveGemm;
 
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// A dense single-precision matrix-multiplication implementation.
 ///
 /// All matrices are row-major, fully packed slices. Implementations
 /// overwrite `out` completely; they must not read it.
+///
+/// # Examples
+///
+/// Every variant of [`KernelBackend`] resolves to a `GemmBackend`; the fast
+/// backends are property-tested against [`NaiveGemm`], so any of them can be
+/// called directly on packed row-major slices:
+///
+/// ```
+/// use nf_tensor::kernels::{GemmBackend, KernelBackend};
+///
+/// // out (2×2) = a (2×3) · b (3×2)
+/// let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+/// let b = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+/// let mut out = [0.0f32; 4];
+/// let backend: &dyn GemmBackend = KernelBackend::Blocked.backend();
+/// backend.gemm(2, 3, 2, &a, &b, &mut out);
+/// assert_eq!(out, [4.0, 5.0, 10.0, 11.0]);
+/// ```
 pub trait GemmBackend: Send + Sync {
     /// Backend name for reports and benchmarks.
     fn name(&self) -> &'static str;
@@ -48,7 +67,7 @@ pub trait GemmBackend: Send + Sync {
 
 /// The selectable GEMM implementations, as a plain value that can sit in a
 /// config struct.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum KernelBackend {
     /// Reference `i-k-j` loops, single-threaded.
     Naive,
@@ -78,6 +97,15 @@ impl KernelBackend {
         self.backend().name()
     }
 
+    /// All selectable backends, in `to_u8` order.
+    pub fn all() -> [KernelBackend; 3] {
+        [
+            KernelBackend::Naive,
+            KernelBackend::Blocked,
+            KernelBackend::BlockedParallel,
+        ]
+    }
+
     fn to_u8(self) -> u8 {
         match self {
             KernelBackend::Naive => 0,
@@ -91,6 +119,24 @@ impl KernelBackend {
             0 => KernelBackend::Naive,
             1 => KernelBackend::Blocked,
             _ => KernelBackend::BlockedParallel,
+        }
+    }
+}
+
+impl std::str::FromStr for KernelBackend {
+    type Err = String;
+
+    /// Parses the stable names produced by [`KernelBackend::name`] (plus
+    /// `blocked_parallel` as an alias, since TOML keys often use
+    /// underscores).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "naive" => Ok(KernelBackend::Naive),
+            "blocked" => Ok(KernelBackend::Blocked),
+            "blocked-parallel" | "blocked_parallel" => Ok(KernelBackend::BlockedParallel),
+            other => Err(format!(
+                "unknown kernel backend {other:?} (expected naive, blocked, or blocked-parallel)"
+            )),
         }
     }
 }
@@ -135,5 +181,17 @@ mod tests {
             KernelBackend::BlockedParallel.name(),
         ];
         assert_eq!(names, ["naive", "blocked", "blocked-parallel"]);
+    }
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for backend in KernelBackend::all() {
+            assert_eq!(backend.name().parse::<KernelBackend>(), Ok(backend));
+        }
+        assert_eq!(
+            "blocked_parallel".parse::<KernelBackend>(),
+            Ok(KernelBackend::BlockedParallel)
+        );
+        assert!("cuda".parse::<KernelBackend>().is_err());
     }
 }

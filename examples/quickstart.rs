@@ -4,6 +4,11 @@
 //! cargo run --example quickstart --release
 //! ```
 //!
+//! The config-file twin of this example is `examples/quickstart.toml`,
+//! runnable without writing Rust: `nf train examples/quickstart.toml`
+//! (see README.md) — which additionally persists the run (metrics,
+//! checkpoint, resumable cache) under `runs/quickstart/`.
+//!
 //! This walks the full paper pipeline on a laptop-sized problem:
 //! profile → partition into blocks → block-wise adaptive local learning
 //! with activation caching → early-exit selection.

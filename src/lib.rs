@@ -19,6 +19,7 @@
 //! the paper regenerates from `crates/bench`.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use neuroflux_core as core;
 pub use nf_baselines as baselines;

@@ -87,7 +87,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Number of elements a [`vec`] strategy generates: exact or ranged.
+    /// Number of elements a [`vec()`] strategy generates: exact or ranged.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -130,7 +130,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
