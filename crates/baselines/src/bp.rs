@@ -71,10 +71,16 @@ impl BpTrainer {
         test: &Dataset,
     ) -> nf_nn::Result<TrainReport> {
         // Pin every layer to the configured backend (rather than mutating
-        // the process-global default, which would race concurrent runs).
+        // the process-global default, which would race concurrent runs),
+        // and share one scratch workspace across the whole network — BP
+        // trains end-to-end, so the network is a single "block".
+        let ws = nf_tensor::shared_workspace();
         for unit in &mut model.units {
             unit.set_kernel_backend(self.kernel_backend);
+            unit.set_workspace(&ws);
         }
+        model.head.set_kernel_backend(self.kernel_backend);
+        model.head.set_workspace(&ws);
         let mut report = TrainReport::default();
         for _ in 0..self.epochs {
             let mut losses = Vec::new();

@@ -11,37 +11,51 @@ use crate::report::TrainReport;
 use nf_data::Dataset;
 use nf_nn::loss::{accuracy, cross_entropy};
 use nf_nn::optim::Sgd;
-use nf_nn::{Layer, Mode, NnError, Param};
+use nf_nn::{InputCache, Layer, Mode, NnError, PackedPanel, Param};
 use nf_tensor::{
-    col2im_batch, global_backend, he_normal, im2col_batch, matmul_a_bt_with, matmul_at_b_with,
-    matmul_with, nchw_to_posrows, posrows_to_nchw, sum_axis0, Conv2dGeometry, KernelBackend,
-    Tensor,
+    col2im_batch, global_backend, he_normal, im2col_batch_into, lock_workspace, matmul_at_b_into,
+    matmul_into, matmul_with, nchw_to_posrows_into, new_owner_token, posrows_to_nchw,
+    shared_workspace, sum_axis0_acc, transpose2d_into, Conv2dGeometry, KernelBackend,
+    SharedWorkspace, Tensor,
 };
 use rand::Rng;
+use std::sync::Arc;
 
 /// Linear layer whose backward pass uses a fixed random feedback matrix.
 pub struct FaLinear {
     weight: Param,
     bias: Param,
-    /// Fixed random feedback matrix, same shape as `weight`; never updated.
+    /// Fixed random feedback matrix, same shape as `weight`; never
+    /// updated. The hot path reads only its packed transpose below;
+    /// retained for tests and introspection.
+    #[cfg_attr(not(test), allow(dead_code))]
     feedback: Tensor,
+    /// `feedback` transposed `(out, in)` — packed once ever, since the
+    /// feedback path is frozen by construction.
+    packed_fb: Tensor,
     in_features: usize,
     out_features: usize,
     backend: Option<KernelBackend>,
-    cached_input: Option<Tensor>,
+    ws: SharedWorkspace,
+    cached_input: InputCache,
 }
 
 impl FaLinear {
     /// Creates the layer with independent forward and feedback weights.
     pub fn new<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        let feedback = he_normal(rng, &[in_features, out_features], in_features);
+        let mut packed_fb = Tensor::default();
+        transpose2d_into(&feedback, &mut packed_fb).expect("feedback is rank-2");
         FaLinear {
             weight: Param::new(he_normal(rng, &[in_features, out_features], in_features)),
             bias: Param::new(Tensor::zeros(&[out_features])),
-            feedback: he_normal(rng, &[in_features, out_features], in_features),
+            feedback,
+            packed_fb,
             in_features,
             out_features,
             backend: None,
-            cached_input: None,
+            ws: shared_workspace(),
+            cached_input: InputCache::new(),
         }
     }
 
@@ -64,23 +78,38 @@ impl Layer for FaLinear {
             }
         }
         if mode == Mode::Train {
-            self.cached_input = Some(x.clone());
+            self.cached_input.store(x);
         }
         Ok(y)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> nf_nn::Result<Tensor> {
+        // Rank check before consuming the cache (see nf-nn's Linear).
+        let (gr, gc) = grad_out.dims2()?;
         let x = self
             .cached_input
             .take()
             .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
         let backend = self.backend();
-        let dw = matmul_at_b_with(backend, &x, grad_out)?;
-        nf_tensor::axpy(1.0, &dw, &mut self.weight.grad)?;
-        let db = sum_axis0(grad_out)?;
-        nf_tensor::axpy(1.0, &db, &mut self.bias.grad)?;
-        // The error signal travels through the *feedback* matrix.
-        Ok(matmul_a_bt_with(backend, grad_out, &self.feedback)?)
+        if gr != x.shape()[0] || gc != self.out_features {
+            self.cached_input.put_back(x);
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!("grad shape {:?} inconsistent with layer", grad_out.shape()),
+            });
+        }
+        {
+            let mut ws = lock_workspace(&self.ws);
+            let p = ws.parts();
+            matmul_at_b_into(backend, &x, grad_out, p.out, p.pack)?;
+            nf_tensor::axpy(1.0, p.out, &mut self.weight.grad)?;
+        }
+        // db += column sums of g, accumulated in place.
+        sum_axis0_acc(grad_out, &mut self.bias.grad)?;
+        self.cached_input.retire(x);
+        // The error signal travels through the *feedback* matrix (packed
+        // at construction, so this is a plain GEMM).
+        Ok(matmul_with(backend, grad_out, &self.packed_fb)?)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -89,11 +118,15 @@ impl Layer for FaLinear {
     }
 
     fn clear_cache(&mut self) {
-        self.cached_input = None;
+        self.cached_input.clear();
     }
 
     fn set_kernel_backend(&mut self, backend: KernelBackend) {
         self.backend = Some(backend);
+    }
+
+    fn set_workspace(&mut self, ws: &SharedWorkspace) {
+        self.ws = Arc::clone(ws);
     }
 }
 
@@ -103,13 +136,19 @@ pub struct FaConv2d {
     weight: Param,
     bias: Param,
     feedback: Tensor,
+    /// `weight.value` transposed to `(c_in·k·k, c_out)`, re-packed only
+    /// when the weight version moves (once per optimizer step).
+    packed_wt: PackedPanel,
     in_channels: usize,
     out_channels: usize,
     kernel: usize,
     stride: usize,
     pad: usize,
     backend: Option<KernelBackend>,
-    cached_input: Option<Tensor>,
+    ws: SharedWorkspace,
+    /// Stamp for the workspace `cols` slot (backward lowering reuse).
+    owner_token: u64,
+    cached_input: InputCache,
 }
 
 impl FaConv2d {
@@ -127,13 +166,16 @@ impl FaConv2d {
             weight: Param::new(he_normal(rng, &[out_channels, fan_in], fan_in)),
             bias: Param::new(Tensor::zeros(&[out_channels])),
             feedback: he_normal(rng, &[out_channels, fan_in], fan_in),
+            packed_wt: PackedPanel::new(),
             in_channels,
             out_channels,
             kernel,
             stride,
             pad,
             backend: None,
-            cached_input: None,
+            ws: shared_workspace(),
+            owner_token: new_owner_token(),
+            cached_input: InputCache::new(),
         }
     }
 
@@ -167,21 +209,32 @@ impl Layer for FaConv2d {
             });
         }
         let geom = self.geometry(h, w)?;
+        let backend = self.backend();
+        let wt = self.packed_wt.get(&self.weight)?;
         // Batched lowering: one GEMM for the whole minibatch (same shape
-        // as nf-nn's Conv2d fast path).
-        let cols = im2col_batch(x, &geom)?;
-        let mut y = matmul_a_bt_with(self.backend(), &cols, &self.weight.value)?; // N·P × C_out
+        // as nf-nn's Conv2d fast path), entirely in workspace scratch.
+        let mut ws = lock_workspace(&self.ws);
+        let p = ws.parts();
+        im2col_batch_into(x, &geom, p.cols)?;
+        // Claimed for backward reuse only when backward will see this
+        // exact input (see nf-nn's Conv2d).
+        *p.cols_owner = if mode == Mode::Train {
+            self.owner_token
+        } else {
+            0
+        };
+        matmul_into(backend, p.cols, wt, p.out)?; // N·P × C_out
         let bias = self.bias.value.data();
-        for row in y.data_mut().chunks_mut(self.out_channels) {
+        for row in p.out.data_mut().chunks_mut(self.out_channels) {
             for (v, b) in row.iter_mut().zip(bias) {
                 *v += b;
             }
         }
         if mode == Mode::Train {
-            self.cached_input = Some(x.clone());
+            self.cached_input.store(x);
         }
         Ok(posrows_to_nchw(
-            &y,
+            p.out,
             n,
             self.out_channels,
             geom.out_h,
@@ -190,26 +243,43 @@ impl Layer for FaConv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> nf_nn::Result<Tensor> {
+        // Rank check before consuming the cache (see nf-nn's Conv2d).
+        let (gn, gc, goh, gow) = grad_out.dims4()?;
         let x = self
             .cached_input
             .take()
             .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
         let (n, c, h, w) = x.dims4()?;
         let geom = self.geometry(h, w)?;
-        let backend = self.backend();
-        let cols = im2col_batch(&x, &geom)?;
-        let g = nchw_to_posrows(grad_out)?; // N·P × C_out
-        let dw = matmul_at_b_with(backend, &g, &cols)?;
-        nf_tensor::axpy(1.0, &dw, &mut self.weight.grad)?;
-        let db = self.bias.grad.data_mut();
-        for row in g.data().chunks(self.out_channels) {
-            for (d, &v) in db.iter_mut().zip(row) {
-                *d += v;
-            }
+        if gn != n || gc != self.out_channels || goh != geom.out_h || gow != geom.out_w {
+            self.cached_input.put_back(x);
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!(
+                    "grad shape {:?} inconsistent with cached input",
+                    grad_out.shape(),
+                ),
+            });
         }
-        // Input gradient through the fixed feedback filters.
-        let dcols = matmul_with(backend, &g, &self.feedback)?; // N·P × C·K·K
-        Ok(col2im_batch(&dcols, n, c, &geom)?)
+        let backend = self.backend();
+        let mut ws = lock_workspace(&self.ws);
+        let p = ws.parts();
+        if *p.cols_owner != self.owner_token {
+            im2col_batch_into(&x, &geom, p.cols)?;
+            *p.cols_owner = self.owner_token;
+        }
+        let g = p.posrows; // N·P × C_out
+        nchw_to_posrows_into(grad_out, g)?;
+        matmul_at_b_into(backend, g, p.cols, p.out, p.pack)?;
+        nf_tensor::axpy(1.0, p.out, &mut self.weight.grad)?;
+        sum_axis0_acc(g, &mut self.bias.grad)?;
+        // Input gradient through the fixed feedback filters (reusing the
+        // consumed dW slot).
+        matmul_into(backend, g, &self.feedback, p.out)?; // N·P × C·K·K
+        let dx = col2im_batch(p.out, n, c, &geom)?;
+        drop(ws);
+        self.cached_input.retire(x);
+        Ok(dx)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -218,11 +288,15 @@ impl Layer for FaConv2d {
     }
 
     fn clear_cache(&mut self) {
-        self.cached_input = None;
+        self.cached_input.clear();
     }
 
     fn set_kernel_backend(&mut self, backend: KernelBackend) {
         self.backend = Some(backend);
+    }
+
+    fn set_workspace(&mut self, ws: &SharedWorkspace) {
+        self.ws = Arc::clone(ws);
     }
 }
 
@@ -293,9 +367,12 @@ impl FaTrainer {
         test: &Dataset,
     ) -> nf_nn::Result<TrainReport> {
         // Pin every layer to the configured backend (rather than mutating
-        // the process-global default, which would race concurrent runs).
+        // the process-global default, which would race concurrent runs),
+        // sharing one scratch workspace across the whole network.
+        let ws = shared_workspace();
         for layer in &mut net.layers {
             layer.set_kernel_backend(self.kernel_backend);
+            layer.set_workspace(&ws);
         }
         let mut report = TrainReport::default();
         for _ in 0..self.epochs {

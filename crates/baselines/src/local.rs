@@ -143,14 +143,25 @@ impl LocalLearningTrainer {
     ) -> nf_nn::Result<(LocallyTrainedModel, TrainReport)> {
         // Pin every layer to the configured backend (rather than mutating
         // the process-global default, which would race concurrent runs).
+        // Units and aux heads interleave within each local update, so
+        // they get separate shared arenas (see the Worker) — the unit
+        // chain's backward lowering then survives the head's traffic.
+        let ws_units = nf_tensor::shared_workspace();
+        let ws_heads = nf_tensor::shared_workspace();
         for unit in &mut model.units {
             unit.set_kernel_backend(self.kernel_backend);
+            unit.set_workspace(&ws_units);
         }
+        // The deep head trains every minibatch too (classic LL keeps it
+        // attached), so it shares the unit chain's backend and workspace.
+        model.head.set_kernel_backend(self.kernel_backend);
+        model.head.set_workspace(&ws_units);
         let aux_specs = assign_aux(&model.spec, self.policy);
         let mut aux_heads = Vec::with_capacity(aux_specs.len());
         for spec in &aux_specs {
             let mut head = build_aux_head(rng, spec)?;
             head.set_kernel_backend(self.kernel_backend);
+            head.set_workspace(&ws_heads);
             aux_heads.push(head);
         }
         let mut report = TrainReport::default();

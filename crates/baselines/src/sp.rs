@@ -112,9 +112,13 @@ impl SpTrainer {
         test: &Dataset,
     ) -> nf_nn::Result<(TrainReport, Vec<f32>)> {
         // Pin every layer to the configured backend (rather than mutating
-        // the process-global default, which would race concurrent runs).
+        // the process-global default, which would race concurrent runs),
+        // sharing one scratch workspace across the sequentially trained
+        // units.
+        let ws = nf_tensor::shared_workspace();
         for unit in &mut model.units {
             unit.set_kernel_backend(self.kernel_backend);
+            unit.set_workspace(&ws);
         }
         let classes = model.spec.classes;
         let n_units = model.units.len();

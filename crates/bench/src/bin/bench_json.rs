@@ -1,0 +1,274 @@
+//! Machine-readable performance artifacts: `BENCH_gemm.json` and
+//! `BENCH_train_step.json`.
+//!
+//! Criterion output is for eyes; this binary is for trend lines. It times
+//! the two numbers every perf PR must not regress — raw GEMM throughput
+//! per backend, and steps/sec of a quickstart-shaped training step — and
+//! writes them as JSON into the repo root so the perf trajectory is
+//! recorded in-tree from PR to PR.
+//!
+//! ```text
+//! cargo run --release -p nf-bench --bin bench_json            # full shapes
+//! cargo run --release -p nf-bench --bin bench_json -- --smoke # tiny shapes (CI)
+//! ```
+//!
+//! After writing, each file is re-read through the `nf-cli` JSON parser
+//! and checked for its required keys; a malformed artifact exits non-zero,
+//! which is what the CI bench-smoke job asserts.
+
+use nf_models::{assign_aux, build_aux_head, AuxPolicy, ModelSpec};
+use nf_nn::loss::cross_entropy;
+use nf_nn::optim::Sgd;
+use nf_nn::{Layer, Mode};
+use nf_tensor::KernelBackend;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One timed GEMM configuration.
+struct GemmRow {
+    backend: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    ns_per_iter: u128,
+    gflops: f64,
+}
+
+fn time_gemm(backend: KernelBackend, m: usize, k: usize, n: usize, iters: usize) -> GemmRow {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let a = nf_tensor::uniform_init(&mut rng, &[m, k], -1.0, 1.0);
+    let b = nf_tensor::uniform_init(&mut rng, &[k, n], -1.0, 1.0);
+    // Reusable output buffer: times the steady-state `*_into` hot path.
+    let mut out = nf_tensor::Tensor::default();
+    for _ in 0..2 {
+        nf_tensor::matmul_into(backend, &a, &b, &mut out).unwrap();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        nf_tensor::matmul_into(backend, &a, &b, &mut out).unwrap();
+    }
+    let ns_per_iter = start.elapsed().as_nanos() / iters as u128;
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    GemmRow {
+        backend: backend.name(),
+        m,
+        k,
+        n,
+        ns_per_iter,
+        gflops: flops / ns_per_iter as f64, // FLOP/ns == GFLOP/s
+    }
+}
+
+/// Peak resident set size via `/proc/self/status` `VmHWM` (bytes); 0 when
+/// unavailable (non-Linux). A proxy, not an exact hot-path footprint.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")?
+                    .trim()
+                    .strip_suffix("kB")?
+                    .trim()
+                    .parse::<u64>()
+                    .ok()
+            })
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// One full local-learning training step on the quickstart-shaped model:
+/// for every unit, forward → aux forward → aux backward → unit backward →
+/// SGD on both. This is exactly the Worker's inner loop (Algorithm 2) over
+/// one minibatch, so its inverse is the steps/sec the acceptance criterion
+/// tracks.
+struct TrainStepRow {
+    backend: &'static str,
+    ns_per_step: u128,
+    steps_per_sec: f64,
+}
+
+fn time_train_step(backend: KernelBackend, smoke: bool) -> TrainStepRow {
+    let (channels, hw, classes, batch): (&[usize], usize, usize, usize) = if smoke {
+        (&[4, 8], 8, 3, 8)
+    } else {
+        // examples/quickstart.toml: tiny preset, channels [8,16,16,32,32,32],
+        // 16×16 images, 4 classes, batch_limit 32.
+        (&[8, 16, 16, 32, 32, 32], 16, 4, 32)
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let spec = ModelSpec::tiny("bench", hw, channels, classes);
+    let mut model = spec.build(&mut rng).unwrap();
+    let aux = assign_aux(&spec, AuxPolicy::Adaptive);
+    let mut heads: Vec<_> = aux
+        .iter()
+        .map(|a| build_aux_head(&mut rng, a).unwrap())
+        .collect();
+    // Mirror the Worker's configuration exactly (one shared arena for
+    // the unit chain, one for the aux heads — crates/core/src/worker.rs):
+    // a private workspace per layer would make the trend line
+    // systematically optimistic versus real `nf train` throughput.
+    let ws_units = nf_tensor::shared_workspace();
+    let ws_heads = nf_tensor::shared_workspace();
+    for (unit, head) in model.units.iter_mut().zip(heads.iter_mut()) {
+        unit.set_kernel_backend(backend);
+        unit.set_workspace(&ws_units);
+        head.set_kernel_backend(backend);
+        head.set_workspace(&ws_heads);
+    }
+    let images = nf_tensor::uniform_init(&mut rng, &[batch, 3, hw, hw], -1.0, 1.0);
+    let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+    let sgd = Sgd::new(0.05).with_momentum(0.9);
+
+    let mut step = || {
+        let mut cur = images.clone();
+        for (unit, head) in model.units.iter_mut().zip(heads.iter_mut()) {
+            let out = unit.forward(&cur, Mode::Train).unwrap();
+            let logits = head.forward(&out, Mode::Train).unwrap();
+            let (_, grad_logits) = cross_entropy(&logits, &labels).unwrap();
+            let grad_out = head.backward(&grad_logits).unwrap();
+            let _ = unit.backward(&grad_out).unwrap();
+            sgd.step(unit);
+            sgd.step(head);
+            cur = out;
+        }
+    };
+    let (warmup, iters) = if smoke { (1, 3) } else { (5, 40) };
+    for _ in 0..warmup {
+        step();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        step();
+    }
+    let ns_per_step = start.elapsed().as_nanos() / iters as u128;
+    TrainStepRow {
+        backend: backend.name(),
+        ns_per_step,
+        steps_per_sec: 1e9 / ns_per_step as f64,
+    }
+}
+
+/// Artifact path: always the workspace root (not the CWD), and smoke runs
+/// write `*.smoke.json` so the CI variant can never clobber the committed
+/// full-shape trend line.
+fn artifact_path(base: &str, smoke: bool) -> std::path::PathBuf {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if smoke {
+        root.join(format!("{base}.smoke.json"))
+    } else {
+        root.join(format!("{base}.json"))
+    }
+}
+
+fn write_and_check(path: &std::path::Path, value: &nf_cli::Value, required: &[&str]) {
+    let json = value.to_json();
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    // Round-trip through the real parser: a malformed artifact must fail
+    // loudly here, not downstream in whatever consumes the trend line.
+    let parsed =
+        nf_cli::json::parse(&json).unwrap_or_else(|e| panic!("{} malformed: {e}", path.display()));
+    for key in required {
+        assert!(
+            parsed.get(key).is_some(),
+            "{} missing required key {key:?}",
+            path.display()
+        );
+    }
+    println!("wrote {}", path.display());
+}
+
+/// Rounds a throughput figure to two decimals for stable, diffable
+/// artifacts.
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let backends = [KernelBackend::Blocked, KernelBackend::BlockedParallel];
+
+    // --- Training-step throughput ---
+    // Runs first, with VmHWM sampled immediately after, so the recorded
+    // peak-RSS proxy reflects the training step's working set rather than
+    // whatever the (larger-operand) GEMM stage would push it to.
+    let steps: Vec<TrainStepRow> = backends
+        .iter()
+        .map(|&b| time_train_step(b, smoke))
+        .collect();
+    let train_step_peak_rss = peak_rss_bytes();
+
+    // --- GEMM throughput ---
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(17, 33, 9), (32, 64, 32)]
+    } else {
+        &[(128, 1152, 256), (256, 256, 256), (512, 4608, 64)]
+    };
+    let iters = if smoke { 3 } else { 20 };
+    let mut rows = Vec::new();
+    for &(m, k, n) in shapes {
+        for backend in backends {
+            rows.push(time_gemm(backend, m, k, n, iters));
+        }
+    }
+    use nf_cli::Value;
+    let mut gemm = Value::table();
+    gemm.insert("schema", Value::Str("nf-bench-gemm-v1".into()));
+    gemm.insert("smoke", Value::Bool(smoke));
+    gemm.insert(
+        "simd",
+        Value::Str(nf_tensor::kernels::simd::kernel_name().into()),
+    );
+    gemm.insert(
+        "results",
+        Value::Array(
+            rows.iter()
+                .map(|r| {
+                    let mut row = Value::table();
+                    row.insert("backend", Value::Str(r.backend.into()));
+                    row.insert("m", Value::Int(r.m as i64));
+                    row.insert("k", Value::Int(r.k as i64));
+                    row.insert("n", Value::Int(r.n as i64));
+                    row.insert("ns_per_iter", Value::Int(r.ns_per_iter as i64));
+                    row.insert("gflops", Value::Float(round2(r.gflops)));
+                    row
+                })
+                .collect(),
+        ),
+    );
+    write_and_check(
+        &artifact_path("BENCH_gemm", smoke),
+        &gemm,
+        &["schema", "results"],
+    );
+
+    let mut ts = Value::table();
+    ts.insert("schema", Value::Str("nf-bench-train-step-v1".into()));
+    ts.insert("smoke", Value::Bool(smoke));
+    ts.insert(
+        "config",
+        Value::Str(if smoke { "smoke" } else { "quickstart" }.into()),
+    );
+    ts.insert("peak_rss_bytes", Value::Int(train_step_peak_rss as i64));
+    ts.insert(
+        "results",
+        Value::Array(
+            steps
+                .iter()
+                .map(|r| {
+                    let mut row = Value::table();
+                    row.insert("backend", Value::Str(r.backend.into()));
+                    row.insert("ns_per_step", Value::Int(r.ns_per_step as i64));
+                    row.insert("steps_per_sec", Value::Float(round2(r.steps_per_sec)));
+                    row
+                })
+                .collect(),
+        ),
+    );
+    write_and_check(
+        &artifact_path("BENCH_train_step", smoke),
+        &ts,
+        &["schema", "config", "peak_rss_bytes", "results"],
+    );
+}

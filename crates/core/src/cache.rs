@@ -233,13 +233,7 @@ impl ActivationStore for DiskStore {
             shape.push(u64::from_le_bytes(u64buf) as usize);
         }
         let numel: usize = shape.iter().product();
-        let mut bytes = vec![0u8; numel * 4];
-        file.read_exact(&mut bytes)
-            .map_err(|e| rerr(e.to_string()))?;
-        let data = bytes
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
+        let data = read_f32s_bulk(&mut file, numel).map_err(|e| rerr(e.to_string()))?;
         Tensor::from_vec(shape, data).map_err(|e| rerr(e.to_string()))
     }
 
@@ -263,6 +257,32 @@ impl ActivationStore for DiskStore {
     fn peak_bytes(&self) -> u64 {
         self.peak
     }
+}
+
+/// Reads `numel` little-endian `f32`s from `reader` with a single bulk
+/// `read_exact` directly into the returned `Vec<f32>`'s own allocation —
+/// no intermediate byte buffer and no per-4-byte decode loop, which is
+/// what makes multi-megabyte block reloads during `--resume` I/O-bound
+/// rather than decode-bound.
+///
+/// This is the only `unsafe` in `neuroflux-core` (crate-level
+/// `deny(unsafe_code)` with this one allow).
+#[allow(unsafe_code)]
+fn read_f32s_bulk(reader: &mut impl Read, numel: usize) -> std::io::Result<Vec<f32>> {
+    let mut data = vec![0f32; numel];
+    // SAFETY: the slice covers exactly the Vec's initialised elements
+    // (`numel * 4` bytes, alignment of f32 ≥ u8); every bit pattern is a
+    // valid f32, and `read_exact` either fills the whole slice or errors
+    // (in which case `data` is dropped).
+    let bytes =
+        unsafe { std::slice::from_raw_parts_mut(data.as_mut_ptr().cast::<u8>(), numel * 4) };
+    reader.read_exact(bytes)?;
+    if cfg!(target_endian = "big") {
+        for v in &mut data {
+            *v = f32::from_bits(v.to_bits().swap_bytes());
+        }
+    }
+    Ok(data)
 }
 
 /// Fault-injection store: fails writes and/or reads on demand. Used to test

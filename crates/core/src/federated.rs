@@ -73,6 +73,7 @@ fn load(layer: &mut dyn Layer, values: &[Tensor]) {
     let mut i = 0;
     layer.visit_params(&mut |p| {
         p.value = values[i].clone();
+        p.note_update();
         i += 1;
     });
 }

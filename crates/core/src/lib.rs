@@ -41,7 +41,11 @@
 //! assert!(outcome.selected_exit.is_some());
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: exactly one function is allowed to opt out
+// — `cache::read_f32s_bulk`, which reads activation files directly into a
+// `Vec<f32>`'s own allocation (see its safety comment). Everything else
+// stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;

@@ -99,6 +99,7 @@ pub fn deserialize_params(layer: &mut dyn Layer, bytes: &[u8]) -> Result<()> {
             let numel: usize = shape.iter().product();
             let value = read_f32s(bytes, &mut cursor, numel).ok_or_else(trunc)?;
             p.value = Tensor::from_vec(shape.clone(), value).map_err(|e| e.to_string())?;
+            p.note_update();
             let n_state = read_u64(bytes, &mut cursor).ok_or_else(trunc)? as usize;
             if n_state > 4 {
                 return Err(format!("implausible optimizer state count {n_state}"));

@@ -285,6 +285,27 @@ impl<'s, S: ActivationStore + ?Sized> Worker<'s, S> {
         for head in aux_heads.iter_mut() {
             head.set_kernel_backend(self.config.kernel_backend);
         }
+        model.head.set_kernel_backend(self.config.kernel_backend);
+        // Two scratch workspaces for the whole run: one arena shared by
+        // every unit (and the deep head), one by every aux head. Blocks
+        // train strictly sequentially, so run-wide arenas bound scratch
+        // to the largest layer of each chain — the steady-state
+        // assumption behind the paper's Figure-11 budget sweeps —
+        // instead of pinning the sum of per-block arenas. Units and aux
+        // heads get *separate* arenas because they interleave within
+        // every training step (unit fwd → head fwd → head bwd → unit
+        // bwd): in one arena the head's lowering would clobber the
+        // unit's, forcing the unit backward to re-run `im2col` every
+        // step (see `WorkspaceParts::cols_owner`).
+        let ws_units = nf_tensor::shared_workspace();
+        let ws_heads = nf_tensor::shared_workspace();
+        for unit in &mut model.units {
+            unit.set_workspace(&ws_units);
+        }
+        for head in aux_heads.iter_mut() {
+            head.set_workspace(&ws_heads);
+        }
+        model.head.set_workspace(&ws_units);
         let (mut report, start_block, resume_peak, resume_head_trained) = match hooks.resume_from {
             Some(ck) => {
                 ck.restore(model, aux_heads)?;

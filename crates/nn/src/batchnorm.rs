@@ -82,10 +82,17 @@ impl Layer for BatchNorm2d {
         let plane = h * w;
         let m = (n * plane) as f32;
         let mut out = Tensor::zeros(x.shape());
+        // All channel loops below walk contiguous `plane`-sized slices —
+        // indexing element-by-element through `data()[i]` costs a bounds
+        // check per element and blocks vectorisation on what is otherwise
+        // pure streaming arithmetic.
+        let xv = x.data();
         match mode {
             Mode::Train => {
                 let mut x_hat = Tensor::zeros(x.shape());
                 let mut inv_stds = vec![0.0f32; c];
+                let xh_all = x_hat.data_mut();
+                let out_all = out.data_mut();
                 // Indexing by channel everywhere (x, out, the running
                 // stats) reads clearer than an enumerate over one of them.
                 #[allow(clippy::needless_range_loop)]
@@ -94,13 +101,13 @@ impl Layer for BatchNorm2d {
                     let mut mean = 0.0f32;
                     for img in 0..n {
                         let base = (img * c + ch) * plane;
-                        mean += x.data()[base..base + plane].iter().sum::<f32>();
+                        mean += xv[base..base + plane].iter().sum::<f32>();
                     }
                     mean /= m;
                     let mut var = 0.0f32;
                     for img in 0..n {
                         let base = (img * c + ch) * plane;
-                        for &v in &x.data()[base..base + plane] {
+                        for &v in &xv[base..base + plane] {
                             let d = v - mean;
                             var += d * d;
                         }
@@ -112,10 +119,13 @@ impl Layer for BatchNorm2d {
                     let b = self.beta.value.data()[ch];
                     for img in 0..n {
                         let base = (img * c + ch) * plane;
-                        for i in base..base + plane {
-                            let xh = (x.data()[i] - mean) * inv_std;
-                            x_hat.data_mut()[i] = xh;
-                            out.data_mut()[i] = g * xh + b;
+                        let xs = &xv[base..base + plane];
+                        let xhs = &mut xh_all[base..base + plane];
+                        let os = &mut out_all[base..base + plane];
+                        for ((&v, xh), o) in xs.iter().zip(xhs.iter_mut()).zip(os.iter_mut()) {
+                            let h = (v - mean) * inv_std;
+                            *xh = h;
+                            *o = g * h + b;
                         }
                     }
                     let rm = &mut self.running_mean.data_mut()[ch];
@@ -130,6 +140,7 @@ impl Layer for BatchNorm2d {
                 });
             }
             Mode::Eval => {
+                let out_all = out.data_mut();
                 for ch in 0..c {
                     let mean = self.running_mean.data()[ch];
                     let inv_std = 1.0 / (self.running_var.data()[ch] + self.eps).sqrt();
@@ -137,8 +148,10 @@ impl Layer for BatchNorm2d {
                     let b = self.beta.value.data()[ch];
                     for img in 0..n {
                         let base = (img * c + ch) * plane;
-                        for i in base..base + plane {
-                            out.data_mut()[i] = g * (x.data()[i] - mean) * inv_std + b;
+                        let xs = &xv[base..base + plane];
+                        let os = &mut out_all[base..base + plane];
+                        for (&v, o) in xs.iter().zip(os.iter_mut()) {
+                            *o = g * (v - mean) * inv_std + b;
                         }
                     }
                 }
@@ -166,6 +179,9 @@ impl Layer for BatchNorm2d {
         let plane = h * w;
         let m = (n * plane) as f32;
         let mut grad_in = Tensor::zeros(&cache.shape);
+        let dy_all = grad_out.data();
+        let xh_all = cache.x_hat.data();
+        let gi_all = grad_in.data_mut();
         for ch in 0..c {
             let g = self.gamma.value.data()[ch];
             let inv_std = cache.inv_std[ch];
@@ -174,22 +190,26 @@ impl Layer for BatchNorm2d {
             let mut sum_dy_xhat = 0.0f32;
             for img in 0..n {
                 let base = (img * c + ch) * plane;
-                for i in base..base + plane {
-                    let dy = grad_out.data()[i];
+                for (&dy, &xh) in dy_all[base..base + plane]
+                    .iter()
+                    .zip(&xh_all[base..base + plane])
+                {
                     sum_dy += dy;
-                    sum_dy_xhat += dy * cache.x_hat.data()[i];
+                    sum_dy_xhat += dy * xh;
                 }
             }
             self.beta.grad.data_mut()[ch] += sum_dy;
             self.gamma.grad.data_mut()[ch] += sum_dy_xhat;
             // dx = (γ/√(σ²+ε)) · (dy − Σdy/m − x̂·Σ(dy·x̂)/m)
             let k = g * inv_std;
+            let (mean_dy, mean_dy_xhat) = (sum_dy / m, sum_dy_xhat / m);
             for img in 0..n {
                 let base = (img * c + ch) * plane;
-                for i in base..base + plane {
-                    let dy = grad_out.data()[i];
-                    let xh = cache.x_hat.data()[i];
-                    grad_in.data_mut()[i] = k * (dy - sum_dy / m - xh * sum_dy_xhat / m);
+                let dys = &dy_all[base..base + plane];
+                let xhs = &xh_all[base..base + plane];
+                let gis = &mut gi_all[base..base + plane];
+                for ((&dy, &xh), gi) in dys.iter().zip(xhs).zip(gis.iter_mut()) {
+                    *gi = k * (dy - mean_dy - xh * mean_dy_xhat);
                 }
             }
         }

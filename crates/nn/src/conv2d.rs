@@ -3,12 +3,15 @@
 use crate::error::NnError;
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
+use crate::scratch::{InputCache, PackedPanel};
 use crate::Result;
 use nf_tensor::{
-    col2im_batch, global_backend, he_normal, im2col_batch, matmul_a_bt_with, matmul_at_b_with,
-    matmul_with, nchw_to_posrows, posrows_to_nchw, Conv2dGeometry, KernelBackend, Tensor,
+    col2im_batch, global_backend, he_normal, im2col_batch_into, lock_workspace, matmul_at_b_into,
+    matmul_into, nchw_to_posrows_into, new_owner_token, posrows_to_nchw, shared_workspace,
+    sum_axis0_acc, Conv2dGeometry, KernelBackend, SharedWorkspace, Tensor,
 };
 use rand::Rng;
+use std::sync::Arc;
 
 /// 2-D convolution over NCHW input.
 ///
@@ -19,6 +22,13 @@ use rand::Rng;
 /// are fast at. The backward pass recomputes `im2col` rather than caching
 /// it, trading FLOPs for the activation memory the paper is concerned
 /// with.
+///
+/// All lowering and GEMM scratch lives in a shared [`SharedWorkspace`]
+/// (grow-only, installed per block by [`Layer::set_workspace`]), and the
+/// transposed weight panel the forward GEMM consumes is cached across the
+/// minibatch loop, re-packed only when [`crate::Param::version`] says the
+/// weights actually changed — so the steady-state hot path allocates
+/// nothing beyond its output tensor.
 ///
 /// Matrix products run on the layer's pinned [`KernelBackend`] if
 /// [`Layer::set_kernel_backend`] (or [`Conv2d::with_backend`]) was called,
@@ -45,7 +55,14 @@ pub struct Conv2d {
     stride: usize,
     pad: usize,
     backend: Option<KernelBackend>,
-    cached_input: Option<Tensor>,
+    ws: SharedWorkspace,
+    /// This layer's stamp for the workspace `cols` slot (see
+    /// [`nf_tensor::WorkspaceParts::cols_owner`]).
+    owner_token: u64,
+    /// `weight.value` transposed to `(c_in·k·k, c_out)` — the `B` operand
+    /// of the forward GEMM — re-packed only when the weight version moves.
+    packed_wt: PackedPanel,
+    cached_input: InputCache,
 }
 
 impl Conv2d {
@@ -77,7 +94,10 @@ impl Conv2d {
             stride,
             pad,
             backend: None,
-            cached_input: None,
+            ws: shared_workspace(),
+            owner_token: new_owner_token(),
+            packed_wt: PackedPanel::new(),
+            cached_input: InputCache::new(),
         })
     }
 
@@ -139,60 +159,85 @@ impl Layer for Conv2d {
         let (n, _, h, w) = self.check_input(x)?;
         let geom = self.geometry(h, w)?;
         let backend = self.backend();
-        // One batched lowering + one large GEMM for the whole minibatch:
-        // (N·P × C·K·K) · (C_out × C·K·K)ᵀ -> N·P × C_out.
-        let cols = im2col_batch(x, &geom)?;
-        let mut y = matmul_a_bt_with(backend, &cols, &self.weight.value)?;
+        let wt = self.packed_wt.get(&self.weight)?;
+        // One batched lowering + one large GEMM for the whole minibatch,
+        // entirely in workspace scratch:
+        // (N·P × C·K·K) · (C·K·K × C_out) -> N·P × C_out.
+        let mut ws = lock_workspace(&self.ws);
+        let p = ws.parts();
+        im2col_batch_into(x, &geom, p.cols)?;
+        // Claim the lowering for backward reuse only when this forward is
+        // the one backward will differentiate — an Eval forward in between
+        // would leave `cols` inconsistent with the cached input.
+        *p.cols_owner = if mode == Mode::Train {
+            self.owner_token
+        } else {
+            0
+        };
+        matmul_into(backend, p.cols, wt, p.out)?;
         // Broadcast the per-channel bias over every output position (rows
         // are positions, columns are output channels).
         let bias = self.bias.value.data();
-        for row in y.data_mut().chunks_mut(self.out_channels) {
+        for row in p.out.data_mut().chunks_mut(self.out_channels) {
             for (v, b) in row.iter_mut().zip(bias) {
                 *v += b;
             }
         }
         if mode == Mode::Train {
-            self.cached_input = Some(x.clone());
+            self.cached_input.store(x);
         }
-        posrows_to_nchw(&y, n, self.out_channels, geom.out_h, geom.out_w).map_err(NnError::from)
+        posrows_to_nchw(p.out, n, self.out_channels, geom.out_h, geom.out_w).map_err(NnError::from)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        // Rank check before consuming the cache, so a malformed grad
+        // leaves the forward state intact (same contract as the shape
+        // check below).
+        let (gn, gc, goh, gow) = grad_out.dims4()?;
         let x = self
             .cached_input
             .take()
             .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
         let (n, c, h, w) = x.dims4()?;
         let geom = self.geometry(h, w)?;
-        let (gn, gc, goh, gow) = grad_out.dims4()?;
         if gn != n || gc != self.out_channels || goh != geom.out_h || gow != geom.out_w {
+            self.cached_input.put_back(x);
             return Err(NnError::BadInput {
                 layer: self.name(),
                 reason: format!(
-                    "grad shape {:?} inconsistent with cached input {:?}",
+                    "grad shape {:?} inconsistent with cached input",
                     grad_out.shape(),
-                    x.shape()
                 ),
             });
         }
         let backend = self.backend();
+        let mut ws = lock_workspace(&self.ws);
+        let p = ws.parts();
         // Recompute the batched lowering (FLOPs for memory, as per-sample
-        // did) and run the whole batch's three products as single GEMMs.
-        let cols = im2col_batch(&x, &geom)?;
-        // g is N·P × C_out; dW += gᵀ · cols  (C_out × C·K·K).
-        let g = nchw_to_posrows(grad_out)?;
-        let dw = matmul_at_b_with(backend, &g, &cols)?;
-        nf_tensor::axpy(1.0, &dw, &mut self.weight.grad)?;
-        // db += column sums of g.
-        let db = self.bias.grad.data_mut();
-        for row in g.data().chunks(self.out_channels) {
-            for (d, &v) in db.iter_mut().zip(row) {
-                *d += v;
-            }
+        // did) and run the whole batch's three products as single GEMMs —
+        // unless this layer's own forward lowering is still sitting
+        // untouched in the shared `cols` slot (true whenever no other conv
+        // ran between this layer's forward and backward, e.g. for every
+        // aux-head conv), in which case the recompute is skipped.
+        if *p.cols_owner != self.owner_token {
+            im2col_batch_into(&x, &geom, p.cols)?;
+            *p.cols_owner = self.owner_token;
         }
-        // dcols = g · W (N·P × C·K·K), scattered back to image space.
-        let dcols = matmul_with(backend, &g, &self.weight.value)?;
-        Ok(col2im_batch(&dcols, n, c, &geom)?)
+        // g is N·P × C_out; dW += gᵀ · cols  (C_out × C·K·K).
+        let g = p.posrows;
+        nchw_to_posrows_into(grad_out, g)?;
+        matmul_at_b_into(backend, g, p.cols, p.out, p.pack)?;
+        nf_tensor::axpy(1.0, p.out, &mut self.weight.grad)?;
+        // db += column sums of g.
+        sum_axis0_acc(g, &mut self.bias.grad)?;
+        // dcols = g · W (N·P × C·K·K) — reusing the dW slot, which the
+        // axpy above already consumed — scattered back to image space.
+        matmul_into(backend, g, &self.weight.value, p.out)?;
+        let dx = col2im_batch(p.out, n, c, &geom)?;
+        drop(ws);
+        // Retire the consumed input cache buffer for the next forward.
+        self.cached_input.retire(x);
+        Ok(dx)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -201,11 +246,15 @@ impl Layer for Conv2d {
     }
 
     fn clear_cache(&mut self) {
-        self.cached_input = None;
+        self.cached_input.clear();
     }
 
     fn set_kernel_backend(&mut self, backend: KernelBackend) {
         self.backend = Some(backend);
+    }
+
+    fn set_workspace(&mut self, ws: &SharedWorkspace) {
+        self.ws = Arc::clone(ws);
     }
 }
 

@@ -117,6 +117,9 @@ fn set_param_delta<L: Layer>(layer: &mut L, param_index: usize, elem: usize, del
     layer.visit_params(&mut |p| {
         if seen == param_index {
             p.value.data_mut()[elem] += delta;
+            // Direct mutation: invalidate any packed-weight panel the
+            // layer caches, or the probe forward would use stale weights.
+            p.note_update();
         }
         seen += 1;
     });

@@ -71,6 +71,16 @@ pub trait Layer {
     /// layers that have one default to the process-global backend
     /// ([`nf_tensor::global_backend`]) until pinned.
     fn set_kernel_backend(&mut self, _backend: nf_tensor::KernelBackend) {}
+
+    /// Installs the scratch [`nf_tensor::Workspace`] this layer (and any
+    /// child layers) lowers its convolutions and matrix products in.
+    ///
+    /// Layers with a GEMM hot path start with a private workspace, so they
+    /// are allocation-free in steady state even standalone; the Worker and
+    /// the baseline trainers call this to share **one** workspace across
+    /// all layers of a block, bounding scratch to the largest layer's
+    /// working set. Layers without a hot path ignore it.
+    fn set_workspace(&mut self, _ws: &nf_tensor::SharedWorkspace) {}
 }
 
 impl Layer for Box<dyn Layer> {
@@ -100,5 +110,9 @@ impl Layer for Box<dyn Layer> {
 
     fn set_kernel_backend(&mut self, backend: nf_tensor::KernelBackend) {
         self.as_mut().set_kernel_backend(backend)
+    }
+
+    fn set_workspace(&mut self, ws: &nf_tensor::SharedWorkspace) {
+        self.as_mut().set_workspace(ws)
     }
 }

@@ -50,6 +50,7 @@ mod param;
 pub mod pool;
 pub mod relu;
 pub mod residual;
+pub mod scratch;
 mod sequential;
 
 pub use batchnorm::BatchNorm2d;
@@ -61,6 +62,7 @@ pub use linear::Linear;
 pub use param::Param;
 pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
 pub use residual::BasicBlock;
+pub use scratch::{InputCache, PackedPanel};
 pub use sequential::Sequential;
 
 /// Convenience alias for fallible layer operations.

@@ -3,12 +3,14 @@
 use crate::error::NnError;
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
+use crate::scratch::{InputCache, PackedPanel};
 use crate::Result;
 use nf_tensor::{
-    global_backend, he_normal, matmul_a_bt_with, matmul_at_b_with, matmul_with, sum_axis0,
-    KernelBackend, Tensor,
+    global_backend, he_normal, lock_workspace, matmul_at_b_into, matmul_with, shared_workspace,
+    sum_axis0_acc, KernelBackend, SharedWorkspace, Tensor,
 };
 use rand::Rng;
+use std::sync::Arc;
 
 /// Fully-connected layer: `y = x·W + b` with `W: (in, out)`, `b: (out)`.
 ///
@@ -35,7 +37,11 @@ pub struct Linear {
     in_features: usize,
     out_features: usize,
     backend: Option<KernelBackend>,
-    cached_input: Option<Tensor>,
+    ws: SharedWorkspace,
+    /// `weight.value` transposed to `(out, in)` — the `B` operand of the
+    /// input-gradient GEMM — re-packed only when the weight version moves.
+    packed_wt: PackedPanel,
+    cached_input: InputCache,
 }
 
 impl Linear {
@@ -47,7 +53,9 @@ impl Linear {
             in_features,
             out_features,
             backend: None,
-            cached_input: None,
+            ws: shared_workspace(),
+            packed_wt: PackedPanel::new(),
+            cached_input: InputCache::new(),
         }
     }
 
@@ -102,23 +110,40 @@ impl Layer for Linear {
             }
         }
         if mode == Mode::Train {
-            self.cached_input = Some(x.clone());
+            self.cached_input.store(x);
         }
         Ok(y)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        // Rank check before consuming the cache, so a malformed grad
+        // leaves the forward state intact.
+        let (gr, gc) = grad_out.dims2()?;
         let x = self
             .cached_input
             .take()
             .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
         // dW = xᵀ · g, db = Σ_rows g, dx = g · Wᵀ.
         let backend = self.backend();
-        let dw = matmul_at_b_with(backend, &x, grad_out)?;
-        nf_tensor::axpy(1.0, &dw, &mut self.weight.grad)?;
-        let db = sum_axis0(grad_out)?;
-        nf_tensor::axpy(1.0, &db, &mut self.bias.grad)?;
-        Ok(matmul_a_bt_with(backend, grad_out, &self.weight.value)?)
+        if gr != x.shape()[0] || gc != self.out_features {
+            self.cached_input.put_back(x);
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!("grad shape {:?} inconsistent with layer", grad_out.shape()),
+            });
+        }
+        {
+            let mut ws = lock_workspace(&self.ws);
+            let p = ws.parts();
+            matmul_at_b_into(backend, &x, grad_out, p.out, p.pack)?;
+            nf_tensor::axpy(1.0, p.out, &mut self.weight.grad)?;
+        }
+        // db += column sums of g, accumulated in place.
+        sum_axis0_acc(grad_out, &mut self.bias.grad)?;
+        self.cached_input.retire(x);
+        // dx = g · Wᵀ as a plain GEMM against the packed panel.
+        let wt = self.packed_wt.get(&self.weight)?;
+        Ok(matmul_with(backend, grad_out, wt)?)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -127,11 +152,15 @@ impl Layer for Linear {
     }
 
     fn clear_cache(&mut self) {
-        self.cached_input = None;
+        self.cached_input.clear();
     }
 
     fn set_kernel_backend(&mut self, backend: KernelBackend) {
         self.backend = Some(backend);
+    }
+
+    fn set_workspace(&mut self, ws: &SharedWorkspace) {
+        self.ws = Arc::clone(ws);
     }
 }
 

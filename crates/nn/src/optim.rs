@@ -83,6 +83,7 @@ impl Sgd {
             }
         }
         p.steps += 1;
+        p.note_update();
     }
 
     /// Applies one update to every parameter of `layer`, then zeroes grads.
@@ -145,6 +146,7 @@ impl Adam {
             let v_hat = *vi / bc2;
             *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
         }
+        p.note_update();
     }
 
     /// Applies one update to every parameter of `layer`, then zeroes grads.

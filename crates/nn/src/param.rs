@@ -13,6 +13,10 @@ use nf_tensor::Tensor;
 #[derive(Debug, Clone)]
 pub struct Param {
     /// Current parameter values.
+    ///
+    /// Code that rewrites this tensor directly (rather than through an
+    /// optimizer) must call [`Param::note_update`] afterwards, so layers
+    /// caching derived panels (packed transposed weights) re-derive them.
     pub value: Tensor,
     /// Accumulated gradient, same shape as `value`.
     pub grad: Tensor,
@@ -21,6 +25,8 @@ pub struct Param {
     pub state: Vec<Tensor>,
     /// Adam-style step counter; unused by plain SGD.
     pub steps: u64,
+    /// Monotonic value-mutation counter; see [`Param::note_update`].
+    version: u64,
 }
 
 impl Param {
@@ -32,7 +38,21 @@ impl Param {
             grad,
             state: Vec::new(),
             steps: 0,
+            version: 0,
         }
+    }
+
+    /// Records that [`Param::value`] was mutated. Optimizer steps,
+    /// checkpoint restores, and gradient-check perturbations all call
+    /// this; layers that cache packed weight panels compare against
+    /// [`Param::version`] to know when to re-pack.
+    pub fn note_update(&mut self) {
+        self.version = self.version.wrapping_add(1);
+    }
+
+    /// Current value-mutation version (bumped by [`Param::note_update`]).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of scalar parameters.

@@ -159,6 +159,14 @@ impl Layer for BasicBlock {
         }
     }
 
+    fn set_workspace(&mut self, ws: &nf_tensor::SharedWorkspace) {
+        self.conv1.set_workspace(ws);
+        self.conv2.set_workspace(ws);
+        if let Some((conv, _)) = &mut self.shortcut {
+            conv.set_workspace(ws);
+        }
+    }
+
     fn clear_cache(&mut self) {
         self.conv1.clear_cache();
         self.bn1.clear_cache();

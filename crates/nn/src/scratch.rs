@@ -1,0 +1,125 @@
+//! Per-layer steady-state caching helpers shared by the GEMM-backed
+//! layers (`Conv2d`, `Linear`, and the baselines' FA variants).
+//!
+//! Two idioms recur in every such layer and must behave identically
+//! everywhere, so they live here rather than being re-implemented
+//! per layer:
+//!
+//! - [`PackedPanel`]: a transposed weight panel cached across the
+//!   minibatch loop, re-derived only when [`Param::version`] says the
+//!   weights actually changed (once per optimizer step in training;
+//!   never during frozen-weight eval sweeps).
+//! - [`InputCache`]: the Train-forward input cache, recycled through a
+//!   retired spare buffer so caching stops allocating after warm-up
+//!   while keeping the take-on-backward (`NoForwardCache` on double
+//!   backward) contract.
+
+use crate::param::Param;
+use crate::Result;
+use nf_tensor::{transpose2d_into, Tensor};
+
+/// A layer's packed transposed weight panel, keyed by the owning
+/// [`Param`]'s version (see `DESIGN.md` §8).
+#[derive(Debug, Default)]
+pub struct PackedPanel {
+    tensor: Tensor,
+    version: Option<u64>,
+}
+
+impl PackedPanel {
+    /// An empty panel; packed on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The transpose of `weight.value`, re-packed into the reused buffer
+    /// iff the weight changed since the last call.
+    pub fn get(&mut self, weight: &Param) -> Result<&Tensor> {
+        let version = weight.version();
+        if self.version != Some(version) {
+            transpose2d_into(&weight.value, &mut self.tensor)?;
+            self.version = Some(version);
+        }
+        Ok(&self.tensor)
+    }
+}
+
+/// Recycled owned-input cache for the forward→backward handshake.
+#[derive(Debug, Default)]
+pub struct InputCache {
+    cached: Option<Tensor>,
+    spare: Option<Tensor>,
+}
+
+impl InputCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a copy of `x` as the pending backward input, reusing the
+    /// retired buffer from the previous step when one exists.
+    pub fn store(&mut self, x: &Tensor) {
+        let mut cache = self.spare.take().unwrap_or_default();
+        cache.copy_from(x);
+        self.cached = Some(cache);
+    }
+
+    /// Consumes the pending input (`None` if no Train forward preceded —
+    /// the layer maps this to `NoForwardCache`).
+    pub fn take(&mut self) -> Option<Tensor> {
+        self.cached.take()
+    }
+
+    /// Re-instates a taken input unconsumed (backward validation failed
+    /// before using it).
+    pub fn put_back(&mut self, x: Tensor) {
+        self.cached = Some(x);
+    }
+
+    /// Retires a consumed input's buffer for reuse by the next
+    /// [`InputCache::store`].
+    pub fn retire(&mut self, x: Tensor) {
+        self.spare = Some(x);
+    }
+
+    /// Drops the pending input (the [`crate::Layer::clear_cache`]
+    /// eviction path; the spare buffer is released too).
+    pub fn clear(&mut self) {
+        self.cached = None;
+        self.spare = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_panel_repacks_only_on_version_change() {
+        let mut weight =
+            Param::new(Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap());
+        let mut panel = PackedPanel::new();
+        let t = panel.get(&weight).unwrap();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.data(), &[1., 4., 2., 5., 3., 6.]);
+        // Mutating without note_update: stale by contract.
+        weight.value.data_mut()[0] = 9.0;
+        assert_eq!(panel.get(&weight).unwrap().data()[0], 1.0);
+        weight.note_update();
+        assert_eq!(panel.get(&weight).unwrap().data()[0], 9.0);
+    }
+
+    #[test]
+    fn input_cache_recycles_buffers() {
+        let mut cache = InputCache::new();
+        let x = Tensor::ones(&[2, 2]);
+        cache.store(&x);
+        let taken = cache.take().expect("stored");
+        assert_eq!(taken, x);
+        assert!(cache.take().is_none(), "take consumes");
+        cache.retire(taken);
+        cache.store(&Tensor::zeros(&[2, 2]));
+        assert_eq!(cache.take().unwrap(), Tensor::zeros(&[2, 2]));
+    }
+}

@@ -108,6 +108,12 @@ impl Layer for Sequential {
             layer.set_kernel_backend(backend);
         }
     }
+
+    fn set_workspace(&mut self, ws: &nf_tensor::SharedWorkspace) {
+        for layer in &mut self.layers {
+            layer.set_workspace(ws);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -218,6 +218,15 @@ pub fn col2im(cols: &Tensor, channels: usize, geom: &Conv2dGeometry) -> Result<T
 /// `input` must be rank-4 `(n, channels, in_h, in_w)` consistent with
 /// `geom`. Samples are unrolled in parallel when threads are available.
 pub fn im2col_batch(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
+    let mut out = Tensor::zeros(&[0]);
+    im2col_batch_into(input, geom, &mut out)?;
+    Ok(out)
+}
+
+/// [`im2col_batch`] writing into a caller-provided buffer (grow-only, see
+/// [`Tensor::reuse_zeroed`]): the zero-allocation steady-state entry point
+/// the conv layers run on.
+pub fn im2col_batch_into(input: &Tensor, geom: &Conv2dGeometry, out: &mut Tensor) -> Result<()> {
     let (n, channels, h, w) = input.dims4().map_err(|_| TensorError::RankMismatch {
         op: "im2col_batch",
         expected: 4,
@@ -234,33 +243,58 @@ pub fn im2col_batch(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
     let patch = channels * geom.k_h * geom.k_w;
     let src = input.data();
     let sample_len = channels * geom.in_h * geom.in_w;
-    let mut out = vec![0.0f32; n * positions * patch];
+    // No up-front memset: every element is either copied from the input
+    // or explicitly zeroed as a padding tap by the loop below, so the
+    // buffer-sized clearing pass (the largest write in the hot path)
+    // never runs.
+    out.reuse_as(&[n * positions, patch]);
+    let out = out.data_mut();
     let (in_h, in_w) = (geom.in_h as isize, geom.in_w as isize);
+    let g = *geom;
     let total = out.len();
-    for_each_sample_chunk(&mut out, positions * patch, total, |img, block| {
+    for_each_sample_chunk(out, positions * patch, total, |img, block| {
         let image = &src[img * sample_len..(img + 1) * sample_len];
-        for oy in 0..geom.out_h {
-            for ox in 0..geom.out_w {
-                let row =
-                    &mut block[(oy * geom.out_w + ox) * patch..(oy * geom.out_w + ox + 1) * patch];
-                let mut col = 0usize;
+        for oy in 0..g.out_h {
+            for ox in 0..g.out_w {
+                let row = &mut block[(oy * g.out_w + ox) * patch..(oy * g.out_w + ox + 1) * patch];
+                // Clip the kw range to in-bounds input columns once per
+                // position; each (c, kh) then copies one contiguous run
+                // and zeroes only its clipped padding taps, instead of
+                // branching per element.
+                let ix0 = (ox * g.stride) as isize - g.pad as isize;
+                let kw_lo = ((-ix0).max(0) as usize).min(g.k_w);
+                let kw_hi = (in_w - ix0).clamp(0, g.k_w as isize) as usize;
+                if kw_lo >= kw_hi {
+                    // Whole window is horizontal padding.
+                    row.fill(0.0);
+                    continue;
+                }
+                let run = kw_hi - kw_lo;
                 for c in 0..channels {
-                    let plane = &image[c * geom.in_h * geom.in_w..];
-                    for kh in 0..geom.k_h {
-                        let iy = (oy * geom.stride + kh) as isize - geom.pad as isize;
-                        for kw in 0..geom.k_w {
-                            let ix = (ox * geom.stride + kw) as isize - geom.pad as isize;
-                            if iy >= 0 && iy < in_h && ix >= 0 && ix < in_w {
-                                row[col] = plane[iy as usize * geom.in_w + ix as usize];
-                            }
-                            col += 1;
+                    let plane = &image[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+                    for kh in 0..g.k_h {
+                        let base = (c * g.k_h + kh) * g.k_w;
+                        let seg = &mut row[base..base + g.k_w];
+                        let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                        if iy < 0 || iy >= in_h {
+                            seg.fill(0.0); // vertical padding row
+                            continue;
+                        }
+                        seg[..kw_lo].fill(0.0);
+                        seg[kw_hi..].fill(0.0);
+                        let s = iy as usize * g.in_w + (ix0 + kw_lo as isize) as usize;
+                        // Element loop rather than copy_from_slice: `run`
+                        // is a handful of elements (≤ k_w), so a memcpy
+                        // call costs more than the copy itself.
+                        for (d, &v) in seg[kw_lo..kw_hi].iter_mut().zip(&plane[s..s + run]) {
+                            *d = v;
                         }
                     }
                 }
             }
         }
     });
-    Tensor::from_vec(vec![n * positions, patch], out)
+    Ok(())
 }
 
 /// Adjoint of [`im2col_batch`]: scatters patch rows back onto an NCHW
@@ -274,6 +308,19 @@ pub fn col2im_batch(
     channels: usize,
     geom: &Conv2dGeometry,
 ) -> Result<Tensor> {
+    let mut out = Tensor::zeros(&[0]);
+    col2im_batch_into(cols, n, channels, geom, &mut out)?;
+    Ok(out)
+}
+
+/// [`col2im_batch`] writing into a caller-provided buffer (grow-only).
+pub fn col2im_batch_into(
+    cols: &Tensor,
+    n: usize,
+    channels: usize,
+    geom: &Conv2dGeometry,
+    out: &mut Tensor,
+) -> Result<()> {
     let (rows, patch) = cols.dims2()?;
     let positions = geom.out_positions();
     if rows != n * positions || patch != channels * geom.k_h * geom.k_w {
@@ -285,56 +332,72 @@ pub fn col2im_batch(
     }
     let src = cols.data();
     let sample_len = channels * geom.in_h * geom.in_w;
-    let mut out = vec![0.0f32; n * sample_len];
+    // Zeroed because overlapping receptive fields accumulate.
+    out.reuse_zeroed(&[n, channels, geom.in_h, geom.in_w]);
+    let out = out.data_mut();
     let (in_h, in_w) = (geom.in_h as isize, geom.in_w as isize);
+    let g = *geom;
     // Scatter work is proportional to the cols matrix (src), which is
     // ~K·K times larger than the output image it lands on.
-    for_each_sample_chunk(&mut out, sample_len, src.len(), |img, image| {
+    for_each_sample_chunk(out, sample_len, src.len(), |img, image| {
         let block = &src[img * positions * patch..(img + 1) * positions * patch];
-        for oy in 0..geom.out_h {
-            for ox in 0..geom.out_w {
-                let row =
-                    &block[(oy * geom.out_w + ox) * patch..(oy * geom.out_w + ox + 1) * patch];
-                let mut col = 0usize;
+        for oy in 0..g.out_h {
+            for ox in 0..g.out_w {
+                let row = &block[(oy * g.out_w + ox) * patch..(oy * g.out_w + ox + 1) * patch];
+                // Same clipped-run structure as the gather direction, with
+                // `+=` accumulation instead of a copy.
+                let ix0 = (ox * g.stride) as isize - g.pad as isize;
+                let kw_lo = (-ix0).max(0) as usize;
+                let kw_hi = (in_w - ix0).clamp(0, g.k_w as isize) as usize;
+                if kw_lo >= kw_hi {
+                    continue;
+                }
+                let run = kw_hi - kw_lo;
                 for c in 0..channels {
-                    let plane_off = c * geom.in_h * geom.in_w;
-                    for kh in 0..geom.k_h {
-                        let iy = (oy * geom.stride + kh) as isize - geom.pad as isize;
-                        for kw in 0..geom.k_w {
-                            let ix = (ox * geom.stride + kw) as isize - geom.pad as isize;
-                            if iy >= 0 && iy < in_h && ix >= 0 && ix < in_w {
-                                image[plane_off + iy as usize * geom.in_w + ix as usize] +=
-                                    row[col];
-                            }
-                            col += 1;
+                    let plane_off = c * g.in_h * g.in_w;
+                    for kh in 0..g.k_h {
+                        let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                        if iy < 0 || iy >= in_h {
+                            continue;
+                        }
+                        let s = (c * g.k_h + kh) * g.k_w + kw_lo;
+                        let d = plane_off + iy as usize * g.in_w + (ix0 + kw_lo as isize) as usize;
+                        for (dst, &v) in image[d..d + run].iter_mut().zip(&row[s..s + run]) {
+                            *dst += v;
                         }
                     }
                 }
             }
         }
     });
-    Tensor::from_vec(vec![n, channels, geom.in_h, geom.in_w], out)
+    Ok(())
 }
 
 /// Permutes an NCHW tensor to the batched lowering's position-major layout
 /// `(N·H·W, C)`: row `(n*H*W + p)` holds the `C` channel values at spatial
 /// position `p` of sample `n`.
 pub fn nchw_to_posrows(x: &Tensor) -> Result<Tensor> {
+    let mut out = Tensor::zeros(&[0]);
+    nchw_to_posrows_into(x, &mut out)?;
+    Ok(out)
+}
+
+/// [`nchw_to_posrows`] writing into a caller-provided buffer (grow-only;
+/// every element is overwritten).
+pub fn nchw_to_posrows_into(x: &Tensor, out: &mut Tensor) -> Result<()> {
     let (n, c, h, w) = x.dims4()?;
     let plane = h * w;
     let src = x.data();
-    let mut out = vec![0.0f32; n * c * plane];
+    out.reuse_as(&[n * plane, c]);
+    let out = out.data_mut();
+    // Per sample this is exactly a (c × plane) → (plane × c) transpose;
+    // the tiled walk keeps both sides of the swap in L1.
     for img in 0..n {
         let sample = &src[img * c * plane..(img + 1) * c * plane];
         let block = &mut out[img * plane * c..(img + 1) * plane * c];
-        for ch in 0..c {
-            let splane = &sample[ch * plane..(ch + 1) * plane];
-            for (p, &v) in splane.iter().enumerate() {
-                block[p * c + ch] = v;
-            }
-        }
+        crate::matmul::transpose_tiled(c, plane, sample, block);
     }
-    Tensor::from_vec(vec![n * plane, c], out)
+    Ok(())
 }
 
 /// Inverse of [`nchw_to_posrows`]: `(N·H·W, C)` rows back to `(N, C, H, W)`.
@@ -350,15 +413,12 @@ pub fn posrows_to_nchw(rows: &Tensor, n: usize, c: usize, h: usize, w: usize) ->
     }
     let src = rows.data();
     let mut out = vec![0.0f32; n * c * plane];
+    // Inverse per-sample transpose, same tiling rationale as the forward
+    // direction.
     for img in 0..n {
         let block = &src[img * plane * c..(img + 1) * plane * c];
         let sample = &mut out[img * c * plane..(img + 1) * c * plane];
-        for p in 0..plane {
-            let row = &block[p * c..(p + 1) * c];
-            for (ch, &v) in row.iter().enumerate() {
-                sample[ch * plane + p] = v;
-            }
-        }
+        crate::matmul::transpose_tiled(plane, c, block, sample);
     }
     Tensor::from_vec(vec![n, c, h, w], out)
 }

@@ -1,8 +1,11 @@
 //! The fast GEMM backend: cache-blocked, register-blocked, optionally
 //! parallel over row panels.
 
-use super::GemmBackend;
+use super::{simd, GemmBackend};
 use rayon::prelude::*;
+
+// The SIMD micro-kernel assumes the same panel height as the scalar one.
+const _: () = assert!(MR == simd::MR);
 
 /// Rows of `A`/`C` processed together by the register micro-kernel: `MR`
 /// output rows stay resident in registers while one row of `B` streams
@@ -24,19 +27,32 @@ const NC: usize = 256;
 /// the work (the vendored rayon has no persistent pool).
 const PAR_MIN_FLOPS: usize = 1 << 19;
 
+/// Output-size ceiling (elements) for the K-outermost loop order: `C` must
+/// stay cache-resident across all `K` blocks. 32K floats = 128 KiB — half
+/// an L2 on the smallest hosts we care about.
+const KOUTER_MAX_MN: usize = 1 << 15;
+
+/// `B`-size floor (elements) above which re-streaming `B` once per `M`
+/// panel (the default loop order) becomes the dominant cost and the
+/// K-outermost order pays off.
+const KOUTER_MIN_KN: usize = 1 << 16;
+
 /// Cache-blocked GEMM with an `MR × JT` register-tile micro-kernel.
 ///
 /// Layout: the output is walked in `MR`-row panels (the parallel unit);
 /// within a panel the `K` and `N` dimensions are tiled `KC × NC` so one
-/// `B` tile is reused from cache by all rows of the panel. The micro-kernel
-/// accumulates an `MR × JT` output tile in locals across the whole `K`
-/// block — zero output traffic in the inner loop — which the compiler
-/// auto-vectorises; all code is safe Rust (`nf-tensor` forbids `unsafe`).
+/// `B` tile is reused from cache by all rows of the panel. The inner loop
+/// is the runtime-dispatched [`simd`] micro-kernel (explicit AVX2+FMA
+/// `f32x8` tiles) with the auto-vectorised `MR × JT` scalar tile as the
+/// portable fallback; the first `K` block stores rather than accumulates,
+/// so outputs need no zero-fill pass.
 ///
-/// `Aᵀ·B` and `A·Bᵀ` are computed by explicitly transposing the small
-/// operand once (`O(K·M)` / `O(N·K)` — negligible against the `O(M·K·N)`
-/// product) and running the same main kernel, so all three variants share
-/// one fast path.
+/// `Aᵀ·B` and `A·Bᵀ` are computed by transposing one operand once into
+/// the caller's pack scratch (cache-tiled, `O(K·M)` / `O(N·K)` —
+/// negligible against the `O(M·K·N)` product) and running the same main
+/// kernel, so all three variants share one fast path. Weight-gradient
+/// shapes (tiny output, huge `K`) additionally flip to a K-outermost loop
+/// order so each operand streams exactly once.
 #[derive(Debug)]
 pub struct BlockedGemm {
     parallel: bool,
@@ -54,11 +70,55 @@ impl BlockedGemm {
     }
 
     fn gemm_into(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
-        out.fill(0.0);
         // Degenerate products (any zero dimension) are an empty or
         // all-zero result; bail before chunking `out` by `MR * n`, which
-        // would panic on a zero chunk size.
+        // would panic on a zero chunk size. This is also the only path
+        // that zero-fills: the first K block *stores* its tile (see
+        // `first` below), so `out` never needs a separate clearing pass.
         if m == 0 || n == 0 || k == 0 {
+            out.fill(0.0);
+            return;
+        }
+        // Weight-gradient shape (`Aᵀ·B` lowerings transpose into it): few
+        // output rows, enormous K. With panels outermost, every panel
+        // would re-stream the whole of `B` from memory. Run K blocks
+        // outermost instead — `out` is small enough to stay cached across
+        // blocks, so `A` and `B` each stream exactly once — still fanning
+        // the panels of each K block across threads on the parallel
+        // backend (panels are disjoint `out` rows, and the `first` flag is
+        // uniform within a block).
+        if m * n <= KOUTER_MAX_MN && k * n >= KOUTER_MIN_KN {
+            let kouter_panel =
+                |kk0: usize, kc: usize, first: bool, idx: usize, opanel: &mut [f32]| {
+                    let i0 = idx * MR;
+                    let rows = opanel.len() / n;
+                    let mut jj0 = 0;
+                    while jj0 < n {
+                        let nc = NC.min(n - jj0);
+                        if rows == MR {
+                            micro_mr(a, b, k, n, i0, kk0, kc, jj0, nc, first, opanel);
+                        } else {
+                            micro_tail(a, b, k, n, i0, rows, kk0, kc, jj0, nc, first, opanel);
+                        }
+                        jj0 += nc;
+                    }
+                };
+            let parallel = self.parallel && m * k * n >= PAR_MIN_FLOPS && m > MR;
+            let mut kk0 = 0;
+            while kk0 < k {
+                let kc = KC.min(k - kk0);
+                let first = kk0 == 0;
+                if parallel {
+                    out.par_chunks_mut(MR * n)
+                        .enumerate()
+                        .for_each(|(idx, opanel)| kouter_panel(kk0, kc, first, idx, opanel));
+                } else {
+                    for (idx, opanel) in out.chunks_mut(MR * n).enumerate() {
+                        kouter_panel(kk0, kc, first, idx, opanel);
+                    }
+                }
+                kk0 += kc;
+            }
             return;
         }
         let panel = |panel_idx: usize, opanel: &mut [f32]| {
@@ -67,13 +127,16 @@ impl BlockedGemm {
             let mut kk0 = 0;
             while kk0 < k {
                 let kc = KC.min(k - kk0);
+                // First K block overwrites the (unspecified) output;
+                // subsequent blocks accumulate.
+                let first = kk0 == 0;
                 let mut jj0 = 0;
                 while jj0 < n {
                     let nc = NC.min(n - jj0);
                     if rows == MR {
-                        micro_mr(a, b, k, n, i0, kk0, kc, jj0, nc, opanel);
+                        micro_mr(a, b, k, n, i0, kk0, kc, jj0, nc, first, opanel);
                     } else {
-                        micro_tail(a, b, k, n, i0, rows, kk0, kc, jj0, nc, opanel);
+                        micro_tail(a, b, k, n, i0, rows, kk0, kc, jj0, nc, first, opanel);
                     }
                     jj0 += nc;
                 }
@@ -97,9 +160,15 @@ impl BlockedGemm {
 /// inner loop does no output loads/stores at all.
 const JT: usize = 32;
 
-/// Micro-kernel for a full `MR`-row panel: `MR × JT` register tiles over
-/// the `[jj0, jj0+nc)` segment, with an axpy fallback for the `nc % JT`
-/// tail columns.
+/// Micro-kernel for a full `MR`-row panel over the `[jj0, jj0+nc)`
+/// segment.
+///
+/// Runtime-dispatched: on hosts with AVX2+FMA the explicit
+/// [`simd::panel_f32x8`] kernel handles the `LANES`-aligned columns and
+/// only the remainder falls to the scalar tail; elsewhere the original
+/// `MR × JT` register-tile loops run (the portable unrolled-scalar
+/// fallback, which the auto-vectoriser still lowers to whatever SIMD the
+/// target offers).
 #[allow(clippy::too_many_arguments)]
 fn micro_mr(
     a: &[f32],
@@ -111,8 +180,28 @@ fn micro_mr(
     kc: usize,
     jj0: usize,
     nc: usize,
+    first: bool,
     opanel: &mut [f32],
 ) {
+    if let Some(done) = simd::panel_f32x8(a, b, k, n, i0, kk0, kc, jj0, nc, first, opanel) {
+        if done < nc {
+            micro_tail(
+                a,
+                b,
+                k,
+                n,
+                i0,
+                MR,
+                kk0,
+                kc,
+                jj0 + done,
+                nc - done,
+                first,
+                opanel,
+            );
+        }
+        return;
+    }
     let mut jt = 0;
     while jt + JT <= nc {
         let mut acc = [[0.0f32; JT]; MR];
@@ -129,14 +218,31 @@ fn micro_mr(
         for (r, accr) in acc.iter().enumerate() {
             let off = r * n + jj0 + jt;
             let orow = &mut opanel[off..off + JT];
-            for l in 0..JT {
-                orow[l] += accr[l];
+            if first {
+                orow.copy_from_slice(accr);
+            } else {
+                for l in 0..JT {
+                    orow[l] += accr[l];
+                }
             }
         }
         jt += JT;
     }
     if jt < nc {
-        micro_tail(a, b, k, n, i0, MR, kk0, kc, jj0 + jt, nc - jt, opanel);
+        micro_tail(
+            a,
+            b,
+            k,
+            n,
+            i0,
+            MR,
+            kk0,
+            kc,
+            jj0 + jt,
+            nc - jt,
+            first,
+            opanel,
+        );
     }
 }
 
@@ -153,10 +259,14 @@ fn micro_tail(
     kc: usize,
     jj0: usize,
     nc: usize,
+    first: bool,
     opanel: &mut [f32],
 ) {
     for (r, orow) in opanel.chunks_mut(n).enumerate().take(rows) {
         let oseg = &mut orow[jj0..jj0 + nc];
+        if first {
+            oseg.fill(0.0);
+        }
         for kk in kk0..kk0 + kc {
             let av = a[(i0 + r) * k + kk];
             let brow = &b[kk * n + jj0..kk * n + jj0 + nc];
@@ -167,16 +277,13 @@ fn micro_tail(
     }
 }
 
-/// Out-of-place transpose of a packed `rows × cols` matrix.
-fn transpose(rows: usize, cols: usize, src: &[f32]) -> Vec<f32> {
-    let mut out = vec![0.0f32; rows * cols];
-    for i in 0..rows {
-        let srow = &src[i * cols..(i + 1) * cols];
-        for (j, &v) in srow.iter().enumerate() {
-            out[j * rows + i] = v;
-        }
-    }
-    out
+/// Transpose of a packed `rows × cols` matrix into a reusable scratch
+/// buffer (grow-only; every element is overwritten), cache-tiled — on the
+/// tall im2col operands the at_b/a_bt paths transpose, the tiled walk is
+/// several times faster than a strided one.
+fn transpose_into(rows: usize, cols: usize, src: &[f32], out: &mut Vec<f32>) {
+    out.resize(rows * cols, 0.0);
+    crate::matmul::transpose_tiled(rows, cols, src, out);
 }
 
 impl GemmBackend for BlockedGemm {
@@ -196,19 +303,45 @@ impl GemmBackend for BlockedGemm {
     }
 
     fn gemm_at_b(&self, k: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
-        debug_assert_eq!(a.len(), k * m);
-        debug_assert_eq!(b.len(), k * n);
-        debug_assert_eq!(out.len(), m * n);
-        let at = transpose(k, m, a); // K×M -> M×K
-        self.gemm_into(m, k, n, &at, b, out);
+        self.gemm_at_b_scratch(k, m, n, a, b, out, &mut Vec::new());
     }
 
     fn gemm_a_bt(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        self.gemm_a_bt_scratch(m, k, n, a, b, out, &mut Vec::new());
+    }
+
+    fn gemm_at_b_scratch(
+        &self,
+        k: usize,
+        m: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        pack: &mut Vec<f32>,
+    ) {
+        debug_assert_eq!(a.len(), k * m);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        transpose_into(k, m, a, pack); // K×M -> M×K
+        self.gemm_into(m, k, n, pack, b, out);
+    }
+
+    fn gemm_a_bt_scratch(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        pack: &mut Vec<f32>,
+    ) {
         debug_assert_eq!(a.len(), m * k);
         debug_assert_eq!(b.len(), n * k);
         debug_assert_eq!(out.len(), m * n);
-        let bt = transpose(n, k, b); // N×K -> K×N
-        self.gemm_into(m, k, n, a, &bt, out);
+        transpose_into(n, k, b, pack); // N×K -> K×N
+        self.gemm_into(m, k, n, a, pack, out);
     }
 }
 

@@ -22,6 +22,8 @@
 
 mod blocked;
 mod naive;
+#[allow(unsafe_code)]
+pub mod simd;
 
 pub use blocked::BlockedGemm;
 pub use naive::NaiveGemm;
@@ -63,6 +65,42 @@ pub trait GemmBackend: Send + Sync {
 
     /// `out (M×N) = a · bᵀ` with `a` stored as `M×K`, `b` as `N×K`.
     fn gemm_a_bt(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]);
+
+    /// [`GemmBackend::gemm_at_b`] with a caller-provided pack/transpose
+    /// scratch buffer, so steady-state callers (workspaces) avoid the
+    /// per-call allocation. The default ignores `pack` and delegates;
+    /// backends that materialise a transposed operand override it.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_at_b_scratch(
+        &self,
+        k: usize,
+        m: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        pack: &mut Vec<f32>,
+    ) {
+        let _ = pack;
+        self.gemm_at_b(k, m, n, a, b, out);
+    }
+
+    /// [`GemmBackend::gemm_a_bt`] with a caller-provided pack/transpose
+    /// scratch buffer (see [`GemmBackend::gemm_at_b_scratch`]).
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_a_bt_scratch(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        pack: &mut Vec<f32>,
+    ) {
+        let _ = pack;
+        self.gemm_a_bt(m, k, n, a, b, out);
+    }
 }
 
 /// The selectable GEMM implementations, as a plain value that can sit in a

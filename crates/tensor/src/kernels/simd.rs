@@ -1,0 +1,191 @@
+//! Explicit-SIMD GEMM inner loop: 8-row × f32x8 FMA tiles on x86_64.
+//!
+//! The blocked backend's register micro-kernel historically relied on the
+//! auto-vectoriser; this module replaces its inner loop with hand-written
+//! AVX2+FMA intrinsics, keeping the same panel/tile decomposition. The
+//! scalar tile in `blocked.rs` remains as the portable fallback, selected
+//! at runtime when AVX2/FMA is absent (or off x86_64 entirely), and the
+//! property tests in `blocked.rs`/`tests/workspace_into.rs` pin both paths
+//! to the naive oracle.
+//!
+//! This is the **only** module in `nf-tensor` allowed to use `unsafe`
+//! (crate-level `deny(unsafe_code)` with a local allow): the two intrinsic
+//! functions below are gated by [`available`] and touch indices that are
+//! in-bounds by the same arithmetic the scalar kernel uses.
+//!
+//! Tile shape: one `__m256` accumulator per panel row — an `MR × 8` output
+//! tile. Per `k` iteration that costs one vector load of `B`, `MR`
+//! broadcasts of `A` and `MR` FMAs, which on AVX2 hosts keeps both FMA
+//! ports busy while staying within the 16-register file (8 accumulators +
+//! broadcast + `B` row), so no spills in the inner loop.
+
+/// Rows per panel — must match `blocked::MR` (asserted there).
+pub const MR: usize = 8;
+
+/// Columns per SIMD tile (`f32x8`).
+pub const LANES: usize = 8;
+
+/// Whether the explicit-SIMD kernel can run on this host (cached runtime
+/// detection of AVX2 + FMA; always `false` off x86_64).
+pub fn available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Name of the micro-kernel the dispatcher will pick, for benchmark
+/// artifacts and reports.
+pub fn kernel_name() -> &'static str {
+    if available() {
+        "f32x8-fma"
+    } else {
+        "scalar-unrolled"
+    }
+}
+
+/// Runs the SIMD micro-kernel over a full `MR`-row output panel for the
+/// cache block `[kk0, kk0+kc) × [jj0, jj0+nc)`. With `first` set the tile
+/// **stores** its result (the output may hold garbage from buffer reuse);
+/// otherwise it accumulates. Returns the number of leading columns of the
+/// block it processed (a multiple of [`LANES`]; the caller finishes the
+/// remainder with the scalar tail) — or `None` when AVX2/FMA is
+/// unavailable and the caller must take the scalar path for the whole
+/// block.
+///
+/// Index contract (identical to the scalar `micro_mr`): `a` is `M×K`
+/// row-major with panel rows `i0..i0+MR` in range, `b` is `K×N` row-major,
+/// `opanel` holds `MR` rows of `N` floats.
+/// Crate-private: the index contract below is enforced by `blocked.rs`'s
+/// panel arithmetic, not by runtime checks (the debug asserts vanish in
+/// release), so this must not be callable from safe code outside the
+/// kernel module.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn panel_f32x8(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+    kk0: usize,
+    kc: usize,
+    jj0: usize,
+    nc: usize,
+    first: bool,
+    opanel: &mut [f32],
+) -> Option<usize> {
+    if !available() {
+        return None;
+    }
+    let full = nc - nc % LANES;
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut jt = 0;
+        while jt < full {
+            // SAFETY: `available()` verified AVX2+FMA; tile indices are
+            // in-bounds by the caller's contract (checked in debug builds
+            // inside the kernel).
+            unsafe { tile_f32x8(a, b, k, n, i0, kk0, kc, jj0 + jt, first, opanel) };
+            jt += LANES;
+        }
+    }
+    let _ = first;
+    Some(full)
+}
+
+/// One `MR × 8` accumulator tile over a `kc`-deep cache block.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn tile_f32x8(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+    kk0: usize,
+    kc: usize,
+    j: usize,
+    first: bool,
+    opanel: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!((i0 + MR - 1) * k + kk0 + kc <= a.len());
+    debug_assert!((kk0 + kc - 1) * n + j + LANES <= b.len());
+    debug_assert!((MR - 1) * n + j + LANES <= opanel.len());
+    let mut acc = [_mm256_setzero_ps(); MR];
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    for kk in kk0..kk0 + kc {
+        let brow = _mm256_loadu_ps(bp.add(kk * n + j));
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(*ap.add((i0 + r) * k + kk));
+            *accr = _mm256_fmadd_ps(av, brow, *accr);
+        }
+    }
+    let op = opanel.as_mut_ptr();
+    for (r, accr) in acc.iter().enumerate() {
+        let dst = op.add(r * n + j);
+        if first {
+            _mm256_storeu_ps(dst, *accr);
+        } else {
+            let cur = _mm256_loadu_ps(dst);
+            _mm256_storeu_ps(dst, _mm256_add_ps(cur, *accr));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_name_matches_availability() {
+        if available() {
+            assert_eq!(kernel_name(), "f32x8-fma");
+        } else {
+            assert_eq!(kernel_name(), "scalar-unrolled");
+        }
+    }
+
+    #[test]
+    fn panel_matches_scalar_reference() {
+        // 8×K panel times K×N block, odd N to exercise the partial-lanes
+        // return value.
+        let (k, n) = (13usize, 21usize);
+        let a: Vec<f32> = (0..MR * k).map(|i| (i % 7) as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 * 0.5 - 1.0).collect();
+        // Poisoned output: `first == true` must fully overwrite it.
+        let mut out = vec![f32::NAN; MR * n];
+        match panel_f32x8(&a, &b, k, n, 0, 0, k, 0, n, true, &mut out) {
+            None => assert!(!available()),
+            Some(done) => {
+                assert_eq!(done, n - n % LANES);
+                for r in 0..MR {
+                    for j in 0..done {
+                        let want: f32 = (0..k).map(|kk| a[r * k + kk] * b[kk * n + j]).sum();
+                        let got = out[r * n + j];
+                        assert!(
+                            (want - got).abs() < 1e-4 * (1.0 + want.abs()),
+                            "({r},{j}): {want} vs {got}"
+                        );
+                    }
+                    // Columns past `done` must be untouched (still NaN).
+                    for j in done..n {
+                        assert!(out[r * n + j].is_nan());
+                    }
+                }
+            }
+        }
+    }
+}

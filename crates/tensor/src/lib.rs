@@ -9,12 +9,16 @@
 //!
 //! The paper's training stack (PyTorch on a Jetson GPU) is unavailable in
 //! this environment, so this crate *is* the substitute substrate; see
-//! `DESIGN.md` §2. Everything is allocation-explicit and `unsafe`-free.
-//! The GEMM hot path is pluggable (see [`kernels`]): a naive reference
-//! backend validates a cache-blocked, optionally rayon-parallel backend
-//! that is the default everywhere, so experiments run as fast as safe
-//! scalar Rust allows while correctness stays anchored to the oracle (and
-//! to finite-difference gradient checks one crate up).
+//! `DESIGN.md` §2. Everything is allocation-explicit: the hot-path entry
+//! points come in `*_into` form writing into caller-provided grow-only
+//! buffers (see [`Workspace`]), with the allocating originals kept as thin
+//! wrappers. The GEMM hot path is pluggable (see [`kernels`]): a naive
+//! reference backend validates a cache-blocked, optionally rayon-parallel
+//! backend that is the default everywhere, with an explicit AVX2+FMA
+//! micro-kernel ([`kernels::simd`]) dispatched at runtime. `unsafe` is
+//! denied crate-wide and allowed only inside that one intrinsics module;
+//! correctness stays anchored to the oracle via property tests (and to
+//! finite-difference gradient checks one crate up).
 //!
 //! # Examples
 //!
@@ -27,7 +31,7 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 mod conv;
@@ -39,20 +43,26 @@ mod ops;
 mod pool;
 mod reduce;
 mod tensor;
+mod workspace;
 
 pub use conv::{
-    col2im, col2im_batch, im2col, im2col_batch, nchw_to_posrows, posrows_to_nchw, Conv2dGeometry,
+    col2im, col2im_batch, col2im_batch_into, im2col, im2col_batch, im2col_batch_into,
+    nchw_to_posrows, nchw_to_posrows_into, posrows_to_nchw, Conv2dGeometry,
 };
 pub use error::TensorError;
 pub use init::{he_normal, uniform_init, xavier_uniform};
 pub use kernels::{global_backend, set_global_backend, GemmBackend, KernelBackend};
 pub use matmul::{
-    matmul, matmul_a_bt, matmul_a_bt_with, matmul_at_b, matmul_at_b_with, matmul_with, transpose2d,
+    matmul, matmul_a_bt, matmul_a_bt_into, matmul_a_bt_with, matmul_at_b, matmul_at_b_into,
+    matmul_at_b_with, matmul_into, matmul_with, transpose2d, transpose2d_into,
 };
 pub use ops::{add, axpy, hadamard, sub};
 pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward};
-pub use reduce::{argmax_rows, mean_all, softmax_rows, sum_all, sum_axis0};
+pub use reduce::{argmax_rows, mean_all, softmax_rows, sum_all, sum_axis0, sum_axis0_acc};
 pub use tensor::Tensor;
+pub use workspace::{
+    lock_workspace, new_owner_token, shared_workspace, SharedWorkspace, Workspace, WorkspaceParts,
+};
 
 /// Convenience alias for fallible tensor operations.
 pub type Result<T> = std::result::Result<T, TensorError>;

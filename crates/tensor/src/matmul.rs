@@ -45,6 +45,26 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 
 /// [`matmul`] on an explicit backend.
 pub fn matmul_with(backend: KernelBackend, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mut out = Tensor::zeros(&[0]);
+    matmul_into(backend, a, b, &mut out)?;
+    Ok(out)
+}
+
+/// [`matmul`] writing into a caller-provided buffer (grow-only, see
+/// [`Tensor::reuse_as`]): the zero-allocation steady-state entry point.
+///
+/// # Examples
+///
+/// ```
+/// use nf_tensor::{matmul_into, KernelBackend, Tensor};
+///
+/// let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// let b = Tensor::from_vec(vec![2, 1], vec![1.0, 1.0]).unwrap();
+/// let mut out = Tensor::zeros(&[0]);
+/// matmul_into(KernelBackend::Blocked, &a, &b, &mut out).unwrap();
+/// assert_eq!(out.data(), &[3.0, 7.0]);
+/// ```
+pub fn matmul_into(backend: KernelBackend, a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     let ((m, k), (k2, n)) = check2("matmul", a, b)?;
     if k != k2 {
         return Err(TensorError::ShapeMismatch {
@@ -53,14 +73,15 @@ pub fn matmul_with(backend: KernelBackend, a: &Tensor, b: &Tensor) -> Result<Ten
             rhs: b.shape().to_vec(),
         });
     }
-    let mut out = vec![0.0f32; m * n];
+    out.reuse_as(&[m, n]);
     backend
         .backend()
-        .gemm(m, k, n, a.data(), b.data(), &mut out);
-    Tensor::from_vec(vec![m, n], out)
+        .gemm(m, k, n, a.data(), b.data(), out.data_mut());
+    Ok(())
 }
 
-/// Product `aᵀ (K×M)ᵀ · b (K×N) -> (M×N)` without materialising `aᵀ`.
+/// Product `aᵀ (K×M)ᵀ · b (K×N) -> (M×N)` without materialising `aᵀ` at
+/// the call site.
 ///
 /// Layer backward passes need `Xᵀ·G` for weight gradients; this avoids the
 /// transpose copy at the call site (the blocked backend may still pack
@@ -71,6 +92,20 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 
 /// [`matmul_at_b`] on an explicit backend.
 pub fn matmul_at_b_with(backend: KernelBackend, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mut out = Tensor::zeros(&[0]);
+    matmul_at_b_into(backend, a, b, &mut out, &mut Vec::new())?;
+    Ok(out)
+}
+
+/// [`matmul_at_b`] writing into a caller-provided buffer, with `pack` as
+/// the backend's transpose/pack scratch (both grow-only).
+pub fn matmul_at_b_into(
+    backend: KernelBackend,
+    a: &Tensor,
+    b: &Tensor,
+    out: &mut Tensor,
+    pack: &mut Vec<f32>,
+) -> Result<()> {
     let ((k, m), (k2, n)) = check2("matmul_at_b", a, b)?;
     if k != k2 {
         return Err(TensorError::ShapeMismatch {
@@ -79,14 +114,15 @@ pub fn matmul_at_b_with(backend: KernelBackend, a: &Tensor, b: &Tensor) -> Resul
             rhs: b.shape().to_vec(),
         });
     }
-    let mut out = vec![0.0f32; m * n];
+    out.reuse_as(&[m, n]);
     backend
         .backend()
-        .gemm_at_b(k, m, n, a.data(), b.data(), &mut out);
-    Tensor::from_vec(vec![m, n], out)
+        .gemm_at_b_scratch(k, m, n, a.data(), b.data(), out.data_mut(), pack);
+    Ok(())
 }
 
-/// Product `a (M×K) · bᵀ (N×K)ᵀ -> (M×N)` without materialising `bᵀ`.
+/// Product `a (M×K) · bᵀ (N×K)ᵀ -> (M×N)` without materialising `bᵀ` at
+/// the call site.
 ///
 /// Layer backward passes need `G·Wᵀ` for input gradients.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
@@ -95,6 +131,20 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 
 /// [`matmul_a_bt`] on an explicit backend.
 pub fn matmul_a_bt_with(backend: KernelBackend, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mut out = Tensor::zeros(&[0]);
+    matmul_a_bt_into(backend, a, b, &mut out, &mut Vec::new())?;
+    Ok(out)
+}
+
+/// [`matmul_a_bt`] writing into a caller-provided buffer, with `pack` as
+/// the backend's transpose/pack scratch (both grow-only).
+pub fn matmul_a_bt_into(
+    backend: KernelBackend,
+    a: &Tensor,
+    b: &Tensor,
+    out: &mut Tensor,
+    pack: &mut Vec<f32>,
+) -> Result<()> {
     let ((m, k), (n, k2)) = check2("matmul_a_bt", a, b)?;
     if k != k2 {
         return Err(TensorError::ShapeMismatch {
@@ -103,11 +153,11 @@ pub fn matmul_a_bt_with(backend: KernelBackend, a: &Tensor, b: &Tensor) -> Resul
             rhs: b.shape().to_vec(),
         });
     }
-    let mut out = vec![0.0f32; m * n];
+    out.reuse_as(&[m, n]);
     backend
         .backend()
-        .gemm_a_bt(m, k, n, a.data(), b.data(), &mut out);
-    Tensor::from_vec(vec![m, n], out)
+        .gemm_a_bt_scratch(m, k, n, a.data(), b.data(), out.data_mut(), pack);
+    Ok(())
 }
 
 /// Transpose of a rank-2 tensor.
@@ -123,15 +173,58 @@ pub fn matmul_a_bt_with(backend: KernelBackend, a: &Tensor, b: &Tensor) -> Resul
 /// assert_eq!(t.data(), &[1., 4., 2., 5., 3., 6.]);
 /// ```
 pub fn transpose2d(a: &Tensor) -> Result<Tensor> {
+    let mut out = Tensor::zeros(&[0]);
+    transpose2d_into(a, &mut out)?;
+    Ok(out)
+}
+
+/// [`transpose2d`] into a caller-provided buffer (grow-only). Used by the
+/// layers to refresh packed weight panels without allocating.
+pub fn transpose2d_into(a: &Tensor, out: &mut Tensor) -> Result<()> {
     let (m, n) = a.dims2()?;
-    let av = a.data();
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = av[i * n + j];
+    out.reuse_as(&[n, m]);
+    transpose_tiled(m, n, a.data(), out.data_mut());
+    Ok(())
+}
+
+/// Cache-tile edge for [`transpose_tiled`]: a 32×32 f32 tile is 4 KiB of
+/// source plus 4 KiB of destination, so both sides of the swap stay in L1
+/// regardless of how pathological the full matrix's column stride is.
+const TRANSPOSE_TILE: usize = 32;
+
+/// Transpose of a packed row-major `rows × cols` slice into `dst`
+/// (`cols × rows`, fully overwritten), walked in L1-sized square tiles.
+///
+/// The naive row-major walk writes `dst` with a `rows`-element stride —
+/// one cache line touched per element once `rows` outgrows the TLB/L1 —
+/// which made transposition, not arithmetic, the dominant cost of the
+/// `Aᵀ·B` weight-gradient GEMMs on tall `im2col` matrices. Tiling bounds
+/// the working set to two tiles.
+pub(crate) fn transpose_tiled(rows: usize, cols: usize, src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    // Within a tile, the inner loop writes `dst` contiguously and takes
+    // the stride on the `src` side. The hot transposes are tall-skinny
+    // (`rows` in the thousands — often a power of two, where strided
+    // *writes* would collapse onto a handful of L1 sets — and `cols` a
+    // small patch size), so the strided reads use the short `cols` stride
+    // and the whole source tile stays resident across the tile's rows.
+    let mut j0 = 0;
+    while j0 < cols {
+        let jb = TRANSPOSE_TILE.min(cols - j0);
+        let mut i0 = 0;
+        while i0 < rows {
+            let ib = TRANSPOSE_TILE.min(rows - i0);
+            for j in j0..j0 + jb {
+                let drow = &mut dst[j * rows + i0..j * rows + i0 + ib];
+                for (di, d) in drow.iter_mut().enumerate() {
+                    *d = src[(i0 + di) * cols + j];
+                }
+            }
+            i0 += ib;
         }
+        j0 += jb;
     }
-    Tensor::from_vec(vec![n, m], out)
 }
 
 #[cfg(test)]

@@ -22,15 +22,31 @@ pub fn mean_all(t: &Tensor) -> f32 {
 ///
 /// This is the bias-gradient reduction used by every layer backward.
 pub fn sum_axis0(t: &Tensor) -> Result<Tensor> {
+    let mut out = Tensor::zeros(&[t.shape().last().copied().unwrap_or(0)]);
+    sum_axis0_acc(t, &mut out)?;
+    Ok(out)
+}
+
+/// Accumulates the column sums of a rank-2 tensor into `acc` (length
+/// `cols`, rank 1) without allocating — the in-place bias-gradient
+/// reduction (`db += Σ_rows g`) every layer backward runs.
+pub fn sum_axis0_acc(t: &Tensor, acc: &mut Tensor) -> Result<()> {
     let (rows, cols) = t.dims2()?;
-    let mut out = vec![0.0f32; cols];
+    if acc.rank() != 1 || acc.numel() != cols {
+        return Err(TensorError::ShapeMismatch {
+            op: "sum_axis0_acc",
+            lhs: t.shape().to_vec(),
+            rhs: acc.shape().to_vec(),
+        });
+    }
+    let av = acc.data_mut();
     for r in 0..rows {
         let row = &t.data()[r * cols..(r + 1) * cols];
-        for (o, v) in out.iter_mut().zip(row) {
+        for (o, v) in av.iter_mut().zip(row) {
             *o += v;
         }
     }
-    Tensor::from_vec(vec![cols], out)
+    Ok(())
 }
 
 /// Index of the maximum element of each row of a rank-2 tensor.

@@ -25,6 +25,17 @@ pub struct Tensor {
     data: Vec<f32>,
 }
 
+impl Default for Tensor {
+    /// An empty rank-1 tensor (`shape == [0]`), the canonical seed for
+    /// grow-only buffers resized with [`Tensor::reuse_as`].
+    fn default() -> Self {
+        Tensor {
+            shape: vec![0],
+            data: Vec::new(),
+        }
+    }
+}
+
 impl Tensor {
     /// Creates a tensor from a shape and a data buffer.
     ///
@@ -270,6 +281,46 @@ impl Tensor {
     /// Sets every element to zero, keeping the allocation.
     pub fn fill_zero(&mut self) {
         self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Reshapes `self` in place to `shape`, reusing both the shape vector
+    /// and the data allocation (grow-only: capacity never shrinks, so a
+    /// warmed-up buffer is never reallocated for an equal-or-smaller
+    /// shape). Element values after the call are **unspecified** — callers
+    /// must overwrite every element, or use [`Tensor::reuse_zeroed`].
+    ///
+    /// This is the primitive the `*_into` hot-path entry points are built
+    /// on; see [`crate::Workspace`].
+    pub fn reuse_as(&mut self, shape: &[usize]) {
+        let numel = shape.iter().product();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.resize(numel, 0.0);
+    }
+
+    /// [`Tensor::reuse_as`], then zeroes every element — for outputs that
+    /// are written sparsely (`im2col` padding gaps) or accumulated into
+    /// (`col2im`).
+    pub fn reuse_zeroed(&mut self, shape: &[usize]) {
+        self.reuse_as(shape);
+        self.fill_zero();
+    }
+
+    /// Makes `self` an exact copy of `src`, reusing `self`'s allocations
+    /// (grow-only). The zero-allocation steady-state alternative to
+    /// `*self = src.clone()`.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&src.shape);
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Capacity (in elements) of the underlying buffer. Exposed so tests
+    /// can assert that reused workspace buffers stop growing after
+    /// warm-up.
+    pub fn data_capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Extracts rows `[start, end)` of a rank-2 tensor as a new tensor.

@@ -1,0 +1,181 @@
+//! Reusable scratch buffers for the conv/GEMM hot path.
+//!
+//! Every training step lowers convolutions through `im2col` and runs three
+//! dense products per layer; done naively, each of those builds its entire
+//! working set from scratch (`vec![0.0; …]`) and drops it again — per
+//! minibatch, per layer. A [`Workspace`] owns those buffers instead, with a
+//! **grow-only** policy: buffers are resized in place ([`Tensor::reuse_as`]),
+//! capacity never shrinks, so after one warm-up step the steady-state
+//! training loop performs no heap allocation in the lowering/GEMM path at
+//! all (asserted by the `alloc_free` integration test).
+//!
+//! Ownership model (see DESIGN.md §8):
+//!
+//! - Layers hold a [`SharedWorkspace`] handle. A standalone layer gets its
+//!   own; the Worker and the baseline trainers install run-wide arenas
+//!   (one for the unit chain, one for the aux heads), so layers share
+//!   buffers sized to the largest layer of their chain (training is
+//!   sequential, so arenas never conflict).
+//! - A layer locks the workspace for the duration of one forward or
+//!   backward call and takes disjoint `&mut` slots via
+//!   [`Workspace::parts`]. Calls within a block are sequential, so the
+//!   lock is uncontended; it exists so layers stay `Send` and so rayon
+//!   worker threads inside a kernel can never observe a half-written
+//!   buffer (they only ever receive sub-slices of a slot borrowed for the
+//!   whole call).
+//! - State that must survive *across* calls (a layer's cached forward
+//!   input, packed weight panels) lives in the layer, not here: workspace
+//!   slots are valid only within a single lock scope.
+
+use crate::tensor::Tensor;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Grow-only scratch buffers for one block's lowering/GEMM traffic.
+///
+/// Slots are named by role rather than by owner so sequential layers of
+/// different shapes can share them:
+///
+/// | slot      | role                                                    |
+/// |-----------|---------------------------------------------------------|
+/// | `cols`    | `im2col` patch matrix / `col2im` input                  |
+/// | `posrows` | position-major activations or gradients (`N·H·W × C`)   |
+/// | `out`     | GEMM outputs consumed within the same call              |
+/// | `pack`    | operand transpose/pack scratch inside the GEMM backends |
+///
+/// # Examples
+///
+/// ```
+/// use nf_tensor::{matmul_into, KernelBackend, Tensor, Workspace};
+///
+/// let a = Tensor::ones(&[3, 4]);
+/// let b = Tensor::ones(&[4, 2]);
+/// let mut ws = Workspace::new();
+/// let parts = ws.parts();
+/// matmul_into(KernelBackend::Blocked, &a, &b, parts.out).unwrap();
+/// assert_eq!(parts.out.shape(), &[3, 2]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Workspace {
+    cols: Tensor,
+    posrows: Tensor,
+    out: Tensor,
+    pack: Vec<f32>,
+    cols_owner: u64,
+}
+
+/// Disjoint mutable views of every [`Workspace`] slot, so one call can use
+/// several slots at once (e.g. conv backward reads `cols` and `posrows`
+/// while writing `out` and packing into `pack`).
+pub struct WorkspaceParts<'a> {
+    /// `im2col` patch matrix slot.
+    pub cols: &'a mut Tensor,
+    /// Position-major rows slot.
+    pub posrows: &'a mut Tensor,
+    /// GEMM output slot.
+    pub out: &'a mut Tensor,
+    /// Transpose/pack scratch slot.
+    pub pack: &'a mut Vec<f32>,
+    /// Token identifying the layer whose lowering currently fills `cols`
+    /// (0 = nobody). A conv layer stamps its own token after `im2col` in
+    /// forward; if the token still matches at backward time, nothing else
+    /// wrote `cols` in between and the backward pass skips the
+    /// re-lowering entirely — the common case for the last conv before a
+    /// backward chain (every auxiliary head's conv, in particular).
+    pub cols_owner: &'a mut u64,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Splits the workspace into simultaneous mutable slot views.
+    pub fn parts(&mut self) -> WorkspaceParts<'_> {
+        WorkspaceParts {
+            cols: &mut self.cols,
+            posrows: &mut self.posrows,
+            out: &mut self.out,
+            pack: &mut self.pack,
+            cols_owner: &mut self.cols_owner,
+        }
+    }
+
+    /// Total bytes currently reserved across all slots — the steady-state
+    /// scratch footprint of the block this workspace serves.
+    pub fn reserved_bytes(&self) -> u64 {
+        let elems = self.cols.data_capacity()
+            + self.posrows.data_capacity()
+            + self.out.data_capacity()
+            + self.pack.capacity();
+        elems as u64 * 4
+    }
+}
+
+/// Shared handle to a [`Workspace`]: the Worker hands one per block to
+/// every layer in that block.
+///
+/// `Mutex` rather than `RefCell` keeps layers `Send`; the lock is
+/// uncontended in practice (layer calls within a block are sequential).
+pub type SharedWorkspace = Arc<Mutex<Workspace>>;
+
+/// Creates a fresh [`SharedWorkspace`].
+pub fn shared_workspace() -> SharedWorkspace {
+    Arc::new(Mutex::new(Workspace::new()))
+}
+
+/// Allocates a process-unique, non-zero token for
+/// [`WorkspaceParts::cols_owner`] stamping.
+pub fn new_owner_token() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Locks a [`SharedWorkspace`], recovering from poisoning (a panic while
+/// holding the lock leaves only scratch data behind, which the next call
+/// overwrites anyway).
+pub fn lock_workspace(ws: &SharedWorkspace) -> MutexGuard<'_, Workspace> {
+    match ws.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_disjoint_and_grow_only() {
+        let mut ws = Workspace::new();
+        {
+            let p = ws.parts();
+            p.cols.reuse_as(&[4, 8]);
+            p.out.reuse_as(&[2, 2]);
+            p.pack.resize(16, 0.0);
+        }
+        let grown = ws.reserved_bytes();
+        assert_eq!(grown, (32 + 4 + 16) * 4);
+        // Shrinking shapes must not release capacity.
+        {
+            let p = ws.parts();
+            p.cols.reuse_as(&[2, 2]);
+            p.pack.clear();
+        }
+        assert_eq!(ws.reserved_bytes(), grown);
+    }
+
+    #[test]
+    fn shared_workspace_recovers_from_poison() {
+        let ws = shared_workspace();
+        let ws2 = Arc::clone(&ws);
+        let _ = std::thread::spawn(move || {
+            let _guard = ws2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        let mut guard = lock_workspace(&ws);
+        guard.parts().out.reuse_as(&[1]);
+    }
+}
