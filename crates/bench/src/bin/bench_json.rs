@@ -150,6 +150,116 @@ fn time_train_step(backend: KernelBackend, smoke: bool) -> TrainStepRow {
     }
 }
 
+/// One federated timing at a fixed thread count.
+struct FedRow {
+    threads: usize,
+    round_train_seconds: Vec<f64>,
+    accuracy_bits: Vec<u32>,
+}
+
+/// Times the quickstart-shaped federated config
+/// (`examples/federated.toml`) at `threads` workers and returns per-round
+/// client-training wall times plus the exact round accuracies (as f32
+/// bits, for the determinism cross-check).
+fn time_federated(threads: usize, smoke: bool) -> FedRow {
+    use neuroflux_core::federated::{run_federated, FederatedConfig};
+    use neuroflux_core::NeuroFluxConfig;
+    use nf_data::SyntheticSpec;
+
+    let (clients, rounds, train_n, channels): (usize, usize, usize, &[usize]) = if smoke {
+        (3, 1, 48, &[4, 8])
+    } else {
+        // examples/federated.toml: 4 clients × 3 rounds over 240 samples.
+        (4, 3, 240, &[8, 16])
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let data = SyntheticSpec::quick(4, 8, train_n).generate();
+    let spec = ModelSpec::tiny("fed-bench", 8, channels, 4);
+    let epochs = if smoke { 1 } else { 2 };
+    let fed = FederatedConfig::new(
+        clients,
+        rounds,
+        NeuroFluxConfig::new(24 << 20, 16).with_epochs(epochs),
+    )
+    .with_threads(threads)
+    .with_seed(7);
+    let outcome = run_federated(&mut rng, &spec, &data, &fed).expect("federated bench run");
+    FedRow {
+        threads,
+        round_train_seconds: outcome
+            .rounds
+            .iter()
+            .map(|r| r.train_wall_seconds)
+            .collect(),
+        accuracy_bits: outcome.round_accuracy.iter().map(|a| a.to_bits()).collect(),
+    }
+}
+
+/// Emits `BENCH_federated.json`: round wall-time at `threads = 1` vs
+/// `threads = 4`, the resulting speedup, and whether the two runs agreed
+/// bit for bit (they must — the engine's determinism contract).
+fn write_federated_artifact(smoke: bool) {
+    use nf_cli::{Table, Value};
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let rows: Vec<FedRow> = [1usize, 4]
+        .iter()
+        .map(|&t| time_federated(t, smoke))
+        .collect();
+    assert_eq!(
+        rows[0].accuracy_bits, rows[1].accuracy_bits,
+        "threads=4 must be bit-identical to threads=1"
+    );
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let base = mean(&rows[0].round_train_seconds);
+    let mut fed = Table::new();
+    fed.insert("schema", Value::Str("nf-bench-federated-v1".into()));
+    fed.insert("smoke", Value::Bool(smoke));
+    fed.insert(
+        "config",
+        Value::Str(
+            if smoke {
+                "smoke"
+            } else {
+                "federated-quickstart"
+            }
+            .into(),
+        ),
+    );
+    fed.insert("host_cores", Value::Int(host_cores as i64));
+    fed.insert("bit_identical", Value::Bool(true));
+    fed.insert(
+        "results",
+        Value::Array(
+            rows.iter()
+                .map(|r| {
+                    let m = mean(&r.round_train_seconds);
+                    let mut row = Table::new();
+                    row.insert("threads", Value::Int(r.threads as i64));
+                    row.insert(
+                        "round_train_ms",
+                        Value::Array(
+                            r.round_train_seconds
+                                .iter()
+                                .map(|&s| Value::Float(round2(s * 1000.0)))
+                                .collect(),
+                        ),
+                    );
+                    row.insert("mean_round_ms", Value::Float(round2(m * 1000.0)));
+                    row.insert("speedup_vs_1_thread", Value::Float(round2(base / m)));
+                    row.build()
+                })
+                .collect(),
+        ),
+    );
+    write_and_check(
+        &artifact_path("BENCH_federated", smoke),
+        &fed.build(),
+        &["schema", "config", "host_cores", "bit_identical", "results"],
+    );
+}
+
 /// Artifact path: always the workspace root (not the CWD), and smoke runs
 /// write `*.smoke.json` so the CI variant can never clobber the committed
 /// full-shape trend line.
@@ -212,8 +322,8 @@ fn main() {
             rows.push(time_gemm(backend, m, k, n, iters));
         }
     }
-    use nf_cli::Value;
-    let mut gemm = Value::table();
+    use nf_cli::{Table, Value};
+    let mut gemm = Table::new();
     gemm.insert("schema", Value::Str("nf-bench-gemm-v1".into()));
     gemm.insert("smoke", Value::Bool(smoke));
     gemm.insert(
@@ -225,25 +335,25 @@ fn main() {
         Value::Array(
             rows.iter()
                 .map(|r| {
-                    let mut row = Value::table();
+                    let mut row = Table::new();
                     row.insert("backend", Value::Str(r.backend.into()));
                     row.insert("m", Value::Int(r.m as i64));
                     row.insert("k", Value::Int(r.k as i64));
                     row.insert("n", Value::Int(r.n as i64));
                     row.insert("ns_per_iter", Value::Int(r.ns_per_iter as i64));
                     row.insert("gflops", Value::Float(round2(r.gflops)));
-                    row
+                    row.build()
                 })
                 .collect(),
         ),
     );
     write_and_check(
         &artifact_path("BENCH_gemm", smoke),
-        &gemm,
+        &gemm.build(),
         &["schema", "results"],
     );
 
-    let mut ts = Value::table();
+    let mut ts = Table::new();
     ts.insert("schema", Value::Str("nf-bench-train-step-v1".into()));
     ts.insert("smoke", Value::Bool(smoke));
     ts.insert(
@@ -257,18 +367,21 @@ fn main() {
             steps
                 .iter()
                 .map(|r| {
-                    let mut row = Value::table();
+                    let mut row = Table::new();
                     row.insert("backend", Value::Str(r.backend.into()));
                     row.insert("ns_per_step", Value::Int(r.ns_per_step as i64));
                     row.insert("steps_per_sec", Value::Float(round2(r.steps_per_sec)));
-                    row
+                    row.build()
                 })
                 .collect(),
         ),
     );
     write_and_check(
         &artifact_path("BENCH_train_step", smoke),
-        &ts,
+        &ts.build(),
         &["schema", "config", "peak_rss_bytes", "results"],
     );
+
+    // --- Federated round wall-time vs threads ---
+    write_federated_artifact(smoke);
 }

@@ -12,7 +12,7 @@ use nf_bench::{print_table, scaled::workload};
 use rand::SeedableRng;
 
 fn main() {
-    let w = workload("vgg16", "cifar100");
+    let w = nf_bench::or_exit(workload("vgg16", "cifar100"));
     println!(
         "training scaled {} ({} units, {} params) on {} ({} classes, {} samples)…",
         w.scaled.name,

@@ -27,7 +27,7 @@ fn main() {
         ("vgg16", "cifar10", 50_000usize),
         ("resnet18", "cifar100", 50_000),
     ] {
-        let w = workload(model, dataset);
+        let w = nf_bench::or_exit(workload(model, dataset));
         println!(
             "\n== Figure 12 panel: {} (scaled training + simulated 300 MB/Orin time axis) ==",
             w.label

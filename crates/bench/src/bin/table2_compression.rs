@@ -18,7 +18,7 @@ fn main() {
     let mut rows = Vec::new();
     for dataset in ["cifar10", "cifar100", "tiny-imagenet"] {
         for model in ["vgg16", "vgg19", "resnet18"] {
-            let w = workload(model, dataset);
+            let w = nf_bench::or_exit(workload(model, dataset));
             // Train the scaled model to find where accuracy saturates.
             let mut rng = rand::rngs::StdRng::seed_from_u64(0);
             let config = NeuroFluxConfig::new(256 << 20, 64)

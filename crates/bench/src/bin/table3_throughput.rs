@@ -23,7 +23,7 @@ fn main() {
         println!("\n== Table 3: inference throughput, dataset {dataset} ==");
         let mut rows = Vec::new();
         for model in ["vgg16", "vgg19", "resnet18"] {
-            let w = workload(model, dataset);
+            let w = nf_bench::or_exit(workload(model, dataset));
             let mut rng = rand::rngs::StdRng::seed_from_u64(0);
             let config = NeuroFluxConfig::new(256 << 20, 64)
                 .with_epochs(4)

@@ -11,6 +11,19 @@
 
 pub mod scaled;
 
+/// Unwraps a bench-setup result, printing the error and exiting with a
+/// nonzero status — figure binaries have no meaningful partial output, but
+/// they should fail as diagnosable processes, not via `panic!`.
+pub fn or_exit<T, E: std::fmt::Display>(result: Result<T, E>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Prints a Markdown-style table: header row, separator, then rows.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

@@ -5,7 +5,7 @@
 use crate::config::RunConfig;
 use crate::error::{CliError, Result};
 use crate::rundir::RunDir;
-use crate::value::Value;
+use crate::value::{Table, Value};
 use neuroflux_core::{Checkpoint, WorkerReport};
 use nf_baselines::{BpTrainer, FaTrainer, LocalLearningTrainer, SpTrainer, TrainReport};
 use nf_models::UnitSpec;
@@ -67,7 +67,7 @@ pub fn run_baseline(cfg: &RunConfig, paradigm: Paradigm) -> Result<(RunDir, Valu
     let start = Instant::now();
     let backend = nf_config.kernel_backend;
 
-    let mut extra = Value::table();
+    let mut extra = Table::new();
     let report = match paradigm {
         Paradigm::Bp => {
             let mut model = spec.build(&mut rng)?;
@@ -91,7 +91,7 @@ pub fn run_baseline(cfg: &RunConfig, paradigm: Paradigm) -> Result<(RunDir, Valu
                     exits
                         .iter()
                         .map(|e| {
-                            let mut t = Value::table();
+                            let mut t = Table::new();
                             t.insert("unit", Value::Int(e.unit as i64));
                             t.insert(
                                 "val_accuracy",
@@ -100,7 +100,7 @@ pub fn run_baseline(cfg: &RunConfig, paradigm: Paradigm) -> Result<(RunDir, Valu
                                     None => Value::Null,
                                 },
                             );
-                            t
+                            t.build()
                         })
                         .collect(),
                 ),
@@ -139,7 +139,13 @@ pub fn run_baseline(cfg: &RunConfig, paradigm: Paradigm) -> Result<(RunDir, Valu
         }
     };
 
-    let metrics = baseline_metrics(cfg, paradigm, &report, extra, start.elapsed().as_secs_f64());
+    let metrics = baseline_metrics(
+        cfg,
+        paradigm,
+        &report,
+        extra.build(),
+        start.elapsed().as_secs_f64(),
+    );
     run_dir.write_metrics(&metrics)?;
     Ok((run_dir, metrics))
 }
@@ -152,7 +158,7 @@ fn baseline_metrics(
     wall_seconds: f64,
 ) -> Value {
     let floats = |xs: &[f32]| Value::Array(xs.iter().map(|&x| Value::Float(x as f64)).collect());
-    let mut m = Value::table();
+    let mut m = Table::new();
     m.insert("kind", Value::Str("baseline".into()));
     m.insert("paradigm", Value::Str(paradigm.name().into()));
     m.insert("name", Value::Str(cfg.run.name.clone()));
@@ -170,5 +176,5 @@ fn baseline_metrics(
         }
     }
     m.insert("wall_seconds", Value::Float(wall_seconds));
-    m
+    m.build()
 }

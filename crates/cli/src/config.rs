@@ -10,7 +10,7 @@
 //! identical `RunConfig`, the round-trip property the tests pin).
 
 use crate::error::{CliError, Result};
-use crate::value::Value;
+use crate::value::{Table, Value};
 use neuroflux_core::NeuroFluxConfig;
 use nf_data::SyntheticSpec;
 use nf_models::{AuxPolicy, ModelSpec};
@@ -103,6 +103,23 @@ pub struct BaselineSection {
     pub lr: f64,
 }
 
+/// `[federated]`: knobs for `nf federated` (the parallel multi-client
+/// FedAvg engine in `neuroflux-core`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederatedSection {
+    /// Number of clients the training split is sharded across.
+    pub clients: usize,
+    /// Synchronous FedAvg rounds.
+    pub rounds: usize,
+    /// Client-training worker threads (`0` = one per core, `1` =
+    /// sequential; results are bit-identical either way).
+    pub threads: usize,
+    /// Shard strategy: `round-robin`, `by-label`, or `dirichlet:<alpha>`.
+    pub strategy: String,
+    /// Sharding/client-stream seed override (defaults to `[run].seed`).
+    pub seed: Option<u64>,
+}
+
 /// `[sweep]`: device-budget sweep for `nf sweep` (runs the analytic
 /// `nf-memsim` models, not real training).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -134,6 +151,8 @@ pub struct RunConfig {
     pub baseline: Option<BaselineSection>,
     /// `[sweep]` section (required by `nf sweep` only).
     pub sweep: Option<SweepSection>,
+    /// `[federated]` section (required by `nf federated` only).
+    pub federated: Option<FederatedSection>,
 }
 
 /// A table wrapper producing `[section].key`-qualified error messages.
@@ -396,6 +415,31 @@ impl RunConfig {
             None
         };
 
+        let federated = Section::of(root, "federated");
+        let federated = if federated.exists() {
+            let strategy = match federated.get("strategy") {
+                None => "round-robin".to_string(),
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| federated.bad("strategy", "a string"))?
+                    .to_string(),
+            };
+            // Validate eagerly so a typo fails at parse time, with the
+            // offending key path.
+            strategy
+                .parse::<nf_data::ShardStrategy>()
+                .map_err(|e| CliError::config("federated.strategy", e))?;
+            Some(FederatedSection {
+                clients: federated.usize_opt("clients")?.unwrap_or(4),
+                rounds: federated.usize_opt("rounds")?.unwrap_or(3),
+                threads: federated.usize_opt("threads")?.unwrap_or(0),
+                strategy,
+                seed: federated.u64_opt("seed")?,
+            })
+        } else {
+            None
+        };
+
         let config = RunConfig {
             run,
             model,
@@ -403,6 +447,7 @@ impl RunConfig {
             train,
             baseline,
             sweep,
+            federated,
         };
         // Resolution validates the cross-section constraints (model fits
         // dataset geometry, NeuroFlux config sanity) up front.
@@ -413,14 +458,14 @@ impl RunConfig {
     /// Renders the resolved config back into a document tree; the snapshot
     /// written to `runs/<name>/config.toml`.
     pub fn to_value(&self) -> Value {
-        let mut root = Value::table();
-        let mut run = Value::table();
+        let mut root = Table::new();
+        let mut run = Table::new();
         run.insert("name", Value::Str(self.run.name.clone()));
         run.insert("seed", Value::Int(self.run.seed as i64));
         run.insert("out_dir", Value::Str(self.run.out_dir.clone()));
         root.insert("run", run);
 
-        let mut model = Value::table();
+        let mut model = Table::new();
         model.insert("preset", Value::Str(self.model.preset.clone()));
         if let Some(channels) = &self.model.channels {
             model.insert(
@@ -437,7 +482,7 @@ impl RunConfig {
         }
         root.insert("model", model);
 
-        let mut dataset = Value::table();
+        let mut dataset = Table::new();
         dataset.insert("preset", Value::Str(self.dataset.preset.clone()));
         if let Some(classes) = self.dataset.classes {
             dataset.insert("classes", Value::Int(classes as i64));
@@ -460,7 +505,7 @@ impl RunConfig {
         }
         root.insert("dataset", dataset);
 
-        let mut train = Value::table();
+        let mut train = Table::new();
         train.insert("budget_bytes", Value::Int(self.train.budget_bytes as i64));
         train.insert("batch_limit", Value::Int(self.train.batch_limit as i64));
         train.insert("rho", Value::Float(self.train.rho));
@@ -480,14 +525,14 @@ impl RunConfig {
         root.insert("train", train);
 
         if let Some(b) = &self.baseline {
-            let mut baseline = Value::table();
+            let mut baseline = Table::new();
             baseline.insert("epochs", Value::Int(b.epochs as i64));
             baseline.insert("batch", Value::Int(b.batch as i64));
             baseline.insert("lr", Value::Float(b.lr));
             root.insert("baseline", baseline);
         }
         if let Some(s) = &self.sweep {
-            let mut sweep = Value::table();
+            let mut sweep = Table::new();
             sweep.insert(
                 "devices",
                 Value::Array(s.devices.iter().map(|d| Value::Str(d.clone())).collect()),
@@ -501,7 +546,18 @@ impl RunConfig {
             sweep.insert("samples", Value::Int(s.samples as i64));
             root.insert("sweep", sweep);
         }
-        root
+        if let Some(f) = &self.federated {
+            let mut federated = Table::new();
+            federated.insert("clients", Value::Int(f.clients as i64));
+            federated.insert("rounds", Value::Int(f.rounds as i64));
+            federated.insert("threads", Value::Int(f.threads as i64));
+            federated.insert("strategy", Value::Str(f.strategy.clone()));
+            if let Some(seed) = f.seed {
+                federated.insert("seed", Value::Int(seed as i64));
+            }
+            root.insert("federated", federated);
+        }
+        root.build()
     }
 
     /// Resolves the dataset section into a generator spec.
@@ -602,6 +658,31 @@ impl RunConfig {
         Ok(config)
     }
 
+    /// Resolves the `[federated]` section into an engine configuration
+    /// (without a cache dir; `nf federated` points that at the run
+    /// directory).
+    pub fn resolve_federated(&self) -> Result<neuroflux_core::FederatedConfig> {
+        let f = self.federated.as_ref().ok_or_else(|| {
+            CliError::new("config has no [federated] section (required by `nf federated`)")
+        })?;
+        if f.clients == 0 {
+            return Err(CliError::config("federated.clients", "must be > 0"));
+        }
+        if f.rounds == 0 {
+            return Err(CliError::config("federated.rounds", "must be > 0"));
+        }
+        let strategy = f
+            .strategy
+            .parse::<nf_data::ShardStrategy>()
+            .map_err(|e| CliError::config("federated.strategy", e))?;
+        Ok(
+            neuroflux_core::FederatedConfig::new(f.clients, f.rounds, self.resolve_train()?)
+                .with_threads(f.threads)
+                .with_strategy(strategy)
+                .with_seed(f.seed.unwrap_or(self.run.seed)),
+        )
+    }
+
     /// Resolves all three training inputs at once.
     pub fn resolve(&self) -> Result<(ModelSpec, SyntheticSpec, NeuroFluxConfig)> {
         let dataset = self.resolve_dataset()?;
@@ -620,20 +701,15 @@ impl RunConfig {
     }
 }
 
-/// [`ModelSpec::with_input_size`] panics on resolution collapse; pre-check
-/// and surface a config error instead.
+/// Resizes through the typed [`ModelSpec::try_with_input_size`] path,
+/// anchoring the error at the config keys that chose the resolution.
 fn safe_with_input_size(spec: &ModelSpec, hw: usize) -> Result<ModelSpec> {
-    let mut probe = spec.clone();
-    probe.input = (spec.input.0, hw, hw);
-    let (_, h, w) = probe.final_feature_shape();
-    if h == 0 || w == 0 {
-        return Err(CliError::new(format!(
-            "model {} cannot run at {hw}×{hw}: too many downsampling stages \
-             (raise [dataset].image_hw or set [model].input_size)",
-            spec.name
-        )));
-    }
-    Ok(spec.with_input_size(hw))
+    spec.try_with_input_size(hw).map_err(|e| {
+        CliError::config(
+            "model.input_size",
+            format!("{e}; raise [dataset].image_hw or set [model].input_size"),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -761,6 +837,45 @@ kernel_backend = "naive"
                 .to_string();
             assert!(err.contains(needle), "{doc:?} -> {err}");
         }
+    }
+
+    #[test]
+    fn federated_section_parses_resolves_and_round_trips() {
+        let doc = format!(
+            "{}\n[federated]\nclients = 3\nrounds = 2\nthreads = 4\nstrategy = \"dirichlet:0.5\"\nseed = 9\n",
+            quickstart_toml()
+        );
+        let cfg = parse_config(&doc);
+        let f = cfg.federated.clone().unwrap();
+        assert_eq!((f.clients, f.rounds, f.threads), (3, 2, 4));
+        assert_eq!(f.strategy, "dirichlet:0.5");
+        let fed = cfg.resolve_federated().unwrap();
+        assert_eq!(fed.clients, 3);
+        assert_eq!(fed.seed, 9);
+        assert_eq!(fed.strategy, nf_data::ShardStrategy::Dirichlet(0.5),);
+        // Snapshot round-trip covers the new section.
+        let rendered = cfg.to_value().to_toml();
+        assert_eq!(parse_config(&rendered), cfg, "snapshot:\n{rendered}");
+        // Defaults and the [run].seed fallback.
+        let cfg = parse_config(&format!("{}\n[federated]\n", quickstart_toml()));
+        let fed = cfg.resolve_federated().unwrap();
+        assert_eq!((fed.clients, fed.rounds, fed.threads), (4, 3, 0));
+        assert_eq!(fed.seed, cfg.run.seed);
+        // A typo'd strategy fails at parse time with the key path.
+        let err = crate::toml::parse(&format!(
+            "{}\n[federated]\nstrategy = \"zipf\"\n",
+            quickstart_toml()
+        ))
+        .and_then(|v| RunConfig::from_value(&v))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("federated.strategy"), "{err}");
+        // No [federated] section: `nf federated` refuses with a hint.
+        let err = parse_config(quickstart_toml())
+            .resolve_federated()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("[federated]"), "{err}");
     }
 
     #[test]

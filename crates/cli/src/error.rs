@@ -9,6 +9,15 @@ use std::fmt;
 pub enum CliError {
     /// A failure with a human-readable message.
     Msg(String),
+    /// A malformed configuration document, with the offending key path
+    /// (e.g. `model.name`) — the typed form parse/validation errors take
+    /// so scripts can tell "your config is wrong" from "the run failed".
+    Config {
+        /// Dotted path of the offending key or section.
+        path: String,
+        /// What is wrong at that path.
+        message: String,
+    },
     /// The run was interrupted (progress hook requested cancellation);
     /// the run directory holds a checkpoint covering this many blocks and
     /// can be finished with `--resume`.
@@ -23,12 +32,23 @@ impl CliError {
     pub fn new(msg: impl Into<String>) -> Self {
         CliError::Msg(msg.into())
     }
+
+    /// Creates a typed config error anchored at a key path.
+    pub fn config(path: impl Into<String>, message: impl Into<String>) -> Self {
+        CliError::Config {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Msg(m) => f.write_str(m),
+            CliError::Config { path, message } => {
+                write!(f, "config error at `{path}`: {message}")
+            }
             CliError::Interrupted { completed_blocks } => write!(
                 f,
                 "run interrupted after {completed_blocks} completed block(s); \

@@ -44,10 +44,47 @@ pub fn run_inspect(path: &Path) -> Result<String> {
         "train" => Ok(render_train(&metrics)),
         "sweep" => Ok(render_sweep(&metrics)),
         "baseline" => Ok(render_baseline(&metrics)),
+        "federated" => Ok(render_federated(&metrics)),
         other => Err(CliError::new(format!(
             "metrics.json has unknown kind {other:?}"
         ))),
     }
+}
+
+fn render_federated(m: &Value) -> String {
+    let mut out = String::new();
+    let name = m.get("name").and_then(Value::as_str).unwrap_or("?");
+    let model = m.get("model").and_then(Value::as_str).unwrap_or("?");
+    let threads = m.get("threads_used").and_then(Value::as_int).unwrap_or(1);
+    let _ = writeln!(
+        out,
+        "# Run `{name}` — federated NeuroFlux ({model}, {threads} thread(s))\n"
+    );
+    if let Some(acc) = m.get("final_accuracy").and_then(Value::as_float) {
+        let _ = writeln!(out, "Final global-model accuracy: {}\n", pct(acc));
+    }
+    if let Some(rounds) = m.get("rounds").and_then(Value::as_array) {
+        let _ = writeln!(out, "| round | accuracy | wall (s) | client train (s) |");
+        let _ = writeln!(out, "|---|---|---|---|");
+        for r in rounds {
+            let idx = r.get("round").and_then(Value::as_int).unwrap_or(-1);
+            let acc = r
+                .get("accuracy")
+                .and_then(Value::as_float)
+                .map(pct)
+                .unwrap_or_else(|| "—".into());
+            let wall = r
+                .get("wall_seconds")
+                .and_then(Value::as_float)
+                .unwrap_or(0.0);
+            let train = r
+                .get("train_wall_seconds")
+                .and_then(Value::as_float)
+                .unwrap_or(0.0);
+            let _ = writeln!(out, "| {idx} | {acc} | {wall:.2} | {train:.2} |");
+        }
+    }
+    out
 }
 
 fn band_status(measured: f64, band: (f64, f64)) -> &'static str {

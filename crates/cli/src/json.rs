@@ -78,11 +78,11 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Value, CliError> {
         self.pos += 1; // '{'
-        let mut table = Value::table();
+        let mut table = crate::value::Table::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(table);
+            return Ok(table.build());
         }
         loop {
             self.skip_ws();
@@ -97,7 +97,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(table);
+                    return Ok(table.build());
                 }
                 _ => return Err(self.err("expected `,` or `}` in object")),
             }
@@ -235,7 +235,7 @@ mod tests {
 
     #[test]
     fn round_trips_own_rendering() {
-        let mut t = Value::table();
+        let mut t = crate::value::Table::new();
         t.insert("name", Value::Str("run \"1\"".into()));
         t.insert(
             "losses",
@@ -243,6 +243,7 @@ mod tests {
         );
         t.insert("n", Value::Int(-7));
         t.insert("none", Value::Null);
+        let t = t.build();
         let json = t.to_json();
         assert_eq!(parse(&json).unwrap(), t);
     }

@@ -6,10 +6,11 @@
 //! every run persisted as a durable, inspectable artifact:
 //!
 //! ```text
-//! nf train    <config> [--resume|--force] [--quiet]   # NeuroFlux pipeline
-//! nf baseline <bp|ll|fa|sp> <config> [--quiet]        # comparison trainers
-//! nf sweep    <config> [--quiet]                      # nf-memsim budget sweep
-//! nf inspect  <run-dir>                               # paper-vs-measured report
+//! nf train     <config> [--resume|--force] [--quiet]  # NeuroFlux pipeline
+//! nf baseline  <bp|ll|fa|sp> <config> [--quiet]       # comparison trainers
+//! nf federated <config> [--quiet]                     # parallel FedAvg engine
+//! nf sweep     <config> [--quiet]                     # nf-memsim budget sweep
+//! nf inspect   <run-dir>                              # paper-vs-measured report
 //! ```
 //!
 //! Runs live in `runs/<name>/` — resolved config snapshot, `metrics.json`,
@@ -28,6 +29,7 @@
 pub mod baseline;
 pub mod config;
 pub mod error;
+pub mod federated;
 pub mod inspect;
 pub mod json;
 pub mod progress;
@@ -40,8 +42,9 @@ pub mod value;
 pub use baseline::{run_baseline, Paradigm};
 pub use config::RunConfig;
 pub use error::{CliError, Result};
+pub use federated::run_federated_cmd;
 pub use inspect::run_inspect;
 pub use rundir::RunDir;
 pub use sweep::run_sweep;
 pub use train::{run_train, TrainOptions, TrainSummary};
-pub use value::Value;
+pub use value::{Table, Value};

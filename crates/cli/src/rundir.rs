@@ -120,9 +120,10 @@ mod tests {
         assert!(!rd.is_complete());
         assert!(!rd.is_resumable());
 
-        let mut metrics = Value::table();
+        let mut metrics = crate::value::Table::new();
         metrics.insert("kind", Value::Str("train".into()));
         metrics.insert("test_accuracy", Value::Float(0.75));
+        let metrics = metrics.build();
         rd.write_metrics(&metrics).unwrap();
         assert!(rd.is_complete());
         assert_eq!(rd.read_metrics().unwrap(), metrics);

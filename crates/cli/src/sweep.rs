@@ -5,7 +5,7 @@
 use crate::config::RunConfig;
 use crate::error::{CliError, Result};
 use crate::rundir::RunDir;
-use crate::value::Value;
+use crate::value::{Table, Value};
 use neuroflux_core::simulate::{sweep_point, SimConfig, SimulatedRun};
 use nf_memsim::DeviceProfile;
 use std::time::Instant;
@@ -47,7 +47,7 @@ pub fn run_sweep(cfg: &RunConfig, quiet: bool) -> Result<(RunDir, Value)> {
                 samples: sweep.samples,
             };
             let (bp, ll, nf) = sweep_point(&spec, &device, &sim);
-            let mut point = Value::table();
+            let mut point = Table::new();
             point.insert("budget_mb", Value::Int(budget_mb as i64));
             point.insert("bp", run_value(&bp));
             point.insert("classic_ll", run_value(&ll));
@@ -70,22 +70,23 @@ pub fn run_sweep(cfg: &RunConfig, quiet: bool) -> Result<(RunDir, Value)> {
                     fmt(&nf)
                 );
             }
-            points.push(point);
+            points.push(point.build());
         }
-        let mut table = Value::table();
+        let mut table = Table::new();
         table.insert("device", Value::Str(device.name.clone()));
         table.insert("slug", Value::Str(slug.clone()));
         table.insert("points", Value::Array(points));
-        device_tables.push(table);
+        device_tables.push(table.build());
     }
 
-    let mut m = Value::table();
+    let mut m = Table::new();
     m.insert("kind", Value::Str("sweep".into()));
     m.insert("name", Value::Str(cfg.run.name.clone()));
     m.insert("config", cfg.to_value());
     m.insert("model", Value::Str(spec.name.clone()));
     m.insert("devices", Value::Array(device_tables));
     m.insert("wall_seconds", Value::Float(start.elapsed().as_secs_f64()));
+    let m = m.build();
     run_dir.write_metrics(&m)?;
     Ok((run_dir, m))
 }
@@ -96,7 +97,7 @@ fn run_value(run: &Option<SimulatedRun>) -> Value {
     match run {
         None => Value::Null,
         Some(r) => {
-            let mut t = Value::table();
+            let mut t = Table::new();
             t.insert("total_s", Value::Float(r.total_s()));
             t.insert("compute_s", Value::Float(r.compute_s));
             t.insert("overhead_s", Value::Float(r.overhead_s));
@@ -109,7 +110,7 @@ fn run_value(run: &Option<SimulatedRun>) -> Value {
                 "cache_bytes_written",
                 Value::Int(r.cache_bytes_written as i64),
             );
-            t
+            t.build()
         }
     }
 }

@@ -1,11 +1,17 @@
 //! A minimal TOML parser covering the subset the `nf` config schema uses.
 //!
 //! Supported: `[section]` and `[nested.section]` headers, `key = value`
-//! pairs, basic strings with the common escapes, integers (with optional
-//! `_` separators), floats, booleans, single-line arrays, `#` comments,
-//! and blank lines. Unsupported (rejected with a line-numbered error, not
-//! silently misread): multi-line strings/arrays, inline tables, dates,
-//! array-of-tables headers, and dotted keys.
+//! pairs, dotted keys (`model.name = "x"`), basic strings with the common
+//! escapes, integers (with optional `_` separators), floats, booleans,
+//! single-line arrays, `#` comments, and blank lines. Unsupported
+//! (rejected with a line-numbered error, not silently misread):
+//! multi-line strings/arrays, inline tables, dates, and array-of-tables
+//! headers.
+//!
+//! Structural conflicts — a scalar assigned where a table is expected
+//! (`model = 3` then `model.name = ...`, or a `[model]` header over that
+//! scalar) — are typed [`CliError::Config`] errors carrying the offending
+//! key path, never panics.
 //!
 //! The config schema (`DESIGN.md` §6) stays inside this subset on purpose:
 //! the workspace's vendored `serde` is a no-op stub, so this parser is the
@@ -50,10 +56,32 @@ pub fn parse(input: &str) -> Result<Value, CliError> {
         if key.is_empty() {
             return Err(err(lineno, "empty key"));
         }
-        if key.contains('.') {
-            return Err(err(lineno, "dotted keys are not supported"));
+        // Dotted keys extend the open section's path: under `[model]`,
+        // `head.classes = 10` writes `model.head.classes`. A quoted key is
+        // one literal component — dots inside it are not separators.
+        let mut path: Vec<String> = current.clone();
+        if key.contains('"') {
+            let inner = key
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .filter(|k| !k.contains('"'))
+                .ok_or_else(|| {
+                    err(
+                        lineno,
+                        &format!(
+                            "unsupported key {key:?} (quoted keys must be a single \
+                             fully-quoted component)"
+                        ),
+                    )
+                })?;
+            path.push(inner.to_string());
+        } else {
+            path.extend(key.split('.').map(|p| p.trim().to_string()));
         }
-        let key = key.trim_matches('"');
+        if path.iter().any(String::is_empty) {
+            return Err(err(lineno, &format!("empty component in key {key:?}")));
+        }
+        let leaf = path.pop().expect("path has at least the key itself");
         let (value, remainder) = parse_value(rest.trim(), lineno)?;
         if !remainder.trim().is_empty() {
             return Err(err(
@@ -61,11 +89,13 @@ pub fn parse(input: &str) -> Result<Value, CliError> {
                 &format!("trailing content after value: {remainder:?}"),
             ));
         }
-        let table = table_at(&mut root, &current, lineno)?;
-        if table.get(key).is_some() {
+        let table = table_at(&mut root, &path, lineno)?;
+        if table.get(&leaf).is_some() {
             return Err(err(lineno, &format!("duplicate key {key:?}")));
         }
-        table.insert(key, value);
+        // `table_at` guarantees a table receiver, so this insert cannot
+        // fail; `?` (not `expect`) keeps the no-panic guarantee anyway.
+        table.insert(&leaf, value)?;
     }
     Ok(root)
 }
@@ -97,24 +127,33 @@ fn strip_comment(line: &str) -> &str {
 }
 
 /// Walks (creating as needed) the nested table at `path`.
+///
+/// Hitting a non-table value along the way — a scalar where a table is
+/// expected — is a typed [`CliError::Config`] naming the conflicting
+/// path prefix.
 fn table_at<'a>(
     root: &'a mut Value,
     path: &[String],
     lineno: usize,
 ) -> Result<&'a mut Value, CliError> {
     let mut cur = root;
-    for part in path {
+    for (depth, part) in path.iter().enumerate() {
         if cur.get(part).is_none() {
-            cur.insert(part, Value::table());
+            cur.insert(part, Value::table())
+                .expect("walk invariant: cur is a table");
         }
         let next = match cur {
             Value::Table(entries) => &mut entries.iter_mut().find(|(k, _)| k == part).unwrap().1,
-            _ => unreachable!(),
+            _ => unreachable!("walk invariant: cur is a table"),
         };
         if !matches!(next, Value::Table(_)) {
-            return Err(err(
-                lineno,
-                &format!("section path component {part:?} is already a non-table value"),
+            return Err(CliError::config(
+                path.join("."),
+                format!(
+                    "line {lineno}: `{}` is already {}, not a table",
+                    path[..=depth].join("."),
+                    next.type_name()
+                ),
             ));
         }
         cur = next;
@@ -277,12 +316,63 @@ lr = 1e-2
             ("a = [1, 2", "array"),
             ("a = [", "unterminated array"),
             ("a = \"oops", "unterminated string"),
-            ("a.b = 1", "dotted keys"),
+            ("a..b = 1", "empty component"),
             ("[[t]]\n", "not supported"),
             ("x = zebra", "cannot parse"),
         ] {
             let e = parse(doc).unwrap_err().to_string();
             assert!(e.contains(needle), "{doc:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn dotted_keys_nest() {
+        let v = parse("model.name = \"vgg\"\nmodel.depth = 16\n[train]\nopt.lr = 0.1").unwrap();
+        let model = v.get("model").unwrap();
+        assert_eq!(model.get("name").and_then(Value::as_str), Some("vgg"));
+        assert_eq!(model.get("depth"), Some(&Value::Int(16)));
+        let lr = v.get("train").unwrap().get("opt").unwrap().get("lr");
+        assert_eq!(lr, Some(&Value::Float(0.1)));
+    }
+
+    #[test]
+    fn quoted_keys_are_single_literal_components() {
+        // A dot inside a quoted key is part of the name, not a separator.
+        let v = parse("\"a.b\" = 1\nplain = 2").unwrap();
+        assert_eq!(v.get("a.b"), Some(&Value::Int(1)));
+        assert_eq!(v.get("a"), None, "no `a` table must be created");
+        // Mixed quoted/dotted keys are rejected, not silently misread.
+        for doc in ["a.\"b.c\" = 1", "\"a\".b = 1", "\"a\"b\" = 1"] {
+            let e = parse(doc).unwrap_err().to_string();
+            assert!(e.contains("fully-quoted"), "{doc:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn scalar_where_table_expected_is_a_typed_config_error() {
+        // The satellite case: `model = 3` then `model.name = ...` must be
+        // a config error naming the path — never a panic/abort.
+        let err = parse("model = 3\nmodel.name = \"x\"").unwrap_err();
+        match &err {
+            CliError::Config { path, message } => {
+                assert_eq!(path, "model");
+                assert!(message.contains("already an integer"), "{message}");
+                assert!(message.contains("line 2"), "{message}");
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("config error at `model`"));
+        // Same conflict via a section header over a scalar.
+        let err = parse("model = 3\n[model]\nname = \"x\"").unwrap_err();
+        assert!(matches!(err, CliError::Config { .. }), "{err}");
+        // And via a deep dotted key whose prefix is a scalar.
+        let err = parse("[a]\nb = true\n[x]\ny = 1\n\n[a.b.c]\nz = 2").unwrap_err();
+        match err {
+            CliError::Config { path, message } => {
+                assert_eq!(path, "a.b.c");
+                assert!(message.contains("`a.b` is already a boolean"), "{message}");
+            }
+            other => panic!("expected Config error, got {other:?}"),
         }
     }
 

@@ -11,7 +11,7 @@ use crate::config::RunConfig;
 use crate::error::{CliError, Result};
 use crate::progress::ProgressPrinter;
 use crate::rundir::RunDir;
-use crate::value::Value;
+use crate::value::{Table, Value};
 use neuroflux_core::{
     Checkpoint, DiskStore, FileCheckpoint, NeuroFluxOutcome, NeuroFluxTrainer, RunHooks,
     TrainEvent, TrainHooks,
@@ -155,13 +155,13 @@ fn train_metrics(
     resumed: bool,
     train_samples: usize,
 ) -> Value {
-    let mut m = Value::table();
+    let mut m = Table::new();
     m.insert("kind", Value::Str("train".into()));
     m.insert("name", Value::Str(cfg.run.name.clone()));
     m.insert("resumed", Value::Bool(resumed));
     m.insert("config", cfg.to_value());
 
-    let mut model = Value::table();
+    let mut model = Table::new();
     model.insert("name", Value::Str(outcome.model.spec.name.clone()));
     model.insert("units", Value::Int(outcome.model.spec.num_units() as i64));
     model.insert(
@@ -178,7 +178,7 @@ fn train_metrics(
                 .blocks
                 .iter()
                 .map(|b| {
-                    let mut t = Value::table();
+                    let mut t = Table::new();
                     t.insert(
                         "units",
                         Value::Array(vec![
@@ -187,7 +187,7 @@ fn train_metrics(
                         ]),
                     );
                     t.insert("batch", Value::Int(b.batch as i64));
-                    t
+                    t.build()
                 })
                 .collect(),
         ),
@@ -205,7 +205,7 @@ fn train_metrics(
                 .collect(),
         ),
     );
-    let mut cache = Value::table();
+    let mut cache = Table::new();
     cache.insert(
         "bytes_written",
         Value::Int(outcome.report.cache_bytes_written as i64),
@@ -221,7 +221,7 @@ fn train_metrics(
     m.insert("cache", cache);
 
     let exit_value = |e: &nf_models::ExitCandidate| {
-        let mut t = Value::table();
+        let mut t = Table::new();
         t.insert("unit", Value::Int(e.unit as i64));
         t.insert("params", Value::Int(e.params as i64));
         t.insert("flops", Value::Int(e.flops as i64));
@@ -232,7 +232,7 @@ fn train_metrics(
                 None => Value::Null,
             },
         );
-        t
+        t.build()
     };
     m.insert(
         "exits",
@@ -254,5 +254,5 @@ fn train_metrics(
     );
     m.insert("test_accuracy", Value::Float(test_accuracy as f64));
     m.insert("wall_seconds", Value::Float(wall_seconds));
-    m
+    m.build()
 }

@@ -8,6 +8,7 @@
 //! available the typed structs already carry the derive annotations; this
 //! module is the part that would be replaced by `toml`/`serde_json`.
 
+use crate::error::CliError;
 use std::fmt::Write as _;
 
 /// A dynamically-typed configuration/metrics value.
@@ -38,8 +39,27 @@ impl Value {
         Value::Table(Vec::new())
     }
 
-    /// Inserts (or replaces) `key` in a table; panics on non-tables.
-    pub fn insert(&mut self, key: &str, value: Value) {
+    /// Short description of the value's kind, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "a boolean",
+            Value::Int(_) => "an integer",
+            Value::Float(_) => "a float",
+            Value::Str(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Table(_) => "a table",
+            Value::Null => "null",
+        }
+    }
+
+    /// Inserts (or replaces) `key` in a table.
+    ///
+    /// Inserting into a non-table is a typed [`CliError::Config`] naming
+    /// the offending key — never a panic: parsers hit this when a document
+    /// assigns a scalar where a table is expected (`model = 3` followed by
+    /// `model.name = ...`). Code building documents from scratch should
+    /// use [`Table`], whose receiver is statically a table.
+    pub fn insert(&mut self, key: &str, value: Value) -> Result<(), CliError> {
         match self {
             Value::Table(entries) => {
                 if let Some(e) = entries.iter_mut().find(|(k, _)| k == key) {
@@ -47,8 +67,15 @@ impl Value {
                 } else {
                     entries.push((key.to_string(), value));
                 }
+                Ok(())
             }
-            _ => panic!("insert on non-table value"),
+            other => Err(CliError::config(
+                key,
+                format!(
+                    "cannot insert into {} (a table is required here)",
+                    other.type_name()
+                ),
+            )),
         }
     }
 
@@ -177,6 +204,43 @@ impl Value {
     }
 }
 
+/// An order-preserving table under construction.
+///
+/// The infallible counterpart of [`Value::insert`] for code that *builds*
+/// documents (metrics, config snapshots): the receiver is statically a
+/// table, so insertion cannot fail and no `Result` plumbing (or panic) is
+/// needed. Convert into a [`Value`] with [`Table::build`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table(Vec<(String, Value)>);
+
+impl Table {
+    /// An empty table builder.
+    pub fn new() -> Table {
+        Table(Vec::new())
+    }
+
+    /// Inserts (or replaces) `key`.
+    pub fn insert(&mut self, key: &str, value: impl Into<Value>) {
+        let value = value.into();
+        if let Some(e) = self.0.iter_mut().find(|(k, _)| k == key) {
+            e.1 = value;
+        } else {
+            self.0.push((key.to_string(), value));
+        }
+    }
+
+    /// Finishes the builder into a [`Value::Table`].
+    pub fn build(self) -> Value {
+        Value::Table(self.0)
+    }
+}
+
+impl From<Table> for Value {
+    fn from(t: Table) -> Value {
+        t.build()
+    }
+}
+
 fn render_toml_table(out: &mut String, entries: &[(String, Value)], prefix: &str) {
     for (k, v) in entries {
         if !matches!(v, Value::Table(_)) {
@@ -281,13 +345,44 @@ mod tests {
     #[test]
     fn table_insert_get_and_replace() {
         let mut t = Value::table();
-        t.insert("a", Value::Int(1));
-        t.insert("b", Value::Str("x".into()));
-        t.insert("a", Value::Int(2));
+        t.insert("a", Value::Int(1)).unwrap();
+        t.insert("b", Value::Str("x".into())).unwrap();
+        t.insert("a", Value::Int(2)).unwrap();
         assert_eq!(t.get("a"), Some(&Value::Int(2)));
         assert_eq!(t.get("b").and_then(Value::as_str), Some("x"));
         assert_eq!(t.get("c"), None);
         assert_eq!(t.entries().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn insert_on_non_table_is_a_typed_error_not_a_panic() {
+        let mut v = Value::Int(3);
+        let err = v.insert("name", Value::Str("x".into())).unwrap_err();
+        match err {
+            CliError::Config { path, message } => {
+                assert_eq!(path, "name");
+                assert!(message.contains("an integer"), "{message}");
+            }
+            other => panic!("expected Config error, got {other}"),
+        }
+        // The value is untouched after the failed insert.
+        assert_eq!(v, Value::Int(3));
+    }
+
+    #[test]
+    fn table_builder_matches_value_table() {
+        let mut b = Table::new();
+        b.insert("a", Value::Int(1));
+        b.insert("a", Value::Int(2)); // replace, like Value::insert
+        let mut nested = Table::new();
+        nested.insert("x", Value::Bool(true));
+        b.insert("inner", nested); // Table inserts directly via Into
+        let v = b.build();
+        assert_eq!(v.get("a"), Some(&Value::Int(2)));
+        assert_eq!(
+            v.get("inner").and_then(|t| t.get("x")),
+            Some(&Value::Bool(true))
+        );
     }
 
     #[test]
@@ -299,22 +394,22 @@ mod tests {
 
     #[test]
     fn json_rendering_escapes_and_indents() {
-        let mut t = Value::table();
+        let mut t = Table::new();
         t.insert("s", Value::Str("a\"b\nc".into()));
         t.insert("xs", Value::Array(vec![Value::Int(1), Value::Float(2.0)]));
-        let json = t.to_json();
+        let json = t.build().to_json();
         assert!(json.contains("\"a\\\"b\\nc\""));
         assert!(json.contains("2.0"), "whole floats keep a fraction: {json}");
     }
 
     #[test]
     fn toml_rendering_orders_scalars_before_sections() {
-        let mut root = Value::table();
-        let mut run = Value::table();
+        let mut root = Table::new();
+        let mut run = Table::new();
         run.insert("name", Value::Str("x".into()));
         run.insert("seed", Value::Int(7));
         root.insert("run", run);
-        let toml = root.to_toml();
+        let toml = root.build().to_toml();
         assert!(toml.contains("[run]"));
         assert!(toml.contains("name = \"x\""));
         assert!(toml.contains("seed = 7"));

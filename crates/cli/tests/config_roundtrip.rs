@@ -2,7 +2,7 @@
 //! `RunConfig`, asserting full equality (the property `runs/<name>/config.toml`
 //! snapshots rely on).
 
-use nf_cli::{RunConfig, Value};
+use nf_cli::RunConfig;
 use std::path::Path;
 
 fn workspace_file(rel: &str) -> std::path::PathBuf {
@@ -65,9 +65,9 @@ fn spec_serialization_survives_model_resolution() {
     assert_eq!(da, db);
     assert_eq!(ca, cb);
     // Sanity on the metrics document model too.
-    let mut doc = Value::table();
+    let mut doc = nf_cli::Table::new();
     doc.insert("config", cfg.to_value());
-    let json = doc.to_json();
+    let json = doc.build().to_json();
     let back = nf_cli::json::parse(&json).unwrap();
     let from_json = RunConfig::from_value(back.get("config").unwrap()).unwrap();
     assert_eq!(from_json, cfg);

@@ -67,6 +67,7 @@ pub use confidence_exit::{CascadePrediction, CascadeReport, ConfidenceCascade};
 pub use config::NeuroFluxConfig;
 pub use controller::{NeuroFluxOutcome, NeuroFluxTrainer, TrainHooks};
 pub use error::NfError;
+pub use federated::{run_federated, ClientReport, FederatedConfig, FederatedOutcome, RoundReport};
 pub use params_io::{deserialize_params, serialize_params};
 pub use partitioner::{partition, Block};
 pub use profiler::{LinearMemoryModel, Profiler, UnitProfile};

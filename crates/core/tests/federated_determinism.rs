@@ -1,0 +1,103 @@
+//! The parallel federated engine's core contract: thread count changes
+//! wall time, never results. A `threads = 4` run must be **bit-identical**
+//! to the `threads = 1` run of the same configuration — same global
+//! parameters, same batch-norm buffers, same per-round accuracies.
+//!
+//! This holds because clients share no mutable state while in flight,
+//! every client's RNG stream is derived from `(seed, round, client)`
+//! rather than drawn from a shared generator, and aggregation always sums
+//! in client order.
+
+use neuroflux_core::federated::{run_federated, FederatedConfig, FederatedOutcome};
+use neuroflux_core::NeuroFluxConfig;
+use nf_data::{shard, Dataset, ShardStrategy, SplitDataset, SyntheticSpec};
+use nf_models::ModelSpec;
+use nf_nn::aggregate::snapshot;
+use rand::SeedableRng;
+
+fn data() -> SplitDataset {
+    SyntheticSpec::quick(3, 8, 90).generate()
+}
+
+fn spec() -> ModelSpec {
+    ModelSpec::tiny("det", 8, &[6, 8], 3)
+}
+
+fn run(threads: usize, strategy: ShardStrategy) -> FederatedOutcome {
+    // A fresh master RNG per run: global init must match across runs.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let fed = FederatedConfig::new(4, 2, NeuroFluxConfig::new(24 << 20, 16).with_epochs(1))
+        .with_threads(threads)
+        .with_strategy(strategy)
+        .with_seed(13);
+    run_federated(&mut rng, &spec(), &data(), &fed).unwrap()
+}
+
+/// Every parameter and buffer of the outcome, flattened to raw f32 bits.
+fn state_bits(outcome: &mut FederatedOutcome) -> Vec<u32> {
+    let mut bits = Vec::new();
+    let mut push = |snap: nf_nn::StateSnapshot| {
+        for t in snap.params.iter().chain(&snap.buffers) {
+            bits.extend(t.data().iter().map(|x| x.to_bits()));
+        }
+    };
+    for unit in &mut outcome.model.units {
+        push(snapshot(unit));
+    }
+    for head in &mut outcome.aux_heads {
+        push(snapshot(head));
+    }
+    push(snapshot(&mut outcome.model.head));
+    bits
+}
+
+#[test]
+fn parallel_run_is_bit_identical_to_sequential() {
+    for strategy in [ShardStrategy::RoundRobin, ShardStrategy::Dirichlet(0.7)] {
+        let mut seq = run(1, strategy);
+        let mut par = run(4, strategy);
+        assert_eq!(seq.threads_used, 1);
+        assert_eq!(par.threads_used, 4);
+        // Accuracies must agree exactly — not approximately.
+        let seq_acc: Vec<u32> = seq.round_accuracy.iter().map(|a| a.to_bits()).collect();
+        let par_acc: Vec<u32> = par.round_accuracy.iter().map(|a| a.to_bits()).collect();
+        assert_eq!(seq_acc, par_acc, "{strategy}: round accuracies diverged");
+        // Every parameter and buffer must match bit for bit.
+        assert_eq!(
+            state_bits(&mut seq),
+            state_bits(&mut par),
+            "{strategy}: global state diverged between threads=1 and threads=4"
+        );
+    }
+}
+
+#[test]
+fn rerun_with_same_seed_is_reproducible() {
+    let mut a = run(2, ShardStrategy::ByLabel);
+    let mut b = run(2, ShardStrategy::ByLabel);
+    assert_eq!(state_bits(&mut a), state_bits(&mut b));
+}
+
+#[test]
+fn all_strategies_partition_every_sample_exactly_once() {
+    let split = data();
+    let n = split.train.len();
+    // Label multiset of the source, for the exactly-once check.
+    let mut source_labels: Vec<usize> = split.train.labels().to_vec();
+    source_labels.sort_unstable();
+    for strategy in [
+        ShardStrategy::RoundRobin,
+        ShardStrategy::ByLabel,
+        ShardStrategy::Dirichlet(0.5),
+    ] {
+        let shards = shard(&split.train, 5, strategy, 3).unwrap();
+        assert_eq!(shards.iter().map(Dataset::len).sum::<usize>(), n);
+        assert!(shards.iter().all(|s| !s.is_empty()), "{strategy}");
+        let mut labels: Vec<usize> = shards
+            .iter()
+            .flat_map(|s| s.labels().iter().copied())
+            .collect();
+        labels.sort_unstable();
+        assert_eq!(labels, source_labels, "{strategy}: label multiset changed");
+    }
+}

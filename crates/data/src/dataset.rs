@@ -78,6 +78,27 @@ impl Dataset {
     pub fn byte_size(&self) -> usize {
         self.images.numel() * 4 + self.labels.len()
     }
+
+    /// Builds a new dataset from the samples at `indices` (in order;
+    /// indices may repeat or reorder — sharding uses disjoint sets).
+    pub fn select(&self, indices: &[usize]) -> Result<Self, TensorError> {
+        let per: usize = self.images.shape()[1..].iter().product();
+        let mut data = Vec::with_capacity(indices.len() * per);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: vec![i],
+                    shape: self.images.shape().to_vec(),
+                });
+            }
+            data.extend_from_slice(&self.images.data()[i * per..(i + 1) * per]);
+            labels.push(self.labels[i]);
+        }
+        let mut shape = self.images.shape().to_vec();
+        shape[0] = indices.len();
+        Dataset::new(Tensor::from_vec(shape, data)?, labels)
+    }
 }
 
 /// Train/validation/test splits plus the generating spec.

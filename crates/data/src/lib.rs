@@ -28,7 +28,9 @@
 
 mod dataset;
 mod generator;
+mod shard;
 mod spec;
 
 pub use dataset::{Dataset, SplitDataset};
+pub use shard::{shard, ShardError, ShardStrategy};
 pub use spec::SyntheticSpec;

@@ -40,4 +40,4 @@ mod spec;
 pub use aux::{assign_aux, AuxPolicy, AuxSpec};
 pub use build::{build_aux_head, BuiltModel};
 pub use early_exit::{compression_factor, exit_candidates, select_exit, ExitCandidate};
-pub use spec::{HeadSpec, LayerKind, ModelSpec, UnitAnalytics, UnitSpec};
+pub use spec::{HeadSpec, LayerKind, ModelSpec, SpecError, UnitAnalytics, UnitSpec};

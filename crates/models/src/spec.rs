@@ -445,16 +445,35 @@ impl ModelSpec {
     /// # Panics
     ///
     /// Panics if the resolution collapses to zero anywhere in the stack
-    /// (too many downsampling stages for the requested size).
+    /// (too many downsampling stages for the requested size). Callers
+    /// resizing from *user input* should use
+    /// [`ModelSpec::try_with_input_size`], which returns the same
+    /// condition as a typed [`SpecError`].
     pub fn with_input_size(&self, hw: usize) -> ModelSpec {
+        match self.try_with_input_size(hw) {
+            Ok(out) => out,
+            // Keep the historical message (pinned by tests) for the
+            // infallible programmer-facing path.
+            Err(SpecError::CollapsedResolution { hw, name }) => {
+                panic!("input size {hw} collapses to zero spatial extent in {name}")
+            }
+        }
+    }
+
+    /// Fallible twin of [`ModelSpec::with_input_size`]: a resolution that
+    /// collapses to zero spatial extent is a typed error, never a panic —
+    /// this is the entry point for resolutions that come from config
+    /// files or other user input.
+    pub fn try_with_input_size(&self, hw: usize) -> Result<ModelSpec, SpecError> {
         let mut out = self.clone();
         out.input = (self.input.0, hw, hw);
         let (c, h, w) = out.final_feature_shape();
-        assert!(
-            h > 0 && w > 0,
-            "input size {hw} collapses to zero spatial extent in {}",
-            self.name
-        );
+        if h == 0 || w == 0 {
+            return Err(SpecError::CollapsedResolution {
+                hw,
+                name: self.name.clone(),
+            });
+        }
         out.head = match self.head {
             HeadSpec::Linear { .. } => HeadSpec::Linear {
                 in_features: c * h * w,
@@ -465,9 +484,36 @@ impl ModelSpec {
                 classes: self.classes,
             },
         };
-        out
+        Ok(out)
     }
 }
+
+/// Errors from spec geometry transformations driven by user input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The requested input resolution reaches zero spatial extent
+    /// somewhere in the stack (too many downsampling stages).
+    CollapsedResolution {
+        /// The requested square input size.
+        hw: usize,
+        /// The model whose geometry rejected it.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::CollapsedResolution { hw, name } => write!(
+                f,
+                "input size {hw} collapses to zero spatial extent in {name} \
+                 (too many downsampling stages for that resolution)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
 
 #[cfg(test)]
 mod tests {
@@ -570,13 +616,17 @@ mod tests {
         let (c, h, w) = spec.final_feature_shape();
         assert_eq!(c, 512);
         assert_eq!((h, w), (8, 8));
-        match spec.head {
-            HeadSpec::GapLinear { in_ch, classes } => {
-                assert_eq!(in_ch, 512);
-                assert_eq!(classes, 10);
-            }
-            _ => panic!("resnet head must be gap+linear"),
-        }
+        assert!(
+            matches!(
+                spec.head,
+                HeadSpec::GapLinear {
+                    in_ch: 512,
+                    classes: 10
+                }
+            ),
+            "resnet head must be gap+linear, got {:?}",
+            spec.head
+        );
     }
 
     #[test]
@@ -584,6 +634,24 @@ mod tests {
     fn with_input_size_rejects_collapse() {
         // VGG-19 has 5 pools: 8x8 input collapses to zero.
         let _ = ModelSpec::vgg19(10).with_input_size(8);
+    }
+
+    #[test]
+    fn try_with_input_size_surfaces_collapse_as_typed_error() {
+        let err = ModelSpec::vgg19(10).try_with_input_size(8).unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::CollapsedResolution {
+                hw: 8,
+                name: "vgg19".into()
+            }
+        );
+        assert!(err.to_string().contains("collapses"), "{err}");
+        // The happy path matches the infallible twin.
+        let a = ModelSpec::resnet18(10).try_with_input_size(64).unwrap();
+        let b = ModelSpec::resnet18(10).with_input_size(64);
+        assert_eq!(a.head, b.head);
+        assert_eq!(a.input, b.input);
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Weighted parameter/buffer aggregation across model replicas (FedAvg's
+//! all-reduce step).
+//!
+//! Federated averaging needs three structural operations over a layer
+//! tree: snapshot its state, accumulate weighted snapshots, and install
+//! the average back. This module provides them over the generic
+//! [`Layer::visit_params`] / [`Layer::visit_buffers`] traversal, so any
+//! layer composition aggregates without per-layer code — including
+//! batch-norm **running statistics**, which are buffers, not parameters:
+//! plain FedAvg ignores them and every client would otherwise drift on its
+//! own shard's activation statistics. The shard-size-weighted mean of
+//! running means is exactly the pooled running mean; for running
+//! variances the weighted mean ignores the between-client spread of means
+//! (the standard FedAvg-BN approximation, documented in `DESIGN.md` §9).
+//!
+//! Structural mismatches (different parameter counts or shapes — i.e.
+//! replicas that are not actually the same architecture) surface as typed
+//! [`NnError::ModelMismatch`] errors, never panics or silent skew.
+//!
+//! # Examples
+//!
+//! ```
+//! use nf_nn::aggregate::{snapshot, WeightedReduce};
+//! use nf_nn::{Layer, Linear};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut a = Linear::new(&mut rng, 4, 2);
+//! let mut b = Linear::new(&mut rng, 4, 2);
+//! let mut reduce = WeightedReduce::like(&snapshot(&mut a));
+//! reduce.accumulate(&snapshot(&mut a), 0.25).unwrap();
+//! reduce.accumulate(&snapshot(&mut b), 0.75).unwrap();
+//! let mut global = Linear::new(&mut rng, 4, 2);
+//! reduce.apply(&mut global).unwrap();
+//! ```
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::Result;
+use nf_tensor::Tensor;
+
+/// A copy of one layer tree's learnable state: parameter values plus
+/// non-learnable buffers (batch-norm running statistics), in traversal
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct StateSnapshot {
+    /// Parameter values, in [`Layer::visit_params`] order.
+    pub params: Vec<Tensor>,
+    /// Buffers, in [`Layer::visit_buffers`] order.
+    pub buffers: Vec<Tensor>,
+}
+
+/// Copies a layer tree's parameters and buffers out.
+pub fn snapshot(layer: &mut dyn Layer) -> StateSnapshot {
+    let mut snap = StateSnapshot::default();
+    layer.visit_params(&mut |p| snap.params.push(p.value.clone()));
+    layer.visit_buffers(&mut |b| snap.buffers.push(b.clone()));
+    snap
+}
+
+/// Installs a snapshot into a layer tree, bumping every parameter's
+/// version so cached derived panels re-pack.
+///
+/// Errors with [`NnError::ModelMismatch`] if the snapshot's arity or any
+/// tensor shape disagrees with the target tree.
+pub fn load(layer: &mut dyn Layer, snap: &StateSnapshot) -> Result<()> {
+    let mut mismatch: Option<String> = None;
+    let mut i = 0usize;
+    layer.visit_params(&mut |p| {
+        if mismatch.is_some() {
+            return;
+        }
+        match snap.params.get(i) {
+            Some(t) if t.shape() == p.value.shape() => {
+                p.value = t.clone();
+                p.note_update();
+            }
+            Some(t) => {
+                mismatch = Some(format!(
+                    "parameter {i}: shape {:?} cannot load into {:?}",
+                    t.shape(),
+                    p.value.shape()
+                ))
+            }
+            None => mismatch = Some(format!("snapshot has {} parameters, model has more", i)),
+        }
+        i += 1;
+    });
+    if mismatch.is_none() && i != snap.params.len() {
+        mismatch = Some(format!(
+            "snapshot has {} parameters, model has {i}",
+            snap.params.len()
+        ));
+    }
+    let mut j = 0usize;
+    layer.visit_buffers(&mut |b| {
+        if mismatch.is_some() {
+            return;
+        }
+        match snap.buffers.get(j) {
+            Some(t) if t.shape() == b.shape() => *b = t.clone(),
+            Some(t) => {
+                mismatch = Some(format!(
+                    "buffer {j}: shape {:?} cannot load into {:?}",
+                    t.shape(),
+                    b.shape()
+                ))
+            }
+            None => mismatch = Some(format!("snapshot has {} buffers, model has more", j)),
+        }
+        j += 1;
+    });
+    if mismatch.is_none() && j != snap.buffers.len() {
+        mismatch = Some(format!(
+            "snapshot has {} buffers, model has {j}",
+            snap.buffers.len()
+        ));
+    }
+    match mismatch {
+        Some(reason) => Err(NnError::ModelMismatch { reason }),
+        None => Ok(()),
+    }
+}
+
+/// Accumulator for a weighted mean over [`StateSnapshot`]s — the server
+/// half of FedAvg.
+///
+/// Weights need not sum to one; [`WeightedReduce::apply`] normalises by
+/// the accumulated total. The reduction is a plain left-to-right sum, so
+/// callers that accumulate in a fixed order get bit-identical results
+/// regardless of where each snapshot was produced.
+#[derive(Debug, Clone)]
+pub struct WeightedReduce {
+    params: Vec<Tensor>,
+    buffers: Vec<Tensor>,
+    total_weight: f32,
+}
+
+impl WeightedReduce {
+    /// A zeroed accumulator shaped like `template`.
+    pub fn like(template: &StateSnapshot) -> Self {
+        WeightedReduce {
+            params: template
+                .params
+                .iter()
+                .map(|t| Tensor::zeros(t.shape()))
+                .collect(),
+            buffers: template
+                .buffers
+                .iter()
+                .map(|t| Tensor::zeros(t.shape()))
+                .collect(),
+            total_weight: 0.0,
+        }
+    }
+
+    /// Adds `weight · snap` to the running sums.
+    pub fn accumulate(&mut self, snap: &StateSnapshot, weight: f32) -> Result<()> {
+        if !(weight.is_finite() && weight >= 0.0) {
+            return Err(NnError::ModelMismatch {
+                reason: format!("aggregation weight must be finite and >= 0, got {weight}"),
+            });
+        }
+        if snap.params.len() != self.params.len() || snap.buffers.len() != self.buffers.len() {
+            return Err(NnError::ModelMismatch {
+                reason: format!(
+                    "snapshot has {} params / {} buffers, accumulator expects {} / {}",
+                    snap.params.len(),
+                    snap.buffers.len(),
+                    self.params.len(),
+                    self.buffers.len()
+                ),
+            });
+        }
+        for (acc, t) in self
+            .params
+            .iter_mut()
+            .zip(&snap.params)
+            .chain(self.buffers.iter_mut().zip(&snap.buffers))
+        {
+            nf_tensor::axpy(weight, t, acc).map_err(|e| NnError::ModelMismatch {
+                reason: format!("snapshot tensor shape disagrees with accumulator: {e}"),
+            })?;
+        }
+        self.total_weight += weight;
+        Ok(())
+    }
+
+    /// Total weight accumulated so far.
+    pub fn total_weight(&self) -> f32 {
+        self.total_weight
+    }
+
+    /// Normalises the sums into a mean snapshot.
+    ///
+    /// Errors if nothing (or only zero weight) was accumulated.
+    pub fn mean(&self) -> Result<StateSnapshot> {
+        if self.total_weight <= 0.0 {
+            return Err(NnError::ModelMismatch {
+                reason: format!(
+                    "cannot average: total aggregation weight is {}",
+                    self.total_weight
+                ),
+            });
+        }
+        let inv = 1.0 / self.total_weight;
+        let scaled = |t: &Tensor| {
+            let mut out = t.clone();
+            out.scale_inplace(inv);
+            out
+        };
+        Ok(StateSnapshot {
+            params: self.params.iter().map(scaled).collect(),
+            buffers: self.buffers.iter().map(scaled).collect(),
+        })
+    }
+
+    /// Normalises and installs the weighted mean into `layer`
+    /// ([`WeightedReduce::mean`] + [`load`]).
+    pub fn apply(&self, layer: &mut dyn Layer) -> Result<()> {
+        load(layer, &self.mean()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batchnorm::BatchNorm2d;
+    use crate::conv2d::Conv2d;
+    use crate::sequential::Sequential;
+    use crate::{Linear, Mode};
+    use rand::SeedableRng;
+
+    fn bn_net(seed: u64) -> Sequential {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Sequential::new(vec![
+            Box::new(Conv2d::new(&mut rng, 2, 3, 3, 1, 1).unwrap()),
+            Box::new(BatchNorm2d::new(3)),
+        ])
+    }
+
+    #[test]
+    fn snapshot_load_round_trips_params_and_buffers() {
+        let mut net = bn_net(1);
+        // Drive BN so running stats move off their init.
+        let x = Tensor::ones(&[4, 2, 5, 5]);
+        net.forward(&x, Mode::Train).unwrap();
+        let snap = snapshot(&mut net);
+        assert!(!snap.buffers.is_empty(), "BN must expose running stats");
+        let mut other = bn_net(2);
+        load(&mut other, &snap).unwrap();
+        let snap2 = snapshot(&mut other);
+        for (a, b) in snap.params.iter().zip(&snap2.params) {
+            assert_eq!(a.data(), b.data());
+        }
+        for (a, b) in snap.buffers.iter().zip(&snap2.buffers) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn load_rejects_structural_mismatch() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut small = Linear::new(&mut rng, 4, 2);
+        let mut big = Linear::new(&mut rng, 8, 2);
+        let snap = snapshot(&mut small);
+        let err = load(&mut big, &snap).unwrap_err();
+        assert!(matches!(err, NnError::ModelMismatch { .. }), "{err}");
+        let mut deep = bn_net(0);
+        let err = load(&mut deep, &snap).unwrap_err();
+        assert!(err.to_string().contains("model mismatch"), "{err}");
+    }
+
+    #[test]
+    fn weighted_mean_matches_hand_average() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut a = Linear::new(&mut rng, 3, 2);
+        let mut b = Linear::new(&mut rng, 3, 2);
+        let sa = snapshot(&mut a);
+        let sb = snapshot(&mut b);
+        let mut reduce = WeightedReduce::like(&sa);
+        reduce.accumulate(&sa, 1.0).unwrap();
+        reduce.accumulate(&sb, 3.0).unwrap();
+        assert_eq!(reduce.total_weight(), 4.0);
+        let mean = reduce.mean().unwrap();
+        for ((m, x), y) in mean.params.iter().zip(&sa.params).zip(&sb.params) {
+            for ((&mv, &xv), &yv) in m.data().iter().zip(x.data()).zip(y.data()) {
+                let expect = 0.25 * xv + 0.75 * yv;
+                assert!((mv - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weight_and_mismatched_accumulation_error() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut a = Linear::new(&mut rng, 3, 2);
+        let sa = snapshot(&mut a);
+        let reduce = WeightedReduce::like(&sa);
+        assert!(reduce.mean().is_err(), "nothing accumulated");
+        let mut reduce = WeightedReduce::like(&sa);
+        assert!(reduce.accumulate(&sa, f32::NAN).is_err());
+        let mut other = Linear::new(&mut rng, 5, 2);
+        let so = snapshot(&mut other);
+        assert!(reduce.accumulate(&so, 1.0).is_err());
+    }
+
+    #[test]
+    fn bn_running_stats_aggregate_by_weighted_mean() {
+        let mut a = BatchNorm2d::new(2);
+        let mut b = BatchNorm2d::new(2);
+        // Push the two replicas' running stats apart.
+        let xa = Tensor::from_vec(vec![1, 2, 2, 2], vec![1.0; 8]).unwrap();
+        let xb = Tensor::from_vec(vec![1, 2, 2, 2], vec![5.0; 8]).unwrap();
+        for _ in 0..50 {
+            a.forward(&xa, Mode::Train).unwrap();
+            b.forward(&xb, Mode::Train).unwrap();
+        }
+        let sa = snapshot(&mut a);
+        let sb = snapshot(&mut b);
+        let mut reduce = WeightedReduce::like(&sa);
+        reduce.accumulate(&sa, 0.5).unwrap();
+        reduce.accumulate(&sb, 0.5).unwrap();
+        let mean = reduce.mean().unwrap();
+        // running_mean is the first buffer: pooled mean ≈ (1 + 5) / 2 = 3.
+        let pooled = mean.buffers[0].data()[0];
+        let (ma, mb) = (sa.buffers[0].data()[0], sb.buffers[0].data()[0]);
+        assert!((pooled - 0.5 * (ma + mb)).abs() < 1e-6);
+        assert!(pooled > ma && pooled < mb, "{ma} < {pooled} < {mb}");
+    }
+}

@@ -25,6 +25,13 @@ pub enum NnError {
         /// Description of the problem.
         reason: String,
     },
+    /// Two model replicas that should share an architecture disagree
+    /// structurally (parameter/buffer count or shape) — surfaced by the
+    /// [`crate::aggregate`] helpers instead of a panic or silent skew.
+    ModelMismatch {
+        /// Description of the disagreement.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -36,6 +43,7 @@ impl fmt::Display for NnError {
             }
             NnError::BadInput { layer, reason } => write!(f, "{layer}: bad input: {reason}"),
             NnError::BadLabels { reason } => write!(f, "bad labels: {reason}"),
+            NnError::ModelMismatch { reason } => write!(f, "model mismatch: {reason}"),
         }
     }
 }

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod aggregate;
 pub mod batchnorm;
 pub mod conv2d;
 mod error;
@@ -53,6 +54,7 @@ pub mod residual;
 pub mod scratch;
 mod sequential;
 
+pub use aggregate::{load, snapshot, StateSnapshot, WeightedReduce};
 pub use batchnorm::BatchNorm2d;
 pub use conv2d::Conv2d;
 pub use error::NnError;

@@ -8,7 +8,7 @@
 
 use neuroflux::core::federated::{run_federated, FederatedConfig};
 use neuroflux::core::NeuroFluxConfig;
-use nf_data::SyntheticSpec;
+use nf_data::{ShardStrategy, SyntheticSpec};
 use nf_models::ModelSpec;
 use rand::SeedableRng;
 
@@ -17,14 +17,16 @@ fn main() {
     let data = SyntheticSpec::quick(4, 8, 240).generate();
     let spec = ModelSpec::tiny("fed-cnn", 8, &[8, 16], 4);
 
-    let fed = FederatedConfig {
-        clients: 4,
-        rounds: 5,
-        client_config: NeuroFluxConfig::new(24 << 20, 16).with_epochs(2),
-    };
+    let fed = FederatedConfig::new(4, 5, NeuroFluxConfig::new(24 << 20, 16).with_epochs(2))
+        .with_threads(0) // one worker per core; bit-identical to threads = 1
+        .with_strategy(ShardStrategy::ByLabel);
     println!(
-        "federating {} clients x {} rounds; each client trains {} under a 24 MiB budget\n",
-        fed.clients, fed.rounds, spec.name
+        "federating {} clients x {} rounds on {} thread(s); \
+         each client trains {} under a 24 MiB budget\n",
+        fed.clients,
+        fed.rounds,
+        fed.effective_threads(),
+        spec.name
     );
 
     let outcome = run_federated(&mut rng, &spec, &data, &fed).expect("federated run failed");
