@@ -1,29 +1,34 @@
-//! Criterion bench for the activation stores (§3.3's storage path).
+//! Criterion bench for the activation stores (§3.3's storage path), across
+//! the cache codecs (f32/f16/int8 — DESIGN.md §10).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use neuroflux_core::{ActivationStore, DiskStore, MemoryStore};
+use neuroflux_core::{ActivationStore, CodecKind, DiskStore, MemoryStore};
 use nf_tensor::Tensor;
 
 fn bench_stores(c: &mut Criterion) {
     let mut group = c.benchmark_group("activation_store_roundtrip");
     for &elems in &[1024usize, 65_536, 262_144] {
-        let t = Tensor::ones(&[elems]);
-        group.bench_with_input(BenchmarkId::new("memory", elems), &elems, |b, _| {
-            let mut store = MemoryStore::new();
-            b.iter(|| {
-                store.write(0, &t).unwrap();
-                store.read(0).unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("disk", elems), &elems, |b, _| {
-            let dir = std::env::temp_dir().join(format!("nf_bench_cache_{elems}"));
-            let mut store = DiskStore::new(&dir).unwrap();
-            b.iter(|| {
-                store.write(0, &t).unwrap();
-                store.read(0).unwrap()
+        let t = Tensor::ones(&[elems / 64, 4, 4, 4]);
+        for codec in CodecKind::all() {
+            let tag = format!("{}/{elems}", codec.name());
+            group.bench_with_input(BenchmarkId::new("memory", &tag), &elems, |b, _| {
+                let mut store = MemoryStore::with_codec(codec);
+                b.iter(|| {
+                    store.write(0, &t).unwrap();
+                    store.read(0).unwrap()
+                })
             });
-            std::fs::remove_dir_all(&dir).ok();
-        });
+            group.bench_with_input(BenchmarkId::new("disk", &tag), &elems, |b, _| {
+                let dir =
+                    std::env::temp_dir().join(format!("nf_bench_cache_{}_{elems}", codec.name()));
+                let mut store = DiskStore::with_codec(&dir, codec).unwrap();
+                b.iter(|| {
+                    store.write(0, &t).unwrap();
+                    store.read(0).unwrap()
+                });
+                std::fs::remove_dir_all(&dir).ok();
+            });
+        }
     }
     group.finish();
 }

@@ -1,5 +1,6 @@
-//! Machine-readable performance artifacts: `BENCH_gemm.json` and
-//! `BENCH_train_step.json`.
+//! Machine-readable performance artifacts: `BENCH_gemm.json`,
+//! `BENCH_train_step.json`, `BENCH_federated.json`, and
+//! `BENCH_cache.json`.
 //!
 //! Criterion output is for eyes; this binary is for trend lines. It times
 //! the two numbers every perf PR must not regress — raw GEMM throughput
@@ -260,6 +261,132 @@ fn write_federated_artifact(smoke: bool) {
     );
 }
 
+/// One activation-cache codec's measurements.
+struct CacheRow {
+    codec: &'static str,
+    encoded_bytes: u64,
+    compression_vs_f32: f64,
+    encode_ns_per_mb: u128,
+    decode_ns_per_mb: u128,
+    peak_cache_bytes: u64,
+}
+
+/// Times encode/decode throughput of every cache codec on a
+/// representative NCHW activation tensor, and measures the real Worker
+/// peak-cache footprint of a small block-wise training run under each —
+/// the §6.4 numbers the codec tentpole exists to shrink.
+fn time_cache_codecs(smoke: bool) -> Vec<CacheRow> {
+    use neuroflux_core::codec::{ActivationCodec, CacheBlob, CodecKind};
+    use neuroflux_core::{NeuroFluxConfig, NeuroFluxTrainer};
+    use nf_data::SyntheticSpec;
+
+    let (shape, iters): (&[usize], usize) = if smoke {
+        (&[8, 8, 8, 8], 3)
+    } else {
+        // Quickstart-block-shaped: 256 samples × 16 ch × 16×16.
+        (&[256, 16, 16, 16], 20)
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let acts = nf_tensor::uniform_init(&mut rng, shape, -2.0, 2.0);
+    let mb = acts.numel() as f64 * 4.0 / 1e6;
+    let f32_bytes = (acts.numel() * 4) as f64;
+
+    // One small real training run per codec for the Worker-path peak
+    // (ρ = 0 puts every unit in its own block, so the cache is genuinely
+    // consumed between blocks).
+    let (train_n, channels): (usize, &[usize]) = if smoke {
+        (32, &[4, 8])
+    } else {
+        (96, &[6, 8, 8])
+    };
+    let peak_of = |codec: CodecKind| -> u64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let ds = SyntheticSpec::quick(3, 8, train_n).generate();
+        let spec = nf_models::ModelSpec::tiny("cache-bench", 8, channels, 3);
+        let config = NeuroFluxConfig::new(1 << 30, 16)
+            .with_epochs(1)
+            .with_rho(0.0)
+            .with_cache_codec(codec);
+        let outcome = NeuroFluxTrainer::new(config)
+            .train(&mut rng, &spec, &ds)
+            .expect("cache bench training run");
+        outcome.report.cache_peak_bytes
+    };
+
+    CodecKind::all()
+        .iter()
+        .map(|&kind| {
+            let mut blob = CacheBlob::new();
+            kind.encode(&acts, &mut blob); // warm the blob buffers
+            let start = Instant::now();
+            for _ in 0..iters {
+                kind.encode(&acts, &mut blob);
+            }
+            let encode_ns = start.elapsed().as_nanos() / iters as u128;
+            let mut out = nf_tensor::Tensor::default();
+            kind.decode_into(&blob, &mut out).expect("decode");
+            let start = Instant::now();
+            for _ in 0..iters {
+                kind.decode_into(&blob, &mut out).expect("decode");
+            }
+            let decode_ns = start.elapsed().as_nanos() / iters as u128;
+            CacheRow {
+                codec: kind.name(),
+                encoded_bytes: blob.encoded_len(),
+                compression_vs_f32: f32_bytes / blob.encoded_len() as f64,
+                encode_ns_per_mb: (encode_ns as f64 / mb) as u128,
+                decode_ns_per_mb: (decode_ns as f64 / mb) as u128,
+                peak_cache_bytes: peak_of(kind),
+            }
+        })
+        .collect()
+}
+
+/// Emits `BENCH_cache.json`: per-codec peak cache bytes of a real
+/// block-wise run, compression ratio vs f32, and encode/decode
+/// nanoseconds per MB of f32 activations.
+fn write_cache_artifact(smoke: bool) {
+    use nf_cli::{Table, Value};
+    let rows = time_cache_codecs(smoke);
+    let f32_peak = rows[0].peak_cache_bytes;
+    let mut doc = Table::new();
+    doc.insert("schema", Value::Str("nf-bench-cache-v1".into()));
+    doc.insert("smoke", Value::Bool(smoke));
+    doc.insert(
+        "config",
+        Value::Str(if smoke { "smoke" } else { "quickstart-shaped" }.into()),
+    );
+    doc.insert(
+        "results",
+        Value::Array(
+            rows.iter()
+                .map(|r| {
+                    let mut row = Table::new();
+                    row.insert("codec", Value::Str(r.codec.into()));
+                    row.insert("encoded_bytes", Value::Int(r.encoded_bytes as i64));
+                    row.insert(
+                        "compression_vs_f32",
+                        Value::Float(round2(r.compression_vs_f32)),
+                    );
+                    row.insert("encode_ns_per_mb", Value::Int(r.encode_ns_per_mb as i64));
+                    row.insert("decode_ns_per_mb", Value::Int(r.decode_ns_per_mb as i64));
+                    row.insert("peak_cache_bytes", Value::Int(r.peak_cache_bytes as i64));
+                    row.insert(
+                        "peak_vs_f32",
+                        Value::Float(round2(r.peak_cache_bytes as f64 / f32_peak.max(1) as f64)),
+                    );
+                    row.build()
+                })
+                .collect(),
+        ),
+    );
+    write_and_check(
+        &artifact_path("BENCH_cache", smoke),
+        &doc.build(),
+        &["schema", "config", "results"],
+    );
+}
+
 /// Artifact path: always the workspace root (not the CWD), and smoke runs
 /// write `*.smoke.json` so the CI variant can never clobber the committed
 /// full-shape trend line.
@@ -384,4 +511,7 @@ fn main() {
 
     // --- Federated round wall-time vs threads ---
     write_federated_artifact(smoke);
+
+    // --- Activation-cache codecs ---
+    write_cache_artifact(smoke);
 }

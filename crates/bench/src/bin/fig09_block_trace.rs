@@ -16,6 +16,7 @@ fn main() {
         batch_limit: 512,
         epochs: 30,
         samples: 50_000,
+        cache: nf_memsim::CacheCostModel::f32_raw(),
     };
     let (_, blocks) = simulate_neuroflux(
         &spec,

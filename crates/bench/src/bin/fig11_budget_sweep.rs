@@ -39,6 +39,7 @@ fn main() {
                     batch_limit: 512,
                     epochs: 30,
                     samples,
+                    cache: nf_memsim::CacheCostModel::f32_raw(),
                 };
                 let (bp, ll, nf) = sweep_point(&spec, &device, &cfg);
                 let fmt = |r: &Option<neuroflux_core::simulate::SimulatedRun>| match r {

@@ -39,6 +39,7 @@ fn main() {
             batch_limit: 512,
             epochs: 1,
             samples,
+            cache: nf_memsim::CacheCostModel::f32_raw(),
         };
         let bp_epoch_h = simulate_bp(&w.full, &device, &budget, &mem, &timing)
             .map(|r| r.total_hours())

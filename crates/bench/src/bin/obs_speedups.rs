@@ -27,6 +27,7 @@ fn main() {
         batch_limit: 512,
         epochs: 30,
         samples,
+        cache: nf_memsim::CacheCostModel::f32_raw(),
     };
 
     let mut bp_band: (f64, f64) = (f64::INFINITY, 0.0);

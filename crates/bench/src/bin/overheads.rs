@@ -29,6 +29,7 @@ fn main() {
             batch_limit: 512,
             epochs: 30,
             samples,
+            cache: nf_memsim::CacheCostModel::f32_raw(),
         };
         let profile_s =
             profiler.profiling_flops(&spec, AuxPolicy::Adaptive) / device.effective_flops();
@@ -59,6 +60,7 @@ fn main() {
             batch_limit: 512,
             epochs: 30,
             samples,
+            cache: nf_memsim::CacheCostModel::f32_raw(),
         };
         let (run, blocks) = simulate_neuroflux(&spec, &device, &cfg, &mem, &timing).unwrap();
         let dataset_bytes = ds.full_scale_bytes() as f64;

@@ -11,7 +11,7 @@
 
 use crate::error::{CliError, Result};
 use crate::value::{Table, Value};
-use neuroflux_core::NeuroFluxConfig;
+use neuroflux_core::{CodecKind, NeuroFluxConfig};
 use nf_data::SyntheticSpec;
 use nf_models::{AuxPolicy, ModelSpec};
 use nf_tensor::KernelBackend;
@@ -92,6 +92,23 @@ pub struct TrainSection {
     pub aux_policy: AuxPolicy,
 }
 
+/// `[cache]`: how the activation cache stores block outputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheSection {
+    /// Activation-cache codec: `f32` (bit-exact, the default), `f16`
+    /// (half precision, 2× smaller), or `int8` (per-channel quantized,
+    /// ~4× smaller). See `DESIGN.md` §10.
+    pub codec: CodecKind,
+}
+
+impl Default for CacheSection {
+    fn default() -> Self {
+        CacheSection {
+            codec: CodecKind::F32Raw,
+        }
+    }
+}
+
 /// `[baseline]`: knobs for `nf baseline <bp|ll|fa|sp>`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BaselineSection {
@@ -147,6 +164,9 @@ pub struct RunConfig {
     pub dataset: DatasetSection,
     /// `[train]` section.
     pub train: TrainSection,
+    /// `[cache]` section (optional in the document; defaults to the
+    /// bit-exact `f32` codec and always appears in snapshots).
+    pub cache: CacheSection,
     /// `[baseline]` section (optional; defaults used by `nf baseline`).
     pub baseline: Option<BaselineSection>,
     /// `[sweep]` section (required by `nf sweep` only).
@@ -376,6 +396,21 @@ impl RunConfig {
             aux_policy,
         };
 
+        let cache = Section::of(root, "cache");
+        let cache = CacheSection {
+            codec: match cache.get("codec") {
+                None => CodecKind::default(),
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| cache.bad("codec", "a string"))?
+                    .parse::<CodecKind>()
+                    // A typo'd codec is a typed config error carrying the
+                    // key path, so scripts can tell "your config is wrong"
+                    // from "the run failed".
+                    .map_err(|e| CliError::config("cache.codec", e))?,
+            },
+        };
+
         let baseline = Section::of(root, "baseline");
         let baseline = if baseline.exists() {
             Some(BaselineSection {
@@ -445,6 +480,7 @@ impl RunConfig {
             model,
             dataset,
             train,
+            cache,
             baseline,
             sweep,
             federated,
@@ -523,6 +559,10 @@ impl RunConfig {
         );
         train.insert("aux_policy", Value::Str(self.train.aux_policy.name()));
         root.insert("train", train);
+
+        let mut cache = Table::new();
+        cache.insert("codec", Value::Str(self.cache.codec.name().to_string()));
+        root.insert("cache", cache);
 
         if let Some(b) = &self.baseline {
             let mut baseline = Table::new();
@@ -651,7 +691,8 @@ impl RunConfig {
             .with_epochs(t.epochs_per_block)
             .with_exit_tolerance(t.exit_tolerance as f32)
             .with_aux_policy(t.aux_policy)
-            .with_kernel_backend(t.kernel_backend);
+            .with_kernel_backend(t.kernel_backend)
+            .with_cache_codec(self.cache.codec);
         config.momentum = t.momentum as f32;
         config.evict_params = t.evict_params;
         config.validate()?;
@@ -876,6 +917,45 @@ kernel_backend = "naive"
             .unwrap_err()
             .to_string();
         assert!(err.contains("[federated]"), "{err}");
+    }
+
+    #[test]
+    fn cache_section_parses_resolves_and_round_trips() {
+        // Default: no [cache] section means the bit-exact f32 codec, and
+        // the snapshot still renders the section explicitly.
+        let cfg = parse_config(quickstart_toml());
+        assert_eq!(cfg.cache.codec, CodecKind::F32Raw);
+        assert_eq!(cfg.resolve_train().unwrap().cache_codec, CodecKind::F32Raw);
+        let rendered = cfg.to_value().to_toml();
+        assert!(rendered.contains("[cache]"), "{rendered}");
+        assert_eq!(parse_config(&rendered), cfg);
+
+        // Explicit codecs parse, resolve, and round-trip.
+        for (name, kind) in [
+            ("f32", CodecKind::F32Raw),
+            ("f16", CodecKind::F16),
+            ("int8", CodecKind::Int8Affine),
+        ] {
+            let doc = format!("{}\n[cache]\ncodec = \"{name}\"\n", quickstart_toml());
+            let cfg = parse_config(&doc);
+            assert_eq!(cfg.cache.codec, kind);
+            assert_eq!(cfg.resolve_train().unwrap().cache_codec, kind);
+            let rendered = cfg.to_value().to_toml();
+            assert_eq!(parse_config(&rendered), cfg, "snapshot:\n{rendered}");
+        }
+
+        // A typo'd codec is a typed config error carrying the key path.
+        let err = crate::toml::parse(&format!(
+            "{}\n[cache]\ncodec = \"f64\"\n",
+            quickstart_toml()
+        ))
+        .and_then(|v| RunConfig::from_value(&v))
+        .unwrap_err();
+        match &err {
+            CliError::Config { path, .. } => assert_eq!(path, "cache.codec"),
+            other => panic!("expected Config error, got {other}"),
+        }
+        assert!(err.to_string().contains("f64"), "{err}");
     }
 
     #[test]

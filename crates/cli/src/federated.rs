@@ -107,6 +107,18 @@ fn federated_metrics(
                                     client.insert("samples", Value::Int(c.samples as i64));
                                     client.insert("wall_seconds", Value::Float(c.wall_seconds));
                                     client.insert("final_loss", Value::Float(c.final_loss as f64));
+                                    client.insert(
+                                        "cache_bytes_written",
+                                        Value::Int(c.cache_bytes_written as i64),
+                                    );
+                                    client.insert(
+                                        "cache_logical_bytes",
+                                        Value::Int(c.cache_logical_bytes as i64),
+                                    );
+                                    client.insert(
+                                        "cache_peak_bytes",
+                                        Value::Int(c.cache_peak_bytes as i64),
+                                    );
                                     client.build()
                                 })
                                 .collect(),
@@ -117,6 +129,45 @@ fn federated_metrics(
                 .collect(),
         ),
     );
+    // Aggregate cache accounting across every round and client. At most
+    // `threads_used` clients are in flight (each client's store is
+    // dropped when its training finishes), so the peak is the worst
+    // round's sum of its `threads_used` largest per-client peaks — the
+    // worst concurrently-resident subset, not the whole round.
+    let bytes_written: u64 = outcome
+        .rounds
+        .iter()
+        .flat_map(|r| r.clients.iter())
+        .map(|c| c.cache_bytes_written)
+        .sum();
+    let logical_bytes: u64 = outcome
+        .rounds
+        .iter()
+        .flat_map(|r| r.clients.iter())
+        .map(|c| c.cache_logical_bytes)
+        .sum();
+    let peak_bytes: u64 = outcome
+        .rounds
+        .iter()
+        .map(|r| {
+            let mut peaks: Vec<u64> = r.clients.iter().map(|c| c.cache_peak_bytes).collect();
+            peaks.sort_unstable_by(|a, b| b.cmp(a));
+            peaks.iter().take(outcome.threads_used.max(1)).sum::<u64>()
+        })
+        .max()
+        .unwrap_or(0);
+    let mut cache = Table::new();
+    cache.insert("codec", Value::Str(cfg.cache.codec.name().to_string()));
+    cache.insert("bytes_written", Value::Int(bytes_written as i64));
+    cache.insert("logical_bytes", Value::Int(logical_bytes as i64));
+    if bytes_written > 0 {
+        cache.insert(
+            "compression_vs_f32",
+            Value::Float(logical_bytes as f64 / bytes_written as f64),
+        );
+    }
+    cache.insert("peak_bytes", Value::Int(peak_bytes as i64));
+    m.insert("cache", cache);
     m.insert(
         "final_accuracy",
         Value::Float(outcome.round_accuracy.last().copied().unwrap_or(0.0) as f64),

@@ -51,6 +51,38 @@ pub fn run_inspect(path: &Path) -> Result<String> {
     }
 }
 
+/// Renders the activation-cache section of a metrics document (codec,
+/// encoded bytes, peak, achieved compression) — present in both train and
+/// federated artifacts.
+fn render_cache_section(out: &mut String, m: &Value) {
+    let cache = match m.get("cache") {
+        Some(c) => c,
+        None => return,
+    };
+    let codec = cache.get("codec").and_then(Value::as_str).unwrap_or("f32");
+    let bytes = |key: &str| cache.get(key).and_then(Value::as_int).unwrap_or(0);
+    let _ = writeln!(out, "\n## Activation cache\n");
+    let _ = writeln!(out, "| codec | bytes written | peak bytes | vs f32 |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    let ratio = cache
+        .get("compression_vs_f32")
+        .and_then(Value::as_float)
+        .map(|r| {
+            if (r - 1.0).abs() < 1e-9 {
+                "baseline".to_string()
+            } else {
+                format!("{r:.2}× smaller")
+            }
+        })
+        .unwrap_or_else(|| "—".into());
+    let _ = writeln!(
+        out,
+        "| {codec} | {} | {} | {ratio} |",
+        bytes("bytes_written"),
+        bytes("peak_bytes"),
+    );
+}
+
 fn render_federated(m: &Value) -> String {
     let mut out = String::new();
     let name = m.get("name").and_then(Value::as_str).unwrap_or("?");
@@ -84,6 +116,7 @@ fn render_federated(m: &Value) -> String {
             let _ = writeln!(out, "| {idx} | {acc} | {wall:.2} | {train:.2} |");
         }
     }
+    render_cache_section(&mut out, m);
     out
 }
 
@@ -220,6 +253,7 @@ fn render_train(m: &Value) -> String {
             let _ = writeln!(out, "| {i} | {s}..{e} | {batch} |");
         }
     }
+    render_cache_section(&mut out, m);
     out
 }
 

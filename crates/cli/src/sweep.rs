@@ -45,6 +45,10 @@ pub fn run_sweep(cfg: &RunConfig, quiet: bool) -> Result<(RunDir, Value)> {
                 batch_limit: sweep.batch_limit,
                 epochs: sweep.epochs,
                 samples: sweep.samples,
+                // The sweep prices cache footprint and storage I/O in the
+                // configured codec's encoded bytes.
+                cache: nf_memsim::CacheCostModel::by_name(cfg.cache.codec.name())
+                    .unwrap_or_default(),
             };
             let (bp, ll, nf) = sweep_point(&spec, &device, &sim);
             let mut point = Table::new();
@@ -110,6 +114,7 @@ fn run_value(run: &Option<SimulatedRun>) -> Value {
                 "cache_bytes_written",
                 Value::Int(r.cache_bytes_written as i64),
             );
+            t.insert("cache_peak_bytes", Value::Int(r.cache_peak_bytes as i64));
             t.build()
         }
     }

@@ -91,10 +91,15 @@ pub fn run_train(cfg: &RunConfig, opts: &TrainOptions) -> Result<TrainSummary> {
     let data = data_spec.generate();
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.run.seed);
 
+    // The on-disk cache encodes with the configured codec; on resume the
+    // recovered blobs are self-describing, so a cache written under a
+    // different codec surfaces as a typed mismatch naming both codecs
+    // (the config-snapshot equality check above already refuses edited
+    // configs, so this is defence in depth).
     let mut store = if opts.resume {
-        DiskStore::recover(run_dir.cache_dir())?
+        DiskStore::recover_with_codec(run_dir.cache_dir(), nf_config.cache_codec)?
     } else {
-        DiskStore::new(run_dir.cache_dir())?
+        DiskStore::with_codec(run_dir.cache_dir(), nf_config.cache_codec)?
     };
     let resume_ck = if opts.resume {
         Some(Checkpoint::load(&run_dir.checkpoint_path())?)
@@ -207,9 +212,26 @@ fn train_metrics(
     );
     let mut cache = Table::new();
     cache.insert(
+        "codec",
+        Value::Str(outcome.report.cache_codec.name().to_string()),
+    );
+    cache.insert(
         "bytes_written",
         Value::Int(outcome.report.cache_bytes_written as i64),
     );
+    cache.insert(
+        "logical_bytes",
+        Value::Int(outcome.report.cache_logical_bytes as i64),
+    );
+    if outcome.report.cache_bytes_written > 0 {
+        cache.insert(
+            "compression_vs_f32",
+            Value::Float(
+                outcome.report.cache_logical_bytes as f64
+                    / outcome.report.cache_bytes_written as f64,
+            ),
+        );
+    }
     cache.insert(
         "peak_bytes",
         Value::Int(outcome.report.cache_peak_bytes as i64),

@@ -9,6 +9,11 @@ use std::path::PathBuf;
 /// A small 2+-block config (ρ = 0 keeps every unit in its own block so an
 /// interruption after block 1 is genuinely mid-run).
 fn test_config(out_dir: &std::path::Path, name: &str) -> RunConfig {
+    test_config_with_codec(out_dir, name, "f32")
+}
+
+/// [`test_config`] with an explicit `[cache] codec`.
+fn test_config_with_codec(out_dir: &std::path::Path, name: &str, codec: &str) -> RunConfig {
     let toml = format!(
         r#"
 [run]
@@ -31,6 +36,9 @@ budget_bytes = 131072
 batch_limit = 8
 epochs_per_block = 2
 rho = 0.0
+
+[cache]
+codec = "{codec}"
 "#,
         out_dir.display()
     );
@@ -173,6 +181,89 @@ fn interrupted_run_resumed_matches_uninterrupted() {
     )
     .unwrap_err();
     assert!(err.to_string().contains("already completed"), "{err}");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn interrupted_quantized_run_resumes_and_changed_codec_is_refused() {
+    let base = temp_base("resume_codec");
+    let out_ref = base.join("ref");
+    let out_vic = base.join("vic");
+    let opts = TrainOptions {
+        quiet: true,
+        ..TrainOptions::default()
+    };
+
+    // Reference: uninterrupted int8 run.
+    let reference = run_train(&test_config_with_codec(&out_ref, "ref", "int8"), &opts).unwrap();
+
+    // Interrupted int8 run (kill after block 1: checkpoint + int8-encoded
+    // cache blobs are on disk).
+    let cfg = test_config_with_codec(&out_vic, "victim", "int8");
+    run_train(
+        &cfg,
+        &TrainOptions {
+            quiet: true,
+            interrupt_after_blocks: Some(1),
+            ..TrainOptions::default()
+        },
+    )
+    .unwrap_err();
+    let run_dir = out_vic.join("victim");
+    assert!(run_dir.join("checkpoint.nfck").is_file());
+
+    // Resuming with the codec changed to f16 is refused: the config no
+    // longer matches the interrupted run's snapshot.
+    let edited = test_config_with_codec(&out_vic, "victim", "f16");
+    let err = run_train(
+        &edited,
+        &TrainOptions {
+            resume: true,
+            quiet: true,
+            ..TrainOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("snapshot"), "{err}");
+
+    // Below the CLI guard, the core is also defended: recovering the int8
+    // cache directory under f32 is a typed mismatch naming both codecs.
+    let mut wrong = neuroflux_core::DiskStore::recover(run_dir.join("cache")).unwrap();
+    let msg = neuroflux_core::ActivationStore::read(&mut wrong, 0)
+        .unwrap_err()
+        .to_string();
+    assert!(msg.contains("f32") && msg.contains("int8"), "{msg}");
+
+    // Resuming with the original codec reproduces the uninterrupted run.
+    let snapshot = RunConfig::load(&run_dir.join("config.toml")).unwrap();
+    assert_eq!(snapshot, cfg);
+    let resumed = run_train(
+        &snapshot,
+        &TrainOptions {
+            resume: true,
+            quiet: true,
+            ..TrainOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        outcome_fields(&resumed.metrics),
+        outcome_fields(&reference.metrics),
+        "resumed int8 run must reproduce the uninterrupted final metrics"
+    );
+    // The artifact records the codec and its achieved compression.
+    let cache = resumed.metrics.get("cache").unwrap();
+    assert_eq!(
+        cache.get("codec").and_then(Value::as_str),
+        Some("int8"),
+        "{cache:?}"
+    );
+    let ratio = cache
+        .get("compression_vs_f32")
+        .and_then(Value::as_float)
+        .unwrap();
+    assert!(ratio > 3.3, "compression {ratio}");
 
     std::fs::remove_dir_all(&base).ok();
 }

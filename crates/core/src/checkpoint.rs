@@ -13,10 +13,12 @@
 //!
 //! Format (all integers little-endian): magic `NFCK`, version `u32`,
 //! completed-block count, a `head_trained` flag, the serialised
-//! [`WorkerReport`], then length-prefixed [`crate::params_io`] blobs for
-//! each unit, the head, and each auxiliary head. Files are written to a
-//! temporary sibling and atomically renamed, so a crash mid-write never
-//! corrupts the previous checkpoint.
+//! [`WorkerReport`] (which includes the activation-cache codec the run's
+//! blobs were encoded with, so resume round-trips the codec choice), then
+//! length-prefixed [`crate::params_io`] blobs for each unit, the head, and
+//! each auxiliary head. Files are written to a temporary sibling and
+//! atomically renamed, so a crash mid-write never corrupts the previous
+//! checkpoint.
 
 use crate::params_io::{deserialize_params, serialize_params};
 use crate::worker::WorkerReport;
@@ -26,7 +28,9 @@ use nf_nn::Sequential;
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"NFCK";
-const VERSION: u32 = 1;
+// v2 added the cache-codec id and logical-byte counter to the serialised
+// WorkerReport (PR 5's pluggable activation-cache codecs).
+const VERSION: u32 = 2;
 
 /// A point-in-time snapshot of a NeuroFlux training run.
 #[derive(Debug, Clone, PartialEq)]
@@ -134,6 +138,8 @@ impl Checkpoint {
             out.extend_from_slice(&(b as u64).to_le_bytes());
         }
         out.extend_from_slice(&self.report.cache_bytes_written.to_le_bytes());
+        out.extend_from_slice(&self.report.cache_logical_bytes.to_le_bytes());
+        out.extend_from_slice(&self.report.cache_codec.id().to_le_bytes());
         out.extend_from_slice(&self.report.cache_peak_bytes.to_le_bytes());
         out.extend_from_slice(&self.report.params_bytes_evicted.to_le_bytes());
         // Parameter blobs.
@@ -199,6 +205,10 @@ impl Checkpoint {
             report.block_batches.push(read_u64(&mut cur)? as usize);
         }
         report.cache_bytes_written = read_u64(&mut cur)?;
+        report.cache_logical_bytes = read_u64(&mut cur)?;
+        let codec_id = u32::from_le_bytes(take(&mut cur, 4)?.try_into().unwrap());
+        report.cache_codec = crate::codec::CodecKind::from_id(codec_id)
+            .ok_or_else(|| err(format!("unknown cache codec id {codec_id}")))?;
         report.cache_peak_bytes = read_u64(&mut cur)?;
         report.params_bytes_evicted = read_u64(&mut cur)?;
         let read_blobs = |cur: &mut usize| -> Result<Vec<Vec<u8>>> {
@@ -324,6 +334,8 @@ mod tests {
             block_losses: vec![vec![1.5, 0.5], vec![0.25]],
             block_batches: vec![8, 16],
             cache_bytes_written: 1234,
+            cache_logical_bytes: 2468,
+            cache_codec: crate::codec::CodecKind::Int8Affine,
             cache_peak_bytes: 999,
             params_bytes_evicted: 42,
         };
@@ -386,12 +398,12 @@ mod tests {
         // hand-build a header claiming one unit blob of absurd length.
         let mut huge = Vec::new();
         huge.extend_from_slice(b"NFCK");
-        huge.extend_from_slice(&1u32.to_le_bytes()); // version
+        huge.extend_from_slice(&2u32.to_le_bytes()); // version
         huge.extend_from_slice(&0u64.to_le_bytes()); // completed_blocks
         huge.push(0); // head_trained
         huge.extend_from_slice(&0u64.to_le_bytes()); // n_blocks
         huge.extend_from_slice(&0u64.to_le_bytes()); // n_batches
-        huge.extend_from_slice(&[0u8; 24]); // cache counters
+        huge.extend_from_slice(&[0u8; 36]); // cache counters + codec id
         huge.extend_from_slice(&1u64.to_le_bytes()); // one unit blob...
         huge.extend_from_slice(&u64::MAX.to_le_bytes()); // ...of length MAX
         assert!(matches!(

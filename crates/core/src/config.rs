@@ -1,5 +1,6 @@
 //! NeuroFlux run configuration (the system's four inputs, §0 of Figure 7).
 
+use crate::codec::CodecKind;
 use nf_models::AuxPolicy;
 use nf_tensor::KernelBackend;
 use serde::{Deserialize, Serialize};
@@ -39,6 +40,10 @@ pub struct NeuroFluxConfig {
     /// (the blocked, rayon-parallel kernel by default; the naive reference
     /// kernel is selectable for A/B runs and debugging).
     pub kernel_backend: KernelBackend,
+    /// Codec the activation cache stores block outputs with (bit-exact f32
+    /// by default; f16 halves and int8 quarters the §6.4 cache footprint
+    /// at bounded per-element error — see [`crate::codec`]).
+    pub cache_codec: CodecKind,
 }
 
 impl NeuroFluxConfig {
@@ -55,12 +60,19 @@ impl NeuroFluxConfig {
             exit_tolerance: 0.005,
             evict_params: true,
             kernel_backend: KernelBackend::default(),
+            cache_codec: CodecKind::default(),
         }
     }
 
     /// Sets the GEMM kernel backend the run's layers compute on.
     pub fn with_kernel_backend(mut self, backend: KernelBackend) -> Self {
         self.kernel_backend = backend;
+        self
+    }
+
+    /// Sets the activation-cache codec.
+    pub fn with_cache_codec(mut self, codec: CodecKind) -> Self {
+        self.cache_codec = codec;
         self
     }
 

@@ -178,7 +178,7 @@ impl NeuroFluxTrainer {
         for a in &aux_specs {
             aux_heads.push(build_aux_head(rng, a)?);
         }
-        let mut default_store = MemoryStore::new();
+        let mut default_store = MemoryStore::with_codec(self.config.cache_codec);
         let store: &mut dyn ActivationStore = match hooks.store {
             Some(store) => store,
             None => &mut default_store,

@@ -26,6 +26,26 @@ pub enum NfError {
         /// Underlying cause.
         cause: String,
     },
+    /// An activation-cache codec failed to encode or decode a blob
+    /// (truncated payload, shape/payload disagreement, …).
+    Codec {
+        /// Codec that raised the error (`f32`, `f16`, `int8`).
+        codec: &'static str,
+        /// Underlying cause.
+        cause: String,
+    },
+    /// Stored cache data was written under a different codec than the
+    /// reader is configured for (e.g. resuming an `int8` run with an `f32`
+    /// config). Carries both codec names so the fix — rerun with the
+    /// original codec, or start fresh — is obvious from the message.
+    CodecMismatch {
+        /// Codec the reader is configured for.
+        expected: &'static str,
+        /// Codec the stored data declares.
+        found: &'static str,
+        /// Where the mismatch was detected (cache block, resume, …).
+        context: String,
+    },
     /// Configuration is invalid (zero batch limit, empty model, …).
     BadConfig(String),
     /// Checkpoint serialisation, I/O, or restore failed.
@@ -56,6 +76,18 @@ impl fmt::Display for NfError {
             NfError::Cache { op, block, cause } => {
                 write!(f, "activation cache {op} failed for block {block}: {cause}")
             }
+            NfError::Codec { codec, cause } => {
+                write!(f, "cache codec {codec} failed: {cause}")
+            }
+            NfError::CodecMismatch {
+                expected,
+                found,
+                context,
+            } => write!(
+                f,
+                "cache codec mismatch at {context}: configured codec {expected} \
+                 cannot read data written with codec {found}"
+            ),
             NfError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
             NfError::Checkpoint { op, cause } => {
                 write!(f, "checkpoint {op} failed: {cause}")

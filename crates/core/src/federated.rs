@@ -141,6 +141,12 @@ pub struct ClientReport {
     pub wall_seconds: f64,
     /// Mean local loss over the client's final training epoch.
     pub final_loss: f32,
+    /// Encoded bytes this client's round wrote to its activation cache.
+    pub cache_bytes_written: u64,
+    /// Logical (f32-equivalent) bytes of the tensors behind those writes.
+    pub cache_logical_bytes: u64,
+    /// Peak encoded bytes simultaneously resident in this client's cache.
+    pub cache_peak_bytes: u64,
 }
 
 /// Telemetry for one synchronous round.
@@ -186,6 +192,9 @@ struct ClientOutcome {
     deep: StateSnapshot,
     wall_seconds: f64,
     final_loss: f32,
+    cache_bytes_written: u64,
+    cache_logical_bytes: u64,
+    cache_peak_bytes: u64,
 }
 
 /// SplitMix64 — derives statistically independent per-client seeds from
@@ -312,6 +321,9 @@ pub fn run_federated<R: Rng>(
                     samples: shards[c].len(),
                     wall_seconds: o.wall_seconds,
                     final_loss: o.final_loss,
+                    cache_bytes_written: o.cache_bytes_written,
+                    cache_logical_bytes: o.cache_logical_bytes,
+                    cache_peak_bytes: o.cache_peak_bytes,
                 })
                 .collect(),
         });
@@ -430,9 +442,15 @@ fn train_client(
     }
     load(&mut model.head, global_deep)?;
 
+    // Every client's private store encodes with the configured cache
+    // codec, so multi-client cache footprints shrink the same way
+    // single-run ones do.
     let report = match &fed.cache_dir {
         Some(dir) => {
-            let mut store = DiskStore::new(dir.join(format!("client{client}")))?;
+            let mut store = DiskStore::with_codec(
+                dir.join(format!("client{client}")),
+                fed.client_config.cache_codec,
+            )?;
             Worker::new(fed.client_config, &mut store).run(
                 &mut model,
                 &mut heads,
@@ -442,7 +460,7 @@ fn train_client(
             )?
         }
         None => {
-            let mut store = MemoryStore::new();
+            let mut store = MemoryStore::with_codec(fed.client_config.cache_codec);
             Worker::new(fed.client_config, &mut store).run(
                 &mut model,
                 &mut heads,
@@ -465,6 +483,9 @@ fn train_client(
         deep: snapshot(&mut model.head),
         wall_seconds: start.elapsed().as_secs_f64(),
         final_loss,
+        cache_bytes_written: report.cache_bytes_written,
+        cache_logical_bytes: report.cache_logical_bytes,
+        cache_peak_bytes: report.cache_peak_bytes,
     })
 }
 

@@ -41,15 +41,12 @@
 //! assert!(outcome.selected_exit.is_some());
 //! ```
 
-// `deny` rather than `forbid`: exactly one function is allowed to opt out
-// — `cache::read_f32s_bulk`, which reads activation files directly into a
-// `Vec<f32>`'s own allocation (see its safety comment). Everything else
-// stays safe Rust.
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod checkpoint;
+pub mod codec;
 pub mod confidence_exit;
 mod config;
 pub mod controller;
@@ -61,8 +58,12 @@ pub mod profiler;
 pub mod simulate;
 pub mod worker;
 
-pub use cache::{ActivationStore, DiskStore, FailingStore, MemoryStore};
+pub use cache::{
+    ActivationStore, BlobStore, CodecStore, DiskBlobStore, DiskStore, FailingStore,
+    MemoryBlobStore, MemoryStore,
+};
 pub use checkpoint::{Checkpoint, CheckpointSink, FileCheckpoint};
+pub use codec::{ActivationCodec, CacheBlob, CodecKind, F32Raw, Int8Affine, F16};
 pub use confidence_exit::{CascadePrediction, CascadeReport, ConfidenceCascade};
 pub use config::NeuroFluxConfig;
 pub use controller::{NeuroFluxOutcome, NeuroFluxTrainer, TrainHooks};

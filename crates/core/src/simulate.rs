@@ -12,7 +12,8 @@ use crate::partitioner::{partition, Block};
 use crate::profiler::Profiler;
 use crate::{NfError, Result};
 use nf_memsim::{
-    max_batch_bp, max_batch_ll_unit, DeviceProfile, MemoryModel, TimingModel, TrainingParadigm,
+    max_batch_bp, max_batch_ll_unit, CacheCostModel, DeviceProfile, MemoryModel, TimingModel,
+    TrainingParadigm,
 };
 use nf_models::{assign_aux, AuxPolicy, ModelSpec};
 
@@ -29,8 +30,13 @@ pub struct SimulatedRun {
     pub io_s: f64,
     /// Batch size(s) used: single batch for BP/LL, per-block for NeuroFlux.
     pub batches: Vec<usize>,
-    /// Total activation-cache bytes written (NeuroFlux only).
+    /// Total **encoded** activation-cache bytes written (NeuroFlux only;
+    /// shrinks under a quantizing [`CacheCostModel`]).
     pub cache_bytes_written: u64,
+    /// Peak encoded cache bytes simultaneously resident (at most two
+    /// adjacent blocks' outputs coexist: the input being consumed and the
+    /// output being written).
+    pub cache_peak_bytes: u64,
 }
 
 impl SimulatedRun {
@@ -56,6 +62,16 @@ pub struct SimConfig {
     pub epochs: usize,
     /// Training-set size.
     pub samples: usize,
+    /// Activation-cache codec the feasibility/sweep accounting (cache
+    /// bytes + storage I/O time) is priced with.
+    pub cache: CacheCostModel,
+}
+
+/// Channel count of a `(channels, height, width)` feature shape — the
+/// per-channel quantization axis the int8 cache codec charges its side
+/// table over.
+fn channels_of(shape: (usize, usize, usize)) -> usize {
+    shape.0
 }
 
 /// Simulates end-to-end BP training; `Err(InfeasibleBudget)` when even
@@ -82,6 +98,7 @@ pub fn simulate_bp(
         io_s: 0.0,
         batches: vec![batch],
         cache_bytes_written: 0,
+        cache_peak_bytes: 0,
     })
 }
 
@@ -122,6 +139,7 @@ pub fn simulate_classic_ll(
         io_s: 0.0,
         batches: vec![batch],
         cache_bytes_written: 0,
+        cache_peak_bytes: 0,
     })
 }
 
@@ -151,6 +169,8 @@ pub fn simulate_neuroflux(
     let mut overhead_s = 0.0;
     let mut io_s = 0.0;
     let mut cache_bytes = 0u64;
+    let mut cache_peak = 0u64;
+    let mut prev_block_bytes = 0u64;
     let n = cfg.samples as f64;
     for (bi, block) in blocks.iter().enumerate() {
         // Per-epoch block training: local fwd+bwd of each unit + aux.
@@ -166,9 +186,14 @@ pub fn simulate_neuroflux(
         // Reading cached inputs each epoch (block 0 reads the dataset,
         // already covered by per-batch overhead). The prefetcher (§3.2)
         // streams activations while the GPU trains, so only the I/O that
-        // exceeds the block's compute time is exposed.
+        // exceeds the block's compute time is exposed. Cache traffic is
+        // priced in *encoded* bytes: a quantizing codec moves fewer bytes
+        // over the storage link, which is part of its win on
+        // bandwidth-starved devices.
         if bi > 0 {
-            let in_bytes = analytics[block.units.start].in_elems as f64 * 4.0 * n;
+            let in_elems = analytics[block.units.start].in_elems as u64 * cfg.samples as u64;
+            let in_channels = channels_of(analytics[block.units.start].in_shape) as u64;
+            let in_bytes = cfg.cache.encoded_bytes(in_elems, in_channels) as f64;
             let raw_io = in_bytes * cfg.epochs as f64 / device.storage_bw_bytes_s;
             io_s += (raw_io - block_compute).max(0.0);
         }
@@ -177,9 +202,16 @@ pub fn simulate_neuroflux(
         let fwd_flops: f64 = block.units.clone().map(|u| analytics[u].flops as f64).sum();
         let regen_compute = fwd_flops * n / device.effective_flops();
         compute_s += regen_compute;
-        let out_bytes = analytics[block.units.end - 1].out_elems as f64 * 4.0 * n;
-        io_s += (out_bytes / device.storage_bw_bytes_s - regen_compute).max(0.0);
-        cache_bytes += out_bytes as u64;
+        let out_analytics = &analytics[block.units.end - 1];
+        let out_elems = out_analytics.out_elems as u64 * cfg.samples as u64;
+        let out_channels = channels_of(out_analytics.out_shape) as u64;
+        let out_bytes = cfg.cache.encoded_bytes(out_elems, out_channels);
+        io_s += (out_bytes as f64 / device.storage_bw_bytes_s - regen_compute).max(0.0);
+        cache_bytes += out_bytes;
+        // At most two adjacent blocks' caches coexist: the consumed input
+        // survives until this block's output is durable.
+        cache_peak = cache_peak.max(prev_block_bytes + out_bytes);
+        prev_block_bytes = out_bytes;
     }
     Ok((
         SimulatedRun {
@@ -189,6 +221,7 @@ pub fn simulate_neuroflux(
             io_s,
             batches: blocks.iter().map(|b| b.batch).collect(),
             cache_bytes_written: cache_bytes,
+            cache_peak_bytes: cache_peak,
         },
         blocks,
     ))
@@ -227,6 +260,7 @@ mod tests {
             batch_limit: 512,
             epochs: 30,
             samples: 50_000,
+            cache: CacheCostModel::f32_raw(),
         }
     }
 
@@ -350,6 +384,33 @@ mod tests {
             assert!(t <= prev * 1.001, "time rose at {budget}MB: {t} > {prev}");
             prev = t;
         }
+    }
+
+    #[test]
+    fn quantized_cache_codecs_shrink_simulated_footprint_and_io() {
+        let device = DeviceProfile::agx_orin();
+        let spec = ModelSpec::vgg16(10);
+        let mem = MemoryModel::default();
+        let timing = TimingModel::default();
+        let run_with = |cache: CacheCostModel| {
+            let c = SimConfig { cache, ..cfg(300) };
+            simulate_neuroflux(&spec, &device, &c, &mem, &timing)
+                .unwrap()
+                .0
+        };
+        let f32_run = run_with(CacheCostModel::f32_raw());
+        let f16_run = run_with(CacheCostModel::f16());
+        let int8_run = run_with(CacheCostModel::int8_affine());
+        // Encoded cache bytes track the codecs' ratios (2× / ~4×): the
+        // §6.4 accounting the sweeps report is codec-aware.
+        let half = f32_run.cache_bytes_written as f64 / f16_run.cache_bytes_written as f64;
+        let quarter = f32_run.cache_bytes_written as f64 / int8_run.cache_bytes_written as f64;
+        assert!((1.99..=2.01).contains(&half), "f16 ratio {half}");
+        assert!((3.8..=4.0).contains(&quarter), "int8 ratio {quarter}");
+        assert!(int8_run.cache_peak_bytes < f32_run.cache_peak_bytes / 3);
+        // Less data over the storage link can only help wall-clock.
+        assert!(int8_run.io_s <= f32_run.io_s);
+        assert!(int8_run.total_s() <= f32_run.total_s());
     }
 
     #[test]

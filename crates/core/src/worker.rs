@@ -15,6 +15,7 @@
 
 use crate::cache::ActivationStore;
 use crate::checkpoint::{Checkpoint, CheckpointSink};
+use crate::codec::CodecKind;
 use crate::config::NeuroFluxConfig;
 use crate::partitioner::Block;
 use crate::{NfError, Result};
@@ -107,9 +108,17 @@ pub struct WorkerReport {
     pub block_losses: Vec<Vec<f32>>,
     /// Batch size each block actually trained with.
     pub block_batches: Vec<usize>,
-    /// Total bytes ever written to the activation cache.
+    /// Total **encoded** bytes ever written to the activation cache (the
+    /// §6.4 metric; shrinks under a quantizing codec).
     pub cache_bytes_written: u64,
-    /// Peak bytes simultaneously resident in the cache.
+    /// Logical (f32-equivalent) bytes of every cached tensor: element
+    /// count × 4. `cache_logical_bytes / cache_bytes_written` is the
+    /// codec's achieved compression ratio.
+    pub cache_logical_bytes: u64,
+    /// Codec the cache was written with (round-trips through checkpoints,
+    /// so a resume under a different codec is a typed error).
+    pub cache_codec: CodecKind,
+    /// Peak encoded bytes simultaneously resident in the cache.
     pub cache_peak_bytes: u64,
     /// Bytes of block parameters (+ optimizer state) serialised to storage
     /// on eviction (§3.1).
@@ -306,8 +315,28 @@ impl<'s, S: ActivationStore + ?Sized> Worker<'s, S> {
             head.set_workspace(&ws_heads);
         }
         model.head.set_workspace(&ws_units);
+        // The store must encode with the configured codec: the cache
+        // telemetry below (and the §6.4 accounting it feeds) is defined in
+        // that codec's encoded bytes.
+        if self.store.codec() != self.config.cache_codec {
+            return Err(NfError::CodecMismatch {
+                expected: self.config.cache_codec.name(),
+                found: self.store.codec().name(),
+                context: "worker activation store".into(),
+            });
+        }
         let (mut report, start_block, resume_peak, resume_head_trained) = match hooks.resume_from {
             Some(ck) => {
+                // The codec choice round-trips through checkpoints; blocks
+                // already cached were encoded with it, so resuming under a
+                // different codec would mix encodings mid-run.
+                if ck.report.cache_codec != self.config.cache_codec {
+                    return Err(NfError::CodecMismatch {
+                        expected: self.config.cache_codec.name(),
+                        found: ck.report.cache_codec.name(),
+                        context: "checkpoint resume".into(),
+                    });
+                }
                 ck.restore(model, aux_heads)?;
                 (
                     ck.report.clone(),
@@ -316,7 +345,15 @@ impl<'s, S: ActivationStore + ?Sized> Worker<'s, S> {
                     ck.head_trained,
                 )
             }
-            None => (WorkerReport::default(), 0, 0, false),
+            None => (
+                WorkerReport {
+                    cache_codec: self.config.cache_codec,
+                    ..WorkerReport::default()
+                },
+                0,
+                0,
+                false,
+            ),
         };
         // Resume housekeeping: only block start_block-1's activations are
         // needed; older entries can survive on disk when a kill landed in
@@ -324,6 +361,12 @@ impl<'s, S: ActivationStore + ?Sized> Worker<'s, S> {
         for stale in 0..start_block.saturating_sub(1) {
             self.store.delete(stale)?;
         }
+        // One decode buffer for the whole run: every cached-input reload
+        // (and the head-training reload below) decodes into it via
+        // `read_into`, so the consume path settles at the largest block's
+        // size and stops allocating — and block 0 trains straight off the
+        // caller's dataset tensor instead of a private clone.
+        let mut cache_input = Tensor::default();
         for (b, block) in blocks.iter().enumerate() {
             if b < start_block {
                 // Completed before the checkpoint: parameters restored, the
@@ -350,27 +393,30 @@ impl<'s, S: ActivationStore + ?Sized> Worker<'s, S> {
                 b,
             )?;
             // §3.1: load this block's inputs — dataset for block 0, the
-            // previous block's cached activations otherwise.
-            let inputs = if b == 0 {
-                images.clone()
+            // previous block's cached activations (decoded into the reused
+            // buffer) otherwise.
+            let inputs: &Tensor = if b == 0 {
+                images
             } else {
-                self.store.read(b - 1)?
+                self.store.read_into(b - 1, &mut cache_input)?;
+                &cache_input
             };
             let losses = self.train_block_observed(
                 model,
                 aux_heads,
                 block,
-                &inputs,
+                inputs,
                 labels,
                 b,
                 &mut hooks.progress,
             )?;
             report.block_losses.push(losses);
             report.block_batches.push(block.batch);
-            // §3.3: persist the trained block's outputs, then evict.
-            let acts = self.regenerate_activations(model, block, &inputs)?;
-            report.cache_bytes_written += acts.numel() as u64 * 4;
-            self.store.write(b, &acts)?;
+            // §3.3: persist the trained block's outputs, then evict. The
+            // write reports the *encoded* byte count — the §6.4 metric.
+            let acts = self.regenerate_activations(model, block, inputs)?;
+            report.cache_logical_bytes += acts.numel() as u64 * 4;
+            report.cache_bytes_written += self.store.write(b, &acts)?;
             for u in block.units.clone() {
                 model.units[u].clear_cache();
                 aux_heads[u].clear_cache();
@@ -417,7 +463,8 @@ impl<'s, S: ActivationStore + ?Sized> Worker<'s, S> {
         // checkpoint already covers it (head parameters were restored).
         if let Some(last) = blocks.len().checked_sub(1) {
             if !resume_head_trained {
-                let acts = self.store.read(last)?;
+                self.store.read_into(last, &mut cache_input)?;
+                let acts = &cache_input;
                 let sgd = self.optimizer();
                 let batch = blocks[last].batch.max(1);
                 let n = acts.shape()[0];

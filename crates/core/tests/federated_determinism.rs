@@ -9,7 +9,7 @@
 //! in client order.
 
 use neuroflux_core::federated::{run_federated, FederatedConfig, FederatedOutcome};
-use neuroflux_core::NeuroFluxConfig;
+use neuroflux_core::{CodecKind, NeuroFluxConfig};
 use nf_data::{shard, Dataset, ShardStrategy, SplitDataset, SyntheticSpec};
 use nf_models::ModelSpec;
 use nf_nn::aggregate::snapshot;
@@ -24,12 +24,22 @@ fn spec() -> ModelSpec {
 }
 
 fn run(threads: usize, strategy: ShardStrategy) -> FederatedOutcome {
+    run_with_codec(threads, strategy, CodecKind::F32Raw)
+}
+
+fn run_with_codec(threads: usize, strategy: ShardStrategy, codec: CodecKind) -> FederatedOutcome {
     // A fresh master RNG per run: global init must match across runs.
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let fed = FederatedConfig::new(4, 2, NeuroFluxConfig::new(24 << 20, 16).with_epochs(1))
-        .with_threads(threads)
-        .with_strategy(strategy)
-        .with_seed(13);
+    let fed = FederatedConfig::new(
+        4,
+        2,
+        NeuroFluxConfig::new(24 << 20, 16)
+            .with_epochs(1)
+            .with_cache_codec(codec),
+    )
+    .with_threads(threads)
+    .with_strategy(strategy)
+    .with_seed(13);
     run_federated(&mut rng, &spec(), &data(), &fed).unwrap()
 }
 
@@ -68,6 +78,36 @@ fn parallel_run_is_bit_identical_to_sequential() {
             state_bits(&mut par),
             "{strategy}: global state diverged between threads=1 and threads=4"
         );
+    }
+}
+
+#[test]
+fn parallel_run_is_bit_identical_to_sequential_under_every_codec() {
+    // The codec layer sits between the Worker and storage; it is pure
+    // per-client state, so thread count must stay irrelevant to results
+    // under every encoding — including the lossy ones (each client decodes
+    // the same bytes regardless of scheduling).
+    for codec in CodecKind::all() {
+        let mut seq = run_with_codec(1, ShardStrategy::RoundRobin, codec);
+        let mut par = run_with_codec(4, ShardStrategy::RoundRobin, codec);
+        let seq_acc: Vec<u32> = seq.round_accuracy.iter().map(|a| a.to_bits()).collect();
+        let par_acc: Vec<u32> = par.round_accuracy.iter().map(|a| a.to_bits()).collect();
+        assert_eq!(seq_acc, par_acc, "{codec}: round accuracies diverged");
+        assert_eq!(
+            state_bits(&mut seq),
+            state_bits(&mut par),
+            "{codec}: global state diverged between threads=1 and threads=4"
+        );
+        // Per-client cache telemetry is deterministic too.
+        let cache_bytes = |o: &FederatedOutcome| -> Vec<u64> {
+            o.rounds
+                .iter()
+                .flat_map(|r| r.clients.iter())
+                .map(|c| c.cache_bytes_written)
+                .collect()
+        };
+        assert_eq!(cache_bytes(&seq), cache_bytes(&par), "{codec}");
+        assert!(cache_bytes(&seq).iter().all(|&b| b > 0), "{codec}");
     }
 }
 

@@ -33,5 +33,5 @@ pub mod timing;
 
 pub use device::DeviceProfile;
 pub use feasibility::{max_batch_bp, max_batch_ll_unit, max_batch_per_unit};
-pub use memory::{MemoryBreakdown, MemoryModel, TrainingParadigm};
+pub use memory::{CacheCostModel, MemoryBreakdown, MemoryModel, TrainingParadigm};
 pub use timing::TimingModel;

@@ -32,6 +32,101 @@ pub enum TrainingParadigm {
     BlockLocal,
 }
 
+/// Storage cost model for one activation-cache codec: how many bytes the
+/// cache is charged per cached element, plus any per-channel side table.
+///
+/// This is the analytic twin of `neuroflux-core`'s `ActivationCodec`
+/// implementations, so memsim's feasibility and sweep accounting sees the
+/// same **encoded** byte counts a real run's `bytes_stored()` reports:
+///
+/// | codec | bytes/elem | per-channel overhead |
+/// |---|---|---|
+/// | `f32` | 4 | 0 |
+/// | `f16` | 2 | 0 |
+/// | `int8` | 1 | 8 (scale + offset, f32 each) |
+///
+/// # Examples
+///
+/// ```
+/// use nf_memsim::CacheCostModel;
+///
+/// let int8 = CacheCostModel::int8_affine();
+/// // 1 MB of f32 activations encodes to ~0.25 MB under int8.
+/// let encoded = int8.encoded_bytes(250_000, 64);
+/// assert!(encoded < 251_000);
+/// assert_eq!(CacheCostModel::f32_raw().encoded_bytes(250_000, 64), 1_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheCostModel {
+    /// Stable codec name (`f32`, `f16`, `int8`).
+    pub name: &'static str,
+    /// Encoded bytes per cached tensor element.
+    pub bytes_per_elem: f64,
+    /// Fixed side-table bytes per quantization channel (0 for the
+    /// non-quantized codecs).
+    pub per_channel_overhead_bytes: f64,
+}
+
+impl CacheCostModel {
+    /// Bit-exact f32 storage (4 bytes/element) — the default.
+    pub fn f32_raw() -> Self {
+        CacheCostModel {
+            name: "f32",
+            bytes_per_elem: 4.0,
+            per_channel_overhead_bytes: 0.0,
+        }
+    }
+
+    /// IEEE binary16 storage (2 bytes/element).
+    pub fn f16() -> Self {
+        CacheCostModel {
+            name: "f16",
+            bytes_per_elem: 2.0,
+            per_channel_overhead_bytes: 0.0,
+        }
+    }
+
+    /// Per-channel affine u8 quantization (1 byte/element + 8 bytes of
+    /// scale/offset per channel).
+    pub fn int8_affine() -> Self {
+        CacheCostModel {
+            name: "int8",
+            bytes_per_elem: 1.0,
+            per_channel_overhead_bytes: 8.0,
+        }
+    }
+
+    /// Looks a model up by its stable codec name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "f32" => Some(Self::f32_raw()),
+            "f16" => Some(Self::f16()),
+            "int8" => Some(Self::int8_affine()),
+            _ => None,
+        }
+    }
+
+    /// Encoded bytes for caching `elems` tensor elements spread over
+    /// `channels` quantization channels.
+    pub fn encoded_bytes(&self, elems: u64, channels: u64) -> u64 {
+        (elems as f64 * self.bytes_per_elem + channels as f64 * self.per_channel_overhead_bytes)
+            as u64
+    }
+
+    /// Compression ratio versus raw f32 storage for `elems` elements over
+    /// `channels` channels (≥ 1.0 for the shipped codecs).
+    pub fn compression_vs_f32(&self, elems: u64, channels: u64) -> f64 {
+        let raw = Self::f32_raw().encoded_bytes(elems, 0);
+        raw as f64 / self.encoded_bytes(elems, channels).max(1) as f64
+    }
+}
+
+impl Default for CacheCostModel {
+    fn default() -> Self {
+        Self::f32_raw()
+    }
+}
+
 /// A memory footprint split into the paper's three components (bytes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct MemoryBreakdown {
@@ -383,6 +478,21 @@ mod tests {
         let block = m.ll_unit_training(&spec, &analytics[3], &aux, 8, TrainingParadigm::BlockLocal);
         assert!(block.model * 5 < classic.model);
         assert_eq!(block.activations, classic.activations);
+    }
+
+    #[test]
+    fn cache_cost_models_match_codec_formats() {
+        // 1000 elements over 10 channels, per the core codecs' layouts.
+        assert_eq!(CacheCostModel::f32_raw().encoded_bytes(1000, 10), 4000);
+        assert_eq!(CacheCostModel::f16().encoded_bytes(1000, 10), 2000);
+        assert_eq!(CacheCostModel::int8_affine().encoded_bytes(1000, 10), 1080);
+        // int8 approaches 4× as the channel table amortises.
+        let r = CacheCostModel::int8_affine().compression_vs_f32(1_000_000, 512);
+        assert!((3.9..=4.0).contains(&r), "{r}");
+        for name in ["f32", "f16", "int8"] {
+            assert_eq!(CacheCostModel::by_name(name).unwrap().name, name);
+        }
+        assert!(CacheCostModel::by_name("f64").is_none());
     }
 
     #[test]

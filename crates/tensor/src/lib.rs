@@ -35,6 +35,7 @@
 #![deny(missing_docs)]
 
 mod conv;
+pub mod convert;
 mod error;
 mod init;
 pub mod kernels;

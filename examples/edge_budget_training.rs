@@ -37,6 +37,7 @@ fn main() {
             batch_limit: 512,
             epochs: 30,
             samples: 50_000,
+            cache: nf_memsim::CacheCostModel::f32_raw(),
         };
         let fmt = |r: Result<f64, ()>| match r {
             Ok(h) => format!("{h:9.2} h"),

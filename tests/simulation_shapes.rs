@@ -2,7 +2,7 @@
 //! orderings must hold across models, datasets, and devices.
 
 use neuroflux::core::simulate::{simulate_neuroflux, sweep_point, SimConfig};
-use neuroflux::memsim::{DeviceProfile, MemoryModel, TimingModel};
+use neuroflux::memsim::{CacheCostModel, DeviceProfile, MemoryModel, TimingModel};
 use neuroflux::models::ModelSpec;
 
 const MB: u64 = 1_000_000;
@@ -13,6 +13,7 @@ fn cfg(budget_mb: u64, samples: usize) -> SimConfig {
         batch_limit: 512,
         epochs: 30,
         samples,
+        cache: CacheCostModel::f32_raw(),
     }
 }
 
