@@ -60,6 +60,47 @@ fn time_gemm(backend: KernelBackend, m: usize, k: usize, n: usize, iters: usize)
     }
 }
 
+/// Times the int8 frozen-block compute path in its steady state: the u8
+/// activations come straight from the cache and the i8 weight panel is
+/// packed once per weight version, so per iteration only the integer GEMM
+/// plus the per-channel dequantize run — exactly what
+/// `Conv2d::forward_quant` executes per batch.
+fn time_int8_gemm(m: usize, k: usize, n: usize, iters: usize) -> GemmRow {
+    use nf_tensor::kernels::int8;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let a = nf_tensor::uniform_init(&mut rng, &[m, k], -1.0, 1.0);
+    let b = nf_tensor::uniform_init(&mut rng, &[k, n], -1.0, 1.0);
+    let mut lhs = int8::QuantizedLhs::default();
+    lhs.quantize_from_f32(a.data(), m, k);
+    let mut rhs = int8::QuantizedRhs::default();
+    rhs.pack_from_f32(b.data(), k, n);
+    let mut acc = Vec::new();
+    let mut out = vec![0.0f32; m * n];
+    let mut run = || {
+        int8::gemm_i32(&lhs, &rhs, &mut acc);
+        int8::dequantize_into(&lhs, &rhs, &acc, None, &mut out);
+    };
+    for _ in 0..2 {
+        run();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        run();
+    }
+    let ns_per_iter = start.elapsed().as_nanos() / iters as u128;
+    // Same useful work as the f32 rows (2mkn MACs), so gflops compare
+    // directly across rows.
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    GemmRow {
+        backend: "int8",
+        m,
+        k,
+        n,
+        ns_per_iter,
+        gflops: flops / ns_per_iter as f64,
+    }
+}
+
 /// Peak resident set size via `/proc/self/status` `VmHWM` (bytes); 0 when
 /// unavailable (non-Linux). A proxy, not an exact hot-path footprint.
 fn peak_rss_bytes() -> u64 {
@@ -357,6 +398,14 @@ fn write_cache_artifact(smoke: bool) {
         Value::Str(if smoke { "smoke" } else { "quickstart-shaped" }.into()),
     );
     doc.insert(
+        "host_cores",
+        Value::Int(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1) as i64,
+        ),
+    );
+    doc.insert(
         "results",
         Value::Array(
             rows.iter()
@@ -370,6 +419,17 @@ fn write_cache_artifact(smoke: bool) {
                     );
                     row.insert("encode_ns_per_mb", Value::Int(r.encode_ns_per_mb as i64));
                     row.insert("decode_ns_per_mb", Value::Int(r.decode_ns_per_mb as i64));
+                    // GB/s of f32 payload either direction — the
+                    // `MeasuredPrimitives` codec rates (1 MB = 10⁶ bytes,
+                    // so GB/s is simply 10⁶ / ns-per-MB).
+                    row.insert(
+                        "encode_gbps",
+                        Value::Float(round2(1e6 / r.encode_ns_per_mb.max(1) as f64)),
+                    );
+                    row.insert(
+                        "decode_gbps",
+                        Value::Float(round2(1e6 / r.decode_ns_per_mb.max(1) as f64)),
+                    );
                     row.insert("peak_cache_bytes", Value::Int(r.peak_cache_bytes as i64));
                     row.insert(
                         "peak_vs_f32",
@@ -383,7 +443,7 @@ fn write_cache_artifact(smoke: bool) {
     write_and_check(
         &artifact_path("BENCH_cache", smoke),
         &doc.build(),
-        &["schema", "config", "results"],
+        &["schema", "config", "host_cores", "results"],
     );
 }
 
@@ -424,7 +484,12 @@ fn round2(x: f64) -> f64 {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let backends = [KernelBackend::Blocked, KernelBackend::BlockedParallel];
+    let host_cores = nf_tensor::host_cores();
+    let backends = [
+        KernelBackend::Blocked,
+        KernelBackend::BlockedParallel,
+        KernelBackend::Auto,
+    ];
 
     // --- Training-step throughput ---
     // Runs first, with VmHWM sampled immediately after, so the recorded
@@ -448,15 +513,60 @@ fn main() {
         for backend in backends {
             rows.push(time_gemm(backend, m, k, n, iters));
         }
+        rows.push(time_int8_gemm(m, k, n, iters));
     }
+
+    // The multicore-scaling invariant: with the serial-fallback threshold
+    // in `blocked-parallel`, the parallel backend must never lose to the
+    // serial one on any benched shape. Enforced loudly on multi-core
+    // hosts (5 % timing-noise margin); logged and skipped on single-core
+    // runners, where the two backends run the identical code path.
+    for &(m, k, n) in shapes {
+        let gf = |name: &str| {
+            rows.iter()
+                .find(|r| r.backend == name && (r.m, r.k, r.n) == (m, k, n))
+                .map(|r| r.gflops)
+                .unwrap()
+        };
+        let (blocked, parallel) = (gf("blocked"), gf("blocked-parallel"));
+        if host_cores > 1 {
+            assert!(
+                parallel >= blocked * 0.95,
+                "blocked-parallel ({parallel:.2} GFLOP/s) slower than blocked \
+                 ({blocked:.2} GFLOP/s) on {m}x{k}x{n} with {host_cores} cores \
+                 — parallel scaling regressed"
+            );
+        } else {
+            println!("skipping parallel>=serial check on {m}x{k}x{n}: single-core host");
+        }
+    }
+
+    // Measured primitives for `nf-memsim`'s CalibratedCostModel: the best
+    // sustained f32 and int8 rates across the benched shapes.
+    let best = |name: &str| {
+        rows.iter()
+            .filter(|r| r.backend == name)
+            .map(|r| r.gflops)
+            .fold(0.0f64, f64::max)
+    };
+
     use nf_cli::{Table, Value};
     let mut gemm = Table::new();
     gemm.insert("schema", Value::Str("nf-bench-gemm-v1".into()));
     gemm.insert("smoke", Value::Bool(smoke));
+    gemm.insert("host_cores", Value::Int(host_cores as i64));
     gemm.insert(
         "simd",
         Value::Str(nf_tensor::kernels::simd::kernel_name().into()),
     );
+    gemm.insert(
+        "simd_int8",
+        Value::Str(nf_tensor::kernels::int8::kernel_name().into()),
+    );
+    let mut calibration = Table::new();
+    calibration.insert("gemm_gflops", Value::Float(round2(best("auto"))));
+    calibration.insert("int8_gflops", Value::Float(round2(best("int8"))));
+    gemm.insert("calibration", calibration);
     gemm.insert(
         "results",
         Value::Array(
@@ -469,6 +579,20 @@ fn main() {
                     row.insert("n", Value::Int(r.n as i64));
                     row.insert("ns_per_iter", Value::Int(r.ns_per_iter as i64));
                     row.insert("gflops", Value::Float(round2(r.gflops)));
+                    if r.backend == "int8" {
+                        // The tentpole's throughput claim, recorded per
+                        // shape: quantized compute vs the f32 blocked
+                        // kernel on the same operands.
+                        let blocked = rows
+                            .iter()
+                            .find(|b| b.backend == "blocked" && (b.m, b.k, b.n) == (r.m, r.k, r.n))
+                            .map(|b| b.gflops)
+                            .unwrap_or(r.gflops);
+                        row.insert(
+                            "speedup_vs_blocked",
+                            Value::Float(round2(r.gflops / blocked)),
+                        );
+                    }
                     row.build()
                 })
                 .collect(),
@@ -477,7 +601,7 @@ fn main() {
     write_and_check(
         &artifact_path("BENCH_gemm", smoke),
         &gemm.build(),
-        &["schema", "results"],
+        &["schema", "host_cores", "calibration", "results"],
     );
 
     let mut ts = Table::new();
@@ -487,6 +611,7 @@ fn main() {
         "config",
         Value::Str(if smoke { "smoke" } else { "quickstart" }.into()),
     );
+    ts.insert("host_cores", Value::Int(host_cores as i64));
     ts.insert("peak_rss_bytes", Value::Int(train_step_peak_rss as i64));
     ts.insert(
         "results",
@@ -506,7 +631,13 @@ fn main() {
     write_and_check(
         &artifact_path("BENCH_train_step", smoke),
         &ts.build(),
-        &["schema", "config", "peak_rss_bytes", "results"],
+        &[
+            "schema",
+            "config",
+            "host_cores",
+            "peak_rss_bytes",
+            "results",
+        ],
     );
 
     // --- Federated round wall-time vs threads ---

@@ -86,10 +86,16 @@ pub struct TrainSection {
     pub exit_tolerance: f64,
     /// Whether trained blocks round-trip through serialised storage.
     pub evict_params: bool,
-    /// GEMM kernel backend (`naive|blocked|blocked-parallel`).
+    /// GEMM kernel backend (`naive|blocked|blocked-parallel|auto`; `auto`
+    /// — the default — benchmarks tile sizes and thread splits per shape
+    /// class at first use and caches the winning plan).
     pub kernel_backend: KernelBackend,
     /// Auxiliary-head policy (`adaptive|classic|fixed:<n>`).
     pub aux_policy: AuxPolicy,
+    /// Whether frozen blocks consume int8-cached activations through the
+    /// integer GEMM path without decoding to f32 (requires
+    /// `[cache].codec = "int8"` to take effect; training stays f32).
+    pub int8_compute: bool,
 }
 
 /// `[cache]`: how the activation cache stores block outputs.
@@ -141,7 +147,8 @@ pub struct FederatedSection {
 /// `nf-memsim` models, not real training).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepSection {
-    /// Device slugs (`pi4b|jetson-nano|xavier-nx|agx-orin`).
+    /// Device slugs (`pi4b|jetson-nano|xavier-nx|agx-orin`, or `host` —
+    /// *this* machine, profiled live from measured GEMM/codec primitives).
     pub devices: Vec<String>,
     /// Memory budgets to sweep, in MB (10⁶ bytes).
     pub budgets_mb: Vec<u64>,
@@ -394,6 +401,7 @@ impl RunConfig {
             evict_params: train.bool_or("evict_params", true)?,
             kernel_backend,
             aux_policy,
+            int8_compute: train.bool_or("int8_compute", false)?,
         };
 
         let cache = Section::of(root, "cache");
@@ -558,6 +566,7 @@ impl RunConfig {
             Value::Str(self.train.kernel_backend.name().to_string()),
         );
         train.insert("aux_policy", Value::Str(self.train.aux_policy.name()));
+        train.insert("int8_compute", Value::Bool(self.train.int8_compute));
         root.insert("train", train);
 
         let mut cache = Table::new();
@@ -692,7 +701,8 @@ impl RunConfig {
             .with_exit_tolerance(t.exit_tolerance as f32)
             .with_aux_policy(t.aux_policy)
             .with_kernel_backend(t.kernel_backend)
-            .with_cache_codec(self.cache.codec);
+            .with_cache_codec(self.cache.codec)
+            .with_int8_compute(t.int8_compute);
         config.momentum = t.momentum as f32;
         config.evict_params = t.evict_params;
         config.validate()?;
@@ -796,7 +806,7 @@ epochs_per_block = 2
         assert_eq!(nf.budget_bytes, 32_000_000);
         assert_eq!(nf.batch_limit, 16);
         assert_eq!(nf.epochs_per_block, 2);
-        assert_eq!(nf.kernel_backend, KernelBackend::BlockedParallel);
+        assert_eq!(nf.kernel_backend, KernelBackend::Auto);
         assert_eq!(nf.aux_policy, AuxPolicy::Adaptive);
     }
 
@@ -956,6 +966,36 @@ kernel_backend = "naive"
             other => panic!("expected Config error, got {other}"),
         }
         assert!(err.to_string().contains("f64"), "{err}");
+    }
+
+    #[test]
+    fn auto_backend_and_int8_compute_parse_and_round_trip() {
+        // `auto` is a first-class kernel_backend value.
+        let doc = format!(
+            "{}\nkernel_backend = \"auto\"\nint8_compute = true\n[cache]\ncodec = \"int8\"\n",
+            quickstart_toml()
+        );
+        let cfg = parse_config(&doc);
+        assert_eq!(cfg.train.kernel_backend, KernelBackend::Auto);
+        assert!(cfg.train.int8_compute);
+        let nf = cfg.resolve_train().unwrap();
+        assert_eq!(nf.kernel_backend, KernelBackend::Auto);
+        assert!(nf.int8_compute);
+        assert_eq!(nf.cache_codec, CodecKind::Int8Affine);
+        let rendered = cfg.to_value().to_toml();
+        assert_eq!(parse_config(&rendered), cfg, "snapshot:\n{rendered}");
+
+        // Default: off, and the default backend is the autotuner.
+        let cfg = parse_config(quickstart_toml());
+        assert!(!cfg.train.int8_compute);
+        assert!(!cfg.resolve_train().unwrap().int8_compute);
+
+        // Non-boolean values are typed config errors naming the key.
+        let err = crate::toml::parse(&format!("{}\nint8_compute = \"yes\"\n", quickstart_toml()))
+            .and_then(|v| RunConfig::from_value(&v))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("int8_compute"), "{err}");
     }
 
     #[test]

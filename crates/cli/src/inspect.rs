@@ -51,6 +51,51 @@ pub fn run_inspect(path: &Path) -> Result<String> {
     }
 }
 
+/// Renders the compute-kernel section of a train metrics document: the
+/// selected backend, detected SIMD paths, and — when the `auto` backend
+/// tuned anything — one row per shape class with the winning tile sizes
+/// and thread split (also on disk as `kernel_plan.toml`).
+fn render_kernel_section(out: &mut String, m: &Value) {
+    let kernel = match m.get("kernel") {
+        Some(k) => k,
+        None => return,
+    };
+    let s = |key: &str| kernel.get(key).and_then(Value::as_str).unwrap_or("?");
+    let cores = kernel
+        .get("host_cores")
+        .and_then(Value::as_int)
+        .unwrap_or(1);
+    let int8 = kernel
+        .get("int8_compute")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let _ = writeln!(out, "\n## Compute kernels\n");
+    let _ = writeln!(
+        out,
+        "Backend `{}` on {cores} core(s); f32 SIMD `{}`, int8 SIMD `{}`; \
+         int8 frozen-block compute {}.",
+        s("backend"),
+        s("simd"),
+        s("simd_int8"),
+        if int8 { "on" } else { "off" }
+    );
+    let plans = match kernel.get("plans").and_then(Value::entries) {
+        Some(entries) if !entries.is_empty() => entries,
+        _ => return,
+    };
+    let _ = writeln!(out, "\n| shape class | kc | nc | parallel |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for (class, plan) in plans {
+        let kc = plan.get("kc").and_then(Value::as_int).unwrap_or(0);
+        let nc = plan.get("nc").and_then(Value::as_int).unwrap_or(0);
+        let par = plan
+            .get("parallel")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        let _ = writeln!(out, "| {class} | {kc} | {nc} | {par} |");
+    }
+}
+
 /// Renders the activation-cache section of a metrics document (codec,
 /// encoded bytes, peak, achieved compression) — present in both train and
 /// federated artifacts.
@@ -253,6 +298,7 @@ fn render_train(m: &Value) -> String {
             let _ = writeln!(out, "| {i} | {s}..{e} | {batch} |");
         }
     }
+    render_kernel_section(&mut out, m);
     render_cache_section(&mut out, m);
     out
 }

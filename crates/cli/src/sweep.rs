@@ -6,9 +6,64 @@ use crate::config::RunConfig;
 use crate::error::{CliError, Result};
 use crate::rundir::RunDir;
 use crate::value::{Table, Value};
+use neuroflux_core::codec::{ActivationCodec, CacheBlob, CodecKind};
 use neuroflux_core::simulate::{sweep_point, SimConfig, SimulatedRun};
-use nf_memsim::DeviceProfile;
+use nf_memsim::{DeviceProfile, MeasuredPrimitives};
 use std::time::Instant;
+
+/// Measures this machine's sustained GEMM throughput (autotuned backend)
+/// and activation-codec bandwidth, and returns them as the sweep's
+/// `host` device: predictions priced from measured primitives instead of
+/// a Table 1 datasheet. Takes ~a second; only runs when the config's
+/// device list names `host`.
+fn calibrate_host(codec: CodecKind) -> (MeasuredPrimitives, DeviceProfile) {
+    use nf_tensor::KernelBackend;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let a = nf_tensor::uniform_init(&mut rng, &[128, 256], -1.0, 1.0);
+    let b = nf_tensor::uniform_init(&mut rng, &[256, 128], -1.0, 1.0);
+    let mut out = nf_tensor::Tensor::default();
+    nf_tensor::matmul_into(KernelBackend::Auto, &a, &b, &mut out).expect("calibration gemm");
+    let iters = 8;
+    let start = Instant::now();
+    for _ in 0..iters {
+        nf_tensor::matmul_into(KernelBackend::Auto, &a, &b, &mut out).expect("calibration gemm");
+    }
+    let gemm_gflops =
+        2.0 * 128.0 * 256.0 * 128.0 * iters as f64 / start.elapsed().as_secs_f64() / 1e9;
+
+    // Codec bandwidth of the *configured* cache codec — that's what the
+    // sweep's storage term models.
+    let acts = nf_tensor::uniform_init(&mut rng, &[64, 8, 8, 8], -2.0, 2.0);
+    let bytes = (acts.numel() * 4) as f64;
+    let mut blob = CacheBlob::new();
+    codec.encode(&acts, &mut blob);
+    let start = Instant::now();
+    for _ in 0..4 {
+        codec.encode(&acts, &mut blob);
+    }
+    let encode_gbps = 4.0 * bytes / start.elapsed().as_secs_f64() / 1e9;
+    let mut decoded = nf_tensor::Tensor::default();
+    codec
+        .decode_into(&blob, &mut decoded)
+        .expect("calibration decode");
+    let start = Instant::now();
+    for _ in 0..4 {
+        codec
+            .decode_into(&blob, &mut decoded)
+            .expect("calibration decode");
+    }
+    let decode_gbps = 4.0 * bytes / start.elapsed().as_secs_f64() / 1e9;
+
+    let primitives = MeasuredPrimitives {
+        gemm_gflops,
+        encode_gbps,
+        decode_gbps,
+        host_cores: nf_tensor::host_cores(),
+    };
+    let profile = primitives.host_profile();
+    (primitives, profile)
+}
 
 /// Executes the `[sweep]` section; returns the run directory and metrics.
 pub fn run_sweep(cfg: &RunConfig, quiet: bool) -> Result<(RunDir, Value)> {
@@ -29,12 +84,20 @@ pub fn run_sweep(cfg: &RunConfig, quiet: bool) -> Result<(RunDir, Value)> {
 
     let mut device_tables = Vec::new();
     for slug in &sweep.devices {
-        let device = DeviceProfile::by_name(slug).ok_or_else(|| {
-            CliError::new(format!(
-                "unknown device {slug:?} (expected one of {})",
-                DeviceProfile::preset_names().join(", ")
-            ))
-        })?;
+        // `host` is special: not a Table 1 preset but *this* machine,
+        // profiled live from its measured GEMM + codec primitives.
+        let (calibration, device) = if slug == "host" {
+            let (p, d) = calibrate_host(cfg.cache.codec);
+            (Some(p), d)
+        } else {
+            let d = DeviceProfile::by_name(slug).ok_or_else(|| {
+                CliError::new(format!(
+                    "unknown device {slug:?} (expected host or one of {})",
+                    DeviceProfile::preset_names().join(", ")
+                ))
+            })?;
+            (None, d)
+        };
         if !quiet {
             println!("{} — {} points", device.name, sweep.budgets_mb.len());
         }
@@ -79,6 +142,14 @@ pub fn run_sweep(cfg: &RunConfig, quiet: bool) -> Result<(RunDir, Value)> {
         let mut table = Table::new();
         table.insert("device", Value::Str(device.name.clone()));
         table.insert("slug", Value::Str(slug.clone()));
+        if let Some(p) = calibration {
+            let mut c = Table::new();
+            c.insert("gemm_gflops", Value::Float(p.gemm_gflops));
+            c.insert("encode_gbps", Value::Float(p.encode_gbps));
+            c.insert("decode_gbps", Value::Float(p.decode_gbps));
+            c.insert("host_cores", Value::Int(p.host_cores as i64));
+            table.insert("calibration", c);
+        }
         table.insert("points", Value::Array(points));
         device_tables.push(table.build());
     }

@@ -147,8 +147,62 @@ pub fn run_train(cfg: &RunConfig, opts: &TrainOptions) -> Result<TrainSummary> {
         opts.resume,
         data.train.len(),
     );
+    write_kernel_plan(&run_dir, cfg)?;
     run_dir.write_metrics(&metrics)?;
     Ok(TrainSummary { run_dir, metrics })
+}
+
+/// Snapshots the autotuner's per-shape-class winners into
+/// `kernel_plan.toml` so `nf inspect` (and humans diffing run dirs) can
+/// see which tiles and thread splits the run actually computed on.
+fn write_kernel_plan(run_dir: &RunDir, cfg: &RunConfig) -> Result<()> {
+    let value = kernel_table(cfg);
+    std::fs::write(run_dir.kernel_plan_path(), value.to_toml())
+        .map_err(|e| CliError::new(format!("writing kernel_plan.toml: {e}")))?;
+    Ok(())
+}
+
+/// The `kernel` table embedded in `metrics.json` and rendered to
+/// `kernel_plan.toml`: backend, detected SIMD levels, host core count, and
+/// one `plans.<class>` sub-table per tuned shape class (empty until the
+/// `auto` backend has tuned something).
+fn kernel_table(cfg: &RunConfig) -> Value {
+    let mut t = Table::new();
+    t.insert(
+        "backend",
+        Value::Str(cfg.train.kernel_backend.name().to_string()),
+    );
+    t.insert(
+        "simd",
+        Value::Str(nf_tensor::kernels::simd::kernel_name().into()),
+    );
+    t.insert(
+        "simd_int8",
+        Value::Str(nf_tensor::kernels::int8::kernel_name().into()),
+    );
+    t.insert("host_cores", Value::Int(nf_tensor::host_cores() as i64));
+    t.insert("int8_compute", Value::Bool(cfg.train.int8_compute));
+    let mut plans = Table::new();
+    for p in nf_tensor::kernels::autotune::plan_snapshot() {
+        let mut plan = Table::new();
+        plan.insert("kc", Value::Int(p.kc as i64));
+        plan.insert("nc", Value::Int(p.nc as i64));
+        plan.insert("parallel", Value::Bool(p.parallel));
+        // Shape classes are ceil(log2) buckets; name them by the bucket's
+        // upper bound so the key reads as "products up to this size".
+        plans.insert(
+            &format!(
+                "{}-m{}-k{}-n{}",
+                p.op,
+                1u64 << p.m_class,
+                1u64 << p.k_class,
+                1u64 << p.n_class
+            ),
+            plan,
+        );
+    }
+    t.insert("plans", plans);
+    t.build()
 }
 
 /// Builds the `metrics.json` document for a training run.
@@ -165,6 +219,7 @@ fn train_metrics(
     m.insert("name", Value::Str(cfg.run.name.clone()));
     m.insert("resumed", Value::Bool(resumed));
     m.insert("config", cfg.to_value());
+    m.insert("kernel", kernel_table(cfg));
 
     let mut model = Table::new();
     model.insert("name", Value::Str(outcome.model.spec.name.clone()));

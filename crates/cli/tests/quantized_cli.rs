@@ -1,0 +1,167 @@
+//! CLI surface of the quantized-compute tentpole: `nf train` under the
+//! `auto` backend with `int8_compute`, the tuned-kernel-plan artifact, the
+//! `nf inspect` rendering of it, and the `host`-calibrated `nf sweep`.
+
+use nf_cli::{run_inspect, run_sweep, run_train, RunConfig, TrainOptions, Value};
+use std::path::PathBuf;
+
+fn temp_base(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nf_cli_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn parse(toml: &str) -> RunConfig {
+    RunConfig::from_value(&nf_cli::toml::parse(toml).unwrap()).unwrap()
+}
+
+/// A small multi-block run with the int8 codec, int8 compute, and the
+/// autotuned backend — the full quantized pipeline through the real CLI.
+fn int8_config(out_dir: &std::path::Path) -> RunConfig {
+    parse(&format!(
+        r#"
+[run]
+name = "qint8"
+seed = 7
+out_dir = "{}"
+
+[model]
+preset = "tiny"
+channels = [6, 8]
+
+[dataset]
+preset = "quick"
+classes = 3
+image_hw = 8
+train = 48
+
+[train]
+budget_bytes = 131072
+batch_limit = 8
+epochs_per_block = 2
+rho = 0.0
+kernel_backend = "auto"
+int8_compute = true
+
+[cache]
+codec = "int8"
+"#,
+        out_dir.display()
+    ))
+}
+
+#[test]
+fn int8_auto_train_writes_kernel_plan_and_inspect_renders_it() {
+    let base = temp_base("qint8");
+    let cfg = int8_config(&base);
+    let summary = run_train(&cfg, &TrainOptions::default()).unwrap();
+
+    // The run completed and recorded its kernel configuration.
+    let kernel = summary.metrics.get("kernel").expect("kernel table");
+    assert_eq!(
+        kernel.get("backend").and_then(Value::as_str),
+        Some("auto"),
+        "metrics must record the autotuned backend"
+    );
+    assert_eq!(
+        kernel.get("int8_compute").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert!(
+        kernel
+            .get("host_cores")
+            .and_then(Value::as_int)
+            .unwrap_or(0)
+            >= 1
+    );
+    // The autotuner ran during training, so at least one shape class has a
+    // tuned plan, both in metrics.json and in kernel_plan.toml.
+    let plans = kernel
+        .get("plans")
+        .and_then(Value::entries)
+        .expect("plans table");
+    assert!(!plans.is_empty(), "auto backend must have tuned plans");
+    let plan_path = summary.run_dir.kernel_plan_path();
+    let plan_toml = std::fs::read_to_string(&plan_path).expect("kernel_plan.toml written");
+    let plan_doc = nf_cli::toml::parse(&plan_toml).expect("kernel_plan.toml parses");
+    assert_eq!(
+        plan_doc.get("backend").and_then(Value::as_str),
+        Some("auto")
+    );
+    assert!(plan_doc.get("plans").and_then(Value::entries).is_some());
+
+    // `nf inspect` renders the kernel section from the artifact.
+    let report = run_inspect(summary.run_dir.root()).unwrap();
+    assert!(report.contains("## Compute kernels"), "{report}");
+    assert!(report.contains("Backend `auto`"), "{report}");
+    assert!(report.contains("int8 frozen-block compute on"), "{report}");
+    assert!(
+        report.contains("| shape class | kc | nc | parallel |"),
+        "{report}"
+    );
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn sweep_host_device_uses_measured_primitives() {
+    let base = temp_base("sweephost");
+    let cfg = parse(&format!(
+        r#"
+[run]
+name = "hostsweep"
+out_dir = "{}"
+
+[model]
+preset = "tiny"
+channels = [6, 8]
+
+[dataset]
+preset = "quick"
+classes = 3
+image_hw = 8
+train = 48
+
+[train]
+budget_mb = 1
+batch_limit = 8
+
+[sweep]
+devices = ["host", "pi4b"]
+budgets_mb = [64]
+batch_limit = 64
+epochs = 1
+samples = 1000
+"#,
+        base.display()
+    ));
+    let (_, metrics) = run_sweep(&cfg, true).unwrap();
+    let devices = metrics.get("devices").and_then(Value::as_array).unwrap();
+    assert_eq!(devices.len(), 2);
+
+    // The host entry carries its measured primitives; the preset doesn't.
+    let host = &devices[0];
+    assert_eq!(host.get("slug").and_then(Value::as_str), Some("host"));
+    assert_eq!(
+        host.get("device").and_then(Value::as_str),
+        Some("Calibrated host")
+    );
+    let calib = host.get("calibration").expect("calibration table");
+    let gflops = calib
+        .get("gemm_gflops")
+        .and_then(Value::as_float)
+        .expect("measured gemm rate");
+    assert!(gflops > 0.0, "measured rate must be positive: {gflops}");
+    assert!(calib.get("encode_gbps").and_then(Value::as_float).unwrap() > 0.0);
+    assert!(calib.get("decode_gbps").and_then(Value::as_float).unwrap() > 0.0);
+    assert!(devices[1].get("calibration").is_none());
+
+    // Both devices produced priced (or explicitly infeasible) points.
+    for dev in devices {
+        let points = dev.get("points").and_then(Value::as_array).unwrap();
+        assert_eq!(points.len(), 1);
+    }
+
+    std::fs::remove_dir_all(&base).ok();
+}

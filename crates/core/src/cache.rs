@@ -14,7 +14,7 @@
 
 use crate::codec::{ActivationCodec, CacheBlob, CodecKind, BLOB_MAGIC};
 use crate::{NfError, Result};
-use nf_tensor::Tensor;
+use nf_tensor::{QuantTensor, Tensor};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::path::PathBuf;
@@ -68,6 +68,16 @@ pub trait ActivationStore {
     /// Worker's steady-state consume path.
     fn read_into(&mut self, block: usize, out: &mut Tensor) -> Result<()>;
 
+    /// Loads the cached activations of `block` directly in affine-`u8`
+    /// form into `out` — the quantized-compute consume path. Returns
+    /// `Ok(true)` when the store holds natively quantized data and filled
+    /// `out` **without an f32 detour**; `Ok(false)` (the default) when it
+    /// cannot, in which case the caller falls back to
+    /// [`ActivationStore::read_into`] and the f32 path.
+    fn read_quant(&mut self, _block: usize, _out: &mut QuantTensor) -> Result<bool> {
+        Ok(false)
+    }
+
     /// Drops the cached activations of `block` (frees storage once the next
     /// block has consumed them).
     fn delete(&mut self, block: usize) -> Result<()>;
@@ -98,6 +108,10 @@ impl<S: ActivationStore + ?Sized> ActivationStore for &mut S {
 
     fn read_into(&mut self, block: usize, out: &mut Tensor) -> Result<()> {
         (**self).read_into(block, out)
+    }
+
+    fn read_quant(&mut self, block: usize, out: &mut QuantTensor) -> Result<bool> {
+        (**self).read_quant(block, out)
     }
 
     fn delete(&mut self, block: usize) -> Result<()> {
@@ -189,6 +203,22 @@ impl<C: ActivationCodec, S: BlobStore> ActivationStore for CodecStore<C, S> {
             });
         }
         self.codec.decode_into(&self.scratch, out)
+    }
+
+    fn read_quant(&mut self, block: usize, out: &mut QuantTensor) -> Result<bool> {
+        if self.codec.kind() != CodecKind::Int8Affine {
+            return Ok(false);
+        }
+        self.store.get(block, &mut self.scratch)?;
+        if self.scratch.codec != CodecKind::Int8Affine {
+            return Err(NfError::CodecMismatch {
+                expected: CodecKind::Int8Affine.name(),
+                found: self.scratch.codec.name(),
+                context: format!("activation cache block {block} (quantized read)"),
+            });
+        }
+        crate::codec::requantize_int8_blob(&self.scratch, out)?;
+        Ok(true)
     }
 
     fn delete(&mut self, block: usize) -> Result<()> {
@@ -554,6 +584,17 @@ impl ActivationStore for FailingStore {
         self.inner.read_into(block, out)
     }
 
+    fn read_quant(&mut self, block: usize, out: &mut QuantTensor) -> Result<bool> {
+        if self.fail_reads.load(Ordering::SeqCst) {
+            return Err(NfError::Cache {
+                op: "read",
+                block,
+                cause: "injected read failure".into(),
+            });
+        }
+        self.inner.read_quant(block, out)
+    }
+
     fn delete(&mut self, block: usize) -> Result<()> {
         self.inner.delete(block)
     }
@@ -779,6 +820,40 @@ mod tests {
         std::fs::write(&path, b"NFAC").unwrap();
         assert!(s.read(0).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_quant_serves_int8_stores_without_f32_detour() {
+        let t = Tensor::from_vec(
+            vec![1, 2, 2, 2],
+            vec![0.0, 1.0, 2.0, 3.0, -4.0, 0.5, 1.5, 2.5],
+        )
+        .unwrap();
+        let mut q = QuantTensor::new();
+        // Non-int8 codecs decline: the caller falls back to read_into.
+        for codec in [CodecKind::F32Raw, CodecKind::F16] {
+            let mut s = MemoryStore::with_codec(codec);
+            s.write(0, &t).unwrap();
+            assert!(!s.read_quant(0, &mut q).unwrap(), "{codec}");
+        }
+        // The int8 store serves quantized form tracking its own f32 decode.
+        let mut s = MemoryStore::with_codec(CodecKind::Int8Affine);
+        s.write(0, &t).unwrap();
+        assert!(s.read_quant(0, &mut q).unwrap());
+        assert_eq!(q.shape(), t.shape());
+        let f32_decode = s.read(0).unwrap();
+        for (&a, &b) in f32_decode.data().iter().zip(q.dequantize().unwrap().data()) {
+            assert!(
+                (a - b).abs() <= q.scale() * 0.5 * 1.0001 + 1e-6,
+                "{a} vs {b}"
+            );
+        }
+        // Fault injection covers the quantized read too.
+        let mut failing = FailingStore::with_codec(CodecKind::Int8Affine);
+        failing.write(0, &t).unwrap();
+        assert!(failing.read_quant(0, &mut q).unwrap());
+        failing.fail_reads(true);
+        assert!(failing.read_quant(0, &mut q).is_err());
     }
 
     #[test]

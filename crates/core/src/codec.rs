@@ -33,7 +33,7 @@ use crate::{NfError, Result};
 use nf_tensor::convert::{
     dequantize_u8_slice, f16_decode_slice, f16_encode_slice, minmax_slice, quantize_u8_slice,
 };
-use nf_tensor::Tensor;
+use nf_tensor::{QuantTensor, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// Magic bytes prefixing every serialised cache blob ("NeuroFlux
@@ -423,6 +423,70 @@ impl ActivationCodec for Int8Affine {
     }
 }
 
+/// Re-quantizes a per-group [`Int8Affine`] blob into a single per-tensor
+/// affine encoding — the quantized-compute read path: the int8 GEMM
+/// ([`nf_tensor::kernels::int8`]) wants one `(scale, min)` pair per
+/// tensor, so the stored per-group codes are remapped through per-group
+/// 256-entry lookup tables onto a global grid spanning every group's
+/// range. This adds at most half a *global* quantization step of error on
+/// top of the codec's own bound, and never touches f32 element-wise.
+pub fn requantize_int8_blob(blob: &CacheBlob, out: &mut QuantTensor) -> Result<()> {
+    let (groups, seg, passes) = int8_grouping(blob.shape());
+    check_len(
+        CodecKind::Int8Affine,
+        blob,
+        Int8Affine::payload_len(blob.shape()),
+    )?;
+    let (table, payload) = blob.bytes().split_at(groups * 8);
+    let params: Vec<(f32, f32)> = table
+        .chunks_exact(8)
+        .map(|p| {
+            (
+                f32::from_le_bytes([p[0], p[1], p[2], p[3]]), // scale
+                f32::from_le_bytes([p[4], p[5], p[6], p[7]]), // min
+            )
+        })
+        .collect();
+    // Global range covering every group's representable span.
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &(scale, min) in &params {
+        lo = lo.min(min);
+        hi = hi.max(min + 255.0 * scale);
+    }
+    if !lo.is_finite() {
+        lo = 0.0;
+        hi = 0.0;
+    }
+    let gscale = if hi > lo { (hi - lo) / 255.0 } else { 0.0 };
+    let dst = out.reuse_as(blob.shape(), gscale, lo);
+    // One LUT per group: stored code -> global code.
+    let mut luts = vec![[0u8; 256]; groups];
+    for (lut, &(scale, min)) in luts.iter_mut().zip(&params) {
+        for (q, slot) in lut.iter_mut().enumerate() {
+            *slot = if gscale == 0.0 {
+                0
+            } else {
+                (((min + scale * q as f32) - lo) / gscale)
+                    .round()
+                    .clamp(0.0, 255.0) as u8
+            };
+        }
+    }
+    for pass in 0..passes {
+        for (gi, lut) in luts.iter().enumerate() {
+            let start = (pass * groups + gi) * seg;
+            for (d, &q) in dst[start..start + seg]
+                .iter_mut()
+                .zip(&payload[start..start + seg])
+            {
+                *d = lut[q as usize];
+            }
+        }
+    }
+    Ok(())
+}
+
 // `CodecKind` is itself a codec (dispatching to the unit implementations),
 // so a runtime-configured store is simply `CodecStore<CodecKind, S>`.
 impl ActivationCodec for CodecKind {
@@ -548,6 +612,39 @@ mod tests {
         for i in 0..4 {
             assert!((out.data()[i] - t.data()[i]).abs() <= 3.0 / 255.0 / 2.0 + 1e-6);
         }
+    }
+
+    #[test]
+    fn requantized_blob_tracks_decoded_tensor() {
+        // The per-tensor re-quantized form must decode to within half a
+        // global step of the codec's own per-group decode.
+        let t = sample_nchw();
+        let mut blob = CacheBlob::new();
+        Int8Affine.encode(&t, &mut blob);
+        let mut per_group = Tensor::default();
+        Int8Affine.decode_into(&blob, &mut per_group).unwrap();
+        let mut q = QuantTensor::new();
+        requantize_int8_blob(&blob, &mut q).unwrap();
+        assert_eq!(q.shape(), t.shape());
+        let flat = q.dequantize().unwrap();
+        let half_step = q.scale() * 0.5;
+        for (&a, &b) in per_group.data().iter().zip(flat.data()) {
+            assert!((a - b).abs() <= half_step * 1.0001 + 1e-6, "{a} vs {b}");
+        }
+        // The global grid must span every group's range.
+        let (lo, hi) = nf_tensor::convert::minmax_slice(per_group.data());
+        assert!(q.min() <= lo + 1e-6);
+        assert!(q.min() + 255.0 * q.scale() >= hi - 1e-6);
+    }
+
+    #[test]
+    fn requantize_handles_constant_tensors() {
+        let t = Tensor::ones(&[2, 2, 2, 2]);
+        let mut blob = CacheBlob::new();
+        Int8Affine.encode(&t, &mut blob);
+        let mut q = QuantTensor::new();
+        requantize_int8_blob(&blob, &mut q).unwrap();
+        assert_eq!(q.dequantize().unwrap().data(), t.data());
     }
 
     #[test]

@@ -44,6 +44,13 @@ pub struct NeuroFluxConfig {
     /// by default; f16 halves and int8 quarters the §6.4 cache footprint
     /// at bounded per-element error — see [`crate::codec`]).
     pub cache_codec: CodecKind,
+    /// Whether frozen-block regeneration consumes int8-cached activations
+    /// *without* decoding to f32, running the integer GEMM path
+    /// ([`nf_tensor::kernels::int8`]) through the first layer of each
+    /// block. Only takes effect when `cache_codec` is
+    /// [`CodecKind::Int8Affine`]; training itself always runs in f32.
+    /// Defaults to `false`.
+    pub int8_compute: bool,
 }
 
 impl NeuroFluxConfig {
@@ -61,6 +68,7 @@ impl NeuroFluxConfig {
             evict_params: true,
             kernel_backend: KernelBackend::default(),
             cache_codec: CodecKind::default(),
+            int8_compute: false,
         }
     }
 
@@ -73,6 +81,13 @@ impl NeuroFluxConfig {
     /// Sets the activation-cache codec.
     pub fn with_cache_codec(mut self, codec: CodecKind) -> Self {
         self.cache_codec = codec;
+        self
+    }
+
+    /// Enables (or disables) quantized compute on the frozen-block
+    /// regeneration pass (effective only with the int8 cache codec).
+    pub fn with_int8_compute(mut self, enabled: bool) -> Self {
+        self.int8_compute = enabled;
         self
     }
 

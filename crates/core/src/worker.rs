@@ -23,7 +23,7 @@ use nf_models::BuiltModel;
 use nf_nn::loss::cross_entropy;
 use nf_nn::optim::Sgd;
 use nf_nn::{Layer, Mode, Sequential};
-use nf_tensor::Tensor;
+use nf_tensor::{QuantTensor, Tensor};
 
 /// Progress notifications emitted during a Worker run (and exit
 /// measurement, via the Controller).
@@ -244,6 +244,43 @@ impl<'s, S: ActivationStore + ?Sized> Worker<'s, S> {
         Ok(Tensor::cat_batch(&refs)?)
     }
 
+    /// [`Worker::regenerate_activations`] consuming int8-cached inputs
+    /// without decode-to-f32: each batch is sliced *in quantized form* and
+    /// fed to the block's first unit via [`Layer::forward_quant`], which
+    /// runs the integer GEMM path through that unit's entry layer; the
+    /// rest of the block continues in f32 as usual.
+    fn regenerate_activations_quant(
+        &self,
+        model: &mut BuiltModel,
+        block: &Block,
+        qinputs: &QuantTensor,
+    ) -> Result<Tensor> {
+        let n = qinputs.shape().first().copied().unwrap_or(0);
+        let batch = block.batch.max(1);
+        let mut parts: Vec<Tensor> = Vec::new();
+        let mut qbatch = QuantTensor::new();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + batch).min(n);
+            qinputs.slice_batch_into(start, end, &mut qbatch)?;
+            let mut units = block.units.clone();
+            let cur = match units.next() {
+                Some(first) => {
+                    let mut cur = model.units[first].forward_quant(&qbatch, Mode::Eval)?;
+                    for u in units {
+                        cur = model.units[u].forward(&cur, Mode::Eval)?;
+                    }
+                    cur
+                }
+                None => qbatch.dequantize()?,
+            };
+            parts.push(cur);
+            start = end;
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Ok(Tensor::cat_batch(&refs)?)
+    }
+
     /// Trains all blocks in order over the training set (the full §3 flow).
     ///
     /// On error (e.g. storage failure) already-trained blocks keep their
@@ -367,6 +404,9 @@ impl<'s, S: ActivationStore + ?Sized> Worker<'s, S> {
         // size and stops allocating — and block 0 trains straight off the
         // caller's dataset tensor instead of a private clone.
         let mut cache_input = Tensor::default();
+        // Quantized sibling of `cache_input` for the int8-compute
+        // regeneration path (only filled when the store serves it).
+        let mut quant_input = QuantTensor::new();
         for (b, block) in blocks.iter().enumerate() {
             if b < start_block {
                 // Completed before the checkpoint: parameters restored, the
@@ -414,7 +454,19 @@ impl<'s, S: ActivationStore + ?Sized> Worker<'s, S> {
             report.block_batches.push(block.batch);
             // §3.3: persist the trained block's outputs, then evict. The
             // write reports the *encoded* byte count — the §6.4 metric.
-            let acts = self.regenerate_activations(model, block, inputs)?;
+            // With int8 compute enabled, this regeneration sweep (the
+            // run's dominant forward-only pass) consumes the previous
+            // block's cache *in quantized form*, skipping the f32 decode;
+            // block 0 reads the raw dataset, and stores that cannot serve
+            // quantized reads fall back to the f32 path.
+            let acts = if b > 0
+                && self.config.int8_compute
+                && self.store.read_quant(b - 1, &mut quant_input)?
+            {
+                self.regenerate_activations_quant(model, block, &quant_input)?
+            } else {
+                self.regenerate_activations(model, block, inputs)?
+            };
             report.cache_logical_bytes += acts.numel() as u64 * 4;
             report.cache_bytes_written += self.store.write(b, &acts)?;
             for u in block.units.clone() {
@@ -644,6 +696,60 @@ mod tests {
         let mut params_b = Vec::new();
         model_b.units[1].visit_params(&mut |p| params_b.push(p.value.clone()));
         assert_eq!(params_a, params_b);
+    }
+
+    #[test]
+    fn int8_compute_run_completes_with_finite_losses() {
+        let (mut model, mut heads, ds) = setup(5, &[6, 8]);
+        let mut store = MemoryStore::with_codec(CodecKind::Int8Affine);
+        let config = NeuroFluxConfig::new(1 << 30, 8)
+            .with_epochs(2)
+            .with_cache_codec(CodecKind::Int8Affine)
+            .with_int8_compute(true);
+        let report = Worker::new(config, &mut store)
+            .run(
+                &mut model,
+                &mut heads,
+                &two_blocks(),
+                ds.train.images(),
+                ds.train.labels(),
+            )
+            .unwrap();
+        assert_eq!(report.block_losses.len(), 2);
+        assert!(report.block_losses.iter().flatten().all(|l| l.is_finite()));
+        assert!(report.cache_bytes_written > 0);
+        // The flag without the int8 codec is inert: the store declines the
+        // quantized read and the run falls back to the f32 path, matching
+        // a plain run bit-for-bit.
+        let (mut model_a, mut heads_a, ds2) = setup(6, &[6, 8]);
+        let mut store_a = MemoryStore::new();
+        let cfg_flagged = NeuroFluxConfig::new(1 << 30, 8)
+            .with_epochs(1)
+            .with_int8_compute(true);
+        let report_a = Worker::new(cfg_flagged, &mut store_a)
+            .run(
+                &mut model_a,
+                &mut heads_a,
+                &two_blocks(),
+                ds2.train.images(),
+                ds2.train.labels(),
+            )
+            .unwrap();
+        let (mut model_b, mut heads_b, _) = setup(6, &[6, 8]);
+        let mut store_b = MemoryStore::new();
+        let cfg_plain = NeuroFluxConfig::new(1 << 30, 8).with_epochs(1);
+        let report_b = Worker::new(cfg_plain, &mut store_b)
+            .run(
+                &mut model_b,
+                &mut heads_b,
+                &two_blocks(),
+                ds2.train.images(),
+                ds2.train.labels(),
+            )
+            .unwrap();
+        assert_eq!(report_a.block_losses, report_b.block_losses);
+        let x = Tensor::ones(&[1, 3, 8, 8]);
+        assert_eq!(model_a.infer(&x).unwrap(), model_b.infer(&x).unwrap());
     }
 
     #[test]

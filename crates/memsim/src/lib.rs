@@ -18,6 +18,9 @@
 //! - **feasibility** ([`feasibility`]): the largest batch that fits a
 //!   memory budget, per layer or per paradigm — Figure 6 and the
 //!   infeasibility regions of Figure 11.
+//! - **calibration** ([`calibrate`]): a cost model priced from the bench
+//!   host's *measured* GEMM and codec throughput, so sweep predictions on
+//!   "this machine" come from primitives rather than datasheet TFLOPs.
 //!
 //! Absolute magnitudes are calibrated per device with a single efficiency
 //! scalar (see [`DeviceProfile`]); every reproduced figure compares
@@ -26,11 +29,13 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod calibrate;
 pub mod device;
 pub mod feasibility;
 pub mod memory;
 pub mod timing;
 
+pub use calibrate::{CalibratedCostModel, MeasuredPrimitives};
 pub use device::DeviceProfile;
 pub use feasibility::{max_batch_bp, max_batch_ll_unit, max_batch_per_unit};
 pub use memory::{CacheCostModel, MemoryBreakdown, MemoryModel, TrainingParadigm};

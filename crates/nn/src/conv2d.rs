@@ -3,12 +3,14 @@
 use crate::error::NnError;
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
-use crate::scratch::{InputCache, PackedPanel};
+use crate::scratch::{InputCache, PackedPanel, QuantPanel};
 use crate::Result;
+use nf_tensor::kernels::int8;
 use nf_tensor::{
-    col2im_batch, global_backend, he_normal, im2col_batch_into, lock_workspace, matmul_at_b_into,
-    matmul_into, nchw_to_posrows_into, new_owner_token, posrows_to_nchw, shared_workspace,
-    sum_axis0_acc, Conv2dGeometry, KernelBackend, SharedWorkspace, Tensor,
+    col2im_batch, global_backend, he_normal, im2col_batch_into, im2col_batch_u8_into,
+    lock_workspace, matmul_at_b_into, matmul_into, nchw_to_posrows_into, new_owner_token,
+    posrows_to_nchw, shared_workspace, sum_axis0_acc, Conv2dGeometry, KernelBackend, QuantTensor,
+    SharedWorkspace, Tensor,
 };
 use rand::Rng;
 use std::sync::Arc;
@@ -62,6 +64,14 @@ pub struct Conv2d {
     /// `weight.value` transposed to `(c_in·k·k, c_out)` — the `B` operand
     /// of the forward GEMM — re-packed only when the weight version moves.
     packed_wt: PackedPanel,
+    /// Per-output-channel `i8` form of the same panel for
+    /// [`Layer::forward_quant`], keyed by the same weight version.
+    quant_wt: QuantPanel,
+    /// Quantized `im2col` rows (the int8 GEMM `A` operand), reused across
+    /// calls.
+    qlhs: int8::QuantizedLhs,
+    /// `i32` accumulator buffer for the int8 GEMM, reused across calls.
+    qacc: Vec<i32>,
     cached_input: InputCache,
 }
 
@@ -97,6 +107,9 @@ impl Conv2d {
             ws: shared_workspace(),
             owner_token: new_owner_token(),
             packed_wt: PackedPanel::new(),
+            quant_wt: QuantPanel::new(),
+            qlhs: int8::QuantizedLhs::default(),
+            qacc: Vec::new(),
             cached_input: InputCache::new(),
         })
     }
@@ -186,6 +199,47 @@ impl Layer for Conv2d {
         if mode == Mode::Train {
             self.cached_input.store(x);
         }
+        posrows_to_nchw(p.out, n, self.out_channels, geom.out_h, geom.out_w).map_err(NnError::from)
+    }
+
+    fn forward_quant(&mut self, x: &QuantTensor, mode: Mode) -> Result<Tensor> {
+        if mode == Mode::Train {
+            // Backward differentiates against an f32 cached input, so the
+            // training path must run the f32 forward.
+            return self.forward(&x.dequantize()?, mode);
+        }
+        let (n, c, h, w) = x.dims4().map_err(|_| NnError::BadInput {
+            layer: self.name(),
+            reason: format!("expected NCHW input, got shape {:?}", x.shape()),
+        })?;
+        if c != self.in_channels {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!("expected {} input channels, got {c}", self.in_channels),
+            });
+        }
+        let geom = self.geometry(h, w)?;
+        let version = self.weight.version();
+        let wt = self.packed_wt.get(&self.weight)?;
+        let rhs = self.quant_wt.get(version, wt)?;
+        // Lower straight in the quantized domain: padding contributes the
+        // code for real 0.0, so the integer GEMM sees exactly what the f32
+        // lowering would have encoded.
+        let pad = int8::zero_point(x.min(), x.scale());
+        let (rows, _) = im2col_batch_u8_into(x, &geom, pad, &mut self.qlhs)?;
+        int8::gemm_i32(&self.qlhs, rhs, &mut self.qacc);
+        let mut ws = lock_workspace(&self.ws);
+        let p = ws.parts();
+        // `cols` is untouched here, so a pending Train lowering (if any)
+        // keeps its owner stamp.
+        p.out.reuse_as(&[rows, self.out_channels]);
+        int8::dequantize_into(
+            &self.qlhs,
+            rhs,
+            &self.qacc,
+            Some(self.bias.value.data()),
+            p.out.data_mut(),
+        );
         posrows_to_nchw(p.out, n, self.out_channels, geom.out_h, geom.out_w).map_err(NnError::from)
     }
 
@@ -327,6 +381,56 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let mut conv = Conv2d::new(&mut rng, 3, 16, 3, 1, 1).unwrap();
         assert_eq!(conv.param_count(), 16 * 3 * 9 + 16);
+    }
+
+    #[test]
+    fn forward_quant_matches_f32_forward_on_exact_grid_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut conv = Conv2d::new(&mut rng, 2, 3, 3, 1, 1).unwrap();
+        // Weights on the exact int8 grid (integers / 63, every output
+        // channel touching ±1.0): per-channel quantization is lossless,
+        // so the integer path must track the f32 forward to f32 rounding
+        // error — any structural bug (packing, padding byte, bias fusion,
+        // NCHW scatter) shows up far above the tolerance.
+        let fan_in = 2 * 3 * 3;
+        let mut wdata: Vec<f32> = (0..3 * fan_in)
+            .map(|i| (((i * 5) % 127) as f32 - 63.0) / 63.0)
+            .collect();
+        for ch in 0..3 {
+            wdata[ch * fan_in] = 1.0;
+        }
+        conv.weight.value = Tensor::from_vec(vec![3, fan_in], wdata).unwrap();
+        conv.bias.value = Tensor::from_vec(vec![3], vec![0.1, -0.2, 0.3]).unwrap();
+        // Encoding with real 0.0 exactly on the grid (byte 128), so the
+        // quantized pad byte decodes to the same 0.0 the f32 oracle pads
+        // with.
+        let mut xq = QuantTensor::new();
+        let bytes: Vec<u8> = (0..2 * 2 * 5 * 5).map(|i| ((i * 37) % 256) as u8).collect();
+        xq.reuse_as(&[2, 2, 5, 5], 1.0 / 128.0, -1.0)
+            .copy_from_slice(&bytes);
+        let want = conv.forward(&xq.dequantize().unwrap(), Mode::Eval).unwrap();
+        let got = conv.forward_quant(&xq, Mode::Eval).unwrap();
+        assert_eq!(got.shape(), want.shape());
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert!((g - w).abs() < 1e-3 * (1.0 + w.abs()), "{g} vs {w}");
+        }
+        // Second call reuses the cached quantized panel — must be
+        // bitwise-identical.
+        let again = conv.forward_quant(&xq, Mode::Eval).unwrap();
+        assert_eq!(again.data(), got.data());
+    }
+
+    #[test]
+    fn forward_quant_train_falls_back_and_caches() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut conv = Conv2d::new(&mut rng, 1, 2, 3, 1, 1).unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 4, 4], (0..16).map(|i| i as f32).collect()).unwrap();
+        let xq = QuantTensor::from_f32(&x);
+        let y = conv.forward_quant(&xq, Mode::Train).unwrap();
+        assert!(conv.backward(&Tensor::ones(y.shape())).is_ok());
+        // Wrong channel count is rejected on the quant path too.
+        let bad = QuantTensor::from_f32(&Tensor::zeros(&[1, 2, 4, 4]));
+        assert!(conv.forward_quant(&bad, Mode::Eval).is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::param::Param;
 use crate::Result;
-use nf_tensor::Tensor;
+use nf_tensor::{QuantTensor, Tensor};
 
 /// Whether a forward pass is part of training or evaluation.
 ///
@@ -35,6 +35,18 @@ pub trait Layer {
 
     /// Computes the layer output for `x`.
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Computes the layer output for an affine-`u8` quantized input — the
+    /// frozen-block regeneration entry point, where inputs arrive straight
+    /// from the int8 activation cache.
+    ///
+    /// The default decodes to f32 and runs [`Layer::forward`], so every
+    /// layer accepts quantized input; the GEMM-backed layers override it
+    /// in `Eval` mode with the [`nf_tensor::kernels::int8`] integer
+    /// kernel, skipping the decode entirely.
+    fn forward_quant(&mut self, x: &QuantTensor, mode: Mode) -> Result<Tensor> {
+        self.forward(&x.dequantize()?, mode)
+    }
 
     /// Computes the input gradient from the output gradient, accumulating
     /// parameter gradients.
@@ -90,6 +102,13 @@ impl Layer for Box<dyn Layer> {
 
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
         self.as_mut().forward(x, mode)
+    }
+
+    fn forward_quant(&mut self, x: &QuantTensor, mode: Mode) -> Result<Tensor> {
+        // Must forward explicitly: the blanket default would dispatch the
+        // decoded forward on the *box*, never reaching an override on the
+        // boxed layer.
+        self.as_mut().forward_quant(x, mode)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

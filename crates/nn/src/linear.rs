@@ -3,11 +3,12 @@
 use crate::error::NnError;
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
-use crate::scratch::{InputCache, PackedPanel};
+use crate::scratch::{InputCache, PackedPanel, QuantPanel};
 use crate::Result;
+use nf_tensor::kernels::int8;
 use nf_tensor::{
     global_backend, he_normal, lock_workspace, matmul_at_b_into, matmul_with, shared_workspace,
-    sum_axis0_acc, KernelBackend, SharedWorkspace, Tensor,
+    sum_axis0_acc, KernelBackend, QuantTensor, SharedWorkspace, Tensor,
 };
 use rand::Rng;
 use std::sync::Arc;
@@ -41,6 +42,14 @@ pub struct Linear {
     /// `weight.value` transposed to `(out, in)` — the `B` operand of the
     /// input-gradient GEMM — re-packed only when the weight version moves.
     packed_wt: PackedPanel,
+    /// Per-output-feature `i8` form of `weight.value` (already `K×N`) for
+    /// [`Layer::forward_quant`], keyed by the weight version.
+    quant_wt: QuantPanel,
+    /// Quantized input rows (the int8 GEMM `A` operand), reused across
+    /// calls.
+    qlhs: int8::QuantizedLhs,
+    /// `i32` accumulator buffer for the int8 GEMM, reused across calls.
+    qacc: Vec<i32>,
     cached_input: InputCache,
 }
 
@@ -55,6 +64,9 @@ impl Linear {
             backend: None,
             ws: shared_workspace(),
             packed_wt: PackedPanel::new(),
+            quant_wt: QuantPanel::new(),
+            qlhs: int8::QuantizedLhs::default(),
+            qacc: Vec::new(),
             cached_input: InputCache::new(),
         }
     }
@@ -112,6 +124,42 @@ impl Layer for Linear {
         if mode == Mode::Train {
             self.cached_input.store(x);
         }
+        Ok(y)
+    }
+
+    fn forward_quant(&mut self, x: &QuantTensor, mode: Mode) -> Result<Tensor> {
+        if mode == Mode::Train {
+            // Backward differentiates against an f32 cached input, so the
+            // training path must run the f32 forward.
+            return self.forward(&x.dequantize()?, mode);
+        }
+        let (rows, cols) = x.dims2().map_err(|_| NnError::BadInput {
+            layer: self.name(),
+            reason: format!("expected rank-2 input, got shape {:?}", x.shape()),
+        })?;
+        if cols != self.in_features {
+            return Err(NnError::BadInput {
+                layer: self.name(),
+                reason: format!("expected {} features, got {cols}", self.in_features),
+            });
+        }
+        // `weight.value` is already the `K×N` GEMM panel, so the quantized
+        // panel packs straight from it; the input bytes repack into the
+        // 4-padded row stride the kernel wants without re-quantizing.
+        let rhs = self
+            .quant_wt
+            .get(self.weight.version(), &self.weight.value)?;
+        self.qlhs
+            .from_rows_u8(x.data(), rows, cols, x.scale(), x.min());
+        int8::gemm_i32(&self.qlhs, rhs, &mut self.qacc);
+        let mut y = Tensor::zeros(&[rows, self.out_features]);
+        int8::dequantize_into(
+            &self.qlhs,
+            rhs,
+            &self.qacc,
+            Some(self.bias.value.data()),
+            y.data_mut(),
+        );
         Ok(y)
     }
 
@@ -232,6 +280,45 @@ mod tests {
         }
         l.zero_grad();
         assert!(l.weight.grad.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn forward_quant_matches_f32_forward_on_exact_grid_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut l = Linear::new(&mut rng, 5, 4);
+        // Exact int8-grid weights (integers / 63, every column touching
+        // 1.0): quantization is lossless, so the integer path must track
+        // the f32 forward to rounding error.
+        let mut wdata: Vec<f32> = (0..20)
+            .map(|i| (((i * 11) % 127) as f32 - 63.0) / 63.0)
+            .collect();
+        for w in wdata.iter_mut().take(4) {
+            *w = 1.0;
+        }
+        l.weight.value = Tensor::from_vec(vec![5, 4], wdata).unwrap();
+        l.bias.value = Tensor::from_vec(vec![4], vec![0.5, -0.5, 0.25, 0.0]).unwrap();
+        let x =
+            Tensor::from_vec(vec![3, 5], (0..15).map(|i| i as f32 / 7.0 - 1.0).collect()).unwrap();
+        let xq = QuantTensor::from_f32(&x);
+        let want = l.forward(&xq.dequantize().unwrap(), Mode::Eval).unwrap();
+        let got = l.forward_quant(&xq, Mode::Eval).unwrap();
+        assert_eq!(got.shape(), want.shape());
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert!((g - w).abs() < 1e-3 * (1.0 + w.abs()), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn forward_quant_train_falls_back_and_caches() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let mut l = Linear::new(&mut rng, 3, 2);
+        let x = Tensor::from_vec(vec![2, 3], vec![0., 1., 2., 3., 4., 5.]).unwrap();
+        let xq = QuantTensor::from_f32(&x);
+        l.forward_quant(&xq, Mode::Train).unwrap();
+        assert!(l.backward(&Tensor::ones(&[2, 2])).is_ok());
+        // Wrong feature count is rejected on the quant path too.
+        let bad = QuantTensor::from_f32(&Tensor::zeros(&[2, 4]));
+        assert!(l.forward_quant(&bad, Mode::Eval).is_err());
     }
 
     #[test]

@@ -13,9 +13,13 @@
 //!   retired spare buffer so caching stops allocating after warm-up
 //!   while keeping the take-on-backward (`NoForwardCache` on double
 //!   backward) contract.
+//! - [`QuantPanel`]: the int8 sibling of [`PackedPanel`] — a per-channel
+//!   `i8` packed weight panel for [`nf_tensor::kernels::int8::gemm_i32`],
+//!   re-quantized from the f32 panel only when the weights changed.
 
 use crate::param::Param;
 use crate::Result;
+use nf_tensor::kernels::int8::QuantizedRhs;
 use nf_tensor::{transpose2d_into, Tensor};
 
 /// A layer's packed transposed weight panel, keyed by the owning
@@ -41,6 +45,39 @@ impl PackedPanel {
             self.version = Some(version);
         }
         Ok(&self.tensor)
+    }
+}
+
+/// A layer's quantized (`i8`, per-output-channel symmetric) GEMM weight
+/// panel, keyed by the owning [`Param`]'s version exactly like
+/// [`PackedPanel`].
+///
+/// `get` takes the *K×N f32 panel* the forward GEMM would multiply by
+/// (for `Linear` the weight itself; for `Conv2d` the transposed panel
+/// from [`PackedPanel::get`]) rather than the raw `Param`, so the two
+/// caches can share one version key without double-transposing.
+#[derive(Debug, Default)]
+pub struct QuantPanel {
+    rhs: QuantizedRhs,
+    version: Option<u64>,
+}
+
+impl QuantPanel {
+    /// An empty panel; quantized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The packed int8 form of the `k×n` panel, re-quantized into the
+    /// reused buffers iff `version` (the owning weight's
+    /// [`Param::version`]) moved since the last call.
+    pub fn get(&mut self, version: u64, panel: &Tensor) -> Result<&QuantizedRhs> {
+        if self.version != Some(version) {
+            let (k, n) = panel.dims2()?;
+            self.rhs.pack_from_f32(panel.data(), k, n);
+            self.version = Some(version);
+        }
+        Ok(&self.rhs)
     }
 }
 
@@ -108,6 +145,25 @@ mod tests {
         assert_eq!(panel.get(&weight).unwrap().data()[0], 1.0);
         weight.note_update();
         assert_eq!(panel.get(&weight).unwrap().data()[0], 9.0);
+    }
+
+    #[test]
+    fn quant_panel_repacks_only_on_version_change() {
+        let mut weight =
+            Param::new(Tensor::from_vec(vec![2, 2], vec![1.0, -2.0, 0.5, 4.0]).unwrap());
+        let mut panel = QuantPanel::new();
+        let rhs = panel.get(weight.version(), &weight.value).unwrap();
+        assert_eq!((rhs.k(), rhs.n()), (2, 2));
+        let s0 = rhs.scales().to_vec();
+        // Mutating without note_update: stale by contract.
+        weight.value.data_mut()[0] = 100.0;
+        assert_eq!(
+            panel.get(weight.version(), &weight.value).unwrap().scales(),
+            &s0[..]
+        );
+        weight.note_update();
+        let rescaled = panel.get(weight.version(), &weight.value).unwrap();
+        assert!(rescaled.scales()[0] > s0[0]);
     }
 
     #[test]

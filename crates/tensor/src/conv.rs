@@ -18,6 +18,8 @@
 //! backward pass relies on; adjointness is property-tested below.
 
 use crate::error::TensorError;
+use crate::kernels::int8::QuantizedLhs;
+use crate::quant::QuantTensor;
 use crate::tensor::Tensor;
 use crate::Result;
 use rayon::prelude::*;
@@ -373,6 +375,92 @@ pub fn col2im_batch_into(
     Ok(())
 }
 
+/// Quantized variant of [`im2col_batch_into`]: unrolls an affine-`u8`
+/// NCHW minibatch straight into the int8 GEMM's LHS layout — `u8` patch
+/// rows at stride `round_up4(patch)` — without any decode to f32.
+///
+/// Padding taps are written as `pad_byte` (the quantized zero point of
+/// the input's encoding, see [`crate::kernels::int8::zero_point`]); the
+/// `0..=3` stride-tail bytes of each row are zeroed for determinism but
+/// cancel against the packed RHS's zero rows regardless. Returns
+/// `(rows, row_stride)`; `lhs` carries the input's affine parameters
+/// through unchanged (a spatial rearrangement does not change the
+/// encoding).
+///
+/// Serial on purpose: this is a byte-copy pass an order of magnitude
+/// lighter than the f32 unroll, so thread fan-out never pays here.
+pub fn im2col_batch_u8_into(
+    input: &QuantTensor,
+    geom: &Conv2dGeometry,
+    pad_byte: u8,
+    lhs: &mut QuantizedLhs,
+) -> Result<(usize, usize)> {
+    let (n, channels, h, w) = input.dims4().map_err(|_| TensorError::RankMismatch {
+        op: "im2col_batch_u8",
+        expected: 4,
+        actual: input.shape().len(),
+    })?;
+    if h != geom.in_h || w != geom.in_w {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col_batch_u8",
+            lhs: input.shape().to_vec(),
+            rhs: vec![n, channels, geom.in_h, geom.in_w],
+        });
+    }
+    let positions = geom.out_positions();
+    let patch = channels * geom.k_h * geom.k_w;
+    let rows = n * positions;
+    lhs.set_rows(rows, patch, input.scale(), input.min());
+    let stride = lhs.k4;
+    let src = input.data();
+    let sample_len = channels * geom.in_h * geom.in_w;
+    let out = &mut lhs.data[..];
+    let (in_h, in_w) = (geom.in_h as isize, geom.in_w as isize);
+    let g = *geom;
+    for (img, block) in out.chunks_mut(positions * stride).enumerate() {
+        let image = &src[img * sample_len..(img + 1) * sample_len];
+        for oy in 0..g.out_h {
+            for ox in 0..g.out_w {
+                let row =
+                    &mut block[(oy * g.out_w + ox) * stride..(oy * g.out_w + ox) * stride + patch];
+                // Same clipped-run structure as the f32 gather, with the
+                // zero-point byte standing in for padding zeros.
+                let ix0 = (ox * g.stride) as isize - g.pad as isize;
+                let kw_lo = ((-ix0).max(0) as usize).min(g.k_w);
+                let kw_hi = (in_w - ix0).clamp(0, g.k_w as isize) as usize;
+                if kw_lo >= kw_hi {
+                    row.fill(pad_byte);
+                    continue;
+                }
+                let run = kw_hi - kw_lo;
+                for c in 0..channels {
+                    let plane = &image[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+                    for kh in 0..g.k_h {
+                        let base = (c * g.k_h + kh) * g.k_w;
+                        let seg = &mut row[base..base + g.k_w];
+                        let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                        if iy < 0 || iy >= in_h {
+                            seg.fill(pad_byte);
+                            continue;
+                        }
+                        seg[..kw_lo].fill(pad_byte);
+                        seg[kw_hi..].fill(pad_byte);
+                        let s = iy as usize * g.in_w + (ix0 + kw_lo as isize) as usize;
+                        seg[kw_lo..kw_hi].copy_from_slice(&plane[s..s + run]);
+                    }
+                }
+            }
+        }
+        // Zero the stride tails once per sample block.
+        if stride > patch {
+            for p in 0..positions {
+                block[p * stride + patch..(p + 1) * stride].fill(0);
+            }
+        }
+    }
+    Ok((rows, stride))
+}
+
 /// Permutes an NCHW tensor to the batched lowering's position-major layout
 /// `(N·H·W, C)`: row `(n*H*W + p)` holds the `C` channel values at spatial
 /// position `p` of sample `n`.
@@ -650,6 +738,44 @@ mod tests {
         assert_eq!(rows.at(&[21, 2]), x.at(&[1, 2, 0, 1]));
         let back = posrows_to_nchw(&rows, 2, 3, 4, 5).unwrap();
         assert_eq!(back, x);
+    }
+
+    #[test]
+    fn im2col_u8_matches_f32_lowering_exactly() {
+        use crate::kernels::int8::zero_point;
+        // Encoding with scale 1.0 / min -128.0: every byte decodes to an
+        // exact integer and the zero point (128) decodes to exactly 0.0,
+        // so the u8 lowering must reproduce the f32 lowering bit for bit
+        // (including padding taps).
+        let (n, c, h) = (2usize, 2usize, 5usize);
+        let g = Conv2dGeometry::new(h, h, 3, 3, 1, 1).unwrap();
+        let mut q = QuantTensor::new();
+        let buf = q.reuse_as(&[n, c, h, h], 1.0, -128.0);
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = (i * 53 % 251) as u8;
+        }
+        let x = q.dequantize().unwrap();
+        let want = im2col_batch(&x, &g).unwrap();
+        let pad = zero_point(-128.0, 1.0);
+        assert_eq!(pad, 128);
+        let mut lhs = QuantizedLhs::default();
+        let (rows, stride) = im2col_batch_u8_into(&q, &g, pad, &mut lhs).unwrap();
+        let patch = c * 9;
+        assert_eq!((rows, want.shape()), (want.shape()[0], &[rows, patch][..]));
+        assert!(stride > patch, "test must exercise a stride tail");
+        for r in 0..rows {
+            for p in 0..patch {
+                let got = -128.0 + lhs.data[r * stride + p] as f32;
+                assert_eq!(got, want.at(&[r, p]), "row {r} patch {p}");
+            }
+            for t in patch..stride {
+                assert_eq!(lhs.data[r * stride + t], 0, "stride tail row {r}");
+            }
+        }
+        // Shape validation mirrors the f32 path.
+        let mut wrong = QuantTensor::new();
+        wrong.reuse_as(&[1, c, h + 1, h], 1.0, 0.0);
+        assert!(im2col_batch_u8_into(&wrong, &g, pad, &mut lhs).is_err());
     }
 
     #[test]

@@ -24,8 +24,9 @@ const NC: usize = 256;
 
 /// Minimum `M·K·N` before the parallel variant spins up worker threads;
 /// below this the spawn/join overhead of the scoped-thread pool outweighs
-/// the work (the vendored rayon has no persistent pool).
-const PAR_MIN_FLOPS: usize = 1 << 19;
+/// the work (the vendored rayon has no persistent pool). Shared with the
+/// autotuner, which only enrols parallel candidates above it.
+pub(super) const PAR_MIN_FLOPS: usize = 1 << 19;
 
 /// Output-size ceiling (elements) for the K-outermost loop order: `C` must
 /// stay cache-resident across all `K` blocks. 32K floats = 128 KiB — half
@@ -56,17 +57,27 @@ const KOUTER_MIN_KN: usize = 1 << 16;
 #[derive(Debug)]
 pub struct BlockedGemm {
     parallel: bool,
+    kc: usize,
+    nc: usize,
 }
 
 impl BlockedGemm {
-    /// Single-threaded variant.
+    /// Single-threaded variant with the default cache blocking.
     pub const fn serial() -> Self {
-        BlockedGemm { parallel: false }
+        Self::custom(false, KC, NC)
     }
 
-    /// Variant that fans row panels out across threads for large products.
+    /// Variant that fans row panels out across threads for large products
+    /// (on multi-core hosts; see `gemm_into`), default cache blocking.
     pub const fn parallel() -> Self {
-        BlockedGemm { parallel: true }
+        Self::custom(true, KC, NC)
+    }
+
+    /// Fully explicit variant — the constructor the autotuner drives with
+    /// its candidate plans.
+    pub const fn custom(parallel: bool, kc: usize, nc: usize) -> Self {
+        assert!(kc > 0 && nc > 0, "cache blocks must be non-zero");
+        BlockedGemm { parallel, kc, nc }
     }
 
     fn gemm_into(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
@@ -88,13 +99,14 @@ impl BlockedGemm {
         // backend (panels are disjoint `out` rows, and the `first` flag is
         // uniform within a block).
         if m * n <= KOUTER_MAX_MN && k * n >= KOUTER_MIN_KN {
+            let ncb = self.nc;
             let kouter_panel =
                 |kk0: usize, kc: usize, first: bool, idx: usize, opanel: &mut [f32]| {
                     let i0 = idx * MR;
                     let rows = opanel.len() / n;
                     let mut jj0 = 0;
                     while jj0 < n {
-                        let nc = NC.min(n - jj0);
+                        let nc = ncb.min(n - jj0);
                         if rows == MR {
                             micro_mr(a, b, k, n, i0, kk0, kc, jj0, nc, first, opanel);
                         } else {
@@ -103,10 +115,17 @@ impl BlockedGemm {
                         jj0 += nc;
                     }
                 };
-            let parallel = self.parallel && m * k * n >= PAR_MIN_FLOPS && m > MR;
+            // Thread fan-out also requires an actual multi-core host: on a
+            // single core the spawned workers only time-slice, so the
+            // spawn/join overhead is pure loss at any size (the
+            // `blocked-parallel < blocked` regression the benchmarks
+            // caught). With the gate, `blocked-parallel` degrades to
+            // exactly `blocked` on 1-core hosts.
+            let parallel =
+                self.parallel && super::host_cores() > 1 && m * k * n >= PAR_MIN_FLOPS && m > MR;
             let mut kk0 = 0;
             while kk0 < k {
-                let kc = KC.min(k - kk0);
+                let kc = self.kc.min(k - kk0);
                 let first = kk0 == 0;
                 if parallel {
                     out.par_chunks_mut(MR * n)
@@ -121,18 +140,19 @@ impl BlockedGemm {
             }
             return;
         }
+        let (kcb, ncb) = (self.kc, self.nc);
         let panel = |panel_idx: usize, opanel: &mut [f32]| {
             let i0 = panel_idx * MR;
             let rows = opanel.len() / n;
             let mut kk0 = 0;
             while kk0 < k {
-                let kc = KC.min(k - kk0);
+                let kc = kcb.min(k - kk0);
                 // First K block overwrites the (unspecified) output;
                 // subsequent blocks accumulate.
                 let first = kk0 == 0;
                 let mut jj0 = 0;
                 while jj0 < n {
-                    let nc = NC.min(n - jj0);
+                    let nc = ncb.min(n - jj0);
                     if rows == MR {
                         micro_mr(a, b, k, n, i0, kk0, kc, jj0, nc, first, opanel);
                     } else {
@@ -143,7 +163,8 @@ impl BlockedGemm {
                 kk0 += kc;
             }
         };
-        if self.parallel && m * k * n >= PAR_MIN_FLOPS {
+        // Same multi-core gate as the K-outer path above.
+        if self.parallel && super::host_cores() > 1 && m * k * n >= PAR_MIN_FLOPS {
             out.par_chunks_mut(MR * n)
                 .enumerate()
                 .for_each(|(idx, opanel)| panel(idx, opanel));
@@ -151,6 +172,79 @@ impl BlockedGemm {
             for (idx, opanel) in out.chunks_mut(MR * n).enumerate() {
                 panel(idx, opanel);
             }
+        }
+    }
+
+    /// `out (M×N) = a (M×K) · b16 (K×N)` where `b16` holds **f16-encoded**
+    /// elements (2 bytes each, the [`crate::convert`] wire format) —
+    /// convert-on-pack for bandwidth-bound products.
+    ///
+    /// Instead of decoding all of `B` up front and then streaming it
+    /// again through the kernel, each `KC`-row strip of `B` is decoded
+    /// into `scratch` right before the panel loop consumes it, while the
+    /// strip is hot in cache: `B` crosses the memory bus once at half
+    /// width. `scratch` is grow-only (`K·N` floats — only the current
+    /// strip's rows are touched per block); `out` is fully overwritten.
+    ///
+    /// This changes numerics versus an f32 product (inputs round to f16),
+    /// so it is a kernel-level opt-in — not part of the autotuner grid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_b_f16(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b16: &[u8],
+        out: &mut [f32],
+        scratch: &mut Vec<f32>,
+    ) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b16.len(), 2 * k * n);
+        debug_assert_eq!(out.len(), m * n);
+        if m == 0 || n == 0 || k == 0 {
+            out.fill(0.0);
+            return;
+        }
+        scratch.resize(k * n, 0.0);
+        let ncb = self.nc;
+        let parallel =
+            self.parallel && super::host_cores() > 1 && m * k * n >= PAR_MIN_FLOPS && m > MR;
+        let mut kk0 = 0;
+        while kk0 < k {
+            let kc = self.kc.min(k - kk0);
+            // Decode this strip at its natural offsets so the panel
+            // kernels index `scratch` exactly like a full K×N matrix.
+            crate::convert::f16_decode_slice(
+                &b16[2 * kk0 * n..2 * (kk0 + kc) * n],
+                &mut scratch[kk0 * n..(kk0 + kc) * n],
+            );
+            let b = &scratch[..];
+            let first = kk0 == 0;
+            let strip_panel = |idx: usize, opanel: &mut [f32]| {
+                let i0 = idx * MR;
+                let rows = opanel.len() / n;
+                let mut jj0 = 0;
+                while jj0 < n {
+                    let nc = ncb.min(n - jj0);
+                    if rows == MR {
+                        micro_mr(a, b, k, n, i0, kk0, kc, jj0, nc, first, opanel);
+                    } else {
+                        micro_tail(a, b, k, n, i0, rows, kk0, kc, jj0, nc, first, opanel);
+                    }
+                    jj0 += nc;
+                }
+            };
+            if parallel {
+                out.par_chunks_mut(MR * n)
+                    .enumerate()
+                    .for_each(|(idx, opanel)| strip_panel(idx, opanel));
+            } else {
+                for (idx, opanel) in out.chunks_mut(MR * n).enumerate() {
+                    strip_panel(idx, opanel);
+                }
+            }
+            kk0 += kc;
         }
     }
 }
@@ -424,5 +518,46 @@ mod tests {
     fn parallel_threshold_paths_agree() {
         // Just above the parallel threshold with an odd panel remainder.
         assert_matches_naive(131, 65, 67, &BlockedGemm::parallel());
+    }
+
+    #[test]
+    fn custom_cache_blocks_match_naive() {
+        // The autotuner's candidate grid corners, including blocks that
+        // force odd kc/nc remainders against the shape.
+        for &(kc, nc) in &[(128, 128), (128, 256), (256, 128), (64, 512)] {
+            assert_matches_naive(17, 257, 33, &BlockedGemm::custom(false, kc, nc));
+            assert_matches_naive(131, 65, 67, &BlockedGemm::custom(true, kc, nc));
+        }
+    }
+
+    #[test]
+    fn f16_convert_on_pack_matches_f16_rounded_product() {
+        use crate::convert::{f16_bits_to_f32, f16_encode_slice, f32_to_f16_bits};
+        // Spans several KC strips (k = 300 > 256) plus panel remainders.
+        let (m, k, n) = (13usize, 300usize, 21usize);
+        let a = mat(m, k, 3);
+        let b = mat(k, n, 4);
+        let mut b16 = vec![0u8; 2 * k * n];
+        f16_encode_slice(&b, &mut b16);
+        // Oracle: naive product against the *rounded* B — convert-on-pack
+        // must match the semantics of decode-then-multiply exactly.
+        let b_rounded: Vec<f32> = b
+            .iter()
+            .map(|&x| f16_bits_to_f32(f32_to_f16_bits(x)))
+            .collect();
+        let mut want = vec![0.0f32; m * n];
+        NaiveGemm.gemm(m, k, n, &a, &b_rounded, &mut want);
+        for backend in [BlockedGemm::serial(), BlockedGemm::parallel()] {
+            let mut got = vec![f32::NAN; m * n];
+            let mut scratch = Vec::new();
+            backend.gemm_b_f16(m, k, n, &a, &b16, &mut got, &mut scratch);
+            for (x, y) in want.iter().zip(&got) {
+                assert!((x - y).abs() < 1e-4 * (1.0 + x.abs()), "f16 {x} vs {y}");
+            }
+        }
+        // Degenerate dims still clear the output.
+        let mut out = vec![1.0f32; 4];
+        BlockedGemm::serial().gemm_b_f16(2, 0, 2, &[], &[], &mut out, &mut Vec::new());
+        assert_eq!(out, [0.0; 4]);
     }
 }

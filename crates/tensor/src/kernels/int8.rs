@@ -1,0 +1,485 @@
+//! Quantized GEMM: `u8` activations × `i8` weights → `i32` accumulators.
+//!
+//! The frozen-block forward pass re-runs already-trained layers in `Eval`
+//! mode over activations that the cache already stores as affine-`u8`
+//! (see `nf-core`'s `Int8Affine` codec). This module lets that pass stay
+//! in the integer domain end to end: activations keep their per-tensor
+//! affine encoding (`x = min + scale · q`, `q ∈ 0..=255` — the same
+//! scheme as [`crate::convert::quantize_u8_slice`]), weights are
+//! quantized per output channel with a *symmetric* scale
+//! (`w = s_j · q_w`, `q_w ∈ [-WEIGHT_QMAX, WEIGHT_QMAX]`), and the
+//! product is accumulated exactly in `i32`:
+//!
+//! ```text
+//! Σ_k x_ik · w_kj = s_j · ( min_a · Σ_k q_w[k][j]  +  scale_a · Σ_k q_a[i][k] · q_w[k][j] )
+//!                         └────── col_sums[j] ─────┘  └────────── the i32 GEMM ──────────┘
+//! ```
+//!
+//! so dequantization is one fused scale/offset pass over the `i32`
+//! accumulators ([`dequantize_into`]), with the optional layer bias folded
+//! in. Accumulation cannot overflow: `|q_a · q_w| ≤ 255 · 63`, so even
+//! `K = 100 000` stays 5 orders of magnitude below `i32::MAX`.
+//!
+//! Data layout: the LHS stores `u8` rows at stride `k4 = round_up4(k)`;
+//! the RHS is packed **k-quad interleaved** —
+//! `packed[(kq·n + j)·4 + r] = q_w[4·kq + r][j]` — so four consecutive
+//! `k` values of one column sit in one 32-bit lane. That is exactly the
+//! operand order of AVX2's `maddubs` ([`super::simd_int8`]); rows
+//! `k..k4` of the RHS are zero, which makes the LHS's arbitrary stride
+//! tail harmless. The scalar quad kernel below is the portable fallback
+//! and the dispatch is runtime (same policy as the f32 [`super::simd`]
+//! path); both paths are bit-identical because the weight clamp keeps
+//! `maddubs` out of its saturation range.
+
+use super::simd_int8;
+use crate::convert;
+use rayon::prelude::*;
+
+/// Symmetric weight clamp: `q_w ∈ [-63, 63]`.
+///
+/// 63 rather than 127 buys the SIMD path exactness: `maddubs` saturates
+/// its intermediate `u8·i8 + u8·i8` pair sums at `i16` range, and
+/// `2 · 255 · 63 = 32130 < 32767` makes saturation unreachable. The cost
+/// is < 1 bit of weight precision, which the end-to-end accuracy test
+/// (int8-compute within 1pp of f32) shows is immaterial.
+pub const WEIGHT_QMAX: i32 = 63;
+
+/// Minimum `M·K·N` before the i32 GEMM fans row blocks out across
+/// threads; same rationale as the f32 kernel's threshold (the vendored
+/// rayon spawns OS threads per call).
+const PAR_MIN_OPS: usize = 1 << 19;
+
+/// Rounds a `K` extent up to the quad stride the packed layout uses.
+pub const fn round_up4(k: usize) -> usize {
+    (k + 3) & !3
+}
+
+/// Quantized `u8` zero point of real value `0.0` under an affine
+/// `(min, scale)` encoding — the byte the quantized `im2col` writes for
+/// padding taps.
+///
+/// Degenerate encodings (`scale == 0`, i.e. a constant tensor) return 0;
+/// padding then contributes `min · w` instead of `0 · w`, matching the
+/// precision loss already inherent in a zero-width encoding.
+pub fn zero_point(min: f32, scale: f32) -> u8 {
+    if scale == 0.0 {
+        0
+    } else {
+        (-min / scale).round().clamp(0.0, 255.0) as u8
+    }
+}
+
+/// Affine-`u8` LHS (activations): `m` rows at stride `k4`, plus the
+/// per-tensor `(min, scale)` the bytes decode under.
+///
+/// Buffers are grow-only; a default-constructed value is reused across
+/// calls the same way `Workspace` slots are.
+#[derive(Debug, Default)]
+pub struct QuantizedLhs {
+    /// Quantized rows, `m × k4`, row tails (`k..k4`) arbitrary.
+    pub data: Vec<u8>,
+    /// Logical rows.
+    pub m: usize,
+    /// Logical reduction depth.
+    pub k: usize,
+    /// Row stride (`round_up4(k)`).
+    pub k4: usize,
+    /// Affine scale of the encoding.
+    pub scale: f32,
+    /// Affine offset of the encoding.
+    pub min: f32,
+}
+
+impl QuantizedLhs {
+    /// Quantizes a packed row-major `m × k` f32 matrix (min/max over the
+    /// whole matrix, the per-tensor scheme of `convert`).
+    pub fn quantize_from_f32(&mut self, src: &[f32], m: usize, k: usize) {
+        assert_eq!(src.len(), m * k, "quantize_from_f32 length mismatch");
+        let (lo, hi) = convert::minmax_slice(src);
+        let scale = if hi > lo { (hi - lo) / 255.0 } else { 0.0 };
+        self.set_rows(m, k, scale, lo);
+        for i in 0..m {
+            convert::quantize_u8_slice(
+                &src[i * k..(i + 1) * k],
+                lo,
+                scale,
+                &mut self.data[i * self.k4..i * self.k4 + k],
+            );
+        }
+    }
+
+    /// Re-packs already-quantized contiguous `u8` rows (stride `k`, e.g.
+    /// a rank-2 `QuantTensor`) to the kernel's `k4` stride, keeping their
+    /// existing affine parameters.
+    pub fn from_rows_u8(&mut self, src: &[u8], m: usize, k: usize, scale: f32, min: f32) {
+        assert_eq!(src.len(), m * k, "from_rows_u8 length mismatch");
+        self.set_rows(m, k, scale, min);
+        for i in 0..m {
+            self.data[i * self.k4..i * self.k4 + k].copy_from_slice(&src[i * k..(i + 1) * k]);
+        }
+    }
+
+    /// Sizes the buffer for `m × k` rows (grow-only) and records the
+    /// affine parameters; callers that lower directly into [`Self::data`]
+    /// (the quantized `im2col`) use this instead of the copy helpers.
+    pub fn set_rows(&mut self, m: usize, k: usize, scale: f32, min: f32) {
+        self.m = m;
+        self.k = k;
+        self.k4 = round_up4(k);
+        self.scale = scale;
+        self.min = min;
+        self.data.resize(m * self.k4, 0);
+    }
+}
+
+/// Per-channel symmetric `i8` RHS (weights), packed k-quad interleaved
+/// for the maddubs kernel, with the per-column scales and column sums
+/// the dequantization pass needs.
+#[derive(Debug, Default)]
+pub struct QuantizedRhs {
+    packed: Vec<i8>,
+    k: usize,
+    k4: usize,
+    n: usize,
+    scales: Vec<f32>,
+    col_sums: Vec<i32>,
+}
+
+impl QuantizedRhs {
+    /// Packs a row-major `k × n` f32 weight matrix: per column `j`,
+    /// `s_j = max_k |w_kj| / WEIGHT_QMAX` and
+    /// `q_w = round(w / s_j)` clamped to `±WEIGHT_QMAX` (all-zero
+    /// columns get `s_j = 0`, `q_w = 0`). Buffers are grow-only.
+    pub fn pack_from_f32(&mut self, b: &[f32], k: usize, n: usize) {
+        assert_eq!(b.len(), k * n, "pack_from_f32 length mismatch");
+        self.k = k;
+        self.k4 = round_up4(k);
+        self.n = n;
+        self.scales.resize(n, 0.0);
+        self.col_sums.resize(n, 0);
+        self.packed.clear();
+        self.packed.resize(self.k4 * n, 0);
+        for j in 0..n {
+            let mut max_abs = 0.0f32;
+            for kk in 0..k {
+                max_abs = max_abs.max(b[kk * n + j].abs());
+            }
+            let s = if max_abs > 0.0 {
+                max_abs / WEIGHT_QMAX as f32
+            } else {
+                0.0
+            };
+            self.scales[j] = s;
+            let mut sum = 0i32;
+            if s > 0.0 {
+                let inv = 1.0 / s;
+                for kk in 0..k {
+                    let q = (b[kk * n + j] * inv)
+                        .round()
+                        .clamp(-(WEIGHT_QMAX as f32), WEIGHT_QMAX as f32)
+                        as i32;
+                    sum += q;
+                    self.packed[((kk / 4) * n + j) * 4 + kk % 4] = q as i8;
+                }
+            }
+            self.col_sums[j] = sum;
+        }
+    }
+
+    /// Output columns.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Reduction depth the panel was packed for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Per-column symmetric scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Per-column sums of the quantized weights (the `min_a` correction
+    /// term of the affine expansion).
+    pub fn col_sums(&self) -> &[i32] {
+        &self.col_sums
+    }
+}
+
+/// `out (M×N) = q_a (M×K) · q_w (K×N)` in exact `i32` arithmetic.
+///
+/// Dispatches to the maddubs SIMD panel when available, with the scalar
+/// quad kernel as fallback and for row/column remainders; fans 4-row
+/// blocks out across threads on multi-core hosts when the product is
+/// large enough. All paths produce bit-identical accumulators.
+pub fn gemm_i32(lhs: &QuantizedLhs, rhs: &QuantizedRhs, out: &mut Vec<i32>) {
+    assert_eq!(lhs.k, rhs.k, "int8 gemm K mismatch");
+    assert_eq!(lhs.k4, rhs.k4, "int8 gemm K stride mismatch");
+    let (m, k4, n) = (lhs.m, lhs.k4, rhs.n);
+    out.clear();
+    out.resize(m * n, 0);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k4 == 0 {
+        return; // resize above already zeroed the accumulators
+    }
+    let a = &lhs.data[..];
+    let bp = &rhs.packed[..];
+    let rows_per_block = simd_int8::ROWS;
+    let row_block = |idx: usize, opanel: &mut [i32]| {
+        let i0 = idx * rows_per_block;
+        let rows = opanel.len() / n;
+        if rows == rows_per_block {
+            match simd_int8::panel_u8i8(a, bp, k4, n, i0, opanel) {
+                Some(done) if done < n => scalar_rows(a, bp, k4, n, i0, rows, done, opanel),
+                Some(_) => {}
+                None => scalar_rows(a, bp, k4, n, i0, rows, 0, opanel),
+            }
+        } else {
+            scalar_rows(a, bp, k4, n, i0, rows, 0, opanel);
+        }
+    };
+    if super::host_cores() > 1 && m * k4 * n >= PAR_MIN_OPS && m > rows_per_block {
+        out.par_chunks_mut(rows_per_block * n)
+            .enumerate()
+            .for_each(|(idx, opanel)| row_block(idx, opanel));
+    } else {
+        for (idx, opanel) in out.chunks_mut(rows_per_block * n).enumerate() {
+            row_block(idx, opanel);
+        }
+    }
+}
+
+/// Scalar quad kernel over rows `i0..i0+rows`, columns `j0..n` — the
+/// portable path and the SIMD remainder finisher. Walks the same k-quad
+/// interleaved panel as the SIMD kernel so both consume one layout.
+#[allow(clippy::too_many_arguments)]
+fn scalar_rows(
+    a: &[u8],
+    bp: &[i8],
+    k4: usize,
+    n: usize,
+    i0: usize,
+    rows: usize,
+    j0: usize,
+    opanel: &mut [i32],
+) {
+    for (r, orow) in opanel.chunks_mut(n).enumerate().take(rows) {
+        let arow = &a[(i0 + r) * k4..(i0 + r) * k4 + k4];
+        let oseg = &mut orow[j0..];
+        oseg.fill(0);
+        for (kq, aq) in arow.chunks_exact(4).enumerate() {
+            let (a0, a1, a2, a3) = (aq[0] as i32, aq[1] as i32, aq[2] as i32, aq[3] as i32);
+            let bq = &bp[(kq * n + j0) * 4..(kq * n + n) * 4];
+            for (o, q) in oseg.iter_mut().zip(bq.chunks_exact(4)) {
+                *o += a0 * q[0] as i32 + a1 * q[1] as i32 + a2 * q[2] as i32 + a3 * q[3] as i32;
+            }
+        }
+    }
+}
+
+/// Fused dequantize + bias over the `i32` accumulators:
+/// `out[i][j] = s_j · (scale_a · acc[i][j] + min_a · col_sums[j]) + bias[j]`.
+///
+/// `out` must hold `m × n` floats and is overwritten.
+pub fn dequantize_into(
+    lhs: &QuantizedLhs,
+    rhs: &QuantizedRhs,
+    acc: &[i32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    let (m, n) = (lhs.m, rhs.n);
+    assert_eq!(acc.len(), m * n, "dequantize accumulator length mismatch");
+    assert_eq!(out.len(), m * n, "dequantize output length mismatch");
+    if let Some(bias) = bias {
+        assert_eq!(bias.len(), n, "dequantize bias length mismatch");
+    }
+    let (sa, min_a) = (lhs.scale, lhs.min);
+    for (orow, arow) in out.chunks_exact_mut(n).zip(acc.chunks_exact(n)) {
+        for (j, (o, &q)) in orow.iter_mut().zip(arow).enumerate() {
+            let corr = min_a * rhs.col_sums[j] as f32;
+            let mut v = rhs.scales[j] * (sa * q as f32 + corr);
+            if let Some(bias) = bias {
+                v += bias[j];
+            }
+            *o = v;
+        }
+    }
+}
+
+/// Name of the int8 micro-kernel in effect on this host, for benchmark
+/// artifacts and reports.
+pub fn kernel_name() -> &'static str {
+    simd_int8::kernel_name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn mat(rows: usize, cols: usize, lo: f32, hi: f32, seed: u64) -> Vec<f32> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect()
+    }
+
+    /// Naive integer oracle reading the quantized operands back out of
+    /// their packed layouts — pins both the GEMM *and* the packing.
+    fn oracle_i32(lhs: &QuantizedLhs, rhs: &QuantizedRhs) -> Vec<i32> {
+        let (m, n, k4) = (lhs.m, rhs.n, lhs.k4);
+        let mut out = vec![0i32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i32;
+                for kk in 0..k4 {
+                    let qa = lhs.data[i * k4 + kk] as i32;
+                    let qw = rhs.packed[((kk / 4) * n + j) * 4 + kk % 4] as i32;
+                    acc += qa * qw;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn exact_case(m: usize, k: usize, n: usize, seed: u64) {
+        let a = mat(m, k, -3.0, 5.0, seed);
+        let b = mat(k, n, -1.0, 1.0, seed.wrapping_mul(31) + 7);
+        let mut lhs = QuantizedLhs::default();
+        lhs.quantize_from_f32(&a, m, k);
+        let mut rhs = QuantizedRhs::default();
+        rhs.pack_from_f32(&b, k, n);
+        let mut got = Vec::new();
+        gemm_i32(&lhs, &rhs, &mut got);
+        assert_eq!(got, oracle_i32(&lhs, &rhs), "({m},{k},{n})");
+    }
+
+    #[test]
+    fn gemm_matches_integer_oracle_across_shapes() {
+        // Shapes straddling the SIMD tile boundaries: row remainders
+        // (m % 4), column remainders (n % 16), and k-quad tails (k % 4).
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (4, 8, 16),
+            (5, 10, 17),
+            (9, 27, 33),
+            (16, 64, 48),
+            (7, 300, 19),
+        ] {
+            exact_case(m, k, n, (m * 1000 + k * 10 + n) as u64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn gemm_matches_integer_oracle(
+            m in 1usize..12,
+            k in 1usize..40,
+            n in 1usize..36,
+            seed in 0u64..1000,
+        ) {
+            exact_case(m, k, n, seed);
+        }
+    }
+
+    #[test]
+    fn weights_clamp_keeps_maddubs_exact() {
+        // Worst-case operands: max-magnitude activations against
+        // max-magnitude alternating-sign weights. Any i16 saturation in
+        // the SIMD path would break the exact match.
+        let (m, k, n) = (4usize, 64usize, 32usize);
+        let a = vec![1000.0f32; m * k]; // quantizes to q = 255 everywhere
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| if i % 2 == 0 { 9.0 } else { -9.0 })
+            .collect();
+        let mut lhs = QuantizedLhs::default();
+        lhs.quantize_from_f32(&a, m, k);
+        let mut rhs = QuantizedRhs::default();
+        rhs.pack_from_f32(&b, k, n);
+        assert!(rhs.packed.iter().all(|&q| (q as i32).abs() <= WEIGHT_QMAX));
+        let mut got = Vec::new();
+        gemm_i32(&lhs, &rhs, &mut got);
+        assert_eq!(got, oracle_i32(&lhs, &rhs));
+    }
+
+    #[test]
+    fn dequantized_product_tracks_f32_gemm() {
+        use super::super::{GemmBackend, NaiveGemm};
+        let (m, k, n) = (6usize, 48usize, 10usize);
+        let a = mat(m, k, -2.0, 2.0, 11);
+        let b = mat(k, n, -0.5, 0.5, 13);
+        let bias = mat(1, n, -0.1, 0.1, 17);
+        let mut want = vec![0.0f32; m * n];
+        NaiveGemm.gemm(m, k, n, &a, &b, &mut want);
+        for (w, &bv) in want
+            .chunks_exact_mut(n)
+            .flat_map(|r| r.iter_mut())
+            .zip(bias.iter().cycle())
+        {
+            *w += bv;
+        }
+        let mut lhs = QuantizedLhs::default();
+        lhs.quantize_from_f32(&a, m, k);
+        let mut rhs = QuantizedRhs::default();
+        rhs.pack_from_f32(&b, k, n);
+        let mut acc = Vec::new();
+        gemm_i32(&lhs, &rhs, &mut acc);
+        let mut got = vec![0.0f32; m * n];
+        dequantize_into(&lhs, &rhs, &acc, Some(&bias), &mut got);
+        // Error budget: one activation quantization step per k term plus
+        // the per-channel weight step — loose bound, tight in practice.
+        let tol = (k as f32) * lhs.scale * 0.5 * 0.6 + 0.05;
+        for (w, g) in want.iter().zip(&got) {
+            assert!((w - g).abs() < tol, "{w} vs {g} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn repacked_u8_rows_match_direct_quantization() {
+        let (m, k) = (5usize, 7usize);
+        let a = mat(m, k, -1.0, 3.0, 23);
+        let mut direct = QuantizedLhs::default();
+        direct.quantize_from_f32(&a, m, k);
+        // Same bytes arriving as contiguous rows (the cached-activation
+        // path) must land identically at the k4 stride.
+        let mut rows = vec![0u8; m * k];
+        for i in 0..m {
+            rows[i * k..(i + 1) * k]
+                .copy_from_slice(&direct.data[i * direct.k4..i * direct.k4 + k]);
+        }
+        let mut repacked = QuantizedLhs::default();
+        repacked.from_rows_u8(&rows, m, k, direct.scale, direct.min);
+        for i in 0..m {
+            assert_eq!(
+                repacked.data[i * repacked.k4..i * repacked.k4 + k],
+                direct.data[i * direct.k4..i * direct.k4 + k]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_point_encodes_real_zero() {
+        assert_eq!(zero_point(0.0, 0.0), 0);
+        assert_eq!(zero_point(-2.0, 0.015625), 128); // exact powers of two
+        assert_eq!(zero_point(5.0, 0.1), 0); // all-positive range clamps
+        assert_eq!(zero_point(-100.0, 0.1), 255); // all-negative range clamps
+    }
+
+    #[test]
+    fn degenerate_dims_are_empty_or_zero() {
+        let mut lhs = QuantizedLhs::default();
+        lhs.quantize_from_f32(&[], 0, 4);
+        let mut rhs = QuantizedRhs::default();
+        rhs.pack_from_f32(&[0.0; 12], 4, 3);
+        let mut out = vec![7i32; 1];
+        gemm_i32(&lhs, &rhs, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -3,33 +3,57 @@
 //! Every convolution and fully-connected layer in the workspace lowers to
 //! one of three dense matrix products — `A·B`, `Aᵀ·B`, `A·Bᵀ` — so this
 //! seam is *the* compute hot path of every training experiment. The
-//! [`GemmBackend`] trait abstracts the implementation; two are provided:
+//! [`GemmBackend`] trait abstracts the implementation; three are provided:
 //!
 //! - [`NaiveGemm`] — the original streaming `i-k-j` loops. Slow but
 //!   obviously correct; kept as the reference oracle the fast path is
 //!   property-tested against.
 //! - [`BlockedGemm`] — cache-blocked with an `MR × JT` register-tile
 //!   micro-kernel (8 rows × 32 columns), optionally parallel over row
-//!   panels via rayon. This is the default.
+//!   panels via rayon (multi-core hosts only; on one core thread fan-out
+//!   is pure overhead, so the parallel variant degrades to serial).
+//! - [`autotune::AutoGemm`] — dispatches to [`BlockedGemm`] with cache
+//!   blocks and a thread strategy benchmarked per shape class at first
+//!   use. This is the default.
+//!
+//! Quantized compute lives alongside: [`int8`] is the `u8×i8→i32` GEMM
+//! the frozen-block forward pass runs on cached int8 activations, with
+//! its own runtime-dispatched maddubs path in [`simd_int8`].
 //!
 //! Selection is either explicit (`matmul_with` and friends, or calling a
 //! backend directly) or through the process-global default
 //! ([`set_global_backend`] / [`global_backend`]), which
 //! `NeuroFluxConfig::kernel_backend` and the baseline trainers set at the
-//! start of a run. The global default starts as
-//! [`KernelBackend::BlockedParallel`], so everything runs on the fast path
-//! unless a caller opts out.
+//! start of a run. The global default starts as [`KernelBackend::Auto`],
+//! so everything runs on the tuned fast path unless a caller opts out.
 
+pub mod autotune;
 mod blocked;
+pub mod int8;
 mod naive;
 #[allow(unsafe_code)]
 pub mod simd;
+#[allow(unsafe_code)]
+pub mod simd_int8;
 
 pub use blocked::BlockedGemm;
 pub use naive::NaiveGemm;
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Number of hardware threads on this host (cached). The parallel kernel
+/// paths and the autotuner's candidate grid consult this so thread
+/// fan-out only ever happens where a second core actually exists.
+pub fn host_cores() -> usize {
+    use std::sync::OnceLock;
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
 
 /// A dense single-precision matrix-multiplication implementation.
 ///
@@ -112,13 +136,17 @@ pub enum KernelBackend {
     /// Cache-blocked micro-kernel, single-threaded.
     Blocked,
     /// Cache-blocked micro-kernel, parallel over row panels.
-    #[default]
     BlockedParallel,
+    /// Cache-blocked micro-kernel with blocking/threading benchmarked per
+    /// shape class at first use (see [`autotune`]).
+    #[default]
+    Auto,
 }
 
 static NAIVE: NaiveGemm = NaiveGemm;
 static BLOCKED: BlockedGemm = BlockedGemm::serial();
 static BLOCKED_PARALLEL: BlockedGemm = BlockedGemm::parallel();
+static AUTO: autotune::AutoGemm = autotune::AutoGemm;
 
 impl KernelBackend {
     /// The backend implementation this variant selects.
@@ -127,20 +155,22 @@ impl KernelBackend {
             KernelBackend::Naive => &NAIVE,
             KernelBackend::Blocked => &BLOCKED,
             KernelBackend::BlockedParallel => &BLOCKED_PARALLEL,
+            KernelBackend::Auto => &AUTO,
         }
     }
 
-    /// Stable name (`naive`, `blocked`, `blocked-parallel`).
+    /// Stable name (`naive`, `blocked`, `blocked-parallel`, `auto`).
     pub fn name(self) -> &'static str {
         self.backend().name()
     }
 
     /// All selectable backends, in `to_u8` order.
-    pub fn all() -> [KernelBackend; 3] {
+    pub fn all() -> [KernelBackend; 4] {
         [
             KernelBackend::Naive,
             KernelBackend::Blocked,
             KernelBackend::BlockedParallel,
+            KernelBackend::Auto,
         ]
     }
 
@@ -149,6 +179,7 @@ impl KernelBackend {
             KernelBackend::Naive => 0,
             KernelBackend::Blocked => 1,
             KernelBackend::BlockedParallel => 2,
+            KernelBackend::Auto => 3,
         }
     }
 
@@ -156,7 +187,8 @@ impl KernelBackend {
         match v {
             0 => KernelBackend::Naive,
             1 => KernelBackend::Blocked,
-            _ => KernelBackend::BlockedParallel,
+            2 => KernelBackend::BlockedParallel,
+            _ => KernelBackend::Auto,
         }
     }
 }
@@ -172,14 +204,15 @@ impl std::str::FromStr for KernelBackend {
             "naive" => Ok(KernelBackend::Naive),
             "blocked" => Ok(KernelBackend::Blocked),
             "blocked-parallel" | "blocked_parallel" => Ok(KernelBackend::BlockedParallel),
+            "auto" => Ok(KernelBackend::Auto),
             other => Err(format!(
-                "unknown kernel backend {other:?} (expected naive, blocked, or blocked-parallel)"
+                "unknown kernel backend {other:?} (expected naive, blocked, blocked-parallel, or auto)"
             )),
         }
     }
 }
 
-static GLOBAL_BACKEND: AtomicU8 = AtomicU8::new(2); // BlockedParallel
+static GLOBAL_BACKEND: AtomicU8 = AtomicU8::new(3); // Auto
 
 /// Sets the process-global default backend used by [`crate::matmul`] and
 /// friends when no explicit backend is given.
@@ -197,9 +230,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_is_blocked_parallel() {
-        assert_eq!(KernelBackend::default(), KernelBackend::BlockedParallel);
-        assert_eq!(KernelBackend::default().name(), "blocked-parallel");
+    fn default_is_auto() {
+        assert_eq!(KernelBackend::default(), KernelBackend::Auto);
+        assert_eq!(KernelBackend::default().name(), "auto");
     }
 
     #[test]
@@ -213,12 +246,14 @@ mod tests {
 
     #[test]
     fn backend_names_are_distinct() {
-        let names = [
-            KernelBackend::Naive.name(),
-            KernelBackend::Blocked.name(),
-            KernelBackend::BlockedParallel.name(),
-        ];
-        assert_eq!(names, ["naive", "blocked", "blocked-parallel"]);
+        let names = KernelBackend::all().map(KernelBackend::name);
+        assert_eq!(names, ["naive", "blocked", "blocked-parallel", "auto"]);
+    }
+
+    #[test]
+    fn host_cores_is_positive_and_stable() {
+        assert!(host_cores() >= 1);
+        assert_eq!(host_cores(), host_cores());
     }
 
     #[test]

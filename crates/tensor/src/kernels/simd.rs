@@ -8,10 +8,11 @@
 //! property tests in `blocked.rs`/`tests/workspace_into.rs` pin both paths
 //! to the naive oracle.
 //!
-//! This is the **only** module in `nf-tensor` allowed to use `unsafe`
-//! (crate-level `deny(unsafe_code)` with a local allow): the two intrinsic
-//! functions below are gated by [`available`] and touch indices that are
-//! in-bounds by the same arithmetic the scalar kernel uses.
+//! Together with [`super::simd_int8`] this is one of the **two** modules
+//! in `nf-tensor` allowed to use `unsafe` (crate-level `deny(unsafe_code)`
+//! with a local allow): the intrinsic functions below are gated by
+//! [`available`] and touch indices that are in-bounds by the same
+//! arithmetic the scalar kernel uses.
 //!
 //! Tile shape: one `__m256` accumulator per panel row — an `MR × 8` output
 //! tile. Per `k` iteration that costs one vector load of `B`, `MR`

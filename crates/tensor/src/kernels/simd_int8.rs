@@ -1,0 +1,208 @@
+//! Explicit-SIMD int8 GEMM inner loop: `u8 × i8 → i32` maddubs tiles on
+//! x86_64.
+//!
+//! The quantized GEMM in [`super::int8`] accumulates `u8` activations
+//! against `i8` weights into `i32`. On AVX2 hosts the inner loop maps
+//! directly onto `_mm256_maddubs_epi16` (unsigned×signed byte multiply
+//! with pairwise `i16` add) followed by `_mm256_madd_epi16` against ones
+//! (pairwise `i16 → i32` widen-add): one instruction pair consumes four
+//! `k` steps for eight output columns. The scalar quad kernel in
+//! `int8.rs` remains the portable fallback, selected at runtime when AVX2
+//! is absent (or off x86_64 entirely).
+//!
+//! Together with [`super::simd`] this is one of the **two** modules in
+//! `nf-tensor` allowed to use `unsafe` (crate-level `deny(unsafe_code)`
+//! with a local allow): the intrinsic function below is gated by
+//! [`available`] and touches indices that are in-bounds by the same
+//! arithmetic the scalar kernel uses.
+//!
+//! `maddubs` *saturates* its intermediate `i16` pair sums, which would
+//! silently diverge from the scalar path for large operands. The packer
+//! in `int8.rs` therefore clamps weights to `±WEIGHT_QMAX = ±63`, making
+//! the worst-case pair sum `2 · 255 · 63 = 32130 < 32767` — saturation is
+//! unreachable and the SIMD path is **bit-exact** against the scalar
+//! kernel (and the naive oracle in the property tests).
+//!
+//! Tile shape: 4 rows × 16 columns. Per `k`-quad that costs two 32-byte
+//! `B` loads (16 columns × 4 interleaved `k` bytes), four 4-byte `A`
+//! broadcasts and eight maddubs/madd pairs, with the 4×2 `__m256i`
+//! accumulator block staying resident in registers (8 accumulators + 2
+//! `B` registers + broadcast + the ones constant ≈ 12 of 16).
+
+/// Rows per SIMD row block.
+pub const ROWS: usize = 4;
+
+/// Columns per SIMD tile (two `i32x8` accumulators).
+pub const COLS: usize = 16;
+
+/// Whether the maddubs kernel can run on this host (cached runtime
+/// detection of AVX2; always `false` off x86_64).
+pub fn available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Name of the int8 micro-kernel the dispatcher will pick, for benchmark
+/// artifacts and reports.
+pub fn kernel_name() -> &'static str {
+    if available() {
+        "u8i8-maddubs"
+    } else {
+        "scalar-quad"
+    }
+}
+
+/// Runs the maddubs micro-kernel over a full [`ROWS`]-row output panel.
+///
+/// `a` holds `u8` activation rows at stride `k4` (a multiple of 4, tail
+/// bytes arbitrary — the matching `B` rows are zero); `bp` is the k-quad
+/// interleaved `i8` weight panel from `int8::QuantizedRhs`
+/// (`bp[(kq·n + j)·4 + r] = q_w[4·kq + r][j]`); `opanel` is `ROWS` rows
+/// of `n` accumulators and is **overwritten** (single `K` pass, so no
+/// accumulate flag). Returns the number of leading columns processed (a
+/// multiple of [`COLS`]; the caller finishes the remainder with the
+/// scalar quad kernel) — or `None` when AVX2 is unavailable and the
+/// caller must take the scalar path for the whole panel.
+///
+/// Crate-private: the index contract (`(i0 + ROWS) · k4 ≤ a.len()`,
+/// `bp.len() == k4 · n`, `opanel.len() ≥ ROWS · n`) is enforced by the
+/// caller's panel arithmetic in `int8.rs`, not by runtime checks (the
+/// debug asserts vanish in release), so this must not be callable from
+/// safe code outside the kernel module.
+pub(crate) fn panel_u8i8(
+    a: &[u8],
+    bp: &[i8],
+    k4: usize,
+    n: usize,
+    i0: usize,
+    opanel: &mut [i32],
+) -> Option<usize> {
+    if !available() {
+        return None;
+    }
+    let full = n - n % COLS;
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut j = 0;
+        while j < full {
+            // SAFETY: `available()` verified AVX2; tile indices are
+            // in-bounds by the caller's contract (checked in debug
+            // builds inside the kernel).
+            unsafe { tile_u8i8(a, bp, k4, n, i0, j, opanel) };
+            j += COLS;
+        }
+    }
+    Some(full)
+}
+
+/// One `ROWS × 16` accumulator tile over the whole `K` extent.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[target_feature(enable = "avx2")]
+unsafe fn tile_u8i8(
+    a: &[u8],
+    bp: &[i8],
+    k4: usize,
+    n: usize,
+    i0: usize,
+    j: usize,
+    opanel: &mut [i32],
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(k4 % 4, 0);
+    debug_assert!((i0 + ROWS) * k4 <= a.len());
+    debug_assert_eq!(bp.len(), k4 * n);
+    debug_assert!(j + COLS <= n);
+    debug_assert!((ROWS - 1) * n + j + COLS <= opanel.len());
+    let ones = _mm256_set1_epi16(1);
+    let mut acc = [[_mm256_setzero_si256(); 2]; ROWS];
+    let ap = a.as_ptr();
+    let bpp = bp.as_ptr();
+    for kq in 0..k4 / 4 {
+        // 32 bytes = 8 columns × 4 interleaved k values each.
+        let b0 = _mm256_loadu_si256(bpp.add((kq * n + j) * 4) as *const __m256i);
+        let b1 = _mm256_loadu_si256(bpp.add((kq * n + j + 8) * 4) as *const __m256i);
+        for (r, accr) in acc.iter_mut().enumerate() {
+            // Broadcast 4 consecutive u8 activations of row i0+r as one
+            // i32 lane pattern, matching the quad interleave of B.
+            let aw = (ap.add((i0 + r) * k4 + 4 * kq) as *const i32).read_unaligned();
+            let av = _mm256_set1_epi32(aw);
+            // u8×i8 pairwise multiply-add; never saturates because the
+            // packer clamps weights to ±63 (see module docs).
+            let p0 = _mm256_maddubs_epi16(av, b0);
+            let p1 = _mm256_maddubs_epi16(av, b1);
+            accr[0] = _mm256_add_epi32(accr[0], _mm256_madd_epi16(p0, ones));
+            accr[1] = _mm256_add_epi32(accr[1], _mm256_madd_epi16(p1, ones));
+        }
+    }
+    let op = opanel.as_mut_ptr();
+    for (r, accr) in acc.iter().enumerate() {
+        let dst = op.add(r * n + j);
+        _mm256_storeu_si256(dst as *mut __m256i, accr[0]);
+        _mm256_storeu_si256(dst.add(8) as *mut __m256i, accr[1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_name_matches_availability() {
+        if available() {
+            assert_eq!(kernel_name(), "u8i8-maddubs");
+        } else {
+            assert_eq!(kernel_name(), "scalar-quad");
+        }
+    }
+
+    #[test]
+    fn panel_matches_integer_reference() {
+        // 4 rows × (k = 10 → k4 = 12) against 37 columns: exercises the
+        // partial-lanes return value and the zero-padded k tail.
+        let (k, n) = (10usize, 37usize);
+        let k4 = (k + 3) & !3;
+        let mut a = vec![0u8; ROWS * k4];
+        for (i, v) in a.iter_mut().enumerate() {
+            // Tail bytes get values too — they must be cancelled by the
+            // zero B rows, not masked by the kernel.
+            *v = (i * 37 % 251) as u8;
+        }
+        let mut bp = vec![0i8; k4 * n];
+        for kk in 0..k {
+            for j in 0..n {
+                let q = ((kk * 31 + j * 7) % 127) as i32 - 63;
+                bp[((kk / 4) * n + j) * 4 + kk % 4] = q as i8;
+            }
+        }
+        let mut out = vec![i32::MIN; ROWS * n];
+        match panel_u8i8(&a, &bp, k4, n, 0, &mut out) {
+            None => assert!(!available()),
+            Some(done) => {
+                assert_eq!(done, n - n % COLS);
+                for r in 0..ROWS {
+                    for j in 0..done {
+                        let want: i32 = (0..k)
+                            .map(|kk| {
+                                a[r * k4 + kk] as i32 * bp[((kk / 4) * n + j) * 4 + kk % 4] as i32
+                            })
+                            .sum();
+                        assert_eq!(out[r * n + j], want, "({r},{j})");
+                    }
+                    // Columns past `done` must be untouched.
+                    for j in done..n {
+                        assert_eq!(out[r * n + j], i32::MIN);
+                    }
+                }
+            }
+        }
+    }
+}

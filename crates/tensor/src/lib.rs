@@ -14,11 +14,16 @@
 //! buffers (see [`Workspace`]), with the allocating originals kept as thin
 //! wrappers. The GEMM hot path is pluggable (see [`kernels`]): a naive
 //! reference backend validates a cache-blocked, optionally rayon-parallel
-//! backend that is the default everywhere, with an explicit AVX2+FMA
-//! micro-kernel ([`kernels::simd`]) dispatched at runtime. `unsafe` is
-//! denied crate-wide and allowed only inside that one intrinsics module;
-//! correctness stays anchored to the oracle via property tests (and to
-//! finite-difference gradient checks one crate up).
+//! backend, with an explicit AVX2+FMA micro-kernel ([`kernels::simd`])
+//! dispatched at runtime; the default selection is [`kernels::autotune`],
+//! which benchmarks cache-block/thread candidates per shape class at
+//! first use. Quantized compute is first-class: [`QuantTensor`] carries
+//! affine-`u8` activations and [`kernels::int8`] multiplies them against
+//! per-channel `i8` weights in exact `i32` arithmetic (AVX2 `maddubs`
+//! path in [`kernels::simd_int8`]). `unsafe` is denied crate-wide and
+//! allowed only inside those two intrinsics modules; correctness stays
+//! anchored to the oracles via property tests (and to finite-difference
+//! gradient checks one crate up).
 //!
 //! # Examples
 //!
@@ -42,23 +47,25 @@ pub mod kernels;
 mod matmul;
 mod ops;
 mod pool;
+mod quant;
 mod reduce;
 mod tensor;
 mod workspace;
 
 pub use conv::{
     col2im, col2im_batch, col2im_batch_into, im2col, im2col_batch, im2col_batch_into,
-    nchw_to_posrows, nchw_to_posrows_into, posrows_to_nchw, Conv2dGeometry,
+    im2col_batch_u8_into, nchw_to_posrows, nchw_to_posrows_into, posrows_to_nchw, Conv2dGeometry,
 };
 pub use error::TensorError;
 pub use init::{he_normal, uniform_init, xavier_uniform};
-pub use kernels::{global_backend, set_global_backend, GemmBackend, KernelBackend};
+pub use kernels::{global_backend, host_cores, set_global_backend, GemmBackend, KernelBackend};
 pub use matmul::{
     matmul, matmul_a_bt, matmul_a_bt_into, matmul_a_bt_with, matmul_at_b, matmul_at_b_into,
     matmul_at_b_with, matmul_into, matmul_with, transpose2d, transpose2d_into,
 };
 pub use ops::{add, axpy, hadamard, sub};
 pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward};
+pub use quant::QuantTensor;
 pub use reduce::{argmax_rows, mean_all, softmax_rows, sum_all, sum_axis0, sum_axis0_acc};
 pub use tensor::Tensor;
 pub use workspace::{

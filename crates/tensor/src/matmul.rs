@@ -232,10 +232,11 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    const ALL_BACKENDS: [KernelBackend; 3] = [
+    const ALL_BACKENDS: [KernelBackend; 4] = [
         KernelBackend::Naive,
         KernelBackend::Blocked,
         KernelBackend::BlockedParallel,
+        KernelBackend::Auto,
     ];
 
     #[test]

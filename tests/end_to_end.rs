@@ -137,6 +137,51 @@ fn multi_block_training_respects_budget() {
     }
 }
 
+/// Quantized compute: training with the int8 cache codec *and* the int8
+/// GEMM regeneration path (`int8_compute`) lands within 1 accuracy point
+/// of the plain f32 run — the tentpole's accuracy acceptance criterion.
+/// The budget is chosen to force ≥ 2 blocks so frozen-block regeneration
+/// (the only path int8 compute touches) genuinely runs.
+#[test]
+fn int8_compute_accuracy_within_one_point_of_f32() {
+    use neuroflux_core::CodecKind;
+
+    let ds = SyntheticSpec::quick(3, 8, 480).with_noise(0.05).generate();
+    let spec = ModelSpec::tiny("int8e2e", 8, &[8, 8, 16], 3);
+
+    // Find a budget that yields at least two blocks for this model, so the
+    // int8 regeneration path actually feeds later-block training.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let base = (64u64..)
+        .map(|kb| NeuroFluxConfig::new(kb << 10, 16).with_epochs(3))
+        .take(8)
+        .chain((0..6).map(|i| NeuroFluxConfig::new(64 << (10 + i), 16).with_epochs(3)))
+        .find(|c| {
+            NeuroFluxTrainer::new(*c)
+                .plan(&mut rng, &spec)
+                .map(|blocks| blocks.len() >= 2)
+                .unwrap_or(false)
+        })
+        .expect("some budget must produce >= 2 blocks");
+
+    let run = |config: NeuroFluxConfig| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut outcome = NeuroFluxTrainer::new(config)
+            .train(&mut rng, &spec, &ds)
+            .unwrap();
+        outcome.selected_exit_accuracy(&ds.test).unwrap()
+    };
+    let f32_acc = run(base);
+    let int8_acc = run(base
+        .with_cache_codec(CodecKind::Int8Affine)
+        .with_int8_compute(true));
+    assert!(f32_acc > 0.5, "f32 run must beat chance: {f32_acc}");
+    assert!(
+        (int8_acc - f32_acc).abs() <= 0.01 + 1e-6,
+        "int8-compute accuracy {int8_acc} deviates more than 1pp from f32 {f32_acc}"
+    );
+}
+
 /// Determinism: two identical runs produce identical selected exits and
 /// identical parameters.
 #[test]
