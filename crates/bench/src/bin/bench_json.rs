@@ -1,6 +1,6 @@
 //! Machine-readable performance artifacts: `BENCH_gemm.json`,
-//! `BENCH_train_step.json`, `BENCH_federated.json`, and
-//! `BENCH_cache.json`.
+//! `BENCH_train_step.json`, `BENCH_federated.json`, `BENCH_cache.json`,
+//! and `BENCH_serve.json`.
 //!
 //! Criterion output is for eyes; this binary is for trend lines. It times
 //! the two numbers every perf PR must not regress — raw GEMM throughput
@@ -447,6 +447,101 @@ fn write_cache_artifact(smoke: bool) {
     );
 }
 
+/// Emits `BENCH_serve.json` by driving the early-exit inference server
+/// with the deterministic loadgen harness (`examples/serve.toml` shape;
+/// a smaller model and schedule under `--smoke`), and gates p99 latency
+/// against the committed artifact.
+fn write_serve_artifact(smoke: bool) {
+    use nf_cli::{RunConfig, Value};
+    let cfg = if smoke {
+        let doc = r#"
+[run]
+name = "serve-bench-smoke"
+seed = 17
+out_dir = "runs"
+
+[model]
+preset = "tiny"
+channels = [4, 8]
+
+[dataset]
+preset = "quick"
+classes = 3
+image_hw = 8
+train = 64
+
+[train]
+budget_mb = 16
+batch_limit = 8
+epochs_per_block = 1
+
+[loadgen]
+requests = 32
+connections = 2
+tier_weights = [1, 1, 1]
+"#;
+        RunConfig::from_value(&nf_cli::toml::parse(doc).expect("smoke serve config"))
+            .expect("smoke serve config")
+    } else {
+        let path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/serve.toml");
+        RunConfig::load(&path).expect("examples/serve.toml")
+    };
+    let report = nf_cli::loadgen::run_loadgen_inprocess(&cfg, true).expect("serve bench run");
+    assert_eq!(
+        report.ok + report.rejected,
+        report.requests,
+        "every scheduled request must be accounted for"
+    );
+
+    // p99 regression gate against the committed full-shape artifact.
+    // Read it before a full run overwrites it. Single-core hosts serialize
+    // the model, the batcher, and every client onto one core, so latency
+    // there measures scheduler contention, not the server — logged skip,
+    // same convention as the GEMM parallel-scaling gate.
+    let host_cores = nf_tensor::host_cores();
+    let committed = artifact_path("BENCH_serve", false);
+    if host_cores > 1 {
+        match nf_cli::json::parse_file(&committed) {
+            Ok(doc) => {
+                let old_p99 = doc
+                    .get("latency_us")
+                    .and_then(|l| l.get("p99"))
+                    .and_then(Value::as_int)
+                    .unwrap_or(0);
+                if old_p99 > 0 {
+                    let new_p99 = report.p99_us as i64;
+                    assert!(
+                        new_p99 <= old_p99 * 2,
+                        "serve p99 regressed: {new_p99} µs vs committed {old_p99} µs \
+                         (>2× with {host_cores} cores)"
+                    );
+                }
+            }
+            Err(_) => println!("skipping serve p99 gate: no committed BENCH_serve.json"),
+        }
+    } else {
+        println!("skipping serve p99 gate: single-core host");
+    }
+
+    write_and_check(
+        &artifact_path("BENCH_serve", smoke),
+        &report.to_value(),
+        &[
+            "kind",
+            "model",
+            "requests",
+            "ok",
+            "rejected",
+            "exit_hist",
+            "latency_us",
+            "rps",
+            "tiers",
+            "host_cores",
+        ],
+    );
+}
+
 /// Artifact path: always the workspace root (not the CWD), and smoke runs
 /// write `*.smoke.json` so the CI variant can never clobber the committed
 /// full-shape trend line.
@@ -645,4 +740,7 @@ fn main() {
 
     // --- Activation-cache codecs ---
     write_cache_artifact(smoke);
+
+    // --- Early-exit serving under load ---
+    write_serve_artifact(smoke);
 }

@@ -143,6 +143,75 @@ pub struct FederatedSection {
     pub seed: Option<u64>,
 }
 
+/// `[serve]`: knobs for the `nf serve` inference service (and the
+/// in-process server `nf loadgen` spins up). Every key has a default, so
+/// the section is optional.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSection {
+    /// Listen address; port 0 picks a free port (printed at startup).
+    pub addr: String,
+    /// Cascade exit threshold (max softmax probability).
+    pub threshold: f64,
+    /// Largest micro-batch formed per inference pass.
+    pub max_batch: usize,
+    /// Bounded request-queue capacity (admission control).
+    pub queue_capacity: usize,
+    /// How long the batcher waits for a batch to fill (µs), measured from
+    /// the oldest queued arrival.
+    pub batch_window_us: u64,
+    /// Queue deadline for `fast`-tier requests (µs).
+    pub fast_deadline_us: u64,
+    /// Queue deadline for `balanced`-tier requests (µs).
+    pub balanced_deadline_us: u64,
+    /// Queue deadline for `exact`-tier requests (µs).
+    pub exact_deadline_us: u64,
+    /// Whether a client may stop the server with a shutdown frame (the
+    /// in-process loadgen/test harness turns this on; defaults to off).
+    pub allow_shutdown: bool,
+}
+
+impl Default for ServeSection {
+    fn default() -> Self {
+        let p = neuroflux_core::ServePolicy::default();
+        ServeSection {
+            addr: "127.0.0.1:0".to_string(),
+            threshold: p.threshold as f64,
+            max_batch: p.max_batch,
+            queue_capacity: p.queue_capacity,
+            batch_window_us: p.batch_window_us,
+            fast_deadline_us: p.deadline_us[0],
+            balanced_deadline_us: p.deadline_us[1],
+            exact_deadline_us: p.deadline_us[2],
+            allow_shutdown: false,
+        }
+    }
+}
+
+/// `[loadgen]`: the deterministic load generator `nf loadgen` drives the
+/// server with. Every key has a default, so the section is optional.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadgenSection {
+    /// Total requests to send.
+    pub requests: usize,
+    /// Concurrent client connections (closed-loop each).
+    pub connections: usize,
+    /// Relative traffic weights for the `fast`/`balanced`/`exact` tiers.
+    pub tier_weights: [usize; 3],
+    /// Request-stream seed override (defaults to `[run].seed`).
+    pub seed: Option<u64>,
+}
+
+impl Default for LoadgenSection {
+    fn default() -> Self {
+        LoadgenSection {
+            requests: 256,
+            connections: 4,
+            tier_weights: [1, 1, 1],
+            seed: None,
+        }
+    }
+}
+
 /// `[sweep]`: device-budget sweep for `nf sweep` (runs the analytic
 /// `nf-memsim` models, not real training).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -180,6 +249,10 @@ pub struct RunConfig {
     pub sweep: Option<SweepSection>,
     /// `[federated]` section (required by `nf federated` only).
     pub federated: Option<FederatedSection>,
+    /// `[serve]` section (optional; defaults used by `nf serve`).
+    pub serve: Option<ServeSection>,
+    /// `[loadgen]` section (optional; defaults used by `nf loadgen`).
+    pub loadgen: Option<LoadgenSection>,
 }
 
 /// A table wrapper producing `[section].key`-qualified error messages.
@@ -483,6 +556,88 @@ impl RunConfig {
             None
         };
 
+        let serve = Section::of(root, "serve");
+        let serve = if serve.exists() {
+            let d = ServeSection::default();
+            let section = ServeSection {
+                addr: serve
+                    .get("addr")
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| serve.bad("addr", "a string"))
+                    })
+                    .transpose()?
+                    .unwrap_or(d.addr),
+                threshold: serve.f64_opt("threshold")?.unwrap_or(d.threshold),
+                max_batch: serve.usize_opt("max_batch")?.unwrap_or(d.max_batch),
+                queue_capacity: serve
+                    .usize_opt("queue_capacity")?
+                    .unwrap_or(d.queue_capacity),
+                batch_window_us: serve
+                    .u64_opt("batch_window_us")?
+                    .unwrap_or(d.batch_window_us),
+                fast_deadline_us: serve
+                    .u64_opt("fast_deadline_us")?
+                    .unwrap_or(d.fast_deadline_us),
+                balanced_deadline_us: serve
+                    .u64_opt("balanced_deadline_us")?
+                    .unwrap_or(d.balanced_deadline_us),
+                exact_deadline_us: serve
+                    .u64_opt("exact_deadline_us")?
+                    .unwrap_or(d.exact_deadline_us),
+                allow_shutdown: serve.bool_or("allow_shutdown", false)?,
+            };
+            if !(section.threshold.is_finite() && section.threshold > 0.0) {
+                return Err(CliError::config(
+                    "serve.threshold",
+                    "must be a finite number > 0",
+                ));
+            }
+            if section.max_batch == 0 {
+                return Err(CliError::config("serve.max_batch", "must be > 0"));
+            }
+            if section.queue_capacity == 0 {
+                return Err(CliError::config("serve.queue_capacity", "must be > 0"));
+            }
+            Some(section)
+        } else {
+            None
+        };
+
+        let loadgen = Section::of(root, "loadgen");
+        let loadgen = if loadgen.exists() {
+            let d = LoadgenSection::default();
+            let weights = match loadgen.usize_array_opt("tier_weights")? {
+                None => d.tier_weights,
+                Some(w) => {
+                    if w.len() != 3 || w.iter().sum::<usize>() == 0 {
+                        return Err(CliError::config(
+                            "loadgen.tier_weights",
+                            "must be three non-negative integers (fast, balanced, exact) \
+                             that do not all vanish",
+                        ));
+                    }
+                    [w[0], w[1], w[2]]
+                }
+            };
+            let section = LoadgenSection {
+                requests: loadgen.usize_opt("requests")?.unwrap_or(d.requests),
+                connections: loadgen.usize_opt("connections")?.unwrap_or(d.connections),
+                tier_weights: weights,
+                seed: loadgen.u64_opt("seed")?,
+            };
+            if section.requests == 0 {
+                return Err(CliError::config("loadgen.requests", "must be > 0"));
+            }
+            if section.connections == 0 {
+                return Err(CliError::config("loadgen.connections", "must be > 0"));
+            }
+            Some(section)
+        } else {
+            None
+        };
+
         let config = RunConfig {
             run,
             model,
@@ -492,6 +647,8 @@ impl RunConfig {
             baseline,
             sweep,
             federated,
+            serve,
+            loadgen,
         };
         // Resolution validates the cross-section constraints (model fits
         // dataset geometry, NeuroFlux config sanity) up front.
@@ -605,6 +762,40 @@ impl RunConfig {
                 federated.insert("seed", Value::Int(seed as i64));
             }
             root.insert("federated", federated);
+        }
+        if let Some(s) = &self.serve {
+            let mut serve = Table::new();
+            serve.insert("addr", Value::Str(s.addr.clone()));
+            serve.insert("threshold", Value::Float(s.threshold));
+            serve.insert("max_batch", Value::Int(s.max_batch as i64));
+            serve.insert("queue_capacity", Value::Int(s.queue_capacity as i64));
+            serve.insert("batch_window_us", Value::Int(s.batch_window_us as i64));
+            serve.insert("fast_deadline_us", Value::Int(s.fast_deadline_us as i64));
+            serve.insert(
+                "balanced_deadline_us",
+                Value::Int(s.balanced_deadline_us as i64),
+            );
+            serve.insert("exact_deadline_us", Value::Int(s.exact_deadline_us as i64));
+            serve.insert("allow_shutdown", Value::Bool(s.allow_shutdown));
+            root.insert("serve", serve);
+        }
+        if let Some(l) = &self.loadgen {
+            let mut loadgen = Table::new();
+            loadgen.insert("requests", Value::Int(l.requests as i64));
+            loadgen.insert("connections", Value::Int(l.connections as i64));
+            loadgen.insert(
+                "tier_weights",
+                Value::Array(
+                    l.tier_weights
+                        .iter()
+                        .map(|&w| Value::Int(w as i64))
+                        .collect(),
+                ),
+            );
+            if let Some(seed) = l.seed {
+                loadgen.insert("seed", Value::Int(seed as i64));
+            }
+            root.insert("loadgen", loadgen);
         }
         root.build()
     }
@@ -740,6 +931,37 @@ impl RunConfig {
         let model = self.resolve_model(&dataset)?;
         let config = self.resolve_train()?;
         Ok((model, dataset, config))
+    }
+
+    /// The `[serve]` section, or its documented defaults.
+    pub fn serve(&self) -> ServeSection {
+        self.serve.clone().unwrap_or_default()
+    }
+
+    /// The `[loadgen]` section, or its documented defaults.
+    pub fn loadgen(&self) -> LoadgenSection {
+        self.loadgen.clone().unwrap_or_default()
+    }
+
+    /// Resolves the `[serve]` section (or its defaults) into the core
+    /// serving policy.
+    pub fn resolve_serve(&self) -> Result<neuroflux_core::ServePolicy> {
+        let s = self.serve();
+        let policy = neuroflux_core::ServePolicy {
+            threshold: s.threshold as f32,
+            max_batch: s.max_batch,
+            queue_capacity: s.queue_capacity,
+            batch_window_us: s.batch_window_us,
+            deadline_us: [
+                s.fast_deadline_us,
+                s.balanced_deadline_us,
+                s.exact_deadline_us,
+            ],
+        };
+        policy
+            .validate()
+            .map_err(|e| CliError::config("serve", e.to_string()))?;
+        Ok(policy)
     }
 
     /// The `[baseline]` section, or its documented defaults.
@@ -996,6 +1218,71 @@ kernel_backend = "naive"
             .unwrap_err()
             .to_string();
         assert!(err.contains("int8_compute"), "{err}");
+    }
+
+    #[test]
+    fn serve_and_loadgen_sections_parse_resolve_and_round_trip() {
+        let doc = format!(
+            "{}\n[serve]\naddr = \"127.0.0.1:9000\"\nthreshold = 0.9\nmax_batch = 4\n\
+             queue_capacity = 16\nbatch_window_us = 250\nfast_deadline_us = 1000\n\
+             balanced_deadline_us = 2000\nexact_deadline_us = 3000\nallow_shutdown = true\n\
+             \n[loadgen]\nrequests = 32\nconnections = 2\ntier_weights = [2, 1, 1]\nseed = 7\n",
+            quickstart_toml()
+        );
+        let cfg = parse_config(&doc);
+        let s = cfg.serve();
+        assert_eq!(s.addr, "127.0.0.1:9000");
+        assert_eq!(
+            (s.max_batch, s.queue_capacity, s.batch_window_us),
+            (4, 16, 250)
+        );
+        assert!(s.allow_shutdown);
+        let policy = cfg.resolve_serve().unwrap();
+        assert_eq!(policy.threshold, 0.9f32);
+        assert_eq!(policy.deadline_us, [1000, 2000, 3000]);
+        let lg = cfg.loadgen();
+        assert_eq!((lg.requests, lg.connections), (32, 2));
+        assert_eq!(lg.tier_weights, [2, 1, 1]);
+        assert_eq!(lg.seed, Some(7));
+        // Snapshot round-trip covers both sections.
+        let rendered = cfg.to_value().to_toml();
+        assert_eq!(parse_config(&rendered), cfg, "snapshot:\n{rendered}");
+        // No sections → defaults, and the snapshot fixed point holds.
+        let cfg = parse_config(quickstart_toml());
+        assert!(cfg.serve.is_none() && cfg.loadgen.is_none());
+        let s = cfg.serve();
+        assert_eq!(
+            s.max_batch,
+            neuroflux_core::ServePolicy::default().max_batch
+        );
+        assert_eq!(cfg.loadgen().seed, None);
+        let rendered = cfg.to_value().to_toml();
+        assert_eq!(parse_config(&rendered), cfg, "snapshot:\n{rendered}");
+    }
+
+    #[test]
+    fn serve_and_loadgen_bad_values_are_typed_errors() {
+        for (snippet, path) in [
+            ("[serve]\nthreshold = 0.0\n", "serve.threshold"),
+            ("[serve]\nthreshold = -1.5\n", "serve.threshold"),
+            ("[serve]\nmax_batch = 0\n", "serve.max_batch"),
+            ("[serve]\nqueue_capacity = 0\n", "serve.queue_capacity"),
+            ("[loadgen]\nrequests = 0\n", "loadgen.requests"),
+            ("[loadgen]\nconnections = 0\n", "loadgen.connections"),
+            ("[loadgen]\ntier_weights = [1, 2]\n", "loadgen.tier_weights"),
+            (
+                "[loadgen]\ntier_weights = [0, 0, 0]\n",
+                "loadgen.tier_weights",
+            ),
+        ] {
+            let err = crate::toml::parse(&format!("{}\n{snippet}", quickstart_toml()))
+                .and_then(|v| RunConfig::from_value(&v))
+                .unwrap_err();
+            match &err {
+                CliError::Config { path: p, .. } => assert_eq!(p, path, "{err}"),
+                other => panic!("expected typed config error for {path}, got {other}"),
+            }
+        }
     }
 
     #[test]

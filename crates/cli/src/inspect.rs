@@ -45,6 +45,7 @@ pub fn run_inspect(path: &Path) -> Result<String> {
         "sweep" => Ok(render_sweep(&metrics)),
         "baseline" => Ok(render_baseline(&metrics)),
         "federated" => Ok(render_federated(&metrics)),
+        "serve" => Ok(render_serve(&metrics)),
         other => Err(CliError::new(format!(
             "metrics.json has unknown kind {other:?}"
         ))),
@@ -162,6 +163,91 @@ fn render_federated(m: &Value) -> String {
         }
     }
     render_cache_section(&mut out, m);
+    out
+}
+
+fn render_serve(m: &Value) -> String {
+    let mut out = String::new();
+    let model = m.get("model").and_then(Value::as_str).unwrap_or("?");
+    let n_units = m.get("n_units").and_then(Value::as_int).unwrap_or(0);
+    let cores = m.get("host_cores").and_then(Value::as_int).unwrap_or(1);
+    let _ = writeln!(
+        out,
+        "# Serving `{model}` — early-exit inference load test ({n_units} exit \
+         heads, {cores} core(s))\n"
+    );
+    let int = |key: &str| m.get(key).and_then(Value::as_int).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "{} requests over {} connections (schedule seed {}): {} served, \
+         {} rejected.",
+        int("requests"),
+        int("connections"),
+        int("seed"),
+        int("ok"),
+        int("rejected"),
+    );
+    if let Some(rps) = m.get("rps").and_then(Value::as_float) {
+        let _ = writeln!(out, "Throughput: {rps:.1} requests/s.\n");
+    }
+    if let Some(lat) = m.get("latency_us") {
+        let l = |key: &str| lat.get(key).and_then(Value::as_int).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "Client latency: p50 {} µs, p95 {} µs, p99 {} µs.\n",
+            l("p50"),
+            l("p95"),
+            l("p99")
+        );
+    }
+    if let Some(hist) = m.get("exit_hist").and_then(Value::as_array) {
+        let _ = writeln!(out, "## Exit-depth histogram\n");
+        let _ = writeln!(out, "| exit head | served |");
+        let _ = writeln!(out, "|---|---|");
+        for (i, count) in hist.iter().enumerate() {
+            let _ = writeln!(out, "| {i} | {} |", count.as_int().unwrap_or(0));
+        }
+        let _ = writeln!(out);
+    }
+    if let Some(tiers) = m.get("tiers").and_then(Value::as_array) {
+        let _ = writeln!(out, "## SLO tiers\n");
+        let _ = writeln!(
+            out,
+            "| tier | max exit | deadline (µs) | requests | ok | rejected | \
+             p50 (µs) | p99 (µs) |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+        for t in tiers {
+            let ti = |key: &str| t.get(key).and_then(Value::as_int).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} | {} |",
+                t.get("tier").and_then(Value::as_str).unwrap_or("?"),
+                ti("max_exit"),
+                ti("deadline_us"),
+                ti("requests"),
+                ti("ok"),
+                ti("rejected"),
+                ti("p50_us"),
+                ti("p99_us"),
+            );
+        }
+        let _ = writeln!(out);
+    }
+    if let Some(rej) = m.get("rejected_by_reason").and_then(Value::entries) {
+        if !rej.is_empty() {
+            let _ = writeln!(out, "Rejections by reason:");
+            for (name, count) in rej {
+                let _ = writeln!(out, "- {name}: {}", count.as_int().unwrap_or(0));
+            }
+            let _ = writeln!(out);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "The exit histogram and per-tier request counts are deterministic \
+         for this config; latency and throughput depend on the host."
+    );
     out
 }
 

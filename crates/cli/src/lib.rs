@@ -10,6 +10,8 @@
 //! nf baseline  <bp|ll|fa|sp> <config> [--quiet]       # comparison trainers
 //! nf federated <config> [--quiet]                     # parallel FedAvg engine
 //! nf sweep     <config> [--quiet]                     # nf-memsim budget sweep
+//! nf serve     <config> [--quiet]                     # early-exit inference service
+//! nf loadgen   <config> [--addr=..] [--out=..]        # deterministic load generator
 //! nf inspect   <run-dir>                              # paper-vs-measured report
 //! ```
 //!
@@ -32,8 +34,11 @@ pub mod error;
 pub mod federated;
 pub mod inspect;
 pub mod json;
+pub mod loadgen;
 pub mod progress;
+pub mod proto;
 pub mod rundir;
+pub mod serve;
 pub mod sweep;
 pub mod toml;
 pub mod train;
@@ -44,7 +49,9 @@ pub use config::RunConfig;
 pub use error::{CliError, Result};
 pub use federated::run_federated_cmd;
 pub use inspect::run_inspect;
+pub use loadgen::{run_loadgen, LoadgenOptions, LoadgenReport};
 pub use rundir::RunDir;
+pub use serve::{run_serve, start_server, start_server_with_engine, ServerHandle};
 pub use sweep::run_sweep;
 pub use train::{run_train, TrainOptions, TrainSummary};
 pub use value::{Table, Value};

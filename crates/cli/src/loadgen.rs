@@ -1,0 +1,446 @@
+//! `nf loadgen <config>`: a deterministic closed-loop load generator for
+//! `nf serve`, emitting the committed `BENCH_serve.json` artifact.
+//!
+//! Determinism is the point: the request *schedule* is a pure function of
+//! the config — request `k` carries test-split sample `k % test.len()`
+//! under SLO tier `weighted_pick(splitmix64(seed, k))`, issued closed-loop
+//! over `connections` connections (request `k` on connection
+//! `k % connections`). Since the served model is itself trained
+//! deterministically from the config, the exit-depth histogram and every
+//! per-request prediction are reproducible bit for bit; only wall-clock
+//! latencies vary run to run. `BENCH_serve.json` therefore separates the
+//! deterministic fields (exit histogram, per-tier request counts) from the
+//! host-dependent ones (latency percentiles, requests/sec, `host_cores`).
+
+use crate::config::RunConfig;
+use crate::error::{CliError, Result};
+use crate::proto::{self, RejectReason, Request, Response};
+use crate::serve::{build_engine, start_server_with_engine};
+use crate::value::{Table, Value};
+use neuroflux_core::serve::{percentile_us, splitmix64};
+use neuroflux_core::SloTier;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// CLI options for `nf loadgen`.
+#[derive(Debug, Default)]
+pub struct LoadgenOptions {
+    /// Target an already-running server instead of self-hosting one.
+    /// The config must match the one the server was started from.
+    pub addr: Option<String>,
+    /// Where to write the benchmark artifact (default `BENCH_serve.json`).
+    pub out: Option<PathBuf>,
+    /// Suppress progress output.
+    pub quiet: bool,
+}
+
+/// One request's fate, as observed by the client.
+#[derive(Debug, Clone, Copy)]
+enum Outcome {
+    Ok {
+        exit: usize,
+        latency_us: u64,
+    },
+    Rejected {
+        reason: RejectReason,
+        latency_us: u64,
+    },
+}
+
+/// A pre-planned request (the deterministic schedule).
+struct Job {
+    seq: u64,
+    tier: SloTier,
+    sample: usize,
+}
+
+/// Per-tier aggregate statistics.
+#[derive(Debug, Clone)]
+pub struct TierStats {
+    /// The SLO tier.
+    pub tier: SloTier,
+    /// Deepest exit head this tier may use.
+    pub max_exit: usize,
+    /// Queue deadline for this tier, microseconds.
+    pub deadline_us: u64,
+    /// Requests issued under this tier.
+    pub requests: usize,
+    /// Requests served.
+    pub ok: usize,
+    /// Requests rejected (any reason).
+    pub rejected: usize,
+    /// Median client-observed latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile client-observed latency, microseconds.
+    pub p99_us: u64,
+    /// Exit-depth histogram for this tier's served requests.
+    pub exit_hist: Vec<usize>,
+}
+
+/// Aggregated results of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Served model name.
+    pub model: String,
+    /// Number of exit heads in the served model.
+    pub n_units: usize,
+    /// Total requests issued.
+    pub requests: usize,
+    /// Client connections used.
+    pub connections: usize,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Requests served end to end.
+    pub ok: usize,
+    /// Requests rejected (admission, deadline, shutdown, bad input).
+    pub rejected: usize,
+    /// Rejection counts by reason name.
+    pub rejected_by_reason: Vec<(String, usize)>,
+    /// Exit-depth histogram over all served requests (index = exit head).
+    pub exit_hist: Vec<usize>,
+    /// Median client-observed latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Completed requests per second of wall clock.
+    pub rps: f64,
+    /// Per-tier breakdown, in `SloTier::ALL` order.
+    pub tiers: Vec<TierStats>,
+    /// Cores on the host that produced the latency numbers.
+    pub host_cores: usize,
+}
+
+impl LoadgenReport {
+    /// Renders the report as the `BENCH_serve.json` document.
+    pub fn to_value(&self) -> Value {
+        let mut t = Table::new();
+        t.insert("kind", Value::Str("serve".into()));
+        t.insert("model", Value::Str(self.model.clone()));
+        t.insert("n_units", Value::Int(self.n_units as i64));
+        t.insert("requests", Value::Int(self.requests as i64));
+        t.insert("connections", Value::Int(self.connections as i64));
+        t.insert("seed", Value::Int(self.seed as i64));
+        t.insert("ok", Value::Int(self.ok as i64));
+        t.insert("rejected", Value::Int(self.rejected as i64));
+        let mut rej = Table::new();
+        for (name, count) in &self.rejected_by_reason {
+            rej.insert(name, Value::Int(*count as i64));
+        }
+        t.insert("rejected_by_reason", rej.build());
+        t.insert(
+            "exit_hist",
+            Value::Array(
+                self.exit_hist
+                    .iter()
+                    .map(|&c| Value::Int(c as i64))
+                    .collect(),
+            ),
+        );
+        let mut lat = Table::new();
+        lat.insert("p50", Value::Int(self.p50_us as i64));
+        lat.insert("p95", Value::Int(self.p95_us as i64));
+        lat.insert("p99", Value::Int(self.p99_us as i64));
+        t.insert("latency_us", lat.build());
+        t.insert("rps", Value::Float(self.rps));
+        let tiers = self
+            .tiers
+            .iter()
+            .map(|s| {
+                let mut tt = Table::new();
+                tt.insert("tier", Value::Str(s.tier.name().into()));
+                tt.insert("max_exit", Value::Int(s.max_exit as i64));
+                tt.insert("deadline_us", Value::Int(s.deadline_us as i64));
+                tt.insert("requests", Value::Int(s.requests as i64));
+                tt.insert("ok", Value::Int(s.ok as i64));
+                tt.insert("rejected", Value::Int(s.rejected as i64));
+                tt.insert("p50_us", Value::Int(s.p50_us as i64));
+                tt.insert("p99_us", Value::Int(s.p99_us as i64));
+                tt.insert(
+                    "exit_hist",
+                    Value::Array(s.exit_hist.iter().map(|&c| Value::Int(c as i64)).collect()),
+                );
+                tt.build()
+            })
+            .collect();
+        t.insert("tiers", Value::Array(tiers));
+        t.insert("host_cores", Value::Int(self.host_cores as i64));
+        t.build()
+    }
+}
+
+/// Picks a tier from `weights` using the schedule PRNG draw `bits`.
+fn pick_tier(bits: u64, weights: &[usize; 3]) -> SloTier {
+    let total: usize = weights.iter().sum::<usize>().max(1);
+    let mut r = (bits % total as u64) as usize;
+    for (i, &w) in weights.iter().enumerate() {
+        if r < w {
+            return SloTier::ALL[i];
+        }
+        r -= w;
+    }
+    SloTier::Exact
+}
+
+/// Builds the deterministic request schedule for `cfg`.
+fn build_jobs(cfg: &RunConfig, n_samples: usize, seed: u64) -> Vec<Job> {
+    let lg = cfg.loadgen();
+    (0..lg.requests as u64)
+        .map(|k| Job {
+            seq: k,
+            tier: pick_tier(splitmix64(seed, k), &lg.tier_weights),
+            sample: (k as usize) % n_samples.max(1),
+        })
+        .collect()
+}
+
+/// Sends `jobs` over one connection, closed-loop, returning each
+/// request's outcome in order.
+fn run_client(
+    addr: &str,
+    jobs: &[Job],
+    images: &[f32],
+    pixels_per_sample: usize,
+) -> Result<Vec<(u64, SloTier, Outcome)>> {
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| CliError::new(format!("connecting to serve at {addr}: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    let mut out = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let start = job.sample * pixels_per_sample;
+        let pixels = images[start..start + pixels_per_sample].to_vec();
+        let frame = proto::encode_request(&Request::Infer {
+            id: job.seq,
+            tier: job.tier,
+            pixels,
+        });
+        let t0 = Instant::now();
+        proto::write_frame(&mut stream, &frame)
+            .map_err(|e| CliError::new(format!("sending request {}: {e}", job.seq)))?;
+        let payload = proto::read_frame(&mut stream)
+            .map_err(|e| CliError::new(format!("reading reply to {}: {e}", job.seq)))?
+            .ok_or_else(|| {
+                CliError::new(format!(
+                    "server closed the connection before reply {}",
+                    job.seq
+                ))
+            })?;
+        let latency_us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let resp = proto::decode_response(&payload)
+            .map_err(|e| CliError::new(format!("decoding reply to {}: {e}", job.seq)))?;
+        let outcome = match resp {
+            Response::Infer { id, exit, .. } => {
+                if id != job.seq {
+                    return Err(CliError::new(format!(
+                        "reply id {id} does not match request {}",
+                        job.seq
+                    )));
+                }
+                Outcome::Ok {
+                    exit: exit as usize,
+                    latency_us,
+                }
+            }
+            Response::Rejected { id, reason } => {
+                if id != job.seq {
+                    return Err(CliError::new(format!(
+                        "rejection id {id} does not match request {}",
+                        job.seq
+                    )));
+                }
+                Outcome::Rejected { reason, latency_us }
+            }
+            Response::Error { message } => {
+                return Err(CliError::new(format!("server error: {message}")))
+            }
+            other => {
+                return Err(CliError::new(format!(
+                    "unexpected reply to an infer request: {other:?}"
+                )))
+            }
+        };
+        out.push((job.seq, job.tier, outcome));
+    }
+    Ok(out)
+}
+
+/// Runs the load against `addr` and aggregates the results. The server
+/// must be serving the model described by `cfg`.
+pub fn run_load(cfg: &RunConfig, addr: &str, model: &str, n_units: usize) -> Result<LoadgenReport> {
+    let (_spec, data_spec, _nf) = cfg.resolve()?;
+    let data = data_spec.generate();
+    let test = &data.test;
+    if test.is_empty() {
+        return Err(CliError::config("data", "test split is empty"));
+    }
+    let pixels_per_sample: usize = test.images().shape()[1..].iter().product();
+    let lg = cfg.loadgen();
+    let seed = lg.seed.unwrap_or(cfg.run.seed);
+    let jobs = build_jobs(cfg, test.len(), seed);
+    let connections = lg.connections.max(1);
+
+    // Partition jobs round-robin over connections, preserving order
+    // within each connection.
+    let mut per_conn: Vec<Vec<Job>> = (0..connections).map(|_| Vec::new()).collect();
+    for job in jobs {
+        let c = (job.seq as usize) % connections;
+        per_conn[c].push(job);
+    }
+
+    let wall = Instant::now();
+    let images = test.images().data();
+    let mut outcomes: Vec<(u64, SloTier, Outcome)> = Vec::with_capacity(lg.requests);
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        for conn_jobs in &per_conn {
+            handles
+                .push(scope.spawn(move || run_client(addr, conn_jobs, images, pixels_per_sample)));
+        }
+        for h in handles {
+            let batch = h
+                .join()
+                .map_err(|_| CliError::new("a loadgen client thread panicked"))??;
+            outcomes.extend(batch);
+        }
+        Ok(())
+    })?;
+    let wall_secs = wall.elapsed().as_secs_f64().max(1e-9);
+    outcomes.sort_by_key(|(seq, _, _)| *seq);
+
+    let policy = cfg.resolve_serve()?;
+    let mut exit_hist = vec![0usize; n_units];
+    let mut all_lat: Vec<u64> = Vec::with_capacity(outcomes.len());
+    let mut rejected_by_reason: Vec<(String, usize)> = Vec::new();
+    let mut ok = 0usize;
+    let mut rejected = 0usize;
+    let mut tiers: Vec<TierStats> = SloTier::ALL
+        .iter()
+        .map(|&tier| TierStats {
+            tier,
+            max_exit: tier.max_exit(n_units),
+            deadline_us: policy.deadline_us(tier),
+            requests: 0,
+            ok: 0,
+            rejected: 0,
+            p50_us: 0,
+            p99_us: 0,
+            exit_hist: vec![0; n_units],
+        })
+        .collect();
+    let mut tier_lats: Vec<Vec<u64>> = vec![Vec::new(); SloTier::ALL.len()];
+    for &(_, tier, outcome) in &outcomes {
+        let ti = tier.index();
+        tiers[ti].requests += 1;
+        match outcome {
+            Outcome::Ok { exit, latency_us } => {
+                ok += 1;
+                tiers[ti].ok += 1;
+                if exit < n_units {
+                    exit_hist[exit] += 1;
+                    tiers[ti].exit_hist[exit] += 1;
+                }
+                all_lat.push(latency_us);
+                tier_lats[ti].push(latency_us);
+            }
+            Outcome::Rejected { reason, latency_us } => {
+                rejected += 1;
+                tiers[ti].rejected += 1;
+                all_lat.push(latency_us);
+                tier_lats[ti].push(latency_us);
+                let name = reason.name().to_string();
+                match rejected_by_reason.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, c)) => *c += 1,
+                    None => rejected_by_reason.push((name, 1)),
+                }
+            }
+        }
+    }
+    all_lat.sort_unstable();
+    for (ti, lats) in tier_lats.iter_mut().enumerate() {
+        lats.sort_unstable();
+        tiers[ti].p50_us = percentile_us(lats, 0.50);
+        tiers[ti].p99_us = percentile_us(lats, 0.99);
+    }
+
+    Ok(LoadgenReport {
+        model: model.to_string(),
+        n_units,
+        requests: lg.requests,
+        connections,
+        seed,
+        ok,
+        rejected,
+        rejected_by_reason,
+        exit_hist,
+        p50_us: percentile_us(&all_lat, 0.50),
+        p95_us: percentile_us(&all_lat, 0.95),
+        p99_us: percentile_us(&all_lat, 0.99),
+        rps: (ok + rejected) as f64 / wall_secs,
+        tiers,
+        host_cores: nf_tensor::host_cores(),
+    })
+}
+
+/// Runs the full loadgen flow in-process: train + serve the config's
+/// model on an ephemeral port, drive the schedule, shut the server down,
+/// and return the aggregated report. This is what `nf loadgen` (without
+/// `--addr`) and the benchmark smoke path use.
+pub fn run_loadgen_inprocess(cfg: &RunConfig, quiet: bool) -> Result<LoadgenReport> {
+    let engine = build_engine(cfg, quiet)?;
+    let model = engine.model_name().to_string();
+    let n_units = engine.n_units();
+    let handle = start_server_with_engine(engine, cfg.resolve_serve()?, "127.0.0.1:0", false)?;
+    let addr = handle.addr.to_string();
+    let report = run_load(cfg, &addr, &model, n_units);
+    handle.stop();
+    report
+}
+
+/// Executes `nf loadgen <config>` and writes the benchmark artifact.
+pub fn run_loadgen(cfg: &RunConfig, opts: &LoadgenOptions) -> Result<LoadgenReport> {
+    let report = match &opts.addr {
+        Some(addr) => {
+            // Against an external server we still need the model's shape;
+            // resolve it from the (matching) config without training.
+            let (spec, _, _) = cfg.resolve()?;
+            let n_units = spec.num_units();
+            let name = spec.name.clone();
+            run_load(cfg, addr, &name, n_units)?
+        }
+        None => run_loadgen_inprocess(cfg, opts.quiet)?,
+    };
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_serve.json"));
+    let metrics = report.to_value();
+    let mut text = metrics.to_json();
+    text.push('\n');
+    std::fs::write(&out, text)
+        .map_err(|e| CliError::new(format!("writing {}: {e}", out.display())))?;
+    // Also persist an inspectable run directory, like every other command.
+    let run_dir =
+        crate::rundir::RunDir::create(&cfg.run.out_dir, &format!("{}-serve", cfg.run.name))?;
+    run_dir.write_config(cfg)?;
+    run_dir.write_metrics(&metrics)?;
+    if !opts.quiet {
+        println!(
+            "loadgen: {} requests over {} connections — {} ok, {} rejected, \
+             {:.1} req/s, p50/p95/p99 {}/{}/{} µs",
+            report.requests,
+            report.connections,
+            report.ok,
+            report.rejected,
+            report.rps,
+            report.p50_us,
+            report.p95_us,
+            report.p99_us
+        );
+        println!("  exit histogram: {:?}", report.exit_hist);
+        println!("  wrote {}", out.display());
+        println!("inspect it with: nf inspect {}", run_dir.root().display());
+    }
+    Ok(report)
+}

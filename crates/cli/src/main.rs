@@ -1,8 +1,8 @@
 //! The `nf` binary: thin argv parsing over the `nf-cli` library.
 
 use nf_cli::{
-    run_baseline, run_federated_cmd, run_inspect, run_sweep, run_train, Paradigm, RunConfig,
-    TrainOptions,
+    run_baseline, run_federated_cmd, run_inspect, run_loadgen, run_serve, run_sweep, run_train,
+    LoadgenOptions, Paradigm, RunConfig, TrainOptions,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -15,8 +15,17 @@ USAGE:
     nf baseline <bp|ll|fa|sp> <config.toml> [--quiet]
     nf federated <config.toml> [--force] [--quiet]
     nf sweep <config.toml> [--quiet]
+    nf serve <config.toml> [--quiet]
+    nf loadgen <config.toml> [--addr=HOST:PORT] [--out=PATH] [--quiet]
     nf inspect <run-dir>
     nf help
+
+serve trains the config's model in-process and serves early-exit
+inference over a length-prefixed TCP protocol (see [serve] in the
+config: SLO deadlines, batch window, queue capacity). loadgen drives a
+server with a deterministic, seeded request schedule and writes a
+BENCH_serve.json latency/exit-histogram artifact; without --addr it
+hosts the server itself on an ephemeral port.
 
 Runs are written to <out_dir>/<name>/ (config snapshot, metrics.json,
 checkpoint, activation cache). See DESIGN.md for the config schema and
@@ -38,11 +47,15 @@ fn dispatch(args: &[String]) -> nf_cli::Result<()> {
     let mut resume = false;
     let mut force = false;
     let mut quiet = false;
+    let mut addr = None;
+    let mut out = None;
     for arg in args {
         match arg.as_str() {
             "--resume" => resume = true,
             "--force" => force = true,
             "--quiet" | "-q" => quiet = true,
+            a if a.starts_with("--addr=") => addr = Some(a["--addr=".len()..].to_string()),
+            a if a.starts_with("--out=") => out = Some(a["--out=".len()..].to_string()),
             "--help" | "-h" | "help" => {
                 println!("{USAGE}");
                 return Ok(());
@@ -127,6 +140,26 @@ fn dispatch(args: &[String]) -> nf_cli::Result<()> {
             if !quiet {
                 println!("run complete: {}", run_dir.root().display());
             }
+            Ok(())
+        }
+        Some("serve") => {
+            let config_path = positional
+                .get(1)
+                .ok_or_else(|| nf_cli::CliError::new("usage: nf serve <config.toml>"))?;
+            let cfg = RunConfig::load(Path::new(config_path))?;
+            run_serve(&cfg, quiet)
+        }
+        Some("loadgen") => {
+            let config_path = positional.get(1).ok_or_else(|| {
+                nf_cli::CliError::new("usage: nf loadgen <config.toml> [--addr=HOST:PORT]")
+            })?;
+            let cfg = RunConfig::load(Path::new(config_path))?;
+            let opts = LoadgenOptions {
+                addr,
+                out: out.map(std::path::PathBuf::from),
+                quiet,
+            };
+            run_loadgen(&cfg, &opts)?;
             Ok(())
         }
         Some("inspect") => {

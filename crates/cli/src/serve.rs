@@ -1,0 +1,529 @@
+//! `nf serve <config>`: the early-exit inference service.
+//!
+//! Architecture (all std, no async runtime — vendored deps only):
+//!
+//! ```text
+//! accept loop ──spawns──▶ connection threads ──submit──▶ bounded queue
+//!   (non-blocking poll)     (frame parse, admission)       (MicroBatcher)
+//!                                                              │
+//!                              responses ◀──route─── batcher thread
+//!                                                    (micro-batch → capped
+//!                                                     cascade → replies)
+//! ```
+//!
+//! - One reader thread per connection parses length-prefixed frames and
+//!   performs **admission control** inline: full queue → immediate
+//!   `queue-full` rejection; wrong pixel count → `bad-input`; malformed
+//!   frame → a typed error reply, then the connection closes. A broken
+//!   connection never touches the accept loop or other clients.
+//! - The **batcher thread** owns the model. It waits up to
+//!   `batch_window_us` for a batch to fill, pops FIFO, rejects requests
+//!   whose tier deadline lapsed in the queue, and runs the rest through
+//!   [`neuroflux_core::ServeEngine`] — easy inputs exit at shallow heads,
+//!   `fast`-tier requests are force-exited at their depth cap.
+//! - Responses are routed back over each request's own connection; a
+//!   client that disconnected mid-request is simply dropped (the write
+//!   fails, nothing panics or wedges).
+//!
+//! The model is trained in-process from the config at startup (seeded by
+//! `[run].seed`), so a given config always serves the identical model —
+//! the determinism the serve tests pin.
+
+use crate::config::RunConfig;
+use crate::error::{CliError, Result};
+use crate::proto::{self, RejectReason, Request, Response};
+use neuroflux_core::serve::{Clock, MicroBatcher, SystemClock};
+use neuroflux_core::{NeuroFluxTrainer, ServeEngine, ServePolicy, ServeRequest};
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Trains the serving model in-process from `cfg` (seeded by
+/// `[run].seed`) and wraps it in a [`ServeEngine`] with the configured
+/// exit threshold. Deterministic: the same config always yields the same
+/// engine, bit for bit.
+pub fn build_engine(cfg: &RunConfig, quiet: bool) -> Result<ServeEngine> {
+    let (spec, data_spec, nf_config) = cfg.resolve()?;
+    let data = data_spec.generate();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.run.seed);
+    if !quiet {
+        println!(
+            "training {} ({} exit heads) for serving, seed {} ...",
+            spec.name,
+            spec.num_units(),
+            cfg.run.seed
+        );
+    }
+    let outcome = NeuroFluxTrainer::new(nf_config)
+        .train(&mut rng, &spec, &data)
+        .map_err(|e| CliError::new(format!("training the serving model: {e}")))?;
+    ServeEngine::new(
+        outcome.model,
+        outcome.aux_heads,
+        cfg.serve().threshold as f32,
+    )
+    .map_err(|e| CliError::new(e.to_string()))
+}
+
+/// A response route: which connection a served request goes back on.
+struct Route {
+    client_id: u64,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+/// State shared between the accept loop, connection threads, and the
+/// batcher thread.
+struct Shared {
+    queue: Mutex<MicroBatcher>,
+    queue_cv: Condvar,
+    routes: Mutex<HashMap<u64, Route>>,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    policy: ServePolicy,
+    input_len: usize,
+    clock: SystemClock,
+    allow_shutdown: bool,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Sends `resp` on `writer`, ignoring I/O failures — a client that
+    /// disconnected mid-request costs nothing but its own reply.
+    fn send(writer: &Arc<Mutex<TcpStream>>, resp: &Response) {
+        let payload = proto::encode_response(resp);
+        if let Ok(mut w) = writer.lock() {
+            let _ = proto::write_frame(&mut *w, &payload);
+        }
+    }
+
+    /// Routes a response for an admitted request and retires its route.
+    fn respond(&self, internal_id: u64, make: impl FnOnce(u64) -> Response) {
+        let route = self
+            .routes
+            .lock()
+            .ok()
+            .and_then(|mut r| r.remove(&internal_id));
+        if let Some(route) = route {
+            Self::send(&route.writer, &make(route.client_id));
+        }
+    }
+}
+
+/// A running `nf serve` instance (in-process handle).
+pub struct ServerHandle {
+    /// The bound listen address (real port even when the config said 0).
+    pub addr: SocketAddr,
+    /// Exit heads of the model being served.
+    pub n_units: usize,
+    /// Flattened pixels per request the model expects.
+    pub input_len: usize,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Signals shutdown and joins the accept and batcher threads.
+    pub fn stop(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the server shuts down (a shutdown frame on an
+    /// `allow_shutdown` server, or [`ServerHandle::stop`] from another
+    /// thread).
+    pub fn wait(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts a server around an already-built engine. Binds `addr`
+/// (port 0 → ephemeral), spawns the accept loop and the batcher thread,
+/// and returns immediately.
+pub fn start_server_with_engine(
+    mut engine: ServeEngine,
+    policy: ServePolicy,
+    addr: &str,
+    allow_shutdown: bool,
+) -> Result<ServerHandle> {
+    policy
+        .validate()
+        .map_err(|e| CliError::config("serve", e.to_string()))?;
+    let listener = TcpListener::bind(addr)
+        .map_err(|e| CliError::new(format!("binding serve address {addr}: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CliError::new(format!("configuring listener: {e}")))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| CliError::new(format!("reading bound address: {e}")))?;
+
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(MicroBatcher::new(policy.queue_capacity)),
+        queue_cv: Condvar::new(),
+        routes: Mutex::new(HashMap::new()),
+        shutdown: AtomicBool::new(false),
+        next_id: AtomicU64::new(0),
+        policy: policy.clone(),
+        input_len: engine.input_len(),
+        clock: SystemClock::new(),
+        allow_shutdown,
+    });
+    let n_units = engine.n_units();
+    let input_len = engine.input_len();
+
+    let accept_shared = shared.clone();
+    let accept = std::thread::spawn(move || {
+        accept_loop(listener, accept_shared);
+    });
+
+    let batch_shared = shared.clone();
+    let batcher = std::thread::spawn(move || {
+        batcher_loop(&mut engine, batch_shared);
+    });
+
+    Ok(ServerHandle {
+        addr: bound,
+        n_units,
+        input_len,
+        shared,
+        threads: vec![accept, batcher],
+    })
+}
+
+/// Trains the model and starts the server described by `cfg` (the
+/// in-process form of `nf serve`).
+pub fn start_server(cfg: &RunConfig, quiet: bool) -> Result<ServerHandle> {
+    let engine = build_engine(cfg, quiet)?;
+    let section = cfg.serve();
+    start_server_with_engine(
+        engine,
+        cfg.resolve_serve()?,
+        &section.addr,
+        section.allow_shutdown,
+    )
+}
+
+/// Executes `nf serve <config>`: trains, binds, prints the address, and
+/// serves until shut down.
+pub fn run_serve(cfg: &RunConfig, quiet: bool) -> Result<()> {
+    let handle = start_server(cfg, quiet)?;
+    let section = cfg.serve();
+    if !quiet {
+        println!(
+            "serving on {} — tiers fast/balanced/exact cap exits at \
+             {}/{}/{} of {} heads; max batch {}, queue {}",
+            handle.addr,
+            neuroflux_core::SloTier::Fast.max_exit(handle.n_units),
+            neuroflux_core::SloTier::Balanced.max_exit(handle.n_units),
+            neuroflux_core::SloTier::Exact.max_exit(handle.n_units),
+            handle.n_units,
+            section.max_batch,
+            section.queue_capacity,
+        );
+        println!("drive it with: nf loadgen <config> --addr={}", handle.addr);
+    }
+    handle.wait();
+    Ok(())
+}
+
+/// Polls for connections until shutdown; every accepted socket gets its
+/// own detached reader thread.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_shared = shared.clone();
+                std::thread::spawn(move || handle_connection(stream, conn_shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            // A single failed accept (e.g. a peer that vanished between
+            // SYN and accept) must not take the loop down.
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Reads one frame with a read-timeout loop so the thread notices
+/// shutdown; `Ok(None)` covers both clean close and shutdown.
+fn read_frame_shutdown_aware(
+    stream: &mut TcpStream,
+    shared: &Shared,
+) -> std::result::Result<Option<Vec<u8>>, proto::ProtoError> {
+    let mut header = [0u8; 4];
+    match read_buf_shutdown_aware(stream, shared, &mut header)? {
+        ReadState::Closed => return Ok(None),
+        ReadState::Truncated => {
+            return Err(proto::ProtoError::Truncated { context: "header" });
+        }
+        ReadState::Full => {}
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > proto::MAX_PAYLOAD {
+        return Err(proto::ProtoError::Oversized { len: len as u64 });
+    }
+    let mut payload = vec![0u8; len];
+    match read_buf_shutdown_aware(stream, shared, &mut payload)? {
+        ReadState::Full => Ok(Some(payload)),
+        _ => Err(proto::ProtoError::Truncated { context: "payload" }),
+    }
+}
+
+enum ReadState {
+    Full,
+    Closed,
+    Truncated,
+}
+
+fn read_buf_shutdown_aware(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    buf: &mut [u8],
+) -> std::result::Result<ReadState, proto::ProtoError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shared.shutting_down() {
+            return Ok(ReadState::Closed);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadState::Closed
+                } else {
+                    ReadState::Truncated
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(ReadState::Full)
+}
+
+/// One connection's read loop: parse, admit, route. Any protocol error
+/// is answered with a typed error frame and closes only this connection.
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    loop {
+        let payload = match read_frame_shutdown_aware(&mut reader, &shared) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(e) => {
+                Shared::send(
+                    &writer,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        match proto::decode_request(&payload) {
+            Err(e) => {
+                Shared::send(
+                    &writer,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+            Ok(Request::Ping { id }) => Shared::send(&writer, &Response::Pong { id }),
+            Ok(Request::Shutdown) => {
+                if shared.allow_shutdown {
+                    Shared::send(&writer, &Response::ShutdownAck);
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    shared.queue_cv.notify_all();
+                } else {
+                    Shared::send(
+                        &writer,
+                        &Response::Error {
+                            message: "shutdown frames are disabled on this server".into(),
+                        },
+                    );
+                }
+                return;
+            }
+            Ok(Request::Infer { id, tier, pixels }) => {
+                if pixels.len() != shared.input_len {
+                    Shared::send(
+                        &writer,
+                        &Response::Rejected {
+                            id,
+                            reason: RejectReason::BadInput,
+                        },
+                    );
+                    continue;
+                }
+                if shared.shutting_down() {
+                    Shared::send(
+                        &writer,
+                        &Response::Rejected {
+                            id,
+                            reason: RejectReason::ShuttingDown,
+                        },
+                    );
+                    continue;
+                }
+                let internal = shared.next_id.fetch_add(1, Ordering::SeqCst);
+                let now = shared.clock.now_us();
+                let req = ServeRequest {
+                    id: internal,
+                    tier,
+                    pixels,
+                    arrival_us: now,
+                    deadline_us: now.saturating_add(shared.policy.deadline_us(tier)),
+                };
+                if let Ok(mut routes) = shared.routes.lock() {
+                    routes.insert(
+                        internal,
+                        Route {
+                            client_id: id,
+                            writer: writer.clone(),
+                        },
+                    );
+                }
+                let admitted = shared
+                    .queue
+                    .lock()
+                    .map(|mut q| q.submit(req))
+                    .unwrap_or(Ok(()));
+                match admitted {
+                    Ok(()) => shared.queue_cv.notify_one(),
+                    Err(_full) => {
+                        shared.respond(internal, |client_id| Response::Rejected {
+                            id: client_id,
+                            reason: RejectReason::QueueFull,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The batcher thread: waits for work, honours the batch window, rejects
+/// deadline-lapsed requests, and runs ready batches through the engine.
+fn batcher_loop(engine: &mut ServeEngine, shared: Arc<Shared>) {
+    loop {
+        let plan = {
+            let mut q = match shared.queue.lock() {
+                Ok(q) => q,
+                Err(_) => return,
+            };
+            loop {
+                if shared.shutting_down() {
+                    break;
+                }
+                if q.is_empty() {
+                    let (qq, _) = match shared.queue_cv.wait_timeout(q, Duration::from_millis(10)) {
+                        Ok(r) => r,
+                        Err(_) => return,
+                    };
+                    q = qq;
+                    continue;
+                }
+                if q.len() >= shared.policy.max_batch {
+                    break;
+                }
+                // Partial batch: wait out the window, measured from the
+                // oldest arrival, re-checking as new requests land.
+                let now = shared.clock.now_us();
+                let window_closes = q
+                    .oldest_arrival_us()
+                    .unwrap_or(now)
+                    .saturating_add(shared.policy.batch_window_us);
+                if now >= window_closes {
+                    break;
+                }
+                let wait = (window_closes - now).clamp(50, 2_000);
+                let (qq, _) = match shared.queue_cv.wait_timeout(q, Duration::from_micros(wait)) {
+                    Ok(r) => r,
+                    Err(_) => return,
+                };
+                q = qq;
+            }
+            if shared.shutting_down() {
+                // Drain semantics: queued requests are rejected, not
+                // silently dropped.
+                let drained = q.drain();
+                drop(q);
+                for req in drained {
+                    shared.respond(req.id, |client_id| Response::Rejected {
+                        id: client_id,
+                        reason: RejectReason::ShuttingDown,
+                    });
+                }
+                return;
+            }
+            q.form_batch(shared.clock.now_us(), shared.policy.max_batch)
+        };
+
+        for req in &plan.expired {
+            shared.respond(req.id, |client_id| Response::Rejected {
+                id: client_id,
+                reason: RejectReason::Deadline,
+            });
+        }
+        if plan.ready.is_empty() {
+            continue;
+        }
+        match engine.infer_batch(&plan.ready) {
+            Ok(replies) => {
+                let now = shared.clock.now_us();
+                for (req, reply) in plan.ready.iter().zip(replies) {
+                    let server_us = now.saturating_sub(req.arrival_us).min(u32::MAX as u64);
+                    shared.respond(req.id, |client_id| Response::Infer {
+                        id: client_id,
+                        class: reply.class.min(u16::MAX as usize) as u16,
+                        exit: reply.exit.min(u8::MAX as usize) as u8,
+                        confidence: reply.confidence,
+                        server_us: server_us as u32,
+                    });
+                }
+            }
+            // Engine failures are per-batch diagnostics, never a server
+            // crash: each affected request gets an error reply.
+            Err(e) => {
+                for req in &plan.ready {
+                    shared.respond(req.id, |_client_id| Response::Error {
+                        message: format!("inference failed: {e}"),
+                    });
+                }
+            }
+        }
+    }
+}

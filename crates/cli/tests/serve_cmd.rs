@@ -1,0 +1,396 @@
+//! `nf serve` end-to-end over real TCP: dynamic micro-batching must be
+//! bit-identical to single-sample offline inference, SLO depth caps must
+//! hold on the wire, and protocol garbage must never wedge the server.
+
+use neuroflux_core::{ServePolicy, ServeRequest, SloTier};
+use nf_cli::proto::{self, RejectReason, Request, Response};
+use nf_cli::serve::{build_engine, start_server_with_engine};
+use nf_cli::{run_inspect, RunConfig};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn temp_out_dir(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("nf_serve_cmd_{tag}_{}", std::process::id()))
+        .to_string_lossy()
+        .to_string()
+}
+
+/// A 3-unit config so the three SLO tiers cap at distinct depths
+/// (fast → 0, balanced → 1, exact → 2). `blocked` pins one GEMM kernel
+/// so bit-identity claims are about batching, not autotuner plans.
+fn config(out_dir: &str) -> RunConfig {
+    let doc = format!(
+        r#"
+[run]
+name = "servetest"
+seed = 23
+out_dir = "{out_dir}"
+
+[model]
+preset = "tiny"
+channels = [4, 8, 12]
+
+[dataset]
+preset = "quick"
+classes = 3
+image_hw = 8
+train = 120
+
+[train]
+budget_mb = 16
+batch_limit = 8
+epochs_per_block = 1
+kernel_backend = "blocked"
+
+[serve]
+threshold = 0.80
+max_batch = 6
+queue_capacity = 64
+batch_window_us = 2000
+fast_deadline_us = 5000000
+balanced_deadline_us = 5000000
+exact_deadline_us = 5000000
+allow_shutdown = true
+
+[loadgen]
+requests = 48
+connections = 3
+tier_weights = [1, 1, 1]
+"#
+    );
+    RunConfig::from_value(&nf_cli::toml::parse(&doc).unwrap()).unwrap()
+}
+
+/// Test-split pixels, one flat vector per sample.
+fn test_samples(cfg: &RunConfig, n: usize) -> Vec<Vec<f32>> {
+    let (_, data_spec, _) = cfg.resolve().unwrap();
+    let data = data_spec.generate();
+    let per: usize = data.test.images().shape()[1..].iter().product();
+    let images = data.test.images().data();
+    (0..n)
+        .map(|i| {
+            let s = (i % data.test.len()) * per;
+            images[s..s + per].to_vec()
+        })
+        .collect()
+}
+
+fn send_request(stream: &mut TcpStream, req: &Request) {
+    proto::write_frame(stream, &proto::encode_request(req)).unwrap();
+}
+
+fn read_response(stream: &mut TcpStream) -> Response {
+    let payload = proto::read_frame(stream)
+        .unwrap()
+        .expect("connection closed");
+    proto::decode_response(&payload).unwrap()
+}
+
+/// Joins `handle.wait()` with a deadline so a wedged server fails the
+/// test instead of hanging it.
+fn wait_with_deadline(handle: nf_cli::ServerHandle) {
+    let waiter = std::thread::spawn(move || handle.wait());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !waiter.is_finished() {
+        assert!(Instant::now() < deadline, "server did not shut down");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    waiter.join().unwrap();
+}
+
+/// The tentpole determinism claim: predictions served out of dynamic
+/// micro-batches (formed from whatever several concurrent connections
+/// happened to queue) are bit-identical — class, exit, and confidence
+/// bits — to running each sample alone through an identically-trained
+/// offline engine. The exit-depth histogram is therefore exact, and no
+/// reply ever exceeds its tier's depth cap.
+#[test]
+fn served_predictions_are_bit_identical_to_offline_single_sample() {
+    let cfg = config(&temp_out_dir("det"));
+    let engine = build_engine(&cfg, true).unwrap();
+    let mut offline = build_engine(&cfg, true).unwrap();
+    let n_units = engine.n_units();
+    let handle =
+        start_server_with_engine(engine, cfg.resolve_serve().unwrap(), "127.0.0.1:0", false)
+            .unwrap();
+    let addr = handle.addr;
+
+    const PER_CONN: usize = 16;
+    const CONNS: usize = 3;
+    let samples = test_samples(&cfg, CONNS * PER_CONN);
+
+    // Concurrent closed-loop clients so the batcher forms mixed batches.
+    let replies: Vec<(usize, SloTier, u16, u8, u32)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..CONNS {
+            let samples = &samples;
+            handles.push(scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                let mut got = Vec::new();
+                for i in 0..PER_CONN {
+                    let k = c * PER_CONN + i;
+                    let tier = SloTier::ALL[k % 3];
+                    send_request(
+                        &mut stream,
+                        &Request::Infer {
+                            id: k as u64,
+                            tier,
+                            pixels: samples[k].clone(),
+                        },
+                    );
+                    match read_response(&mut stream) {
+                        Response::Infer {
+                            id,
+                            class,
+                            exit,
+                            confidence,
+                            ..
+                        } => {
+                            assert_eq!(id, k as u64);
+                            got.push((k, tier, class, exit, confidence.to_bits()));
+                        }
+                        other => panic!("request {k} got {other:?}"),
+                    }
+                }
+                got
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    handle.stop();
+    assert_eq!(replies.len(), CONNS * PER_CONN);
+
+    // Offline reference: each sample alone, same tier cap.
+    let mut served_hist = vec![0usize; n_units];
+    let mut offline_hist = vec![0usize; n_units];
+    for (k, tier, class, exit, conf_bits) in replies {
+        let reference = offline
+            .infer_batch(&[ServeRequest {
+                id: k as u64,
+                tier,
+                pixels: samples[k].clone(),
+                arrival_us: 0,
+                deadline_us: u64::MAX,
+            }])
+            .unwrap();
+        assert_eq!(reference.len(), 1);
+        let r = reference[0];
+        assert_eq!(class as usize, r.class, "request {k}: class diverged");
+        assert_eq!(exit as usize, r.exit, "request {k}: exit diverged");
+        assert_eq!(
+            conf_bits,
+            r.confidence.to_bits(),
+            "request {k}: confidence bits diverged"
+        );
+        assert!(
+            (exit as usize) <= tier.max_exit(n_units),
+            "request {k}: exit {exit} violates {} cap {}",
+            tier.name(),
+            tier.max_exit(n_units)
+        );
+        served_hist[exit as usize] += 1;
+        offline_hist[r.exit] += 1;
+    }
+    assert_eq!(served_hist, offline_hist, "exit-depth histogram diverged");
+    assert_eq!(
+        served_hist.iter().sum::<usize>(),
+        CONNS * PER_CONN,
+        "every request must appear in the histogram exactly once"
+    );
+    // Fast tier is capped at head 0 on a 3-unit model, so at least the
+    // 16 fast requests exit there — the histogram is never degenerate.
+    assert!(served_hist[0] >= PER_CONN);
+}
+
+/// Protocol robustness: truncated frames, oversized lengths, unknown
+/// bytes, and mid-request disconnects each produce a typed error reply
+/// (or a silent close) on *that* connection — and the server keeps
+/// serving new connections afterwards.
+#[test]
+fn protocol_garbage_never_wedges_the_server() {
+    let cfg = config(&temp_out_dir("garbage"));
+    let engine = build_engine(&cfg, true).unwrap();
+    let input_len = engine.input_len();
+    let handle =
+        start_server_with_engine(engine, cfg.resolve_serve().unwrap(), "127.0.0.1:0", true)
+            .unwrap();
+    let addr = handle.addr;
+    let samples = test_samples(&cfg, 1);
+
+    // Unknown op byte → typed error reply, connection closed.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        proto::write_frame(&mut s, &[0xEE, 1, 2, 3]).unwrap();
+        match read_response(&mut s) {
+            Response::Error { message } => assert!(message.contains("op"), "{message}"),
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert!(proto::read_frame(&mut s).unwrap().is_none());
+    }
+    // Oversized length header → typed error, no huge allocation.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&(u32::MAX).to_le_bytes()).unwrap();
+        match read_response(&mut s) {
+            Response::Error { message } => {
+                assert!(message.contains("payload cap"), "{message}")
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+    // Truncated payload then disconnect: a frame claiming 100 bytes but
+    // delivering 10. The server just drops the connection.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&100u32.to_le_bytes()).unwrap();
+        s.write_all(&[7u8; 10]).unwrap();
+        drop(s);
+    }
+    // Partial header then disconnect.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&[9u8, 9]).unwrap();
+        drop(s);
+    }
+    // Wrong pixel count → typed rejection, connection stays usable.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        send_request(
+            &mut s,
+            &Request::Infer {
+                id: 40,
+                tier: SloTier::Exact,
+                pixels: vec![0.0; input_len + 1],
+            },
+        );
+        match read_response(&mut s) {
+            Response::Rejected { id, reason } => {
+                assert_eq!(id, 40);
+                assert_eq!(reason, RejectReason::BadInput);
+            }
+            other => panic!("expected bad-input rejection, got {other:?}"),
+        }
+        // Same connection still serves a valid request afterwards.
+        send_request(
+            &mut s,
+            &Request::Infer {
+                id: 41,
+                tier: SloTier::Exact,
+                pixels: samples[0].clone(),
+            },
+        );
+        match read_response(&mut s) {
+            Response::Infer { id, .. } => assert_eq!(id, 41),
+            other => panic!("expected inference reply, got {other:?}"),
+        }
+    }
+    // After all that abuse a fresh connection still works end to end.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        send_request(&mut s, &Request::Ping { id: 77 });
+        match read_response(&mut s) {
+            Response::Pong { id } => assert_eq!(id, 77),
+            other => panic!("expected pong, got {other:?}"),
+        }
+        send_request(
+            &mut s,
+            &Request::Infer {
+                id: 78,
+                tier: SloTier::Fast,
+                pixels: samples[0].clone(),
+            },
+        );
+        match read_response(&mut s) {
+            Response::Infer { id, exit, .. } => {
+                assert_eq!(id, 78);
+                assert_eq!(exit, 0, "fast tier on a 3-unit model caps at head 0");
+            }
+            other => panic!("expected inference reply, got {other:?}"),
+        }
+    }
+    // Graceful remote shutdown (allow_shutdown = true).
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        send_request(&mut s, &Request::Shutdown);
+        match read_response(&mut s) {
+            Response::ShutdownAck => {}
+            other => panic!("expected shutdown ack, got {other:?}"),
+        }
+    }
+    wait_with_deadline(handle);
+}
+
+/// Shutdown frames on a server started without `allow_shutdown` are a
+/// typed error, and the server keeps running.
+#[test]
+fn shutdown_is_rejected_when_disabled() {
+    let cfg = config(&temp_out_dir("noshut"));
+    let engine = build_engine(&cfg, true).unwrap();
+    let handle =
+        start_server_with_engine(engine, ServePolicy::default(), "127.0.0.1:0", false).unwrap();
+    let addr = handle.addr;
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        send_request(&mut s, &Request::Shutdown);
+        match read_response(&mut s) {
+            Response::Error { message } => assert!(message.contains("disabled"), "{message}"),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+    // Still serving.
+    let mut s = TcpStream::connect(addr).unwrap();
+    send_request(&mut s, &Request::Ping { id: 1 });
+    match read_response(&mut s) {
+        Response::Pong { id } => assert_eq!(id, 1),
+        other => panic!("expected pong, got {other:?}"),
+    }
+    handle.stop();
+}
+
+/// `nf loadgen` in-process: the deterministic fields (schedule, exit
+/// histogram, per-tier counts) are identical across runs, the artifact
+/// is written, and the run directory renders through `nf inspect`.
+#[test]
+fn loadgen_is_deterministic_and_run_dir_inspects() {
+    let out_dir = temp_out_dir("loadgen");
+    std::fs::create_dir_all(&out_dir).unwrap();
+    let cfg = config(&out_dir);
+    let a = nf_cli::loadgen::run_loadgen_inprocess(&cfg, true).unwrap();
+    let b = nf_cli::loadgen::run_loadgen_inprocess(&cfg, true).unwrap();
+    assert_eq!(a.requests, 48);
+    assert_eq!(a.ok + a.rejected, 48);
+    assert_eq!(a.exit_hist, b.exit_hist, "exit histogram must reproduce");
+    assert_eq!(a.ok, b.ok);
+    assert_eq!(a.rejected, b.rejected);
+    assert_eq!(a.seed, b.seed);
+    for (ta, tb) in a.tiers.iter().zip(&b.tiers) {
+        assert_eq!(ta.requests, tb.requests);
+        assert_eq!(ta.exit_hist, tb.exit_hist);
+        assert_eq!(ta.max_exit, tb.max_exit);
+    }
+
+    // The CLI path writes both the artifact and an inspectable run dir.
+    let bench_path = std::path::Path::new(&out_dir).join("bench.json");
+    let opts = nf_cli::LoadgenOptions {
+        addr: None,
+        out: Some(bench_path.clone()),
+        quiet: true,
+    };
+    let report = nf_cli::run_loadgen(&cfg, &opts).unwrap();
+    assert_eq!(report.exit_hist, a.exit_hist);
+    let doc = nf_cli::json::parse_file(&bench_path).unwrap();
+    assert_eq!(
+        doc.get("kind").and_then(nf_cli::Value::as_str),
+        Some("serve")
+    );
+    let run_root = std::path::Path::new(&out_dir).join("servetest-serve");
+    let rendered = run_inspect(&run_root).unwrap();
+    assert!(rendered.contains("early-exit inference load test"));
+    assert!(rendered.contains("## SLO tiers"));
+    assert!(rendered.contains("## Exit-depth histogram"));
+}

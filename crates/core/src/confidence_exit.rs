@@ -57,8 +57,31 @@ impl<'m> ConfidenceCascade<'m> {
     /// Runs one batch through the cascade, returning a prediction per
     /// sample. Samples that clear no head exit at the deepest one.
     pub fn predict(&mut self, images: &Tensor) -> Result<Vec<CascadePrediction>> {
+        let deepest = self.model.units.len().saturating_sub(1);
+        let caps = vec![deepest; images.shape()[0]];
+        self.predict_with_caps(images, &caps)
+    }
+
+    /// Runs one batch through the cascade with a **per-sample depth cap**
+    /// (the serving path's SLO-tier knob): sample `i` exits at the first
+    /// head whose confidence clears the threshold, or at unit `caps[i]`,
+    /// whichever comes first. Caps deeper than the cascade clamp to the
+    /// deepest head.
+    ///
+    /// Per-sample results are bit-identical to running the sample alone
+    /// with the same cap — batching never changes predictions.
+    pub fn predict_with_caps(
+        &mut self,
+        images: &Tensor,
+        caps: &[usize],
+    ) -> Result<Vec<CascadePrediction>> {
         let n = images.shape()[0];
         let n_units = self.model.units.len();
+        if caps.len() != n {
+            return Err(crate::NfError::Serve {
+                cause: format!("{} depth caps for {n} samples", caps.len()),
+            });
+        }
         let mut out: Vec<Option<CascadePrediction>> = vec![None; n];
         // Active set: indices of samples still travelling; `cur` holds only
         // their activations, compacted after every exit.
@@ -78,7 +101,7 @@ impl<'m> ConfidenceCascade<'m> {
             let last = unit_idx + 1 == n_units;
             for (row, &sample) in active.iter().enumerate() {
                 let conf = probs.data()[row * classes + preds[row]];
-                if conf >= self.threshold || last {
+                if conf >= self.threshold || last || unit_idx >= caps[sample] {
                     out[sample] = Some(CascadePrediction {
                         class: preds[row],
                         exit: unit_idx,
@@ -218,6 +241,35 @@ mod tests {
             "cascade cost {} vs deep {always_deep}",
             report.mean_flops
         );
+    }
+
+    #[test]
+    fn depth_caps_bound_exits_per_sample() {
+        let (mut o, ds, _) = trained();
+        let (images, _) = ds.test.batch(0, 6);
+        // Strict threshold so nothing exits on confidence; each sample must
+        // exit exactly at its own cap.
+        let mut cascade = ConfidenceCascade::new(&mut o.model, &mut o.aux_heads, 1.1);
+        let caps = [0usize, 1, 2, 0, 2, 1];
+        let preds = cascade.predict_with_caps(&images, &caps).unwrap();
+        for (p, &cap) in preds.iter().zip(&caps) {
+            assert_eq!(p.exit, cap, "{preds:?}");
+        }
+        // Oversized caps clamp to the deepest head.
+        let preds = cascade.predict_with_caps(&images, &[99; 6]).unwrap();
+        assert!(preds.iter().all(|p| p.exit == 2));
+        // A cap count that does not match the batch is a typed error.
+        assert!(cascade.predict_with_caps(&images, &[0; 2]).is_err());
+    }
+
+    #[test]
+    fn capped_predictions_match_uncapped_when_cap_is_deepest() {
+        let (mut o, ds, _) = trained();
+        let (images, _) = ds.test.batch(0, 8);
+        let mut cascade = ConfidenceCascade::new(&mut o.model, &mut o.aux_heads, 0.8);
+        let free = cascade.predict(&images).unwrap();
+        let capped = cascade.predict_with_caps(&images, &[2; 8]).unwrap();
+        assert_eq!(free, capped);
     }
 
     #[test]

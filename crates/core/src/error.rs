@@ -55,6 +55,13 @@ pub enum NfError {
         /// Underlying cause.
         cause: String,
     },
+    /// The serving engine refused a request or batch (wrong input length,
+    /// mismatched heads) — a per-request diagnostic, never a panic, so one
+    /// malformed request cannot take the server down.
+    Serve {
+        /// What was wrong with the request or engine state.
+        cause: String,
+    },
     /// A progress callback requested cancellation mid-run; state up to the
     /// last completed block is checkpointed (when a sink is attached) and
     /// the run can be resumed.
@@ -89,6 +96,7 @@ impl fmt::Display for NfError {
                  cannot read data written with codec {found}"
             ),
             NfError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            NfError::Serve { cause } => write!(f, "serve error: {cause}"),
             NfError::Checkpoint { op, cause } => {
                 write!(f, "checkpoint {op} failed: {cause}")
             }

@@ -55,6 +55,7 @@ pub mod federated;
 pub mod params_io;
 pub mod partitioner;
 pub mod profiler;
+pub mod serve;
 pub mod simulate;
 pub mod worker;
 
@@ -72,6 +73,10 @@ pub use federated::{run_federated, ClientReport, FederatedConfig, FederatedOutco
 pub use params_io::{deserialize_params, serialize_params};
 pub use partitioner::{partition, Block};
 pub use profiler::{LinearMemoryModel, Profiler, UnitProfile};
+pub use serve::{
+    AdmissionError, BatchPlan, Clock, MicroBatcher, ServeEngine, ServePolicy, ServeReply,
+    ServeRequest, SloTier, SystemClock, VirtualClock,
+};
 pub use worker::{RunHooks, TrainEvent, Worker, WorkerReport};
 
 /// Convenience alias for fallible NeuroFlux operations.

@@ -1,0 +1,603 @@
+//! The serving engine behind `nf serve`: SLO tiers, admission control,
+//! deterministic micro-batching, and the capped confidence cascade.
+//!
+//! The paper's adaptive early exits (§5.4) are a latency/throughput knob
+//! at inference time: easy inputs leave at shallow auxiliary heads, hard
+//! inputs ride deeper. This module turns that knob into a serving policy:
+//!
+//! - [`SloTier`] maps a client-facing service level (`fast` / `balanced` /
+//!   `exact`) to a **maximum exit depth** — the deepest head a request may
+//!   reach before it is forced to exit — and a queue deadline.
+//! - [`MicroBatcher`] is a bounded FIFO queue with admission control.
+//!   Batch formation is a pure function of (queue contents, clock), so a
+//!   [`VirtualClock`] makes every schedule reproducible in tests.
+//! - [`ServeEngine`] owns a trained model plus its auxiliary heads and
+//!   runs mixed-tier micro-batches through the capped cascade.
+//!
+//! Determinism contract: a sample's prediction (class, exit, confidence —
+//! as f32 *bits*) is independent of which batch it rides in. Every kernel
+//! in the forward path accumulates per output element in ascending-k
+//! order regardless of the batch dimension, so batching changes wall
+//! time, never results. `crates/cli/tests/serve_cmd.rs` pins this against
+//! single-sample offline inference.
+
+use crate::confidence_exit::ConfidenceCascade;
+use crate::{NfError, Result};
+use nf_models::BuiltModel;
+use nf_nn::Sequential;
+use nf_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Client-facing service level of one request.
+///
+/// Each tier caps how deep a request may travel before it is forced to
+/// exit at the deepest head its budget allows, and how long it may sit in
+/// the queue before admission control rejects it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SloTier {
+    /// Lowest latency: exit by the shallowest quarter of the cascade.
+    Fast,
+    /// Middle ground: exit by the middle of the cascade.
+    Balanced,
+    /// Full accuracy: the whole cascade is available.
+    Exact,
+}
+
+impl SloTier {
+    /// All tiers, in wire-index order.
+    pub const ALL: [SloTier; 3] = [SloTier::Fast, SloTier::Balanced, SloTier::Exact];
+
+    /// Stable lowercase name (config values, artifacts, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            SloTier::Fast => "fast",
+            SloTier::Balanced => "balanced",
+            SloTier::Exact => "exact",
+        }
+    }
+
+    /// Wire/index encoding (`fast = 0`, `balanced = 1`, `exact = 2`).
+    pub fn index(self) -> usize {
+        match self {
+            SloTier::Fast => 0,
+            SloTier::Balanced => 1,
+            SloTier::Exact => 2,
+        }
+    }
+
+    /// Decodes the wire index back into a tier.
+    pub fn from_index(i: u8) -> Option<SloTier> {
+        match i {
+            0 => Some(SloTier::Fast),
+            1 => Some(SloTier::Balanced),
+            2 => Some(SloTier::Exact),
+            _ => None,
+        }
+    }
+
+    /// The deepest exit (0-based unit index) a request of this tier may
+    /// reach in a cascade of `n_units` heads: the shallowest quarter for
+    /// `fast`, the midpoint for `balanced`, the full depth for `exact`.
+    /// Monotone in tier and always a valid exit index.
+    pub fn max_exit(self, n_units: usize) -> usize {
+        let deepest = n_units.saturating_sub(1);
+        match self {
+            SloTier::Fast => deepest / 4,
+            SloTier::Balanced => deepest / 2,
+            SloTier::Exact => deepest,
+        }
+    }
+}
+
+impl std::str::FromStr for SloTier {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "fast" => Ok(SloTier::Fast),
+            "balanced" => Ok(SloTier::Balanced),
+            "exact" => Ok(SloTier::Exact),
+            other => Err(format!(
+                "unknown SLO tier {other:?} (expected fast, balanced, or exact)"
+            )),
+        }
+    }
+}
+
+/// Server-side serving policy: batching, admission, and per-tier queue
+/// deadlines. The tier→depth mapping itself lives on [`SloTier`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServePolicy {
+    /// Cascade exit threshold: a head fires when its max softmax
+    /// probability reaches this value.
+    pub threshold: f32,
+    /// Largest micro-batch the batcher forms.
+    pub max_batch: usize,
+    /// Bounded-queue capacity; a submit beyond this is rejected
+    /// immediately (admission control).
+    pub queue_capacity: usize,
+    /// How long the batcher waits for a batch to fill before running a
+    /// partial one, measured from the oldest queued arrival.
+    pub batch_window_us: u64,
+    /// Queue deadline per tier, indexed by [`SloTier::index`]: a request
+    /// still queued this long after arrival is rejected, not served late.
+    pub deadline_us: [u64; 3],
+}
+
+impl Default for ServePolicy {
+    fn default() -> Self {
+        ServePolicy {
+            threshold: 0.85,
+            max_batch: 8,
+            queue_capacity: 64,
+            batch_window_us: 500,
+            deadline_us: [10_000, 50_000, 250_000],
+        }
+    }
+}
+
+impl ServePolicy {
+    /// Queue deadline for `tier`.
+    pub fn deadline_us(&self, tier: SloTier) -> u64 {
+        self.deadline_us[tier.index()]
+    }
+
+    /// Validates the policy (positive batch/queue sizes, finite positive
+    /// threshold).
+    pub fn validate(&self) -> Result<()> {
+        if self.max_batch == 0 {
+            return Err(NfError::BadConfig("serve.max_batch must be > 0".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(NfError::BadConfig(
+                "serve.queue_capacity must be > 0".into(),
+            ));
+        }
+        if !(self.threshold.is_finite() && self.threshold > 0.0) {
+            return Err(NfError::BadConfig(
+                "serve.threshold must be a finite number > 0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One admitted inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// Server-assigned identity; response routing is keyed on it.
+    pub id: u64,
+    /// Requested service level.
+    pub tier: SloTier,
+    /// Flattened `C×H×W` input pixels.
+    pub pixels: Vec<f32>,
+    /// Queue-clock arrival time (µs).
+    pub arrival_us: u64,
+    /// Queue-clock deadline (µs): still queued past this → rejected.
+    pub deadline_us: u64,
+}
+
+/// One served prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeReply {
+    /// The request's [`ServeRequest::id`].
+    pub id: u64,
+    /// Predicted class.
+    pub class: usize,
+    /// Exit head that fired (0-based unit index).
+    pub exit: usize,
+    /// Softmax confidence at the firing exit.
+    pub confidence: f32,
+}
+
+/// Why admission control refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The bounded queue is at capacity.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull { capacity } => {
+                write!(f, "serve queue full (capacity {capacity})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// What one [`MicroBatcher::form_batch`] call produced.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct BatchPlan {
+    /// Requests to run now, in FIFO arrival order, at most `max_batch`.
+    pub ready: Vec<ServeRequest>,
+    /// Requests whose queue deadline passed before they could be batched;
+    /// the caller must reject these, never serve them late.
+    pub expired: Vec<ServeRequest>,
+}
+
+/// Bounded FIFO micro-batch queue with admission control.
+///
+/// Pure data structure: time enters only through the `now_us` arguments,
+/// so a [`VirtualClock`] reproduces any schedule exactly. FIFO pops make
+/// starvation impossible — every `form_batch` on a non-empty queue
+/// removes at least one request (into `ready` or `expired`).
+#[derive(Debug)]
+pub struct MicroBatcher {
+    queue: VecDeque<ServeRequest>,
+    capacity: usize,
+}
+
+impl MicroBatcher {
+    /// Creates a batcher with the given queue capacity.
+    pub fn new(capacity: usize) -> Self {
+        MicroBatcher {
+            queue: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Queued request count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Arrival time of the oldest queued request, if any — what the batch
+    /// window is measured from.
+    pub fn oldest_arrival_us(&self) -> Option<u64> {
+        self.queue.front().map(|r| r.arrival_us)
+    }
+
+    /// Admits a request, or rejects it if the queue is at capacity.
+    pub fn submit(&mut self, req: ServeRequest) -> std::result::Result<(), AdmissionError> {
+        if self.queue.len() >= self.capacity {
+            return Err(AdmissionError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        self.queue.push_back(req);
+        Ok(())
+    }
+
+    /// Forms the next micro-batch at queue-clock time `now_us`: pops
+    /// requests in FIFO order, splitting out those whose deadline already
+    /// passed, until `max_batch` are ready or the queue is empty.
+    pub fn form_batch(&mut self, now_us: u64, max_batch: usize) -> BatchPlan {
+        let mut plan = BatchPlan::default();
+        while plan.ready.len() < max_batch.max(1) {
+            let req = match self.queue.pop_front() {
+                Some(r) => r,
+                None => break,
+            };
+            if req.deadline_us < now_us {
+                plan.expired.push(req);
+            } else {
+                plan.ready.push(req);
+            }
+        }
+        plan
+    }
+
+    /// Drains every queued request (server shutdown: reject, don't drop).
+    pub fn drain(&mut self) -> Vec<ServeRequest> {
+        self.queue.drain(..).collect()
+    }
+}
+
+/// A microsecond clock the serving path reads time from.
+pub trait Clock: Send + Sync {
+    /// Monotonic microseconds since the clock's epoch.
+    fn now_us(&self) -> u64;
+}
+
+/// Wall-clock time, anchored at construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    anchor: Instant,
+}
+
+impl SystemClock {
+    /// Creates a clock whose epoch is now.
+    pub fn new() -> Self {
+        SystemClock {
+            anchor: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_us(&self) -> u64 {
+        self.anchor.elapsed().as_micros() as u64
+    }
+}
+
+/// Hand-advanced time for deterministic queue simulation in tests.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    us: AtomicU64,
+}
+
+impl VirtualClock {
+    /// Creates a virtual clock at t = 0 µs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `us` microseconds.
+    pub fn advance(&self, us: u64) {
+        self.us.fetch_add(us, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute time.
+    pub fn set(&self, us: u64) {
+        self.us.store(us, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_us(&self) -> u64 {
+        self.us.load(Ordering::SeqCst)
+    }
+}
+
+/// The inference engine: a trained backbone + auxiliary heads running
+/// mixed-tier micro-batches through the capped confidence cascade.
+pub struct ServeEngine {
+    model: BuiltModel,
+    aux_heads: Vec<Sequential>,
+    threshold: f32,
+}
+
+impl ServeEngine {
+    /// Wraps a trained model and its heads with an exit threshold.
+    ///
+    /// Every unit must have a head (the cascade exits through them), so a
+    /// mismatch is a typed error, not a panic downstream.
+    pub fn new(model: BuiltModel, aux_heads: Vec<Sequential>, threshold: f32) -> Result<Self> {
+        if aux_heads.len() != model.units.len() {
+            return Err(NfError::Serve {
+                cause: format!(
+                    "{} auxiliary heads for {} units (one head per unit required)",
+                    aux_heads.len(),
+                    model.units.len()
+                ),
+            });
+        }
+        if !(threshold.is_finite() && threshold > 0.0) {
+            return Err(NfError::BadConfig(
+                "serve threshold must be a finite number > 0".into(),
+            ));
+        }
+        Ok(ServeEngine {
+            model,
+            aux_heads,
+            threshold,
+        })
+    }
+
+    /// Number of exit heads (== backbone units).
+    pub fn n_units(&self) -> usize {
+        self.model.units.len()
+    }
+
+    /// Model name (for reports).
+    pub fn model_name(&self) -> &str {
+        &self.model.spec.name
+    }
+
+    /// Flattened input length one request must carry (`C·H·W`).
+    pub fn input_len(&self) -> usize {
+        let (c, h, w) = self.model.spec.input;
+        c * h * w
+    }
+
+    /// Input geometry `(channels, height, width)`.
+    pub fn input_shape(&self) -> (usize, usize, usize) {
+        self.model.spec.input
+    }
+
+    /// Runs one micro-batch through the capped cascade: each request
+    /// exits at the first head whose confidence clears the threshold, or
+    /// at its tier's maximum depth, whichever comes first. Results are
+    /// bit-identical to running each request alone.
+    pub fn infer_batch(&mut self, requests: &[ServeRequest]) -> Result<Vec<ServeReply>> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let expected = self.input_len();
+        for req in requests {
+            if req.pixels.len() != expected {
+                return Err(NfError::Serve {
+                    cause: format!(
+                        "request {} carries {} pixels, model {} expects {expected}",
+                        req.id,
+                        req.pixels.len(),
+                        self.model.spec.name
+                    ),
+                });
+            }
+        }
+        let (c, h, w) = self.model.spec.input;
+        let n = requests.len();
+        let mut data = Vec::with_capacity(n * expected);
+        for req in requests {
+            data.extend_from_slice(&req.pixels);
+        }
+        let images = Tensor::from_vec(vec![n, c, h, w], data)?;
+        let caps: Vec<usize> = requests
+            .iter()
+            .map(|r| r.tier.max_exit(self.model.units.len()))
+            .collect();
+        let mut cascade =
+            ConfidenceCascade::new(&mut self.model, &mut self.aux_heads, self.threshold);
+        let preds = cascade.predict_with_caps(&images, &caps)?;
+        Ok(requests
+            .iter()
+            .zip(preds)
+            .map(|(req, p)| ServeReply {
+                id: req.id,
+                class: p.class,
+                exit: p.exit,
+                confidence: p.confidence,
+            })
+            .collect())
+    }
+}
+
+/// Nearest-rank percentile of an **ascending-sorted** latency slice.
+/// `q` is in percent (e.g. `99.0`). Empty input yields 0.
+pub fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// SplitMix64: a tiny, stable hash for deriving per-request streams
+/// (tier assignment, arrival jitter) from `(seed, index)` — the same
+/// derivation discipline the federated engine uses for client seeds.
+pub fn splitmix64(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, tier: SloTier, arrival: u64, deadline: u64) -> ServeRequest {
+        ServeRequest {
+            id,
+            tier,
+            pixels: Vec::new(),
+            arrival_us: arrival,
+            deadline_us: deadline,
+        }
+    }
+
+    #[test]
+    fn tier_caps_are_monotone_and_valid() {
+        for n in 1..40 {
+            let fast = SloTier::Fast.max_exit(n);
+            let balanced = SloTier::Balanced.max_exit(n);
+            let exact = SloTier::Exact.max_exit(n);
+            assert!(fast <= balanced && balanced <= exact);
+            assert_eq!(exact, n - 1);
+            assert!(fast < n);
+        }
+        // The quarter/half/full split on a VGG16-sized cascade.
+        assert_eq!(SloTier::Fast.max_exit(13), 3);
+        assert_eq!(SloTier::Balanced.max_exit(13), 6);
+        assert_eq!(SloTier::Exact.max_exit(13), 12);
+    }
+
+    #[test]
+    fn tier_names_round_trip() {
+        for tier in SloTier::ALL {
+            assert_eq!(tier.name().parse::<SloTier>().unwrap(), tier);
+            assert_eq!(SloTier::from_index(tier.index() as u8), Some(tier));
+        }
+        assert!("turbo".parse::<SloTier>().is_err());
+        assert_eq!(SloTier::from_index(3), None);
+    }
+
+    #[test]
+    fn admission_control_rejects_at_capacity() {
+        let mut b = MicroBatcher::new(2);
+        b.submit(req(0, SloTier::Fast, 0, 100)).unwrap();
+        b.submit(req(1, SloTier::Fast, 0, 100)).unwrap();
+        let err = b.submit(req(2, SloTier::Fast, 0, 100)).unwrap_err();
+        assert_eq!(err, AdmissionError::QueueFull { capacity: 2 });
+        // Popping frees capacity again.
+        let plan = b.form_batch(0, 1);
+        assert_eq!(plan.ready.len(), 1);
+        b.submit(req(2, SloTier::Fast, 0, 100)).unwrap();
+    }
+
+    #[test]
+    fn form_batch_is_fifo_and_respects_deadlines() {
+        let clock = VirtualClock::new();
+        let mut b = MicroBatcher::new(8);
+        b.submit(req(0, SloTier::Fast, 0, 50)).unwrap();
+        b.submit(req(1, SloTier::Exact, 10, 500)).unwrap();
+        b.submit(req(2, SloTier::Balanced, 20, 60)).unwrap();
+        clock.advance(100); // 0 and 2 now past their deadlines
+        let plan = b.form_batch(clock.now_us(), 8);
+        assert_eq!(
+            plan.expired.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(plan.ready.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn form_batch_caps_at_max_batch_in_order() {
+        let mut b = MicroBatcher::new(16);
+        for i in 0..5 {
+            b.submit(req(i, SloTier::Exact, i, 1_000)).unwrap();
+        }
+        let plan = b.form_batch(0, 3);
+        assert_eq!(
+            plan.ready.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.oldest_arrival_us(), Some(3));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let lat: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&lat, 50.0), 50);
+        assert_eq!(percentile_us(&lat, 95.0), 95);
+        assert_eq!(percentile_us(&lat, 99.0), 99);
+        assert_eq!(percentile_us(&lat, 100.0), 100);
+        assert_eq!(percentile_us(&[7], 99.0), 7);
+        assert_eq!(percentile_us(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn policy_validation_catches_degenerate_knobs() {
+        assert!(ServePolicy::default().validate().is_ok());
+        let no_batch = ServePolicy {
+            max_batch: 0,
+            ..ServePolicy::default()
+        };
+        assert!(no_batch.validate().is_err());
+        let nan_threshold = ServePolicy {
+            threshold: f32::NAN,
+            ..ServePolicy::default()
+        };
+        assert!(nan_threshold.validate().is_err());
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(7, 0), splitmix64(7, 0));
+        assert_ne!(splitmix64(7, 0), splitmix64(7, 1));
+        assert_ne!(splitmix64(7, 0), splitmix64(8, 0));
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests over the serving micro-batcher and SLO tiers:
+//! invariants the server relies on for any request schedule.
+//!
+//! The batcher is a pure function of (queue contents, clock), so a
+//! [`VirtualClock`] replays arbitrary proptest-generated schedules
+//! exactly — no sleeps, no flakiness.
+
+use neuroflux_core::serve::VirtualClock;
+use neuroflux_core::{AdmissionError, Clock, MicroBatcher, ServeRequest, SloTier};
+use proptest::prelude::*;
+
+/// One generated scheduler event.
+#[derive(Debug, Clone)]
+enum Event {
+    /// Submit a request with this tier index and deadline offset (µs).
+    Submit { tier: u8, deadline_offset: u64 },
+    /// Advance the virtual clock.
+    Advance { us: u64 },
+    /// Form a batch of up to `max_batch`.
+    Form { max_batch: usize },
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u8..3, 0u64..5_000).prop_map(|(tier, deadline_offset)| Event::Submit {
+            tier,
+            deadline_offset,
+        }),
+        (0u64..3_000).prop_map(|us| Event::Advance { us }),
+        (1usize..10).prop_map(|max_batch| Event::Form { max_batch }),
+    ]
+}
+
+fn request(id: u64, tier: SloTier, now: u64, deadline_offset: u64) -> ServeRequest {
+    ServeRequest {
+        id,
+        tier,
+        pixels: Vec::new(),
+        arrival_us: now,
+        deadline_us: now + deadline_offset,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Conservation: every admitted request leaves the queue exactly once
+    /// — in `ready` or `expired`, never both, never dropped, never
+    /// duplicated — and queue-full rejections never enter it at all.
+    #[test]
+    fn no_request_is_lost_or_duplicated(
+        events in proptest::collection::vec(event_strategy(), 1..120),
+        capacity in 1usize..20,
+    ) {
+        let clock = VirtualClock::new();
+        let mut q = MicroBatcher::new(capacity);
+        let mut next_id = 0u64;
+        let mut admitted = Vec::new();
+        let mut rejected = Vec::new();
+        let mut departed = Vec::new();
+        for ev in &events {
+            match *ev {
+                Event::Submit { tier, deadline_offset } => {
+                    let tier = SloTier::from_index(tier).unwrap();
+                    let id = next_id;
+                    next_id += 1;
+                    let req = request(id, tier, clock.now_us(), deadline_offset);
+                    match q.submit(req) {
+                        Ok(()) => admitted.push(id),
+                        Err(AdmissionError::QueueFull { capacity: c }) => {
+                            prop_assert_eq!(c, capacity);
+                            prop_assert_eq!(q.len(), capacity);
+                            rejected.push(id);
+                        }
+                    }
+                }
+                Event::Advance { us } => clock.advance(us),
+                Event::Form { max_batch } => {
+                    let plan = q.form_batch(clock.now_us(), max_batch);
+                    prop_assert!(plan.ready.len() <= max_batch);
+                    // ready and expired are each FIFO; the pop order is
+                    // their merge by id (pops are a queue prefix).
+                    let mut popped: Vec<u64> = plan
+                        .ready
+                        .iter()
+                        .chain(plan.expired.iter())
+                        .map(|r| r.id)
+                        .collect();
+                    let mut sorted = popped.clone();
+                    sorted.sort_unstable();
+                    prop_assert!(
+                        plan.ready.windows(2).all(|w| w[0].id < w[1].id)
+                            && plan.expired.windows(2).all(|w| w[0].id < w[1].id),
+                        "ready/expired must each preserve FIFO order"
+                    );
+                    popped = sorted;
+                    departed.extend(popped);
+                }
+            }
+        }
+        // Drain whatever is left.
+        while !q.is_empty() {
+            let plan = q.form_batch(clock.now_us(), 4);
+            let mut popped: Vec<u64> = plan
+                .ready
+                .iter()
+                .chain(plan.expired.iter())
+                .map(|r| r.id)
+                .collect();
+            popped.sort_unstable();
+            departed.extend(popped);
+        }
+        prop_assert!(departed == admitted,
+            "pop order must equal admission order with nothing lost");
+        for id in rejected {
+            prop_assert!(!departed.contains(&id), "rejected id {} departed", id);
+        }
+    }
+
+    /// Deadline correctness: at the instant a batch forms, everything in
+    /// `expired` is past its deadline and everything in `ready` is not.
+    #[test]
+    fn expiry_splits_exactly_on_the_deadline(
+        events in proptest::collection::vec(event_strategy(), 1..120),
+    ) {
+        let clock = VirtualClock::new();
+        let mut q = MicroBatcher::new(64);
+        let mut next_id = 0u64;
+        for ev in &events {
+            match *ev {
+                Event::Submit { tier, deadline_offset } => {
+                    let tier = SloTier::from_index(tier).unwrap();
+                    let req = request(next_id, tier, clock.now_us(), deadline_offset);
+                    next_id += 1;
+                    let _ = q.submit(req);
+                }
+                Event::Advance { us } => clock.advance(us),
+                Event::Form { max_batch } => {
+                    let now = clock.now_us();
+                    let plan = q.form_batch(now, max_batch);
+                    for r in &plan.expired {
+                        prop_assert!(r.deadline_us < now,
+                            "expired request {} has live deadline {} at {}",
+                            r.id, r.deadline_us, now);
+                    }
+                    for r in &plan.ready {
+                        prop_assert!(r.deadline_us >= now,
+                            "ready request {} is past deadline {} at {}",
+                            r.id, r.deadline_us, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Progress (no starvation): a form_batch on a non-empty queue always
+    /// removes at least one request, so any backlog drains in at most
+    /// `len` calls even with max_batch = 1 and everything expired.
+    #[test]
+    fn nonempty_queue_always_makes_progress(
+        n in 1usize..40,
+        deadline_offsets in proptest::collection::vec(0u64..2_000, 1..40),
+        advance in 0u64..4_000,
+    ) {
+        let clock = VirtualClock::new();
+        let mut q = MicroBatcher::new(64);
+        for id in 0..n as u64 {
+            let off = deadline_offsets[id as usize % deadline_offsets.len()];
+            let _ = q.submit(request(id, SloTier::Balanced, clock.now_us(), off));
+        }
+        clock.advance(advance);
+        let mut calls = 0;
+        while !q.is_empty() {
+            let before = q.len();
+            let plan = q.form_batch(clock.now_us(), 1);
+            prop_assert!(plan.ready.len() + plan.expired.len() >= 1);
+            prop_assert!(q.len() < before, "form_batch made no progress");
+            calls += 1;
+            prop_assert!(calls <= n, "drain took more calls than requests");
+        }
+    }
+
+    /// SLO depth caps: for any model depth, fast ≤ balanced ≤ exact,
+    /// exact reaches the deepest head, and no tier's cap exceeds it —
+    /// the invariant the server's per-request exit capping relies on.
+    #[test]
+    fn tier_caps_are_monotone_and_bounded(n_units in 1usize..64) {
+        let fast = SloTier::Fast.max_exit(n_units);
+        let balanced = SloTier::Balanced.max_exit(n_units);
+        let exact = SloTier::Exact.max_exit(n_units);
+        prop_assert!(fast <= balanced);
+        prop_assert!(balanced <= exact);
+        prop_assert_eq!(exact, n_units - 1);
+        prop_assert!(fast < n_units);
+    }
+
+    /// Admission control boundary: exactly `capacity` requests are
+    /// admitted from a burst, and the queue never exceeds capacity.
+    #[test]
+    fn burst_admission_stops_exactly_at_capacity(
+        capacity in 1usize..32,
+        burst in 1usize..64,
+    ) {
+        let clock = VirtualClock::new();
+        let mut q = MicroBatcher::new(capacity);
+        let mut ok = 0;
+        for id in 0..burst as u64 {
+            let r = request(id, SloTier::Exact, clock.now_us(), 1_000);
+            if q.submit(r).is_ok() {
+                ok += 1;
+            }
+            prop_assert!(q.len() <= capacity);
+        }
+        prop_assert_eq!(ok, burst.min(capacity));
+    }
+}

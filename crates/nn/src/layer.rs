@@ -29,7 +29,12 @@ pub enum Mode {
 ///   to the layer input. Calling it twice without an intervening forward is
 ///   an error ([`crate::NnError::NoForwardCache`]).
 /// - Gradients accumulate across backward calls until [`Layer::zero_grad`].
-pub trait Layer {
+///
+/// `Send` is a supertrait so trained models can move between threads —
+/// the federated engine trains clients in parallel and the serve path
+/// hands the built model to a dedicated batcher thread. Layers own plain
+/// tensor state, so this costs implementors nothing.
+pub trait Layer: Send {
     /// Human-readable layer name (used in error messages and reports).
     fn name(&self) -> String;
 

@@ -151,8 +151,24 @@ pub mod collection {
 pub mod prelude {
     pub use crate::strategy::Strategy;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, TestCaseError,
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
     };
+}
+
+/// Uniform choice among strategies producing the same value type.
+///
+/// Stub semantics: arms are equally likely (the real crate supports
+/// `weight => strategy` arms; this one does not — the workspace doesn't
+/// use weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strategy)),+];
+        $crate::strategy::Union::new(arms)
+    }};
 }
 
 /// Defines `#[test]` functions whose arguments are sampled from strategies.

@@ -71,6 +71,36 @@ where
     }
 }
 
+/// Uniform choice among same-valued strategies (`prop_oneof!`).
+///
+/// The real crate weights arms and shrinks toward earlier ones; this
+/// stub picks uniformly. `Strategy` is object-safe (the combinators are
+/// `Self: Sized`), so arms are boxed trait objects.
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps the given arms; `prop_oneof!` is the intended constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
 /// Always yields clones of one value (`proptest::strategy::Just`).
 #[derive(Debug, Clone)]
 pub struct Just<T>(pub T);
