@@ -171,6 +171,16 @@ impl LoadgenReport {
     }
 }
 
+/// `(p50, p95, p99)` of an **ascending-sorted** latency slice.
+/// [`percentile_us`] takes its quantile in percent, not as a fraction.
+fn latency_percentiles(sorted: &[u64]) -> (u64, u64, u64) {
+    (
+        percentile_us(sorted, 50.0),
+        percentile_us(sorted, 95.0),
+        percentile_us(sorted, 99.0),
+    )
+}
+
 /// Picks a tier from `weights` using the schedule PRNG draw `bits`.
 fn pick_tier(bits: u64, weights: &[usize; 3]) -> SloTier {
     let total: usize = weights.iter().sum::<usize>().max(1);
@@ -360,9 +370,11 @@ pub fn run_load(cfg: &RunConfig, addr: &str, model: &str, n_units: usize) -> Res
     all_lat.sort_unstable();
     for (ti, lats) in tier_lats.iter_mut().enumerate() {
         lats.sort_unstable();
-        tiers[ti].p50_us = percentile_us(lats, 0.50);
-        tiers[ti].p99_us = percentile_us(lats, 0.99);
+        let (p50, _, p99) = latency_percentiles(lats);
+        tiers[ti].p50_us = p50;
+        tiers[ti].p99_us = p99;
     }
+    let (p50_us, p95_us, p99_us) = latency_percentiles(&all_lat);
 
     Ok(LoadgenReport {
         model: model.to_string(),
@@ -374,9 +386,9 @@ pub fn run_load(cfg: &RunConfig, addr: &str, model: &str, n_units: usize) -> Res
         rejected,
         rejected_by_reason,
         exit_hist,
-        p50_us: percentile_us(&all_lat, 0.50),
-        p95_us: percentile_us(&all_lat, 0.95),
-        p99_us: percentile_us(&all_lat, 0.99),
+        p50_us,
+        p95_us,
+        p99_us,
         rps: (ok + rejected) as f64 / wall_secs,
         tiers,
         host_cores: nf_tensor::host_cores(),
@@ -443,4 +455,20 @@ pub fn run_loadgen(cfg: &RunConfig, opts: &LoadgenOptions) -> Result<LoadgenRepo
         println!("inspect it with: nf inspect {}", run_dir.root().display());
     }
     Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles_take_percent_quantiles() {
+        // 1..=200 µs: nearest-rank p50/p95/p99 are 100/190/198. A
+        // fraction-vs-percent mixup would collapse all three to ~1 (the
+        // minimum), so pin the exact values and the ordering.
+        let lat: Vec<u64> = (1..=200).collect();
+        let (p50, p95, p99) = latency_percentiles(&lat);
+        assert_eq!((p50, p95, p99), (100, 190, 198));
+        assert!(p50 <= p95 && p95 <= p99);
+    }
 }

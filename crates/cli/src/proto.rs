@@ -311,16 +311,18 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
             let id = c.u64()?;
             let tier_byte = c.u8()?;
             let tier = SloTier::from_index(tier_byte).ok_or(ProtoError::UnknownTier(tier_byte))?;
-            let n = c.u32()? as usize;
+            let n = c.u32()?;
             // The count must agree with the frame before anything is
-            // allocated from it.
-            if c.remaining() != n * 4 {
+            // allocated from it; compare in u64 so `n * 4` cannot
+            // overflow usize on 32-bit targets.
+            if c.remaining() as u64 != n as u64 * 4 {
                 return Err(ProtoError::LengthMismatch {
                     context: "infer request",
-                    expected: 14 + n * 4,
+                    expected: (n as usize).saturating_mul(4).saturating_add(14),
                     got: payload.len(),
                 });
             }
+            let n = n as usize;
             let mut pixels = Vec::with_capacity(n);
             for _ in 0..n {
                 pixels.push(c.f32()?);
@@ -433,9 +435,16 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
     }
 }
 
-/// Writes one frame (length prefix + payload) to `w`.
+/// Writes one frame (length prefix + payload) to `w`. A payload over
+/// [`MAX_PAYLOAD`] is refused here rather than sent for the peer to
+/// reject (and a >4 GiB payload would otherwise truncate the `u32`
+/// length prefix).
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtoError> {
-    debug_assert!(payload.len() <= MAX_PAYLOAD);
+    if payload.len() > MAX_PAYLOAD {
+        return Err(ProtoError::Oversized {
+            len: payload.len() as u64,
+        });
+    }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()?;
@@ -678,6 +687,16 @@ mod tests {
         let mut reader = wire.as_slice();
         assert_eq!(read_frame(&mut reader).unwrap(), Some(payload));
         assert_eq!(read_frame(&mut reader).unwrap(), None); // clean EOF
+
+        // Oversized outgoing payload: refused before any byte hits the
+        // wire, in release builds too.
+        let big = vec![0u8; MAX_PAYLOAD + 1];
+        let mut sink = Vec::new();
+        match write_frame(&mut sink, &big).unwrap_err() {
+            ProtoError::Oversized { len } => assert_eq!(len, MAX_PAYLOAD as u64 + 1),
+            other => panic!("{other:?}"),
+        }
+        assert!(sink.is_empty());
 
         // Oversized declared length: rejected from the header alone.
         let mut reader = ((MAX_PAYLOAD as u32) + 1).to_le_bytes().to_vec();

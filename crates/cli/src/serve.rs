@@ -416,17 +416,30 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                         },
                     );
                 }
+                // Admission happens under the queue lock, re-checking the
+                // shutdown flag there: the batcher drains and exits while
+                // holding the same lock with the flag set, so a request
+                // can never land in the queue after the final drain (which
+                // would leak its route and leave the client replyless).
                 let admitted = shared
                     .queue
                     .lock()
-                    .map(|mut q| q.submit(req))
-                    .unwrap_or(Ok(()));
+                    .map(|mut q| {
+                        if shared.shutting_down() {
+                            Some(RejectReason::ShuttingDown)
+                        } else if q.submit(req).is_err() {
+                            Some(RejectReason::QueueFull)
+                        } else {
+                            None
+                        }
+                    })
+                    .unwrap_or(None);
                 match admitted {
-                    Ok(()) => shared.queue_cv.notify_one(),
-                    Err(_full) => {
+                    None => shared.queue_cv.notify_one(),
+                    Some(reason) => {
                         shared.respond(internal, |client_id| Response::Rejected {
                             id: client_id,
-                            reason: RejectReason::QueueFull,
+                            reason,
                         });
                     }
                 }
