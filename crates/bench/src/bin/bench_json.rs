@@ -449,11 +449,16 @@ fn write_cache_artifact(smoke: bool) {
 
 /// Emits `BENCH_serve.json` by driving the early-exit inference server
 /// with the deterministic loadgen harness (`examples/serve.toml` shape;
-/// a smaller model and schedule under `--smoke`), and gates p99 latency
-/// against the committed artifact.
+/// a smaller model and schedule under `--smoke`), sweeping the replica
+/// count (1/2/4, capped at host cores) on full runs, and gating p99
+/// latency plus multi-core replica scaling against the committed
+/// artifact.
 fn write_serve_artifact(smoke: bool) {
-    use nf_cli::{RunConfig, Value};
+    use nf_cli::{RunConfig, Table, Value};
     let cfg = if smoke {
+        // CI shape: a 2-replica server driven by a pipelined client
+        // (inflight = 2× connections), so the smoke run exercises the
+        // shared-queue draw and out-of-order reply matching.
         let doc = r#"
 [run]
 name = "serve-bench-smoke"
@@ -475,9 +480,13 @@ budget_mb = 16
 batch_limit = 8
 epochs_per_block = 1
 
+[serve]
+replicas = 2
+
 [loadgen]
 requests = 32
 connections = 2
+inflight = 4
 tier_weights = [1, 1, 1]
 "#;
         RunConfig::from_value(&nf_cli::toml::parse(doc).expect("smoke serve config"))
@@ -487,11 +496,99 @@ tier_weights = [1, 1, 1]
             std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/serve.toml");
         RunConfig::load(&path).expect("examples/serve.toml")
     };
-    let report = nf_cli::loadgen::run_loadgen_inprocess(&cfg, true).expect("serve bench run");
+    let host_cores = nf_tensor::host_cores();
+
+    // Train once; the replica sweep reuses the engine via params_io
+    // clones. Smoke keeps to the config's own replica count.
+    let (report, sweep_rows) = if smoke {
+        let report = nf_cli::loadgen::run_loadgen_inprocess(&cfg, true).expect("serve bench run");
+        assert_eq!(report.replicas, 2, "smoke config pins 2 replicas");
+        assert_eq!(
+            report.inflight, 4,
+            "smoke config pins inflight = 2× connections"
+        );
+        (report, Vec::new())
+    } else {
+        let mut primary = nf_cli::serve::build_engine(&cfg, true).expect("serve bench engine");
+        let sweep: Vec<usize> = [1usize, 2, 4]
+            .into_iter()
+            .filter(|&r| r == 1 || r <= host_cores)
+            .collect();
+        let mut reports = Vec::new();
+        for &r in &sweep {
+            println!("serve bench: replicas = {r} ...");
+            let rep = nf_cli::loadgen::run_loadgen_with_engine(&cfg, &mut primary, r)
+                .expect("serve bench sweep run");
+            reports.push(rep);
+        }
+        let rows: Vec<Value> = reports
+            .iter()
+            .map(|rep| {
+                let mut row = Table::new();
+                row.insert("replicas", Value::Int(rep.replicas as i64));
+                row.insert("rps", Value::Float(round2(rep.rps)));
+                row.insert("p50_us", Value::Int(rep.p50_us as i64));
+                row.insert("p95_us", Value::Int(rep.p95_us as i64));
+                row.insert("p99_us", Value::Int(rep.p99_us as i64));
+                row.insert(
+                    "busy_frac",
+                    Value::Array(
+                        rep.busy_frac
+                            .iter()
+                            .map(|&b| Value::Float(round2(b)))
+                            .collect(),
+                    ),
+                );
+                row.insert(
+                    "tiers",
+                    Value::Array(
+                        rep.tiers
+                            .iter()
+                            .map(|t| {
+                                let mut tt = Table::new();
+                                tt.insert("tier", Value::Str(t.tier.name().into()));
+                                tt.insert("ok", Value::Int(t.ok as i64));
+                                tt.insert("rejected", Value::Int(t.rejected as i64));
+                                tt.insert("p50_us", Value::Int(t.p50_us as i64));
+                                tt.insert("p99_us", Value::Int(t.p99_us as i64));
+                                tt.build()
+                            })
+                            .collect(),
+                    ),
+                );
+                row.build()
+            })
+            .collect();
+
+        // Replica-scaling gate: with ≥ 2 cores, the widest replica count
+        // must clear 1.6× the single-replica throughput on the identical
+        // schedule. Single-core hosts serialize every replica onto one
+        // core — logged skip, same convention as the GEMM and p99 gates.
+        if host_cores >= 2 && reports.len() >= 2 {
+            let rps1 = reports[0].rps;
+            let widest = reports.last().unwrap();
+            assert!(
+                widest.rps >= 1.6 * rps1,
+                "replica scaling regressed: {} replicas give {:.1} req/s vs {:.1} req/s \
+                 single-replica (< 1.6× with {host_cores} cores)",
+                widest.replicas,
+                widest.rps,
+                rps1
+            );
+        } else {
+            println!("skipping serve replica-scaling gate: single-core host");
+        }
+        (reports.pop().expect("non-empty sweep"), rows)
+    };
     assert_eq!(
         report.ok + report.rejected,
         report.requests,
         "every scheduled request must be accounted for"
+    );
+    assert_eq!(
+        report.busy_frac.len(),
+        report.replicas,
+        "one busy fraction per replica"
     );
 
     // p99 regression gate against the committed full-shape artifact.
@@ -499,7 +596,6 @@ tier_weights = [1, 1, 1]
     // the model, the batcher, and every client onto one core, so latency
     // there measures scheduler contention, not the server — logged skip,
     // same convention as the GEMM parallel-scaling gate.
-    let host_cores = nf_tensor::host_cores();
     let committed = artifact_path("BENCH_serve", false);
     if host_cores > 1 {
         match nf_cli::json::parse_file(&committed) {
@@ -524,21 +620,38 @@ tier_weights = [1, 1, 1]
         println!("skipping serve p99 gate: single-core host");
     }
 
+    // The artifact is the report document plus (on full runs) the
+    // replicas × tier sweep EXPERIMENTS.md renders.
+    let mut doc = Table::new();
+    let report_value = report.to_value();
+    for (key, value) in report_value.entries().expect("report is a table") {
+        doc.insert(key, value.clone());
+    }
+    if !sweep_rows.is_empty() {
+        doc.insert("replica_sweep", Value::Array(sweep_rows));
+    }
+    let mut required = vec![
+        "kind",
+        "model",
+        "requests",
+        "ok",
+        "rejected",
+        "exit_hist",
+        "latency_us",
+        "rps",
+        "tiers",
+        "host_cores",
+        "replicas",
+        "inflight",
+        "busy_frac",
+    ];
+    if !smoke {
+        required.push("replica_sweep");
+    }
     write_and_check(
         &artifact_path("BENCH_serve", smoke),
-        &report.to_value(),
-        &[
-            "kind",
-            "model",
-            "requests",
-            "ok",
-            "rejected",
-            "exit_hist",
-            "latency_us",
-            "rps",
-            "tiers",
-            "host_cores",
-        ],
+        &doc.build(),
+        &required,
     );
 }
 

@@ -165,6 +165,9 @@ pub struct ServeSection {
     pub balanced_deadline_us: u64,
     /// Queue deadline for `exact`-tier requests (µs).
     pub exact_deadline_us: u64,
+    /// Batcher/model replicas sharing the admission queue; 0 = one per
+    /// host core. Each replica owns a bit-identical model clone.
+    pub replicas: usize,
     /// Whether a client may stop the server with a shutdown frame (the
     /// in-process loadgen/test harness turns this on; defaults to off).
     pub allow_shutdown: bool,
@@ -182,6 +185,7 @@ impl Default for ServeSection {
             fast_deadline_us: p.deadline_us[0],
             balanced_deadline_us: p.deadline_us[1],
             exact_deadline_us: p.deadline_us[2],
+            replicas: p.replicas,
             allow_shutdown: false,
         }
     }
@@ -195,6 +199,10 @@ pub struct LoadgenSection {
     pub requests: usize,
     /// Concurrent client connections (closed-loop each).
     pub connections: usize,
+    /// Total requests in flight across all connections (keep-alive
+    /// pipelining); 0 = `connections`, i.e. one in flight per connection
+    /// (plain closed loop). Must be ≥ `connections` when set.
+    pub inflight: usize,
     /// Relative traffic weights for the `fast`/`balanced`/`exact` tiers.
     pub tier_weights: [usize; 3],
     /// Request-stream seed override (defaults to `[run].seed`).
@@ -206,6 +214,7 @@ impl Default for LoadgenSection {
         LoadgenSection {
             requests: 256,
             connections: 4,
+            inflight: 0,
             tier_weights: [1, 1, 1],
             seed: None,
         }
@@ -586,6 +595,7 @@ impl RunConfig {
                 exact_deadline_us: serve
                     .u64_opt("exact_deadline_us")?
                     .unwrap_or(d.exact_deadline_us),
+                replicas: serve.usize_opt("replicas")?.unwrap_or(d.replicas),
                 allow_shutdown: serve.bool_or("allow_shutdown", false)?,
             };
             if !(section.threshold.is_finite() && section.threshold > 0.0) {
@@ -599,6 +609,15 @@ impl RunConfig {
             }
             if section.queue_capacity == 0 {
                 return Err(CliError::config("serve.queue_capacity", "must be > 0"));
+            }
+            if section.replicas > neuroflux_core::MAX_REPLICAS {
+                return Err(CliError::config(
+                    "serve.replicas",
+                    format!(
+                        "must be ≤ {} (0 = one per core)",
+                        neuroflux_core::MAX_REPLICAS
+                    ),
+                ));
             }
             Some(section)
         } else {
@@ -624,6 +643,7 @@ impl RunConfig {
             let section = LoadgenSection {
                 requests: loadgen.usize_opt("requests")?.unwrap_or(d.requests),
                 connections: loadgen.usize_opt("connections")?.unwrap_or(d.connections),
+                inflight: loadgen.usize_opt("inflight")?.unwrap_or(d.inflight),
                 tier_weights: weights,
                 seed: loadgen.u64_opt("seed")?,
             };
@@ -632,6 +652,13 @@ impl RunConfig {
             }
             if section.connections == 0 {
                 return Err(CliError::config("loadgen.connections", "must be > 0"));
+            }
+            if section.inflight != 0 && section.inflight < section.connections {
+                return Err(CliError::config(
+                    "loadgen.inflight",
+                    "must be 0 (= connections) or ≥ connections \
+                     (every connection keeps at least one request in flight)",
+                ));
             }
             Some(section)
         } else {
@@ -776,6 +803,7 @@ impl RunConfig {
                 Value::Int(s.balanced_deadline_us as i64),
             );
             serve.insert("exact_deadline_us", Value::Int(s.exact_deadline_us as i64));
+            serve.insert("replicas", Value::Int(s.replicas as i64));
             serve.insert("allow_shutdown", Value::Bool(s.allow_shutdown));
             root.insert("serve", serve);
         }
@@ -783,6 +811,7 @@ impl RunConfig {
             let mut loadgen = Table::new();
             loadgen.insert("requests", Value::Int(l.requests as i64));
             loadgen.insert("connections", Value::Int(l.connections as i64));
+            loadgen.insert("inflight", Value::Int(l.inflight as i64));
             loadgen.insert(
                 "tier_weights",
                 Value::Array(
@@ -957,6 +986,7 @@ impl RunConfig {
                 s.balanced_deadline_us,
                 s.exact_deadline_us,
             ],
+            replicas: s.replicas,
         };
         policy
             .validate()
@@ -1225,8 +1255,10 @@ kernel_backend = "naive"
         let doc = format!(
             "{}\n[serve]\naddr = \"127.0.0.1:9000\"\nthreshold = 0.9\nmax_batch = 4\n\
              queue_capacity = 16\nbatch_window_us = 250\nfast_deadline_us = 1000\n\
-             balanced_deadline_us = 2000\nexact_deadline_us = 3000\nallow_shutdown = true\n\
-             \n[loadgen]\nrequests = 32\nconnections = 2\ntier_weights = [2, 1, 1]\nseed = 7\n",
+             balanced_deadline_us = 2000\nexact_deadline_us = 3000\nreplicas = 2\n\
+             allow_shutdown = true\n\
+             \n[loadgen]\nrequests = 32\nconnections = 2\ninflight = 6\n\
+             tier_weights = [2, 1, 1]\nseed = 7\n",
             quickstart_toml()
         );
         let cfg = parse_config(&doc);
@@ -1236,12 +1268,16 @@ kernel_backend = "naive"
             (s.max_batch, s.queue_capacity, s.batch_window_us),
             (4, 16, 250)
         );
+        assert_eq!(s.replicas, 2);
         assert!(s.allow_shutdown);
         let policy = cfg.resolve_serve().unwrap();
         assert_eq!(policy.threshold, 0.9f32);
         assert_eq!(policy.deadline_us, [1000, 2000, 3000]);
+        assert_eq!(policy.replicas, 2);
+        assert_eq!(policy.effective_replicas(8), 2);
         let lg = cfg.loadgen();
         assert_eq!((lg.requests, lg.connections), (32, 2));
+        assert_eq!(lg.inflight, 6);
         assert_eq!(lg.tier_weights, [2, 1, 1]);
         assert_eq!(lg.seed, Some(7));
         // Snapshot round-trip covers both sections.
@@ -1255,7 +1291,13 @@ kernel_backend = "naive"
             s.max_batch,
             neuroflux_core::ServePolicy::default().max_batch
         );
+        assert_eq!(s.replicas, 0, "replicas default to auto (one per core)");
         assert_eq!(cfg.loadgen().seed, None);
+        assert_eq!(
+            cfg.loadgen().inflight,
+            0,
+            "inflight defaults to the plain closed loop"
+        );
         let rendered = cfg.to_value().to_toml();
         assert_eq!(parse_config(&rendered), cfg, "snapshot:\n{rendered}");
     }
@@ -1267,8 +1309,13 @@ kernel_backend = "naive"
             ("[serve]\nthreshold = -1.5\n", "serve.threshold"),
             ("[serve]\nmax_batch = 0\n", "serve.max_batch"),
             ("[serve]\nqueue_capacity = 0\n", "serve.queue_capacity"),
+            ("[serve]\nreplicas = 65\n", "serve.replicas"),
             ("[loadgen]\nrequests = 0\n", "loadgen.requests"),
             ("[loadgen]\nconnections = 0\n", "loadgen.connections"),
+            (
+                "[loadgen]\nconnections = 4\ninflight = 2\n",
+                "loadgen.inflight",
+            ),
             ("[loadgen]\ntier_weights = [1, 2]\n", "loadgen.tier_weights"),
             (
                 "[loadgen]\ntier_weights = [0, 0, 0]\n",

@@ -187,6 +187,23 @@ fn render_serve(m: &Value) -> String {
         int("ok"),
         int("rejected"),
     );
+    if m.get("replicas").is_some() {
+        let _ = writeln!(
+            out,
+            "Server: {} replica(s), {} request(s) in flight client-side.",
+            int("replicas"),
+            int("inflight"),
+        );
+    }
+    if let Some(busy) = m.get("busy_frac").and_then(Value::as_array) {
+        if !busy.is_empty() {
+            let rendered: Vec<String> = busy
+                .iter()
+                .map(|b| format!("{:.1}%", b.as_float().unwrap_or(0.0) * 100.0))
+                .collect();
+            let _ = writeln!(out, "Replica busy fractions: {}.", rendered.join(", "));
+        }
+    }
     if let Some(rps) = m.get("rps").and_then(Value::as_float) {
         let _ = writeln!(out, "Throughput: {rps:.1} requests/s.\n");
     }

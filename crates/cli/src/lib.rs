@@ -51,7 +51,10 @@ pub use federated::run_federated_cmd;
 pub use inspect::run_inspect;
 pub use loadgen::{run_loadgen, LoadgenOptions, LoadgenReport};
 pub use rundir::RunDir;
-pub use serve::{run_serve, start_server, start_server_with_engine, ServerHandle};
+pub use serve::{
+    build_engines, replicate_engines, run_serve, start_server, start_server_with_engine,
+    start_server_with_engines, ReplicaSnapshot, ServerHandle,
+};
 pub use sweep::run_sweep;
 pub use train::{run_train, TrainOptions, TrainSummary};
 pub use value::{Table, Value};

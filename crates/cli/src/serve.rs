@@ -3,27 +3,45 @@
 //! Architecture (all std, no async runtime — vendored deps only):
 //!
 //! ```text
-//! accept loop ──spawns──▶ connection threads ──submit──▶ bounded queue
-//!   (non-blocking poll)     (frame parse, admission)       (MicroBatcher)
-//!                                                              │
-//!                              responses ◀──route─── batcher thread
-//!                                                    (micro-batch → capped
+//! accept loop ──spawns──▶ reader threads ──submit──▶ bounded queue
+//!   (blocking accept)      (frame parse,              (MicroBatcher,
+//!                           admission)                 one shared lock)
+//!                                │                        │ draw
+//!            per-connection outbox + writer thread   replica 0..N-1
+//!              (condvar-drained response queue) ◀──  (model clone each:
+//!                                                     micro-batch → capped
 //!                                                     cascade → replies)
 //! ```
 //!
-//! - One reader thread per connection parses length-prefixed frames and
-//!   performs **admission control** inline: full queue → immediate
+//! - The **accept loop** blocks in `accept()`; shutdown unblocks it with
+//!   a loopback self-connect, so an idle server burns no CPU polling.
+//!   After the replicas drain, it shuts down the read half of every live
+//!   connection to unblock readers parked in blocking reads.
+//! - One **reader thread** per connection parses length-prefixed frames
+//!   and performs admission control inline: full queue → immediate
 //!   `queue-full` rejection; wrong pixel count → `bad-input`; malformed
 //!   frame → a typed error reply, then the connection closes. A broken
 //!   connection never touches the accept loop or other clients.
-//! - The **batcher thread** owns the model. It waits up to
-//!   `batch_window_us` for a batch to fill, pops FIFO, rejects requests
-//!   whose tier deadline lapsed in the queue, and runs the rest through
-//!   [`neuroflux_core::ServeEngine`] — easy inputs exit at shallow heads,
-//!   `fast`-tier requests are force-exited at their depth cap.
-//! - Responses are routed back over each request's own connection; a
-//!   client that disconnected mid-request is simply dropped (the write
-//!   fails, nothing panics or wedges).
+//! - Responses go through a per-connection **outbox** (a condvar-drained
+//!   queue flushed by a dedicated writer thread), so replicas never block
+//!   on a slow client's socket and pipelined clients can have many
+//!   requests in flight per connection. A client that disconnected
+//!   mid-request costs exactly its own replies.
+//! - **N replicas** (`[serve] replicas`, 0 = one per core) each own a
+//!   bit-identical model clone (`params_io` snapshot/load) plus private
+//!   workspace arenas, and draw from the one shared queue under its lock.
+//!   Batch formation stays a pure function of (queue, clock), and the
+//!   ascending-k GEMM invariant makes results batch-size independent, so
+//!   served predictions are bit-identical to offline single-sample
+//!   inference at any replica count.
+//! - The wake policy is tier-aware: a replica runs a partial batch once
+//!   the oldest queued request's *tier window* closes (fast = ¼ of
+//!   `batch_window_us`, balanced = ½, exact = full), so a lone `fast`
+//!   request is never stuck behind a full `exact` batch window.
+//! - Shutdown drains deadline-aware across all replicas: queued requests
+//!   still within their deadline are served, lapsed ones are rejected
+//!   (`deadline`), new arrivals are rejected (`shutting-down`) — nothing
+//!   is silently dropped.
 //!
 //! The model is trained in-process from the config at startup (seeded by
 //! `[run].seed`), so a given config always serves the identical model —
@@ -33,11 +51,10 @@ use crate::config::RunConfig;
 use crate::error::{CliError, Result};
 use crate::proto::{self, RejectReason, Request, Response};
 use neuroflux_core::serve::{Clock, MicroBatcher, SystemClock};
-use neuroflux_core::{NeuroFluxTrainer, ServeEngine, ServePolicy, ServeRequest};
+use neuroflux_core::{BatchPlan, NeuroFluxTrainer, ServeEngine, ServePolicy, ServeRequest};
 use rand::SeedableRng;
-use std::collections::HashMap;
-use std::io::Read;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::{HashMap, VecDeque};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -70,24 +87,198 @@ pub fn build_engine(cfg: &RunConfig, quiet: bool) -> Result<ServeEngine> {
     .map_err(|e| CliError::new(e.to_string()))
 }
 
-/// A response route: which connection a served request goes back on.
-struct Route {
-    client_id: u64,
-    writer: Arc<Mutex<TcpStream>>,
+/// Expands one trained engine into `n` bit-identical replicas: the
+/// primary plus `n - 1` `params_io` snapshot/load clones. Every replica
+/// gets the config's kernel backend pinned on every layer (replicas must
+/// agree on kernels — backends are numerically close, not bit-identical)
+/// and its own private workspace arenas, so concurrent replicas never
+/// contend on shared scratch.
+pub fn replicate_engines(
+    cfg: &RunConfig,
+    mut primary: ServeEngine,
+    n: usize,
+) -> Result<Vec<ServeEngine>> {
+    let (_, _, nf_config) = cfg.resolve()?;
+    let mut engines = Vec::with_capacity(n.max(1));
+    for _ in 1..n.max(1) {
+        engines.push(
+            primary
+                .replicate(nf_config.aux_policy)
+                .map_err(|e| CliError::new(format!("cloning serve replica: {e}")))?,
+        );
+    }
+    engines.insert(0, primary);
+    for engine in &mut engines {
+        engine.set_kernel_backend(nf_config.kernel_backend);
+        engine.install_private_workspace();
+    }
+    Ok(engines)
 }
 
-/// State shared between the accept loop, connection threads, and the
-/// batcher thread.
+/// Clones `primary` into `n` fresh replicas without consuming it — the
+/// bench sweep trains once and reuses the engine across replica counts.
+/// Clones get the same kernel pinning and private workspaces as
+/// [`replicate_engines`] applies.
+pub fn clone_engines(
+    cfg: &RunConfig,
+    primary: &mut ServeEngine,
+    n: usize,
+) -> Result<Vec<ServeEngine>> {
+    let (_, _, nf_config) = cfg.resolve()?;
+    let mut engines = Vec::with_capacity(n.max(1));
+    for _ in 0..n.max(1) {
+        engines.push(
+            primary
+                .replicate(nf_config.aux_policy)
+                .map_err(|e| CliError::new(format!("cloning serve replica: {e}")))?,
+        );
+    }
+    for engine in &mut engines {
+        engine.set_kernel_backend(nf_config.kernel_backend);
+        engine.install_private_workspace();
+    }
+    Ok(engines)
+}
+
+/// Builds the full replica set for `cfg`: trains the primary once, then
+/// clones it out to `[serve].replicas` engines (0 = one per host core).
+pub fn build_engines(cfg: &RunConfig, quiet: bool) -> Result<Vec<ServeEngine>> {
+    let policy = cfg.resolve_serve()?;
+    let n = policy.effective_replicas(nf_tensor::host_cores());
+    let primary = build_engine(cfg, quiet)?;
+    if !quiet && n > 1 {
+        println!("cloning the engine into {n} bit-identical replicas ...");
+    }
+    replicate_engines(cfg, primary, n)
+}
+
+/// Pending responses for one connection, drained by its writer thread.
+struct OutboxState {
+    pending: VecDeque<Response>,
+    closed: bool,
+}
+
+/// A per-connection response queue: readers and replicas push, one writer
+/// thread blocks on the condvar and flushes — no sleep polling, and no
+/// replica ever blocks on a client's socket.
+struct Outbox {
+    state: Mutex<OutboxState>,
+    cv: Condvar,
+}
+
+impl Outbox {
+    fn new() -> Self {
+        Outbox {
+            state: Mutex::new(OutboxState {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Queues a response for delivery; a no-op once the connection closed.
+    fn push(&self, resp: Response) {
+        if let Ok(mut st) = self.state.lock() {
+            if st.closed {
+                return;
+            }
+            st.pending.push_back(resp);
+            self.cv.notify_one();
+        }
+    }
+
+    /// Marks the connection closed; the writer flushes what's pending and
+    /// exits, later pushes are dropped.
+    fn close(&self) {
+        if let Ok(mut st) = self.state.lock() {
+            st.closed = true;
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// The writer half of one connection: waits on the outbox condvar,
+/// flushes responses in push order, exits once the outbox is closed and
+/// empty (or the peer is gone).
+fn writer_loop(mut stream: TcpStream, outbox: Arc<Outbox>) {
+    loop {
+        let batch = {
+            let mut st = match outbox.state.lock() {
+                Ok(st) => st,
+                Err(_) => return,
+            };
+            while st.pending.is_empty() && !st.closed {
+                st = match outbox.cv.wait(st) {
+                    Ok(st) => st,
+                    Err(_) => return,
+                };
+            }
+            if st.pending.is_empty() {
+                return; // closed and fully flushed
+            }
+            std::mem::take(&mut st.pending)
+        };
+        for resp in batch {
+            let payload = proto::encode_response(&resp);
+            if proto::write_frame(&mut stream, &payload).is_err() {
+                outbox.close(); // peer gone: drop the rest, stop accepting
+                return;
+            }
+        }
+    }
+}
+
+/// A response route: which connection's outbox a served request goes
+/// back through, under which client-chosen id.
+struct Route {
+    client_id: u64,
+    outbox: Arc<Outbox>,
+}
+
+/// Per-replica work counters (lock-free; read by `replica_stats`).
+#[derive(Default)]
+struct ReplicaStats {
+    busy_us: AtomicU64,
+    batches: AtomicU64,
+    served: AtomicU64,
+}
+
+/// One replica's accounting snapshot, as reported in `BENCH_serve.json`.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaSnapshot {
+    /// Fraction of server lifetime this replica spent inside
+    /// `infer_batch` (busy/idle accounting).
+    pub busy_frac: f64,
+    /// Micro-batches this replica ran.
+    pub batches: u64,
+    /// Requests this replica served.
+    pub served: u64,
+}
+
+/// State shared between the accept loop, reader threads, and replicas.
 struct Shared {
     queue: Mutex<MicroBatcher>,
     queue_cv: Condvar,
     routes: Mutex<HashMap<u64, Route>>,
+    /// Read-half handles of live connections, keyed by connection id —
+    /// shutdown unblocks their readers via `Shutdown::Read`.
+    conns: Mutex<HashMap<u64, TcpStream>>,
     shutdown: AtomicBool,
     next_id: AtomicU64,
+    next_conn_id: AtomicU64,
     policy: ServePolicy,
     input_len: usize,
     clock: SystemClock,
     allow_shutdown: bool,
+    /// The bound address, for the shutdown self-connect.
+    bound: SocketAddr,
+    replicas: usize,
+    stats: Vec<ReplicaStats>,
+    /// Replicas that finished their drain; the accept thread waits on
+    /// this before killing reader sockets, so drain replies still route.
+    replicas_done: Mutex<usize>,
+    replicas_done_cv: Condvar,
 }
 
 impl Shared {
@@ -95,13 +286,23 @@ impl Shared {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Sends `resp` on `writer`, ignoring I/O failures — a client that
-    /// disconnected mid-request costs nothing but its own reply.
-    fn send(writer: &Arc<Mutex<TcpStream>>, resp: &Response) {
-        let payload = proto::encode_response(resp);
-        if let Ok(mut w) = writer.lock() {
-            let _ = proto::write_frame(&mut *w, &payload);
-        }
+    /// Flips the shutdown flag and unblocks everything that sleeps: the
+    /// replicas (condvar), and the accept loop (loopback self-connect).
+    /// Idempotent.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+        let target = match self.bound {
+            SocketAddr::V4(a) if a.ip().is_unspecified() => {
+                SocketAddr::from(([127, 0, 0, 1], a.port()))
+            }
+            SocketAddr::V6(a) if a.ip().is_unspecified() => SocketAddr::new(
+                std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                a.port(),
+            ),
+            a => a,
+        };
+        let _ = TcpStream::connect_timeout(&target, Duration::from_millis(250));
     }
 
     /// Routes a response for an admitted request and retires its route.
@@ -112,7 +313,7 @@ impl Shared {
             .ok()
             .and_then(|mut r| r.remove(&internal_id));
         if let Some(route) = route {
-            Self::send(&route.writer, &make(route.client_id));
+            route.outbox.push(make(route.client_id));
         }
     }
 }
@@ -125,15 +326,31 @@ pub struct ServerHandle {
     pub n_units: usize,
     /// Flattened pixels per request the model expects.
     pub input_len: usize,
+    /// Batcher/model replicas drawing from the shared queue.
+    pub replicas: usize,
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
-    /// Signals shutdown and joins the accept and batcher threads.
+    /// Per-replica busy/idle accounting since the server started.
+    pub fn replica_stats(&self) -> Vec<ReplicaSnapshot> {
+        let alive_us = self.shared.clock.now_us().max(1) as f64;
+        self.shared
+            .stats
+            .iter()
+            .map(|s| ReplicaSnapshot {
+                busy_frac: (s.busy_us.load(Ordering::Relaxed) as f64 / alive_us).clamp(0.0, 1.0),
+                batches: s.batches.load(Ordering::Relaxed),
+                served: s.served.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Signals shutdown and joins the accept and replica threads (the
+    /// replicas finish their deadline-aware drain first).
     pub fn stop(mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.queue_cv.notify_all();
+        self.shared.begin_shutdown();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -149,11 +366,12 @@ impl ServerHandle {
     }
 }
 
-/// Starts a server around an already-built engine. Binds `addr`
-/// (port 0 → ephemeral), spawns the accept loop and the batcher thread,
-/// and returns immediately.
-pub fn start_server_with_engine(
-    mut engine: ServeEngine,
+/// Starts a server around an already-built replica set (all bit-identical
+/// clones of one trained engine; `replicate_engines` makes these). Binds
+/// `addr` (port 0 → ephemeral), spawns the accept loop and one replica
+/// thread per engine, and returns immediately.
+pub fn start_server_with_engines(
+    engines: Vec<ServeEngine>,
     policy: ServePolicy,
     addr: &str,
     allow_shutdown: bool,
@@ -161,55 +379,87 @@ pub fn start_server_with_engine(
     policy
         .validate()
         .map_err(|e| CliError::config("serve", e.to_string()))?;
+    let mut engines = engines;
+    if engines.is_empty() {
+        return Err(CliError::new("starting a server with zero replicas"));
+    }
+    let input_len = engines[0].input_len();
+    let n_units = engines[0].n_units();
+    if engines
+        .iter()
+        .any(|e| e.input_len() != input_len || e.n_units() != n_units)
+    {
+        return Err(CliError::new(
+            "serve replicas disagree on model shape (clones of different engines?)",
+        ));
+    }
     let listener = TcpListener::bind(addr)
         .map_err(|e| CliError::new(format!("binding serve address {addr}: {e}")))?;
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| CliError::new(format!("configuring listener: {e}")))?;
     let bound = listener
         .local_addr()
         .map_err(|e| CliError::new(format!("reading bound address: {e}")))?;
 
+    let replicas = engines.len();
     let shared = Arc::new(Shared {
         queue: Mutex::new(MicroBatcher::new(policy.queue_capacity)),
         queue_cv: Condvar::new(),
         routes: Mutex::new(HashMap::new()),
+        conns: Mutex::new(HashMap::new()),
         shutdown: AtomicBool::new(false),
         next_id: AtomicU64::new(0),
+        next_conn_id: AtomicU64::new(0),
         policy: policy.clone(),
-        input_len: engine.input_len(),
+        input_len,
         clock: SystemClock::new(),
         allow_shutdown,
+        bound,
+        replicas,
+        stats: (0..replicas).map(|_| ReplicaStats::default()).collect(),
+        replicas_done: Mutex::new(0),
+        replicas_done_cv: Condvar::new(),
     });
-    let n_units = engine.n_units();
-    let input_len = engine.input_len();
 
     let accept_shared = shared.clone();
-    let accept = std::thread::spawn(move || {
+    let mut threads = vec![std::thread::spawn(move || {
         accept_loop(listener, accept_shared);
-    });
-
-    let batch_shared = shared.clone();
-    let batcher = std::thread::spawn(move || {
-        batcher_loop(&mut engine, batch_shared);
-    });
+    })];
+    for (idx, mut engine) in engines.drain(..).enumerate() {
+        let replica_shared = shared.clone();
+        threads.push(std::thread::spawn(move || {
+            replica_loop(&mut engine, replica_shared, idx);
+        }));
+    }
 
     Ok(ServerHandle {
         addr: bound,
         n_units,
         input_len,
+        replicas,
         shared,
-        threads: vec![accept, batcher],
+        threads,
     })
 }
 
-/// Trains the model and starts the server described by `cfg` (the
-/// in-process form of `nf serve`).
+/// Starts a single-replica server around one engine (the replica-count
+/// knob in `policy` is ignored here; use [`start_server_with_engines`]
+/// or [`start_server`] for a replicated server).
+pub fn start_server_with_engine(
+    engine: ServeEngine,
+    policy: ServePolicy,
+    addr: &str,
+    allow_shutdown: bool,
+) -> Result<ServerHandle> {
+    start_server_with_engines(vec![engine], policy, addr, allow_shutdown)
+}
+
+/// Trains the model, clones it into the configured replica count, and
+/// starts the server described by `cfg` (the in-process form of
+/// `nf serve`).
 pub fn start_server(cfg: &RunConfig, quiet: bool) -> Result<ServerHandle> {
-    let engine = build_engine(cfg, quiet)?;
+    let engines = build_engines(cfg, quiet)?;
     let section = cfg.serve();
-    start_server_with_engine(
-        engine,
+    start_server_with_engines(
+        engines,
         cfg.resolve_serve()?,
         &section.addr,
         section.allow_shutdown,
@@ -223,9 +473,10 @@ pub fn run_serve(cfg: &RunConfig, quiet: bool) -> Result<()> {
     let section = cfg.serve();
     if !quiet {
         println!(
-            "serving on {} — tiers fast/balanced/exact cap exits at \
+            "serving on {} — {} replica(s); tiers fast/balanced/exact cap exits at \
              {}/{}/{} of {} heads; max batch {}, queue {}",
             handle.addr,
+            handle.replicas,
             neuroflux_core::SloTier::Fast.max_exit(handle.n_units),
             neuroflux_core::SloTier::Balanced.max_exit(handle.n_units),
             neuroflux_core::SloTier::Exact.max_exit(handle.n_units),
@@ -239,163 +490,111 @@ pub fn run_serve(cfg: &RunConfig, quiet: bool) -> Result<()> {
     Ok(())
 }
 
-/// Polls for connections until shutdown; every accepted socket gets its
-/// own detached reader thread.
+/// Blocks in `accept()` until shutdown; every accepted socket gets its
+/// own detached reader thread. After shutdown it turns coordinator:
+/// waits for every replica to finish draining (so queued replies still
+/// route), then unblocks readers parked in blocking reads by shutting
+/// down the read half of each live connection.
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     loop {
-        if shared.shutting_down() {
-            return;
-        }
         match listener.accept() {
             Ok((stream, _peer)) => {
+                if shared.shutting_down() {
+                    // The shutdown self-connect (or a late client).
+                    drop(stream);
+                    break;
+                }
                 let conn_shared = shared.clone();
                 std::thread::spawn(move || handle_connection(stream, conn_shared));
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            // A single failed accept (e.g. a peer that vanished between
+            // SYN and accept) must not take the loop down; the pause only
+            // rate-limits a persistently failing accept, never idle.
+            Err(_) => {
+                if shared.shutting_down() {
+                    break;
+                }
                 std::thread::sleep(Duration::from_millis(2));
             }
-            // A single failed accept (e.g. a peer that vanished between
-            // SYN and accept) must not take the loop down.
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
         }
     }
-}
-
-/// Reads one frame with a read-timeout loop so the thread notices
-/// shutdown; `Ok(None)` covers both clean close and shutdown.
-fn read_frame_shutdown_aware(
-    stream: &mut TcpStream,
-    shared: &Shared,
-) -> std::result::Result<Option<Vec<u8>>, proto::ProtoError> {
-    let mut header = [0u8; 4];
-    match read_buf_shutdown_aware(stream, shared, &mut header)? {
-        ReadState::Closed => return Ok(None),
-        ReadState::Truncated => {
-            return Err(proto::ProtoError::Truncated { context: "header" });
-        }
-        ReadState::Full => {}
-    }
-    let len = u32::from_le_bytes(header) as usize;
-    if len > proto::MAX_PAYLOAD {
-        return Err(proto::ProtoError::Oversized { len: len as u64 });
-    }
-    let mut payload = vec![0u8; len];
-    match read_buf_shutdown_aware(stream, shared, &mut payload)? {
-        ReadState::Full => Ok(Some(payload)),
-        _ => Err(proto::ProtoError::Truncated { context: "payload" }),
-    }
-}
-
-enum ReadState {
-    Full,
-    Closed,
-    Truncated,
-}
-
-fn read_buf_shutdown_aware(
-    stream: &mut TcpStream,
-    shared: &Shared,
-    buf: &mut [u8],
-) -> std::result::Result<ReadState, proto::ProtoError> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        if shared.shutting_down() {
-            return Ok(ReadState::Closed);
-        }
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return Ok(if filled == 0 {
-                    ReadState::Closed
-                } else {
-                    ReadState::Truncated
-                });
-            }
-            Ok(n) => filled += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
-                ) =>
-            {
-                continue;
-            }
-            Err(e) => return Err(e.into()),
+    drop(listener);
+    let done = match shared.replicas_done.lock() {
+        Ok(d) => d,
+        Err(_) => return,
+    };
+    let _done = shared
+        .replicas_done_cv
+        .wait_while(done, |d| *d < shared.replicas);
+    if let Ok(conns) = shared.conns.lock() {
+        for stream in conns.values() {
+            let _ = stream.shutdown(Shutdown::Read);
         }
     }
-    Ok(ReadState::Full)
 }
 
 /// One connection's read loop: parse, admit, route. Any protocol error
 /// is answered with a typed error frame and closes only this connection.
+/// Responses flow through the outbox so pipelined requests can be in
+/// flight while this thread is already parsing the next frame.
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
         Err(_) => return,
     };
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+    if let (Ok(mut conns), Ok(clone)) = (shared.conns.lock(), stream.try_clone()) {
+        conns.insert(conn_id, clone);
+    }
+    let outbox = Arc::new(Outbox::new());
+    let writer_outbox = outbox.clone();
+    let writer = std::thread::spawn(move || writer_loop(writer_stream, writer_outbox));
+
     let mut reader = stream;
     loop {
-        let payload = match read_frame_shutdown_aware(&mut reader, &shared) {
+        let payload = match proto::read_frame(&mut reader) {
             Ok(Some(p)) => p,
-            Ok(None) => return,
+            Ok(None) => break,
             Err(e) => {
-                Shared::send(
-                    &writer,
-                    &Response::Error {
-                        message: e.to_string(),
-                    },
-                );
-                return;
+                outbox.push(Response::Error {
+                    message: e.to_string(),
+                });
+                break;
             }
         };
         match proto::decode_request(&payload) {
             Err(e) => {
-                Shared::send(
-                    &writer,
-                    &Response::Error {
-                        message: e.to_string(),
-                    },
-                );
-                return;
+                outbox.push(Response::Error {
+                    message: e.to_string(),
+                });
+                break;
             }
-            Ok(Request::Ping { id }) => Shared::send(&writer, &Response::Pong { id }),
+            Ok(Request::Ping { id }) => outbox.push(Response::Pong { id }),
             Ok(Request::Shutdown) => {
                 if shared.allow_shutdown {
-                    Shared::send(&writer, &Response::ShutdownAck);
-                    shared.shutdown.store(true, Ordering::SeqCst);
-                    shared.queue_cv.notify_all();
+                    outbox.push(Response::ShutdownAck);
+                    shared.begin_shutdown();
                 } else {
-                    Shared::send(
-                        &writer,
-                        &Response::Error {
-                            message: "shutdown frames are disabled on this server".into(),
-                        },
-                    );
+                    outbox.push(Response::Error {
+                        message: "shutdown frames are disabled on this server".into(),
+                    });
                 }
-                return;
+                break;
             }
             Ok(Request::Infer { id, tier, pixels }) => {
                 if pixels.len() != shared.input_len {
-                    Shared::send(
-                        &writer,
-                        &Response::Rejected {
-                            id,
-                            reason: RejectReason::BadInput,
-                        },
-                    );
+                    outbox.push(Response::Rejected {
+                        id,
+                        reason: RejectReason::BadInput,
+                    });
                     continue;
                 }
                 if shared.shutting_down() {
-                    Shared::send(
-                        &writer,
-                        &Response::Rejected {
-                            id,
-                            reason: RejectReason::ShuttingDown,
-                        },
-                    );
+                    outbox.push(Response::Rejected {
+                        id,
+                        reason: RejectReason::ShuttingDown,
+                    });
                     continue;
                 }
                 let internal = shared.next_id.fetch_add(1, Ordering::SeqCst);
@@ -412,15 +611,16 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                         internal,
                         Route {
                             client_id: id,
-                            writer: writer.clone(),
+                            outbox: outbox.clone(),
                         },
                     );
                 }
                 // Admission happens under the queue lock, re-checking the
-                // shutdown flag there: the batcher drains and exits while
-                // holding the same lock with the flag set, so a request
-                // can never land in the queue after the final drain (which
-                // would leak its route and leave the client replyless).
+                // shutdown flag there: the replicas finish their drain
+                // while holding the same lock with the flag set, so a
+                // request can never land in the queue after the final
+                // drain (which would leak its route and leave the client
+                // replyless).
                 let admitted = shared
                     .queue
                     .lock()
@@ -446,65 +646,61 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             }
         }
     }
+    outbox.close();
+    let _ = writer.join();
+    if let Ok(mut conns) = shared.conns.lock() {
+        conns.remove(&conn_id);
+    }
 }
 
-/// The batcher thread: waits for work, honours the batch window, rejects
-/// deadline-lapsed requests, and runs ready batches through the engine.
-fn batcher_loop(engine: &mut ServeEngine, shared: Arc<Shared>) {
+/// Waits for the next batch this replica should run, or `None` when the
+/// replica should exit (shutdown with an empty queue).
+///
+/// While serving, the replica sleeps on the queue condvar with no timeout
+/// when the queue is empty (zero idle CPU), and with a bounded timeout
+/// until the earliest tier window closes when a partial batch is queued.
+/// During shutdown it drains deadline-aware: batches form immediately
+/// (no window), `form_batch` splits out lapsed requests for rejection,
+/// and the replica exits once the queue is empty.
+fn next_plan(shared: &Shared) -> Option<BatchPlan> {
+    let mut q = shared.queue.lock().ok()?;
     loop {
-        let plan = {
-            let mut q = match shared.queue.lock() {
-                Ok(q) => q,
-                Err(_) => return,
-            };
-            loop {
-                if shared.shutting_down() {
-                    break;
-                }
-                if q.is_empty() {
-                    let (qq, _) = match shared.queue_cv.wait_timeout(q, Duration::from_millis(10)) {
-                        Ok(r) => r,
-                        Err(_) => return,
-                    };
-                    q = qq;
-                    continue;
-                }
-                if q.len() >= shared.policy.max_batch {
-                    break;
-                }
-                // Partial batch: wait out the window, measured from the
-                // oldest arrival, re-checking as new requests land.
-                let now = shared.clock.now_us();
-                let window_closes = q
-                    .oldest_arrival_us()
-                    .unwrap_or(now)
-                    .saturating_add(shared.policy.batch_window_us);
-                if now >= window_closes {
-                    break;
-                }
-                let wait = (window_closes - now).clamp(50, 2_000);
-                let (qq, _) = match shared.queue_cv.wait_timeout(q, Duration::from_micros(wait)) {
-                    Ok(r) => r,
-                    Err(_) => return,
-                };
-                q = qq;
+        if shared.shutting_down() {
+            if q.is_empty() {
+                return None;
             }
-            if shared.shutting_down() {
-                // Drain semantics: queued requests are rejected, not
-                // silently dropped.
-                let drained = q.drain();
-                drop(q);
-                for req in drained {
-                    shared.respond(req.id, |client_id| Response::Rejected {
-                        id: client_id,
-                        reason: RejectReason::ShuttingDown,
-                    });
-                }
-                return;
-            }
-            q.form_batch(shared.clock.now_us(), shared.policy.max_batch)
-        };
+            break;
+        }
+        if q.is_empty() {
+            q = shared.queue_cv.wait(q).ok()?;
+            continue;
+        }
+        if q.len() >= shared.policy.max_batch {
+            break;
+        }
+        // Partial batch: wait until the earliest tier window closes,
+        // re-checking as new requests land.
+        let now = shared.clock.now_us();
+        let wake = q.window_deadline_us(&shared.policy).unwrap_or(now);
+        if now >= wake {
+            break;
+        }
+        let wait = (wake - now).clamp(50, 2_000);
+        let (qq, _) = shared
+            .queue_cv
+            .wait_timeout(q, Duration::from_micros(wait))
+            .ok()?;
+        q = qq;
+    }
+    Some(q.form_batch(shared.clock.now_us(), shared.policy.max_batch))
+}
 
+/// One replica: draws micro-batches from the shared queue, rejects
+/// deadline-lapsed requests, runs ready batches through its own model
+/// clone, and accounts its busy time.
+fn replica_loop(engine: &mut ServeEngine, shared: Arc<Shared>, idx: usize) {
+    while let Some(plan) = next_plan(&shared) {
+        let stats = &shared.stats[idx];
         for req in &plan.expired {
             shared.respond(req.id, |client_id| Response::Rejected {
                 id: client_id,
@@ -514,8 +710,16 @@ fn batcher_loop(engine: &mut ServeEngine, shared: Arc<Shared>) {
         if plan.ready.is_empty() {
             continue;
         }
-        match engine.infer_batch(&plan.ready) {
+        let t0 = shared.clock.now_us();
+        let result = engine.infer_batch(&plan.ready);
+        let busy = shared.clock.now_us().saturating_sub(t0);
+        stats.busy_us.fetch_add(busy, Ordering::Relaxed);
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        match result {
             Ok(replies) => {
+                stats
+                    .served
+                    .fetch_add(plan.ready.len() as u64, Ordering::Relaxed);
                 let now = shared.clock.now_us();
                 for (req, reply) in plan.ready.iter().zip(replies) {
                     let server_us = now.saturating_sub(req.arrival_us).min(u32::MAX as u64);
@@ -538,5 +742,9 @@ fn batcher_loop(engine: &mut ServeEngine, shared: Arc<Shared>) {
                 }
             }
         }
+    }
+    if let Ok(mut done) = shared.replicas_done.lock() {
+        *done += 1;
+        shared.replicas_done_cv.notify_all();
     }
 }

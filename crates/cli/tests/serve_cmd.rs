@@ -4,7 +4,9 @@
 
 use neuroflux_core::{ServePolicy, ServeRequest, SloTier};
 use nf_cli::proto::{self, RejectReason, Request, Response};
-use nf_cli::serve::{build_engine, start_server_with_engine};
+use nf_cli::serve::{
+    build_engine, replicate_engines, start_server_with_engine, start_server_with_engines,
+};
 use nf_cli::{run_inspect, RunConfig};
 use std::io::Write as _;
 use std::net::TcpStream;
@@ -205,6 +207,114 @@ fn served_predictions_are_bit_identical_to_offline_single_sample() {
     // Fast tier is capped at head 0 on a 3-unit model, so at least the
     // 16 fast requests exit there — the histogram is never degenerate.
     assert!(served_hist[0] >= PER_CONN);
+}
+
+/// Replica determinism, the PR-8 tentpole claim: a 4-replica server fed
+/// by pipelined concurrent connections (several requests in flight per
+/// connection, replies matched by id) returns byte-identical predictions
+/// — class, exit, confidence bits — to a 1-replica server AND to offline
+/// single-sample inference. Which replica served a request, and what
+/// batch it landed in, must be unobservable in the payload.
+#[test]
+fn four_replicas_with_pipelining_match_one_replica_and_offline() {
+    let cfg = config(&temp_out_dir("replicas"));
+    let mut offline = build_engine(&cfg, true).unwrap();
+    let samples = test_samples(&cfg, 36);
+
+    // One reply table per replica count, keyed by request id.
+    let serve_all = |replicas: usize| -> std::collections::HashMap<u64, (u16, u8, u32)> {
+        let primary = build_engine(&cfg, true).unwrap();
+        let engines = replicate_engines(&cfg, primary, replicas).unwrap();
+        let mut policy = cfg.resolve_serve().unwrap();
+        policy.replicas = replicas;
+        let handle = start_server_with_engines(engines, policy, "127.0.0.1:0", false).unwrap();
+        assert_eq!(handle.replicas, replicas);
+        let addr = handle.addr;
+
+        const CONNS: usize = 3;
+        const WINDOW: usize = 4; // in-flight per connection (pipelined)
+        let per_conn = samples.len() / CONNS;
+        let replies: std::collections::HashMap<u64, (u16, u8, u32)> = std::thread::scope(|scope| {
+            let mut workers = Vec::new();
+            for c in 0..CONNS {
+                let samples = &samples;
+                workers.push(scope.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    let mut got = std::collections::HashMap::new();
+                    let mut sent = 0usize;
+                    // Keep up to WINDOW requests on the wire; replies
+                    // may come back out of order across the window.
+                    while got.len() < per_conn {
+                        while sent < per_conn && sent - got.len() < WINDOW {
+                            let k = c * per_conn + sent;
+                            send_request(
+                                &mut stream,
+                                &Request::Infer {
+                                    id: k as u64,
+                                    tier: SloTier::ALL[k % 3],
+                                    pixels: samples[k].clone(),
+                                },
+                            );
+                            sent += 1;
+                        }
+                        match read_response(&mut stream) {
+                            Response::Infer {
+                                id,
+                                class,
+                                exit,
+                                confidence,
+                                ..
+                            } => {
+                                let prev = got.insert(id, (class, exit, confidence.to_bits()));
+                                assert!(prev.is_none(), "duplicate reply for id {id}");
+                            }
+                            other => panic!("connection {c} got {other:?}"),
+                        }
+                    }
+                    got
+                }));
+            }
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().unwrap())
+                .collect()
+        });
+        let stats = handle.replica_stats();
+        handle.stop();
+        assert_eq!(stats.len(), replicas);
+        assert_eq!(
+            stats.iter().map(|s| s.served).sum::<u64>(),
+            samples.len() as u64,
+            "every request must be served by exactly one replica"
+        );
+        replies
+    };
+
+    let four = serve_all(4);
+    let one = serve_all(1);
+    assert_eq!(four.len(), samples.len());
+    assert_eq!(four, one, "replica count changed served bits");
+
+    for (k, sample) in samples.iter().enumerate() {
+        let tier = SloTier::ALL[k % 3];
+        let r = offline
+            .infer_batch(&[ServeRequest {
+                id: k as u64,
+                tier,
+                pixels: sample.clone(),
+                arrival_us: 0,
+                deadline_us: u64::MAX,
+            }])
+            .unwrap()[0];
+        let (class, exit, conf_bits) = four[&(k as u64)];
+        assert_eq!(class as usize, r.class, "request {k}: class diverged");
+        assert_eq!(exit as usize, r.exit, "request {k}: exit diverged");
+        assert_eq!(
+            conf_bits,
+            r.confidence.to_bits(),
+            "request {k}: confidence bits diverged"
+        );
+    }
 }
 
 /// Protocol robustness: truncated frames, oversized lengths, unknown

@@ -74,8 +74,8 @@ pub use params_io::{deserialize_params, serialize_params};
 pub use partitioner::{partition, Block};
 pub use profiler::{LinearMemoryModel, Profiler, UnitProfile};
 pub use serve::{
-    AdmissionError, BatchPlan, Clock, MicroBatcher, ServeEngine, ServePolicy, ServeReply,
-    ServeRequest, SloTier, SystemClock, VirtualClock,
+    latency_percentiles, AdmissionError, BatchPlan, Clock, MicroBatcher, ServeEngine, ServePolicy,
+    ServeReply, ServeRequest, SloTier, SystemClock, VirtualClock, MAX_REPLICAS,
 };
 pub use worker::{RunHooks, TrainEvent, Worker, WorkerReport};
 

@@ -22,10 +22,12 @@
 //! single-sample offline inference.
 
 use crate::confidence_exit::ConfidenceCascade;
+use crate::params_io::{deserialize_params, serialize_params};
 use crate::{NfError, Result};
-use nf_models::BuiltModel;
-use nf_nn::Sequential;
+use nf_models::{assign_aux, build_aux_head, AuxPolicy, BuiltModel};
+use nf_nn::{Layer, Sequential};
 use nf_tensor::Tensor;
+use rand::SeedableRng;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -106,8 +108,9 @@ impl std::str::FromStr for SloTier {
     }
 }
 
-/// Server-side serving policy: batching, admission, and per-tier queue
-/// deadlines. The tier→depth mapping itself lives on [`SloTier`].
+/// Server-side serving policy: batching, admission, per-tier queue
+/// deadlines, and replica count. The tier→depth mapping itself lives on
+/// [`SloTier`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServePolicy {
     /// Cascade exit threshold: a head fires when its max softmax
@@ -119,11 +122,15 @@ pub struct ServePolicy {
     /// immediately (admission control).
     pub queue_capacity: usize,
     /// How long the batcher waits for a batch to fill before running a
-    /// partial one, measured from the oldest queued arrival.
+    /// partial one, measured from the oldest queued arrival. Tiers wake
+    /// earlier than this — see [`ServePolicy::window_us`].
     pub batch_window_us: u64,
     /// Queue deadline per tier, indexed by [`SloTier::index`]: a request
     /// still queued this long after arrival is rejected, not served late.
     pub deadline_us: [u64; 3],
+    /// Batcher/model replicas sharing the admission queue. `0` = one per
+    /// host core. Each replica owns a bit-identical model clone.
+    pub replicas: usize,
 }
 
 impl Default for ServePolicy {
@@ -134,9 +141,14 @@ impl Default for ServePolicy {
             queue_capacity: 64,
             batch_window_us: 500,
             deadline_us: [10_000, 50_000, 250_000],
+            replicas: 0,
         }
     }
 }
+
+/// Upper bound on explicit replica counts: a model clone per replica
+/// makes absurd values a misconfiguration, not a slow OOM.
+pub const MAX_REPLICAS: usize = 64;
 
 impl ServePolicy {
     /// Queue deadline for `tier`.
@@ -144,8 +156,31 @@ impl ServePolicy {
         self.deadline_us[tier.index()]
     }
 
+    /// Batch-window share for `tier`: a replica runs a partial batch once
+    /// the oldest queued request has waited this long. Fast requests get a
+    /// quarter of the window, balanced half, exact the full window — the
+    /// wake policy that keeps a lone `fast` request from sitting out a
+    /// full `exact` batch window.
+    pub fn window_us(&self, tier: SloTier) -> u64 {
+        match tier {
+            SloTier::Fast => self.batch_window_us / 4,
+            SloTier::Balanced => self.batch_window_us / 2,
+            SloTier::Exact => self.batch_window_us,
+        }
+    }
+
+    /// Replica count to actually run: the explicit setting, or one per
+    /// host core when `replicas = 0` (auto).
+    pub fn effective_replicas(&self, host_cores: usize) -> usize {
+        if self.replicas == 0 {
+            host_cores.max(1)
+        } else {
+            self.replicas
+        }
+    }
+
     /// Validates the policy (positive batch/queue sizes, finite positive
-    /// threshold).
+    /// threshold, sane replica count).
     pub fn validate(&self) -> Result<()> {
         if self.max_batch == 0 {
             return Err(NfError::BadConfig("serve.max_batch must be > 0".into()));
@@ -159,6 +194,11 @@ impl ServePolicy {
             return Err(NfError::BadConfig(
                 "serve.threshold must be a finite number > 0".into(),
             ));
+        }
+        if self.replicas > MAX_REPLICAS {
+            return Err(NfError::BadConfig(format!(
+                "serve.replicas must be ≤ {MAX_REPLICAS} (0 = one per core)"
+            )));
         }
         Ok(())
     }
@@ -289,6 +329,20 @@ impl MicroBatcher {
             }
         }
         plan
+    }
+
+    /// Earliest queue-clock time at which some queued request's tier
+    /// window closes — when a replica should wake and run a partial batch
+    /// even though `max_batch` hasn't filled. `None` on an empty queue.
+    ///
+    /// Pure function of (queue contents, policy): the tier-aware wake
+    /// policy stays replayable under a [`VirtualClock`] like the rest of
+    /// batch formation. O(len) over a queue bounded by `queue_capacity`.
+    pub fn window_deadline_us(&self, policy: &ServePolicy) -> Option<u64> {
+        self.queue
+            .iter()
+            .map(|r| r.arrival_us.saturating_add(policy.window_us(r.tier)))
+            .min()
     }
 
     /// Drains every queued request (server shutdown: reject, don't drop).
@@ -461,6 +515,107 @@ impl ServeEngine {
             })
             .collect())
     }
+
+    /// Snapshots every parameter and buffer — one flat blob per layer
+    /// (units, then head, then aux heads), in the stable
+    /// `visit_params`/`visit_buffers` order `params_io` defines.
+    pub fn params_snapshot(&mut self) -> Vec<Vec<u8>> {
+        let mut blobs = Vec::with_capacity(self.model.units.len() + 1 + self.aux_heads.len());
+        for unit in &mut self.model.units {
+            blobs.push(serialize_params(unit));
+        }
+        blobs.push(serialize_params(&mut self.model.head));
+        for head in &mut self.aux_heads {
+            blobs.push(serialize_params(head));
+        }
+        blobs
+    }
+
+    /// Loads a [`ServeEngine::params_snapshot`] back into this engine.
+    /// Blob count or any per-layer shape mismatch is a typed error.
+    pub fn load_params(&mut self, blobs: &[Vec<u8>]) -> Result<()> {
+        let expected = self.model.units.len() + 1 + self.aux_heads.len();
+        if blobs.len() != expected {
+            return Err(NfError::Serve {
+                cause: format!(
+                    "params snapshot carries {} blobs, engine has {expected} layers",
+                    blobs.len()
+                ),
+            });
+        }
+        let mut it = blobs.iter();
+        for unit in &mut self.model.units {
+            deserialize_params(unit, it.next().unwrap())?;
+        }
+        deserialize_params(&mut self.model.head, it.next().unwrap())?;
+        for head in &mut self.aux_heads {
+            deserialize_params(head, it.next().unwrap())?;
+        }
+        Ok(())
+    }
+
+    /// Builds a bit-identical clone of this engine: the architecture is
+    /// rebuilt from the spec (`aux_policy` must match the one the engine
+    /// was trained under — a mismatch is a typed shape error, never
+    /// silent corruption), then every parameter and buffer is copied via
+    /// the `params_io` snapshot/load round trip. Serving replicas are
+    /// made of these.
+    pub fn replicate(&mut self, aux_policy: AuxPolicy) -> Result<ServeEngine> {
+        let spec = self.model.spec.clone();
+        // Any seed works: every parameter the build randomises is
+        // overwritten by load_params below.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let model = spec.build(&mut rng).map_err(|e| NfError::Serve {
+            cause: format!("rebuilding replica architecture: {e}"),
+        })?;
+        let aux_specs = assign_aux(&spec, aux_policy);
+        if aux_specs.len() != self.aux_heads.len() {
+            return Err(NfError::Serve {
+                cause: format!(
+                    "aux policy yields {} heads, engine has {} (policy mismatch?)",
+                    aux_specs.len(),
+                    self.aux_heads.len()
+                ),
+            });
+        }
+        let mut aux_heads = Vec::with_capacity(aux_specs.len());
+        for a in &aux_specs {
+            aux_heads.push(build_aux_head(&mut rng, a).map_err(|e| NfError::Serve {
+                cause: format!("rebuilding replica aux head: {e}"),
+            })?);
+        }
+        let mut clone = ServeEngine::new(model, aux_heads, self.threshold)?;
+        let snapshot = self.params_snapshot();
+        clone.load_params(&snapshot)?;
+        Ok(clone)
+    }
+
+    /// Pins every layer's GEMM backend (replicas must agree on kernels:
+    /// backends are numerically close, not bit-identical).
+    pub fn set_kernel_backend(&mut self, backend: nf_tensor::KernelBackend) {
+        for unit in &mut self.model.units {
+            unit.set_kernel_backend(backend);
+        }
+        self.model.head.set_kernel_backend(backend);
+        for head in &mut self.aux_heads {
+            head.set_kernel_backend(backend);
+        }
+    }
+
+    /// Gives this engine its own scratch arenas: a fresh
+    /// [`nf_tensor::SharedWorkspace`] installed on every layer, so
+    /// replicas running concurrently never contend on (or grow) a shared
+    /// workspace lock.
+    pub fn install_private_workspace(&mut self) {
+        let ws = nf_tensor::shared_workspace();
+        for unit in &mut self.model.units {
+            unit.set_workspace(&ws);
+        }
+        self.model.head.set_workspace(&ws);
+        for head in &mut self.aux_heads {
+            head.set_workspace(&ws);
+        }
+    }
 }
 
 /// Nearest-rank percentile of an **ascending-sorted** latency slice.
@@ -471,6 +626,19 @@ pub fn percentile_us(sorted: &[u64], q: f64) -> u64 {
     }
     let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// `(p50, p95, p99)` of an **ascending-sorted** latency slice — the one
+/// percentile summary every latency consumer (`nf loadgen`, `bench_json`)
+/// reports. Quantiles are in percent; a fraction-vs-percent mixup here
+/// once collapsed every percentile to the minimum, so this lives in one
+/// unit-tested place.
+pub fn latency_percentiles(sorted: &[u64]) -> (u64, u64, u64) {
+    (
+        percentile_us(sorted, 50.0),
+        percentile_us(sorted, 95.0),
+        percentile_us(sorted, 99.0),
+    )
 }
 
 /// SplitMix64: a tiny, stable hash for deriving per-request streams
@@ -577,6 +745,60 @@ mod tests {
         assert_eq!(percentile_us(&lat, 100.0), 100);
         assert_eq!(percentile_us(&[7], 99.0), 7);
         assert_eq!(percentile_us(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn latency_percentiles_take_percent_quantiles() {
+        // 1..=200 µs: nearest-rank p50/p95/p99 are 100/190/198. A
+        // fraction-vs-percent mixup would collapse all three to ~1 (the
+        // minimum), so pin the exact values and the ordering.
+        let lat: Vec<u64> = (1..=200).collect();
+        assert_eq!(latency_percentiles(&lat), (100, 190, 198));
+        assert_eq!(latency_percentiles(&[]), (0, 0, 0));
+    }
+
+    #[test]
+    fn tier_windows_shrink_for_latency_sensitive_tiers() {
+        let policy = ServePolicy::default(); // batch_window_us = 500
+        assert_eq!(policy.window_us(SloTier::Fast), 125);
+        assert_eq!(policy.window_us(SloTier::Balanced), 250);
+        assert_eq!(policy.window_us(SloTier::Exact), 500);
+    }
+
+    #[test]
+    fn window_deadline_is_min_over_tier_windows() {
+        let policy = ServePolicy::default();
+        let mut b = MicroBatcher::new(8);
+        assert_eq!(b.window_deadline_us(&policy), None);
+        // An exact request arriving first: full window from t=100.
+        b.submit(req(0, SloTier::Exact, 100, 1_000_000)).unwrap();
+        assert_eq!(b.window_deadline_us(&policy), Some(600));
+        // A later fast request pulls the wake earlier: 300 + 125 < 600.
+        b.submit(req(1, SloTier::Fast, 300, 1_000_000)).unwrap();
+        assert_eq!(b.window_deadline_us(&policy), Some(425));
+        // Popping the fast request restores the exact window.
+        let plan = b.form_batch(0, 2);
+        assert_eq!(plan.ready.len(), 2);
+        assert_eq!(b.window_deadline_us(&policy), None);
+    }
+
+    #[test]
+    fn replicas_resolve_and_validate() {
+        let auto = ServePolicy::default();
+        assert_eq!(auto.replicas, 0);
+        assert_eq!(auto.effective_replicas(4), 4);
+        assert_eq!(auto.effective_replicas(0), 1);
+        let pinned = ServePolicy {
+            replicas: 2,
+            ..ServePolicy::default()
+        };
+        assert_eq!(pinned.effective_replicas(16), 2);
+        assert!(pinned.validate().is_ok());
+        let absurd = ServePolicy {
+            replicas: MAX_REPLICAS + 1,
+            ..ServePolicy::default()
+        };
+        assert!(absurd.validate().is_err());
     }
 
     #[test]

@@ -194,6 +194,87 @@ proptest! {
         prop_assert!(fast < n_units);
     }
 
+    /// Per-connection FIFO under the shared replica queue: when several
+    /// replicas draw batches from one `MicroBatcher` (modelled here as
+    /// interleaved `form_batch` calls — each call happens under the
+    /// server's queue lock, so the model is exact), requests from any one
+    /// connection still depart in their submission order. A request
+    /// submitted earlier on a connection departs in an earlier-or-equal
+    /// draw, and draws in the same plan preserve list order. This is what
+    /// lets the pipelined client trust that reply N+1 for a connection is
+    /// never computed from a batch formed before reply N's.
+    #[test]
+    fn shared_queue_draw_preserves_per_connection_fifo(
+        events in proptest::collection::vec(
+            prop_oneof![
+                // Submit on connection c with a tier + deadline offset.
+                (0u64..4, 0u8..3, 0u64..5_000)
+                    .prop_map(|(conn, tier, off)| (0u8, conn, tier, off)),
+                // Advance the clock.
+                (0u64..2_000).prop_map(|us| (1u8, us, 0, 0)),
+                // A replica draws a batch (max_batch 1..8).
+                (1u64..8).prop_map(|mb| (2u8, mb, 0, 0)),
+            ],
+            1..160,
+        ),
+    ) {
+        let clock = VirtualClock::new();
+        let mut q = MicroBatcher::new(64);
+        // Connection-tagged ids: conn * 10_000 + per-connection sequence.
+        let mut next_seq = [0u64; 4];
+        let mut admitted_per_conn: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        // (plan index, list tag, position) for every departure, by id.
+        let mut departures: std::collections::HashMap<u64, (usize, u8, usize)> =
+            std::collections::HashMap::new();
+        let mut plan_idx = 0usize;
+        let record = |plan: &neuroflux_core::BatchPlan,
+                          plan_idx: usize,
+                          departures: &mut std::collections::HashMap<u64, (usize, u8, usize)>| {
+            for (pos, r) in plan.ready.iter().enumerate() {
+                departures.insert(r.id, (plan_idx, 0, pos));
+            }
+            for (pos, r) in plan.expired.iter().enumerate() {
+                departures.insert(r.id, (plan_idx, 1, pos));
+            }
+        };
+        for &(kind, a, b, c) in &events {
+            match kind {
+                0 => {
+                    let conn = a as usize;
+                    let tier = SloTier::from_index(b).unwrap();
+                    let id = conn as u64 * 10_000 + next_seq[conn];
+                    if q.submit(request(id, tier, clock.now_us(), c)).is_ok() {
+                        next_seq[conn] += 1;
+                        admitted_per_conn[conn].push(id);
+                    }
+                }
+                1 => clock.advance(a),
+                _ => {
+                    let plan = q.form_batch(clock.now_us(), a as usize);
+                    record(&plan, plan_idx, &mut departures);
+                    plan_idx += 1;
+                }
+            }
+        }
+        while !q.is_empty() {
+            let plan = q.form_batch(clock.now_us(), 8);
+            record(&plan, plan_idx, &mut departures);
+            plan_idx += 1;
+        }
+        for admitted in &admitted_per_conn {
+            for pair in admitted.windows(2) {
+                let (pa, la, xa) = departures[&pair[0]];
+                let (pb, lb, xb) = departures[&pair[1]];
+                prop_assert!(
+                    pa < pb || (pa == pb && (la != lb || xa < xb)),
+                    "connection FIFO violated: id {} departed at {:?}, \
+                     earlier id {} at {:?}",
+                    pair[1], (pb, lb, xb), pair[0], (pa, la, xa)
+                );
+            }
+        }
+    }
+
     /// Admission control boundary: exactly `capacity` requests are
     /// admitted from a burst, and the queue never exceeds capacity.
     #[test]
