@@ -16,7 +16,7 @@
 //! every training-time experiment.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bp;
 pub mod fa;

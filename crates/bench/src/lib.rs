@@ -7,7 +7,7 @@
 //! share.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod scaled;
 

@@ -214,9 +214,9 @@ fn pipeline_window(inflight: usize, connections: usize) -> usize {
 fn pick_tier(bits: u64, weights: &[usize; 3]) -> SloTier {
     let total: usize = weights.iter().sum::<usize>().max(1);
     let mut r = (bits % total as u64) as usize;
-    for (i, &w) in weights.iter().enumerate() {
+    for (tier, &w) in SloTier::ALL.iter().zip(weights.iter()) {
         if r < w {
-            return SloTier::ALL[i];
+            return *tier;
         }
         r -= w;
     }
@@ -284,10 +284,19 @@ fn run_client(
                     p.insert(job.seq, Instant::now());
                 }
                 let start = job.sample * pixels_per_sample;
+                let pixels = start
+                    .checked_add(pixels_per_sample)
+                    .and_then(|end| images.get(start..end))
+                    .ok_or_else(|| {
+                        CliError::new(format!(
+                            "request {} maps to sample {} beyond the test set",
+                            job.seq, job.sample
+                        ))
+                    })?;
                 let frame = proto::encode_request(&Request::Infer {
                     id: job.seq,
                     tier: job.tier,
-                    pixels: images[start..start + pixels_per_sample].to_vec(),
+                    pixels: pixels.to_vec(),
                 });
                 proto::write_frame(&mut write_half, &frame)
                     .map_err(|e| CliError::new(format!("sending request {}: {e}", job.seq)))?;
@@ -339,7 +348,11 @@ fn run_client(
                 let outcome = match (ok_exit, reject) {
                     (Some(exit), _) => Outcome::Ok { exit, latency_us },
                     (None, Some(reason)) => Outcome::Rejected { reason, latency_us },
-                    _ => unreachable!("reply is either served or rejected"),
+                    (None, None) => {
+                        return Err(CliError::new(format!(
+                            "reply for request id {id} is neither served nor rejected"
+                        )))
+                    }
                 };
                 out.push((id, tier, outcome));
             }
@@ -366,7 +379,7 @@ pub fn run_load(cfg: &RunConfig, addr: &str, model: &str, n_units: usize) -> Res
     if test.is_empty() {
         return Err(CliError::config("data", "test split is empty"));
     }
-    let pixels_per_sample: usize = test.images().shape()[1..].iter().product();
+    let pixels_per_sample: usize = test.images().shape().iter().skip(1).product();
     let lg = cfg.loadgen();
     let seed = lg.seed.unwrap_or(cfg.run.seed);
     let jobs = build_jobs(cfg, test.len(), seed);
@@ -379,7 +392,9 @@ pub fn run_load(cfg: &RunConfig, addr: &str, model: &str, n_units: usize) -> Res
     let mut per_conn: Vec<Vec<Job>> = (0..connections).map(|_| Vec::new()).collect();
     for job in jobs {
         let c = (job.seq as usize) % connections;
-        per_conn[c].push(job);
+        if let Some(conn) = per_conn.get_mut(c) {
+            conn.push(job);
+        }
     }
 
     let wall = Instant::now();
@@ -425,24 +440,32 @@ pub fn run_load(cfg: &RunConfig, addr: &str, model: &str, n_units: usize) -> Res
         .collect();
     let mut tier_lats: Vec<Vec<u64>> = vec![Vec::new(); SloTier::ALL.len()];
     for &(_, tier, outcome) in &outcomes {
+        // tier.index() is always within SloTier::ALL, so the lookups
+        // cannot miss; skipping (rather than indexing) keeps this loop
+        // panic-free by construction.
         let ti = tier.index();
-        tiers[ti].requests += 1;
+        let (Some(ts), Some(lats)) = (tiers.get_mut(ti), tier_lats.get_mut(ti)) else {
+            continue;
+        };
+        ts.requests += 1;
         match outcome {
             Outcome::Ok { exit, latency_us } => {
                 ok += 1;
-                tiers[ti].ok += 1;
-                if exit < n_units {
-                    exit_hist[exit] += 1;
-                    tiers[ti].exit_hist[exit] += 1;
+                ts.ok += 1;
+                if let Some(slot) = exit_hist.get_mut(exit) {
+                    *slot += 1;
+                }
+                if let Some(slot) = ts.exit_hist.get_mut(exit) {
+                    *slot += 1;
                 }
                 all_lat.push(latency_us);
-                tier_lats[ti].push(latency_us);
+                lats.push(latency_us);
             }
             Outcome::Rejected { reason, latency_us } => {
                 rejected += 1;
-                tiers[ti].rejected += 1;
+                ts.rejected += 1;
                 all_lat.push(latency_us);
-                tier_lats[ti].push(latency_us);
+                lats.push(latency_us);
                 let name = reason.name().to_string();
                 match rejected_by_reason.iter_mut().find(|(n, _)| *n == name) {
                     Some((_, c)) => *c += 1,
@@ -452,11 +475,11 @@ pub fn run_load(cfg: &RunConfig, addr: &str, model: &str, n_units: usize) -> Res
         }
     }
     all_lat.sort_unstable();
-    for (ti, lats) in tier_lats.iter_mut().enumerate() {
+    for (ts, lats) in tiers.iter_mut().zip(tier_lats.iter_mut()) {
         lats.sort_unstable();
         let (p50, _, p99) = latency_percentiles(lats);
-        tiers[ti].p50_us = p50;
-        tiers[ti].p99_us = p99;
+        ts.p50_us = p50;
+        ts.p99_us = p99;
     }
     let (p50_us, p95_us, p99_us) = latency_percentiles(&all_lat);
 
@@ -491,8 +514,11 @@ pub fn run_load(cfg: &RunConfig, addr: &str, model: &str, n_units: usize) -> Res
 /// `--addr`) and the benchmark smoke path use.
 pub fn run_loadgen_inprocess(cfg: &RunConfig, quiet: bool) -> Result<LoadgenReport> {
     let engines = build_engines(cfg, quiet)?;
-    let model = engines[0].model_name().to_string();
-    let n_units = engines[0].n_units();
+    let first = engines
+        .first()
+        .ok_or_else(|| CliError::new("loadgen built zero serve engines"))?;
+    let model = first.model_name().to_string();
+    let n_units = first.n_units();
     let handle = start_server_with_engines(engines, cfg.resolve_serve()?, "127.0.0.1:0", false)?;
     let addr = handle.addr.to_string();
     let report = run_load(cfg, &addr, &model, n_units);
@@ -515,8 +541,11 @@ pub fn run_loadgen_with_engine(
     replicas: usize,
 ) -> Result<LoadgenReport> {
     let engines = crate::serve::clone_engines(cfg, primary, replicas)?;
-    let model = engines[0].model_name().to_string();
-    let n_units = engines[0].n_units();
+    let first = engines
+        .first()
+        .ok_or_else(|| CliError::new("cloning produced zero serve engines"))?;
+    let model = first.model_name().to_string();
+    let n_units = first.n_units();
     let mut policy = cfg.resolve_serve()?;
     policy.replicas = replicas;
     let handle = start_server_with_engines(engines, policy, "127.0.0.1:0", false)?;

@@ -18,6 +18,7 @@ USAGE:
     nf serve <config.toml> [--quiet]
     nf loadgen <config.toml> [--addr=HOST:PORT] [--out=PATH] [--quiet]
     nf inspect <run-dir>
+    nf lint [--root=DIR] [--format=human|json]
     nf help
 
 serve trains the config's model in-process and serves early-exit
@@ -26,6 +27,11 @@ config: SLO deadlines, batch window, queue capacity). loadgen drives a
 server with a deterministic, seeded request schedule and writes a
 BENCH_serve.json latency/exit-histogram artifact; without --addr it
 hosts the server itself on an ephemeral port.
+
+lint runs the nf-lint workspace invariant checker (hot-path
+allocations, panic-freedom, unsafe confinement, clock discipline,
+determinism, crate hygiene) against lint.toml in the workspace root;
+see DESIGN.md §13.
 
 Runs are written to <out_dir>/<name>/ (config snapshot, metrics.json,
 checkpoint, activation cache). See DESIGN.md for the config schema and
@@ -49,6 +55,8 @@ fn dispatch(args: &[String]) -> nf_cli::Result<()> {
     let mut quiet = false;
     let mut addr = None;
     let mut out = None;
+    let mut root = None;
+    let mut format = None;
     for arg in args {
         match arg.as_str() {
             "--resume" => resume = true,
@@ -56,6 +64,8 @@ fn dispatch(args: &[String]) -> nf_cli::Result<()> {
             "--quiet" | "-q" => quiet = true,
             a if a.starts_with("--addr=") => addr = Some(a["--addr=".len()..].to_string()),
             a if a.starts_with("--out=") => out = Some(a["--out=".len()..].to_string()),
+            a if a.starts_with("--root=") => root = Some(a["--root=".len()..].to_string()),
+            a if a.starts_with("--format=") => format = Some(a["--format=".len()..].to_string()),
             "--help" | "-h" | "help" => {
                 println!("{USAGE}");
                 return Ok(());
@@ -161,6 +171,29 @@ fn dispatch(args: &[String]) -> nf_cli::Result<()> {
             };
             run_loadgen(&cfg, &opts)?;
             Ok(())
+        }
+        Some("lint") => {
+            let root = root.unwrap_or_else(|| ".".to_string());
+            let format = format.unwrap_or_else(|| "human".to_string());
+            if format != "human" && format != "json" {
+                return Err(nf_cli::CliError::new("--format must be human or json"));
+            }
+            let result =
+                nf_lint::lint_workspace(Path::new(&root)).map_err(nf_cli::CliError::new)?;
+            let rendered = if format == "json" {
+                nf_lint::render_json(&result)
+            } else {
+                nf_lint::render_human(&result)
+            };
+            print!("{rendered}");
+            if result.findings.is_empty() {
+                Ok(())
+            } else {
+                Err(nf_cli::CliError::new(format!(
+                    "nf lint: {} finding(s)",
+                    result.findings.len()
+                )))
+            }
         }
         Some("inspect") => {
             let run_path = positional

@@ -230,11 +230,13 @@ impl<'b> Cursor<'b> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'b [u8], ProtoError> {
-        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
-        match end {
-            Some(end) => {
-                let s = &self.buf[self.pos..end];
-                self.pos = end;
+        let slice = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.buf.get(self.pos..end));
+        match slice {
+            Some(s) => {
+                self.pos += n;
                 Ok(s)
             }
             None => Err(ProtoError::Truncated {
@@ -243,20 +245,35 @@ impl<'b> Cursor<'b> {
         }
     }
 
+    /// Takes exactly N bytes as an array; `take(N)` guarantees the
+    /// length, so a short slice is reported as truncation, never a panic.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], ProtoError> {
+        let mut out = [0u8; N];
+        let src = self.take(N)?;
+        if src.len() != N {
+            return Err(ProtoError::Truncated {
+                context: self.context,
+            });
+        }
+        out.copy_from_slice(src);
+        Ok(out)
+    }
+
     fn u8(&mut self) -> Result<u8, ProtoError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array::<1>()?;
+        Ok(b)
     }
 
     fn u16(&mut self) -> Result<u16, ProtoError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, ProtoError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, ProtoError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn f32(&mut self) -> Result<f32, ProtoError> {
@@ -381,7 +398,9 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             let mut out = Vec::with_capacity(3 + len);
             out.push(4);
             out.extend_from_slice(&(len as u16).to_le_bytes());
-            out.extend_from_slice(&bytes[..len]);
+            // `len <= bytes.len()` by construction; fall back to the whole
+            // message rather than panicking if that ever changes.
+            out.extend_from_slice(bytes.get(..len).unwrap_or(bytes));
             out
         }
     }
@@ -486,7 +505,10 @@ enum ReadOutcome {
 fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, ProtoError> {
     let mut filled = 0;
     while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
+        let Some(rest) = buf.get_mut(filled..) else {
+            break;
+        };
+        match r.read(rest) {
             Ok(0) => {
                 return Ok(if filled == 0 {
                     ReadOutcome::CleanEof

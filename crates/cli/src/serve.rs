@@ -380,11 +380,11 @@ pub fn start_server_with_engines(
         .validate()
         .map_err(|e| CliError::config("serve", e.to_string()))?;
     let mut engines = engines;
-    if engines.is_empty() {
+    let Some(first) = engines.first() else {
         return Err(CliError::new("starting a server with zero replicas"));
-    }
-    let input_len = engines[0].input_len();
-    let n_units = engines[0].n_units();
+    };
+    let input_len = first.input_len();
+    let n_units = first.n_units();
     if engines
         .iter()
         .any(|e| e.input_len() != input_len || e.n_units() != n_units)
@@ -699,8 +699,19 @@ fn next_plan(shared: &Shared) -> Option<BatchPlan> {
 /// deadline-lapsed requests, runs ready batches through its own model
 /// clone, and accounts its busy time.
 fn replica_loop(engine: &mut ServeEngine, shared: Arc<Shared>, idx: usize) {
+    // Each replica owns one stats slot; a bad index means the spawner is
+    // broken, and degrading to no service beats a panic in a worker.
+    let stats = match shared.stats.get(idx) {
+        Some(stats) => stats,
+        None => {
+            if let Ok(mut done) = shared.replicas_done.lock() {
+                *done += 1;
+                shared.replicas_done_cv.notify_all();
+            }
+            return;
+        }
+    };
     while let Some(plan) = next_plan(&shared) {
-        let stats = &shared.stats[idx];
         for req in &plan.expired {
             shared.respond(req.id, |client_id| Response::Rejected {
                 id: client_id,

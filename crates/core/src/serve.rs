@@ -153,7 +153,12 @@ pub const MAX_REPLICAS: usize = 64;
 impl ServePolicy {
     /// Queue deadline for `tier`.
     pub fn deadline_us(&self, tier: SloTier) -> u64 {
-        self.deadline_us[tier.index()]
+        let [fast, balanced, exact] = self.deadline_us;
+        match tier {
+            SloTier::Fast => fast,
+            SloTier::Balanced => balanced,
+            SloTier::Exact => exact,
+        }
     }
 
     /// Batch-window share for `tier`: a replica runs a partial batch once
@@ -543,13 +548,16 @@ impl ServeEngine {
                 ),
             });
         }
-        let mut it = blobs.iter();
-        for unit in &mut self.model.units {
-            deserialize_params(unit, it.next().unwrap())?;
-        }
-        deserialize_params(&mut self.model.head, it.next().unwrap())?;
-        for head in &mut self.aux_heads {
-            deserialize_params(head, it.next().unwrap())?;
+        // Pair each layer with its blob positionally; the count check
+        // above makes the zip exact, and zip itself can never panic.
+        let layers = self
+            .model
+            .units
+            .iter_mut()
+            .chain(std::iter::once(&mut self.model.head))
+            .chain(self.aux_heads.iter_mut());
+        for (layer, blob) in layers.zip(blobs) {
+            deserialize_params(layer, blob)?;
         }
         Ok(())
     }
@@ -625,7 +633,12 @@ pub fn percentile_us(sorted: &[u64], q: f64) -> u64 {
         return 0;
     }
     let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    // rank is clamped into 1..=len, so the index is always in range; the
+    // unwrap_or is unreachable but keeps this panic-free by construction.
+    sorted
+        .get(rank.clamp(1, sorted.len()) - 1)
+        .copied()
+        .unwrap_or(0)
 }
 
 /// `(p50, p95, p99)` of an **ascending-sorted** latency slice — the one

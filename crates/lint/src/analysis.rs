@@ -1,0 +1,294 @@
+//! Region analysis over the token stream: which tokens sit inside
+//! `#[cfg(test)]` / `#[test]` code, inside `Clock` impls, and inside
+//! which function body.
+//!
+//! Rules consult these masks so that test code, clock implementations,
+//! and warm-up functions can be carved out without the lexer having to
+//! understand full Rust grammar. All analyses are brace-balanced
+//! approximations — good enough because the codebase is rustfmt-shaped
+//! and the masks only ever *suppress* findings, never create them.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// Per-token region facts for one lexed file.
+pub struct FileAnalysis {
+    /// `true` for tokens inside `#[cfg(test)]` / `#[test]` items.
+    pub test_mask: Vec<bool>,
+    /// `true` for tokens inside an `impl …Clock…` block.
+    pub clock_mask: Vec<bool>,
+    /// For each token, the name of the innermost enclosing `fn`, if any.
+    pub fn_of: Vec<Option<String>>,
+}
+
+/// Finds the index of the `}` matching the `{` at `open` (which must be
+/// a `{` token). Returns the last token index if unbalanced.
+pub fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Whether the attribute starting at `#` token index `i` is `#[test]`,
+/// `#[cfg(test)]`, or a `cfg_attr`/`cfg(all(test, …))` style attribute
+/// that gates on `test`. `cfg(not(test))` deliberately does NOT match.
+fn is_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    if !tokens.get(i)?.is_punct('#') {
+        return None;
+    }
+    let mut j = i + 1;
+    if tokens.get(j)?.is_punct('!') {
+        return None; // inner attribute, not an item gate
+    }
+    if !tokens.get(j)?.is_punct('[') {
+        return None;
+    }
+    j += 1;
+    // Collect the attribute token texts up to the matching ']'.
+    let mut depth = 1usize;
+    let mut inner: Vec<&Token> = Vec::new();
+    while depth > 0 {
+        let t = tokens.get(j)?;
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        inner.push(t);
+        j += 1;
+    }
+    let texts: Vec<&str> = inner.iter().map(|t| t.text.as_str()).collect();
+    let is_test = texts == ["test"]
+        || (texts.first() == Some(&"cfg") && texts.contains(&"test") && !texts.contains(&"not"))
+        || (texts.first() == Some(&"tokio") && texts.contains(&"test"));
+    if is_test {
+        Some(j) // index of the closing ']'
+    } else {
+        None
+    }
+}
+
+/// Computes the test mask: any item annotated `#[test]`/`#[cfg(test)]`
+/// is masked from its attribute through its closing brace (or `;`).
+fn compute_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(close) = is_test_attr(tokens, i) {
+            // Find the item body: first `{` before a bare `;` at depth 0.
+            let mut j = close + 1;
+            // Skip further attributes on the same item.
+            while let Some(next_close) = tokens
+                .get(j)
+                .filter(|t| t.is_punct('#'))
+                .and_then(|_| attr_end(tokens, j))
+            {
+                j = next_close + 1;
+            }
+            let mut end = tokens.len().saturating_sub(1);
+            let mut k = j;
+            while k < tokens.len() {
+                let t = &tokens[k];
+                if t.is_punct('{') {
+                    end = matching_brace(tokens, k);
+                    break;
+                }
+                if t.is_punct(';') {
+                    end = k;
+                    break;
+                }
+                k += 1;
+            }
+            for m in mask.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// If token `i` is `#` opening any attribute, returns the index of its
+/// closing `]`.
+fn attr_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if !tokens.get(i)?.is_punct('#') {
+        return None;
+    }
+    let mut j = i + 1;
+    if tokens.get(j)?.is_punct('!') {
+        j += 1;
+    }
+    if !tokens.get(j)?.is_punct('[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Computes the clock mask: tokens inside `impl` blocks whose header
+/// (between `impl` and the body `{`) names an identifier that is
+/// `Clock` or ends with `Clock` — covers `impl Clock for X`,
+/// `impl SystemClock`, and `impl VirtualClock` constructors alike.
+fn compute_clock_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("impl") {
+            let mut j = i + 1;
+            let mut clockish = false;
+            while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                let t = &tokens[j];
+                if t.kind == TokenKind::Ident && t.text.ends_with("Clock") {
+                    clockish = true;
+                }
+                j += 1;
+            }
+            if clockish && j < tokens.len() && tokens[j].is_punct('{') {
+                let end = matching_brace(tokens, j);
+                for m in mask.iter_mut().take(end + 1).skip(i) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Keywords that can precede `fn` in a signature or follow `fn` without
+/// being the function name (none do in practice, but be defensive).
+fn is_fn_name(t: &Token) -> bool {
+    t.kind == TokenKind::Ident && t.text != "fn"
+}
+
+/// Computes, for each token, the innermost enclosing function's name.
+/// Inner fns shadow outer ones across their body span.
+fn compute_fn_of(tokens: &[Token]) -> Vec<Option<String>> {
+    let mut fn_of: Vec<Option<String>> = vec![None; tokens.len()];
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1).filter(|t| is_fn_name(t)) else {
+            continue;
+        };
+        let name = name_tok.text.clone();
+        // Body = first `{` at generic-depth 0 before a `;` (trait methods
+        // without bodies end in `;`). `where` clauses contain no braces.
+        let mut j = i + 2;
+        let mut angle = 0isize;
+        let mut body_open = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if t.is_punct(';') && angle <= 0 {
+                break;
+            } else if t.is_punct('{') && angle <= 0 {
+                body_open = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = body_open else { continue };
+        let close = matching_brace(tokens, open);
+        for slot in fn_of.iter_mut().take(close + 1).skip(open) {
+            *slot = Some(name.clone());
+        }
+    }
+    fn_of
+}
+
+/// Runs all region analyses over one lexed file.
+pub fn analyze(lexed: &Lexed) -> FileAnalysis {
+    FileAnalysis {
+        test_mask: compute_test_mask(&lexed.tokens),
+        clock_mask: compute_clock_mask(&lexed.tokens),
+        fn_of: compute_fn_of(&lexed.tokens),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn mask_of(src: &str, ident: &str, which: fn(&FileAnalysis) -> &Vec<bool>) -> bool {
+        let lexed = lex(src);
+        let a = analyze(&lexed);
+        let idx = lexed.tokens.iter().position(|t| t.is_ident(ident)).unwrap();
+        which(&a)[idx]
+    }
+
+    #[test]
+    fn cfg_test_masks_its_block_only() {
+        let src =
+            "fn live() { a(); }\n#[cfg(test)]\nmod tests { fn t() { b(); } }\nfn after() { c(); }";
+        assert!(!mask_of(src, "a", |a| &a.test_mask));
+        assert!(mask_of(src, "b", |a| &a.test_mask));
+        assert!(!mask_of(src, "c", |a| &a.test_mask));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nfn live() { a(); }";
+        assert!(!mask_of(src, "a", |a| &a.test_mask));
+    }
+
+    #[test]
+    fn test_attr_masks_fn() {
+        let src = "#[test]\nfn check() { inner(); }\nfn other() { outer(); }";
+        assert!(mask_of(src, "inner", |a| &a.test_mask));
+        assert!(!mask_of(src, "outer", |a| &a.test_mask));
+    }
+
+    #[test]
+    fn clock_impls_are_masked() {
+        let src = "impl SystemClock { fn new() { now_call(); } }\nimpl Clock for VirtualClock { fn f() { also(); } }\nfn free() { not_clock(); }";
+        assert!(mask_of(src, "now_call", |a| &a.clock_mask));
+        assert!(mask_of(src, "also", |a| &a.clock_mask));
+        assert!(!mask_of(src, "not_clock", |a| &a.clock_mask));
+    }
+
+    #[test]
+    fn fn_attribution_tracks_inner_fns() {
+        let src = "fn outer() { x(); fn inner() { y(); } z(); }";
+        let lexed = lex(src);
+        let a = analyze(&lexed);
+        let at = |ident: &str| {
+            let idx = lexed.tokens.iter().position(|t| t.is_ident(ident)).unwrap();
+            a.fn_of[idx].clone()
+        };
+        assert_eq!(at("x").as_deref(), Some("outer"));
+        assert_eq!(at("y").as_deref(), Some("inner"));
+        assert_eq!(at("z").as_deref(), Some("outer"));
+    }
+}

@@ -1,0 +1,422 @@
+//! Typed lint configuration, loaded from a committed `lint.toml`.
+//!
+//! The parser handles the TOML subset the config actually uses —
+//! `[section]` headers, `[[array-of-tables]]` headers, `key = "string"`,
+//! `key = ["array", "of", "strings"]`, `key = true/false`, comments —
+//! and rejects everything else with a typed error. Unknown rule names
+//! and unknown keys are errors too: a typo in `lint.toml` must not
+//! silently disable a rule.
+
+use crate::rules::Rule;
+use std::fmt;
+
+/// A parse or validation error in `lint.toml`.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line in lint.toml, when known.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ConfigError> {
+    Err(ConfigError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Path scope shared by every rule: where it runs and where it doesn't.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    /// Rule is skipped entirely when false.
+    pub enabled: bool,
+    /// Path prefixes (relative, forward slashes) the rule applies to.
+    pub paths: Vec<String>,
+    /// Path prefixes carved back out of `paths`.
+    pub exclude: Vec<String>,
+}
+
+impl Scope {
+    /// Whether `path` (relative, forward slashes) is inside this scope.
+    pub fn contains(&self, path: &str) -> bool {
+        self.enabled
+            && self.paths.iter().any(|p| path.starts_with(p.as_str()))
+            && !self.exclude.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+/// One `[[allow]]` entry: a justified, narrowly-scoped suppression.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Which rule the entry suppresses.
+    pub rule: Rule,
+    /// Path prefix the suppression applies to.
+    pub path: String,
+    /// Optional substring that must appear in the finding's source line.
+    pub pattern: Option<String>,
+    /// Optional enclosing-function name the finding must sit in.
+    pub func: Option<String>,
+    /// Mandatory human explanation; the tool refuses empty ones.
+    pub justification: String,
+    /// lint.toml line the entry starts on (for unused-allow reporting).
+    pub line: usize,
+}
+
+/// The full typed configuration.
+#[derive(Debug, Default)]
+pub struct LintConfig {
+    /// Scope for `hot-path-alloc` plus its rule-specific path lists.
+    pub hot_path_alloc: Scope,
+    /// Kernel modules where all allocation is forbidden.
+    pub kernel_paths: Vec<String>,
+    /// Paths where `*_into` function bodies are additionally policed.
+    pub into_paths: Vec<String>,
+    /// Scope for `no-panic`.
+    pub no_panic: Scope,
+    /// Scope for `unsafe-confinement`.
+    pub unsafe_confinement: Scope,
+    /// File suffixes where `unsafe` is permitted (with SAFETY comments).
+    pub unsafe_allowed: Vec<String>,
+    /// Scope for `clock-discipline`.
+    pub clock_discipline: Scope,
+    /// Scope for `determinism`.
+    pub determinism: Scope,
+    /// Scope for `lint-hygiene`.
+    pub lint_hygiene: Scope,
+    /// All `[[allow]]` entries in file order.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl LintConfig {
+    /// The scope for a given rule.
+    pub fn scope(&self, rule: Rule) -> &Scope {
+        match rule {
+            Rule::HotPathAlloc => &self.hot_path_alloc,
+            Rule::NoPanic => &self.no_panic,
+            Rule::UnsafeConfinement => &self.unsafe_confinement,
+            Rule::ClockDiscipline => &self.clock_discipline,
+            Rule::Determinism => &self.determinism,
+            Rule::LintHygiene => &self.lint_hygiene,
+        }
+    }
+}
+
+/// A parsed TOML value (only the shapes the config uses).
+enum Value {
+    Str(String),
+    Array(Vec<String>),
+    Bool(bool),
+}
+
+/// Parses one value starting after `=`.
+fn parse_value(raw: &str, line: usize) -> Result<Value, ConfigError> {
+    let raw = raw.trim();
+    if raw == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = raw.strip_prefix('"') {
+        let Some(body) = body.strip_suffix('"') else {
+            return err(line, "unterminated string");
+        };
+        if body.contains('"') {
+            return err(line, "embedded quotes are not supported");
+        }
+        return Ok(Value::Str(body.to_string()));
+    }
+    if let Some(body) = raw.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return err(line, "arrays must close on the same line");
+        };
+        let mut items = Vec::new();
+        for piece in body.split(',') {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            let Some(s) = piece.strip_prefix('"').and_then(|p| p.strip_suffix('"')) else {
+                return err(line, format!("array item `{piece}` is not a string"));
+            };
+            items.push(s.to_string());
+        }
+        return Ok(Value::Array(items));
+    }
+    err(line, format!("unsupported value `{raw}`"))
+}
+
+/// Strips a trailing `# comment` that is not inside a string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// What table the parser is currently filling.
+enum Section {
+    None,
+    Rule(Rule),
+    Allow,
+}
+
+/// In-progress `[[allow]]` entry before validation.
+#[derive(Default)]
+struct PendingAllow {
+    rule: Option<Rule>,
+    path: Option<String>,
+    pattern: Option<String>,
+    func: Option<String>,
+    justification: Option<String>,
+    line: usize,
+}
+
+fn finish_allow(pending: PendingAllow) -> Result<AllowEntry, ConfigError> {
+    let line = pending.line;
+    let Some(rule) = pending.rule else {
+        return err(line, "[[allow]] entry is missing `rule`");
+    };
+    let Some(path) = pending.path else {
+        return err(line, "[[allow]] entry is missing `path`");
+    };
+    let justification = pending.justification.unwrap_or_default();
+    if justification.trim().is_empty() {
+        return err(
+            line,
+            "[[allow]] entry has no justification — every suppression must say why",
+        );
+    }
+    Ok(AllowEntry {
+        rule,
+        path,
+        pattern: pending.pattern,
+        func: pending.func,
+        justification,
+        line,
+    })
+}
+
+/// Assigns `key = value` into the scope for `rule`, or errors.
+fn assign_rule_key(
+    cfg: &mut LintConfig,
+    rule: Rule,
+    key: &str,
+    value: Value,
+    line: usize,
+) -> Result<(), ConfigError> {
+    // Rule-specific keys first.
+    match (rule, key) {
+        (Rule::HotPathAlloc, "kernel_paths") => {
+            if let Value::Array(items) = value {
+                cfg.kernel_paths = items;
+                return Ok(());
+            }
+            return err(line, "kernel_paths must be an array of strings");
+        }
+        (Rule::HotPathAlloc, "into_paths") => {
+            if let Value::Array(items) = value {
+                cfg.into_paths = items;
+                return Ok(());
+            }
+            return err(line, "into_paths must be an array of strings");
+        }
+        (Rule::UnsafeConfinement, "allowed") => {
+            if let Value::Array(items) = value {
+                cfg.unsafe_allowed = items;
+                return Ok(());
+            }
+            return err(line, "allowed must be an array of strings");
+        }
+        _ => {}
+    }
+    let scope = match rule {
+        Rule::HotPathAlloc => &mut cfg.hot_path_alloc,
+        Rule::NoPanic => &mut cfg.no_panic,
+        Rule::UnsafeConfinement => &mut cfg.unsafe_confinement,
+        Rule::ClockDiscipline => &mut cfg.clock_discipline,
+        Rule::Determinism => &mut cfg.determinism,
+        Rule::LintHygiene => &mut cfg.lint_hygiene,
+    };
+    match (key, value) {
+        ("enabled", Value::Bool(b)) => scope.enabled = b,
+        ("paths", Value::Array(items)) => scope.paths = items,
+        ("exclude", Value::Array(items)) => scope.exclude = items,
+        (other, _) => {
+            return err(
+                line,
+                format!(
+                    "unknown or mistyped key `{other}` for rule `{}`",
+                    rule.name()
+                ),
+            )
+        }
+    }
+    Ok(())
+}
+
+/// Parses the full `lint.toml` text into a validated [`LintConfig`].
+pub fn parse(text: &str) -> Result<LintConfig, ConfigError> {
+    let mut cfg = LintConfig::default();
+    // Rules default to enabled once their section appears; a section is
+    // required for each rule so the config is self-documenting.
+    let mut section = Section::None;
+    let mut pending: Option<PendingAllow> = None;
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw_line)) = lines.next() {
+        let lineno = idx + 1;
+        let mut joined;
+        let mut line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Multi-line arrays: a `key = [` opener joins lines until the
+        // bracket closes. (Only when the *value* starts with `[` — a
+        // bracket inside a string value is not an array.)
+        let opens_array = line
+            .split_once('=')
+            .is_some_and(|(_, v)| v.trim_start().starts_with('['));
+        if opens_array && !line.ends_with(']') {
+            joined = line.to_string();
+            for (_, cont) in lines.by_ref() {
+                let cont = strip_comment(cont).trim();
+                joined.push(' ');
+                joined.push_str(cont);
+                if cont.ends_with(']') {
+                    break;
+                }
+            }
+            line = joined.as_str();
+        }
+        if line == "[[allow]]" {
+            if let Some(p) = pending.take() {
+                cfg.allows.push(finish_allow(p)?);
+            }
+            pending = Some(PendingAllow {
+                line: lineno,
+                ..PendingAllow::default()
+            });
+            section = Section::Allow;
+            continue;
+        }
+        if let Some(name) = line
+            .strip_prefix("[rules.")
+            .and_then(|r| r.strip_suffix(']'))
+        {
+            if let Some(p) = pending.take() {
+                cfg.allows.push(finish_allow(p)?);
+            }
+            let Some(rule) = Rule::from_name(name) else {
+                return err(lineno, format!("unknown rule `{name}`"));
+            };
+            // Appearing in the file turns the rule on unless it sets
+            // `enabled = false` explicitly.
+            assign_rule_key(&mut cfg, rule, "enabled", Value::Bool(true), lineno)?;
+            section = Section::Rule(rule);
+            continue;
+        }
+        if line.starts_with('[') {
+            return err(lineno, format!("unknown section `{line}`"));
+        }
+        let Some((key, raw_value)) = line.split_once('=') else {
+            return err(lineno, format!("expected `key = value`, got `{line}`"));
+        };
+        let key = key.trim();
+        let value = parse_value(raw_value, lineno)?;
+        match &mut section {
+            Section::None => {
+                return err(lineno, format!("key `{key}` outside any section"));
+            }
+            Section::Rule(rule) => assign_rule_key(&mut cfg, *rule, key, value, lineno)?,
+            Section::Allow => {
+                let Some(p) = pending.as_mut() else {
+                    return err(lineno, "internal: allow section without entry");
+                };
+                match (key, value) {
+                    ("rule", Value::Str(s)) => {
+                        let Some(rule) = Rule::from_name(&s) else {
+                            return err(lineno, format!("unknown rule `{s}` in [[allow]]"));
+                        };
+                        p.rule = Some(rule);
+                    }
+                    ("path", Value::Str(s)) => p.path = Some(s),
+                    ("pattern", Value::Str(s)) => p.pattern = Some(s),
+                    ("fn", Value::Str(s)) => p.func = Some(s),
+                    ("justification", Value::Str(s)) => p.justification = Some(s),
+                    (other, _) => {
+                        return err(
+                            lineno,
+                            format!("unknown or mistyped key `{other}` in [[allow]]"),
+                        )
+                    }
+                }
+            }
+        }
+    }
+    if let Some(p) = pending.take() {
+        cfg.allows.push(finish_allow(p)?);
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scopes_and_allows() {
+        let cfg = parse(
+            r#"
+# comment
+[rules.no-panic]
+paths = ["crates/cli/src/serve.rs", "crates/core/src/serve.rs"]
+
+[rules.clock-discipline]
+paths = ["crates/"]
+exclude = ["crates/bench/"]
+
+[[allow]]
+rule = "clock-discipline"
+path = "crates/cli/src/loadgen.rs"
+pattern = "Instant::now"
+justification = "loadgen measures real client-observed latency"
+"#,
+        )
+        .unwrap();
+        assert!(cfg.no_panic.contains("crates/cli/src/serve.rs"));
+        assert!(!cfg.no_panic.contains("crates/cli/src/main.rs"));
+        assert!(cfg.clock_discipline.contains("crates/core/src/lib.rs"));
+        assert!(!cfg.clock_discipline.contains("crates/bench/src/lib.rs"));
+        assert_eq!(cfg.allows.len(), 1);
+        assert_eq!(cfg.allows[0].pattern.as_deref(), Some("Instant::now"));
+        // Rules without a section stay disabled.
+        assert!(!cfg.determinism.enabled);
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let e = parse("[[allow]]\nrule = \"no-panic\"\npath = \"x.rs\"\njustification = \"  \"\n")
+            .unwrap_err();
+        assert!(e.message.contains("justification"));
+    }
+
+    #[test]
+    fn unknown_rule_and_key_are_errors() {
+        assert!(parse("[rules.no-such-rule]\n").is_err());
+        assert!(parse("[rules.no-panic]\nbogus = true\n").is_err());
+        assert!(parse("[[allow]]\nrule = \"no-panic\"\n").is_err());
+    }
+}

@@ -1,0 +1,456 @@
+//! A hand-rolled Rust lexer: source text → tokens + comments.
+//!
+//! crates.io is unreachable in this environment, so `syn`/`proc-macro2`
+//! are not options — and the rules only need token-level structure
+//! anyway: identifiers, punctuation, literals, lifetimes, and comments,
+//! each tagged with a 1-based source line. The load-bearing property is
+//! that rule patterns (`unwrap`, `unsafe`, `HashMap`, …) can never fire
+//! on the *contents* of strings, raw strings, char/byte literals, or
+//! comments, because those are lexed into single opaque tokens.
+//!
+//! Handled: line comments, nested block comments, doc comments, cooked
+//! strings with escapes, raw strings `r"…"`/`r#"…"#` at any hash depth,
+//! byte strings `b"…"`/`br#"…"#`, char and byte-char literals (including
+//! escapes like `'\u{1F600}'`), lifetimes vs. char literals, raw
+//! identifiers `r#type`, and numeric literals (approximately — exponent
+//! signs may split into extra tokens, which no rule cares about).
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, `r#type`, …).
+    Ident,
+    /// One punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte-character literal (`'a'`, `b'\n'`).
+    Char,
+    /// Numeric literal (`0xFF`, `1_000`, `2.5`).
+    Num,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One source token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Exact source text for idents/puncts; literals keep their text too
+    /// but rules never pattern-match inside them.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this token is the single punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line, block, or doc), kept out of the token stream so
+/// rules can consult comments separately (the `// SAFETY:` requirement).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexer state over a char vector (files are small; simplicity wins).
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn text(&self, start: usize, end: usize) -> String {
+        self.chars
+            .get(start..end.min(self.chars.len()))
+            .unwrap_or(&[])
+            .iter()
+            .collect()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: usize) {
+        let text = self.text(start, self.i);
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    /// Consumes a line comment starting at `//`.
+    fn line_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.i += 1;
+        }
+        self.out.comments.push(Comment {
+            text: self.text(start, self.i),
+            line,
+        });
+    }
+
+    /// Consumes a (nested) block comment starting at `/*`.
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let mut depth = 1usize;
+        self.i += 2;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (None, _) => break,
+                (Some('\n'), _) => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.out.comments.push(Comment {
+            text: self.text(start, self.i),
+            line,
+        });
+    }
+
+    /// Consumes a cooked string body; `self.i` is on the opening quote.
+    fn cooked_string(&mut self, start: usize, line: usize) {
+        self.i += 1; // opening "
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('\\') => {
+                    // An escaped newline (string continuation) still ends
+                    // a source line — keep the line counter honest.
+                    if self.peek(1) == Some('\n') {
+                        self.line += 1;
+                    }
+                    self.i += 2;
+                }
+                Some('"') => {
+                    self.i += 1;
+                    break;
+                }
+                Some('\n') => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                Some(_) => self.i += 1,
+            }
+        }
+        self.push(TokenKind::Str, start, line);
+    }
+
+    /// Consumes a raw string; `self.i` is on the opening quote and
+    /// `hashes` `#` characters preceded it.
+    fn raw_string(&mut self, start: usize, line: usize, hashes: usize) {
+        self.i += 1; // opening "
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('\n') => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                Some('"') => {
+                    let closed = (1..=hashes).all(|k| self.peek(k) == Some('#'));
+                    self.i += 1;
+                    if closed {
+                        self.i += hashes;
+                        break;
+                    }
+                }
+                Some(_) => self.i += 1,
+            }
+        }
+        self.push(TokenKind::Str, start, line);
+    }
+
+    /// Consumes a char/byte-char literal; `self.i` is on the opening `'`.
+    fn char_literal(&mut self, start: usize, line: usize) {
+        self.i += 1; // opening '
+        if self.peek(0) == Some('\\') {
+            self.i += 2; // the escape introducer and its first char
+            while self.peek(0).is_some_and(|c| c != '\'') {
+                self.i += 1; // \u{…} and friends
+            }
+            self.i = (self.i + 1).min(self.chars.len());
+        } else {
+            self.i += 1; // the char itself
+            if self.peek(0) == Some('\'') {
+                self.i += 1;
+            }
+        }
+        self.push(TokenKind::Char, start, line);
+    }
+
+    /// Consumes an identifier; `self.i` is on its first character.
+    fn ident(&mut self, start: usize, line: usize) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.i += 1;
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    /// Consumes a numeric literal; `self.i` is on its leading digit.
+    fn number(&mut self, start: usize, line: usize) {
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            self.i += 1;
+        }
+        // A fraction part only when the dot is followed by a digit, so
+        // range expressions like `0..n` stay three separate tokens.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                self.i += 1;
+            }
+        }
+        self.push(TokenKind::Num, start, line);
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let start = self.i;
+            let line = self.line;
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ if c.is_whitespace() => self.i += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.cooked_string(start, line),
+                'r' | 'b' => self.prefixed(start, line, c),
+                '\'' => {
+                    // Lifetime iff an ident follows and the char after it
+                    // is not a closing quote ('a' is a char literal,
+                    // 'a is a lifetime).
+                    let is_lifetime =
+                        self.peek(1).is_some_and(is_ident_start) && self.peek(2) != Some('\'');
+                    if is_lifetime {
+                        self.i += 2;
+                        while self.peek(0).is_some_and(is_ident_continue) {
+                            self.i += 1;
+                        }
+                        self.push(TokenKind::Lifetime, start, line);
+                    } else {
+                        self.char_literal(start, line);
+                    }
+                }
+                _ if is_ident_start(c) => self.ident(start, line),
+                _ if c.is_ascii_digit() => self.number(start, line),
+                _ => {
+                    self.i += 1;
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Disambiguates tokens starting with `r` or `b`: raw strings, byte
+    /// strings, byte chars, raw identifiers, or plain identifiers.
+    fn prefixed(&mut self, start: usize, line: usize, c: char) {
+        if c == 'b' {
+            match self.peek(1) {
+                Some('\'') => {
+                    self.i += 1; // consume b; char_literal handles the rest
+                    self.char_literal(start, line);
+                    return;
+                }
+                Some('"') => {
+                    self.i += 1;
+                    self.cooked_string(start, line);
+                    return;
+                }
+                Some('r') => {
+                    let mut hashes = 0;
+                    while self.peek(2 + hashes) == Some('#') {
+                        hashes += 1;
+                    }
+                    if self.peek(2 + hashes) == Some('"') {
+                        self.i += 2 + hashes;
+                        self.raw_string(start, line, hashes);
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            self.ident(start, line);
+            return;
+        }
+        // c == 'r'
+        let mut hashes = 0;
+        while self.peek(1 + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(1 + hashes) == Some('"') {
+            self.i += 1 + hashes;
+            self.raw_string(start, line, hashes);
+            return;
+        }
+        if hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+            // Raw identifier r#type: skip the prefix, lex the ident so
+            // rules see the bare name.
+            self.i += 2;
+            let ident_start = self.i;
+            self.ident(ident_start, line);
+            return;
+        }
+        self.ident(start, line);
+    }
+}
+
+/// Lexes one file into tokens + comments.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn tokens_inside_strings_and_comments_are_opaque() {
+        let src = r##"
+            // a comment mentioning unwrap() and unsafe
+            /* block with vec![] and /* nested HashMap */ still comment */
+            let s = "unsafe unwrap() inside a string";
+            let r = r#"raw with "quotes" and panic!()"#;
+            let c = 'u';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'static str { 'q' ; x }");
+        let kinds: Vec<TokenKind> = lexed.tokens.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds.iter().filter(|k| **k == TokenKind::Lifetime).count(),
+            3
+        );
+        assert_eq!(kinds.iter().filter(|k| **k == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn raw_hash_strings_terminate_at_matching_depth() {
+        let lexed = lex(r###"let x = r##"contains "# inside"## ; after()"###);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("after")));
+        let strs: Vec<&Token> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("inside"));
+    }
+
+    #[test]
+    fn byte_literals_and_raw_idents() {
+        let lexed = lex(r#"let a = b"bytes with unwrap"; let b = b'\n'; let c = r#type;"#);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("type")));
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "line1();\n\"multi\nline\nstring\";\nline5();\n/* multi\nline */\nline8();";
+        let lexed = lex(src);
+        let find = |name: &str| lexed.tokens.iter().find(|t| t.is_ident(name)).unwrap().line;
+        assert_eq!(find("line1"), 1);
+        assert_eq!(find("line5"), 5);
+        assert_eq!(find("line8"), 8);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let lexed = lex("for i in 0..10 { let f = 2.5; }");
+        let nums: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "2.5"]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Standalone `nf-lint` binary.
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = tool/config error.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: nf-lint [--root=DIR] [--format=human|json]\n\
+     \n\
+     Lints the workspace at DIR (default: current directory) against the\n\
+     committed lint.toml. Exit 0 when clean, 1 on findings, 2 on error."
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = "human".to_string();
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--root=") {
+            root = PathBuf::from(v);
+        } else if let Some(v) = arg.strip_prefix("--format=") {
+            format = v.to_string();
+        } else if arg == "--help" || arg == "-h" {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        } else {
+            eprintln!("nf-lint: unknown argument `{arg}`\n{}", usage());
+            return ExitCode::from(2);
+        }
+    }
+    if format != "human" && format != "json" {
+        eprintln!("nf-lint: --format must be human or json");
+        return ExitCode::from(2);
+    }
+    let result = match nf_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nf-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = if format == "json" {
+        nf_lint::render_json(&result)
+    } else {
+        nf_lint::render_human(&result)
+    };
+    print!("{rendered}");
+    if result.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,103 @@
+//! Rendering: machine-readable JSON and human-readable text.
+//!
+//! The JSON writer is hand-rolled (no serde — this crate is
+//! dependency-free by design); the only dynamic strings are file paths,
+//! excerpts, and help text, all escaped through [`json_escape`].
+
+use crate::engine::RunResult;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the run as a single JSON object.
+pub fn render_json(result: &RunResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"tool\": \"nf-lint\",\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", result.files_scanned);
+    let _ = writeln!(out, "  \"allows_used\": {},", result.allows_used);
+    out.push_str("  \"unused_allows\": [");
+    for (i, a) in result.unused_allows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}}}",
+            a.rule.name(),
+            json_escape(&a.path),
+            a.line
+        );
+    }
+    out.push_str("],\n  \"findings\": [");
+    for (i, f) in result.findings.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        let func = f
+            .func
+            .as_deref()
+            .map(|x| format!("\"{}\"", json_escape(x)))
+            .unwrap_or_else(|| "null".to_string());
+        let _ = write!(
+            out,
+            "{{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"fn\": {}, \
+             \"excerpt\": \"{}\", \"help\": \"{}\"}}",
+            f.rule.name(),
+            json_escape(&f.file),
+            f.line,
+            func,
+            json_escape(&f.excerpt),
+            json_escape(&f.help),
+        );
+    }
+    if result.findings.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// Renders the run as human-readable text.
+pub fn render_human(result: &RunResult) -> String {
+    let mut out = String::new();
+    for f in &result.findings {
+        let _ = writeln!(out, "{}: {}:{}", f.rule.name(), f.file, f.line);
+        if !f.excerpt.is_empty() {
+            let _ = writeln!(out, "    | {}", f.excerpt);
+        }
+        let _ = writeln!(out, "    = help: {}", f.help);
+    }
+    for a in &result.unused_allows {
+        let _ = writeln!(
+            out,
+            "warning: unused [[allow]] (lint.toml:{}) rule={} path={}",
+            a.line,
+            a.rule.name(),
+            a.path
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} file(s) scanned, {} finding(s), {} allow(s) used",
+        result.files_scanned,
+        result.findings.len(),
+        result.allows_used
+    );
+    out
+}

@@ -1,0 +1,48 @@
+//! FIXTURE: must stay clean under clock-discipline: wall-clock reads
+//! live inside Clock impls, everything else goes through the trait.
+
+use std::time::Instant;
+
+/// Microsecond clock abstraction.
+pub trait Clock {
+    /// Current time in microseconds.
+    fn now_us(&self) -> u64;
+}
+
+/// Real wall-clock.
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// Anchors the clock at construction time.
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(), // exempt: inside a *Clock impl
+        }
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64 // exempt: Clock impl
+    }
+}
+
+// A comment saying Instant::now() must not fire, nor "thread::sleep".
+
+pub fn elapsed_between(clock: &dyn Clock, start_us: u64) -> u64 {
+    clock.now_us().saturating_sub(start_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_use_real_time() {
+        let t0 = Instant::now();
+        std::thread::sleep(std::time::Duration::from_micros(1));
+        assert!(t0.elapsed().as_nanos() > 0);
+    }
+}

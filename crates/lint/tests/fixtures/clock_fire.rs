@@ -1,0 +1,10 @@
+//! FIXTURE: must fire clock-discipline.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn measure() -> Duration {
+    let t0 = Instant::now(); // finding: Instant::now
+    let _wall = SystemTime::now(); // finding: SystemTime::now
+    std::thread::sleep(Duration::from_millis(1)); // finding: thread::sleep
+    t0.elapsed()
+}

@@ -1,0 +1,13 @@
+//! FIXTURE: must fire determinism.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut counts: HashMap<u32, usize> = HashMap::new(); // findings: HashMap
+    let mut seen: HashSet<u32> = HashSet::new(); // findings: HashSet
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+        seen.insert(k);
+    }
+    seen.len() + counts.len()
+}

@@ -1,0 +1,26 @@
+//! FIXTURE: must stay clean under hot-path-alloc.
+//!
+//! Allocation names appear only inside test code, comments, and strings.
+
+// A comment mentioning Vec::new() and .collect() must not fire.
+
+pub fn gemm_scratch(a: &[f32], scratch: &mut [f32]) {
+    for (dst, src) in scratch.iter_mut().zip(a.iter()) {
+        *dst = *src;
+    }
+    let msg = "error: Vec::new() failed to .collect() the vec![] output";
+    let _ = msg;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_up_allocates_freely() {
+        let mut scratch = vec![0.0f32; 8];
+        let data: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        gemm_scratch(&data, &mut scratch);
+        assert_eq!(scratch.to_vec(), data.clone());
+    }
+}

@@ -1,0 +1,19 @@
+//! FIXTURE: must fire hot-path-alloc (kernel module scope).
+
+pub fn pack_panel(src: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new(); // finding: Vec::new
+    out.extend_from_slice(src);
+    out
+}
+
+pub fn copy_row(src: &[f32]) -> Vec<f32> {
+    src.to_vec() // finding: .to_vec()
+}
+
+pub fn gemm_into(a: &[f32], out: &mut [f32]) {
+    let scratch = vec![0.0f32; a.len()]; // finding: vec![
+    let doubled: Vec<f32> = a.iter().map(|x| x * 2.0).collect(); // finding: .collect()
+    let kept = doubled.clone(); // finding: .clone()
+    out[..kept.len().min(out.len())].iter();
+    let _ = scratch;
+}

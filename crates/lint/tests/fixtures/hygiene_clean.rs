@@ -1,0 +1,8 @@
+//! FIXTURE: a crate root carrying both gates — must stay clean under
+//! lint-hygiene.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Does nothing, documented.
+pub fn noop() {}

@@ -1,0 +1,6 @@
+//! FIXTURE: a crate root missing both gates — must fire lint-hygiene
+//! twice (missing deny(missing_docs), missing forbid(unsafe_code)).
+
+#![warn(missing_docs)]
+
+pub fn noop() {}

@@ -1,0 +1,24 @@
+//! FIXTURE: lexer stress — every rule's trigger tokens appear below,
+//! but only inside comments, strings, raw strings, byte strings, and
+//! char literals. Linted under EVERY rule at once, this file must
+//! produce ZERO findings.
+//!
+//! unwrap() expect( panic! unreachable! todo! Vec::new vec![ .to_vec()
+//! .clone() .collect() Instant::now SystemTime::now thread::sleep
+//! HashMap HashSet unsafe buf[0]
+
+/* block comment: Instant::now() and /* nested: HashMap::new() */ still
+   inside the comment, with .unwrap() for good measure */
+
+pub fn edge_cases() -> usize {
+    let cooked = "unsafe { HashMap::new().unwrap() } panic!(\"x[0]\")";
+    let raw = r#"vec![Instant::now(), SystemTime::now()].to_vec()"#;
+    let deep = r##"raw with "# inside: thread::sleep(d).clone()"##;
+    let bytes = b"HashSet and .collect() and .expect(msg)";
+    let multiline = "a string that ends with a continuation \
+                     and mentions unreachable!() after it";
+    let ch = 'u';
+    let lifetime_ok: &'static str = "todo!() in a string";
+    cooked.len() + raw.len() + deep.len() + bytes.len() + multiline.len()
+        + lifetime_ok.len() + (ch as usize)
+}

@@ -1,0 +1,35 @@
+//! FIXTURE: must stay clean under no-panic.
+//!
+//! Every lookup is typed; panic/index tokens appear only in comments,
+//! strings, raw strings, and test code. Slice *types* and macro brackets
+//! must not be mistaken for index expressions.
+
+// .unwrap() in a comment must not fire; neither must buf[0] here.
+
+pub fn decode(buf: &[u8]) -> Result<u8, String> {
+    let first = buf.first().ok_or_else(|| "empty".to_string())?;
+    let second = buf.get(1).copied().unwrap_or(0);
+    let rest: &[u8] = buf.get(2..).unwrap_or(&[]);
+    let msg = "calling .unwrap() on buf[0] would panic!()";
+    let raw = r#"raw string with x[i] and .expect("boom")"#;
+    let _ = (msg, raw, rest);
+    Ok(*first + second)
+}
+
+pub fn fill(out: &mut [f32]) {
+    for v in out.iter_mut() {
+        *v = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_index_and_unwrap() {
+        let buf = vec![1u8, 2, 3];
+        assert_eq!(decode(&buf).unwrap(), 3);
+        assert_eq!(buf[0], 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! FIXTURE: must fire no-panic.
+
+pub fn decode(buf: &[u8]) -> u8 {
+    let first = buf.first().unwrap(); // finding: .unwrap(
+    let second = buf.get(1).expect("short buffer"); // finding: .expect(
+    let third = buf[2]; // finding: slice indexing
+    match (first, second) {
+        (0, 0) => panic!("zero frame"),          // finding: panic!
+        (1, _) => unreachable!("one is filtered"), // finding: unreachable!
+        (2, _) => todo!(),                       // finding: todo!
+        _ => third,
+    }
+}

@@ -1,0 +1,20 @@
+//! FIXTURE: must stay clean under unsafe-confinement when linted as a
+//! SIMD module: every unsafe use sits under a SAFETY comment, and the
+//! word unsafe in comments/strings does not count as a use.
+
+// Saying unsafe in a comment is fine.
+
+pub fn sum8(a: &[f32]) -> f32 {
+    let mut total = 0.0;
+    let note = "this string mentions unsafe but is not unsafe";
+    // SAFETY: `p.add(i)` stays within `a`'s allocation because `i`
+    // ranges over `0..a.len()`; reads are aligned f32 loads.
+    unsafe {
+        let p = a.as_ptr();
+        for i in 0..a.len() {
+            total += *p.add(i);
+        }
+    }
+    let _ = note;
+    total
+}

@@ -1,0 +1,15 @@
+//! FIXTURE: must fire unsafe-confinement when linted as a SIMD module —
+//! the block below carries no justifying comment (and fires the
+//! confinement arm when linted at any other path).
+
+pub fn sum8(a: &[f32]) -> f32 {
+    let mut total = 0.0;
+    // This pointer walk is sound, but nobody wrote down why.
+    unsafe {
+        let p = a.as_ptr();
+        for i in 0..a.len() {
+            total += *p.add(i);
+        }
+    }
+    total
+}

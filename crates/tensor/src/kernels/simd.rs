@@ -104,6 +104,10 @@ pub(crate) fn panel_f32x8(
 }
 
 /// One `MR × 8` accumulator tile over a `kc`-deep cache block.
+// SAFETY: `unsafe fn` because of `#[target_feature]` — callers must have
+// verified AVX2+FMA via `available()` before dispatching here. All loads
+// and stores are `loadu`/`storeu` on slice-derived pointers whose bounds
+// the caller guarantees (and the debug_asserts below re-check).
 #[cfg(target_arch = "x86_64")]
 #[allow(unsafe_code)]
 #[allow(clippy::too_many_arguments)]

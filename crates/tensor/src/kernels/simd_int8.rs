@@ -104,6 +104,10 @@ pub(crate) fn panel_u8i8(
 }
 
 /// One `ROWS × 16` accumulator tile over the whole `K` extent.
+// SAFETY: `unsafe fn` because of `#[target_feature]` — callers must have
+// verified AVX2 via `available()` before dispatching here. All loads and
+// stores are `loadu`/`storeu` on slice-derived pointers whose bounds the
+// caller guarantees (and the debug_asserts below re-check).
 #[cfg(target_arch = "x86_64")]
 #[allow(unsafe_code)]
 #[target_feature(enable = "avx2")]
