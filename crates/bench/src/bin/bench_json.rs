@@ -498,10 +498,12 @@ tier_weights = [1, 1, 1]
     };
     let host_cores = nf_tensor::host_cores();
 
-    // Train once; the replica sweep reuses the engine via params_io
-    // clones. Smoke keeps to the config's own replica count.
+    // Train once; the replica and connection sweeps reuse the engine via
+    // params_io clones. Smoke keeps to the config's own replica count.
+    let mut primary = nf_cli::serve::build_engine(&cfg, true).expect("serve bench engine");
     let (report, sweep_rows) = if smoke {
-        let report = nf_cli::loadgen::run_loadgen_inprocess(&cfg, true).expect("serve bench run");
+        let report = nf_cli::loadgen::run_loadgen_with_engine(&cfg, &mut primary, 2)
+            .expect("serve bench run");
         assert_eq!(report.replicas, 2, "smoke config pins 2 replicas");
         assert_eq!(
             report.inflight, 4,
@@ -509,7 +511,6 @@ tier_weights = [1, 1, 1]
         );
         (report, Vec::new())
     } else {
-        let mut primary = nf_cli::serve::build_engine(&cfg, true).expect("serve bench engine");
         let sweep: Vec<usize> = [1usize, 2, 4]
             .into_iter()
             .filter(|&r| r == 1 || r <= host_cores)
@@ -591,6 +592,76 @@ tier_weights = [1, 1, 1]
         "one busy fraction per replica"
     );
 
+    // --- Connection sweep: reactor fan-in at a fixed thread count. ---
+    // The same engine serves the identical seeded schedule at growing
+    // connection counts (64/256/1024 on full runs; scaled down under
+    // --smoke). Deadlines and queue capacity are raised so admission
+    // control never fires: the table isolates the reactor's per-connection
+    // overhead, and the floor gate asserts throughput at the widest
+    // fan-in holds at least half the narrowest — a reactor that degrades
+    // super-linearly with connections fails here, not in production.
+    let conn_points: &[usize] = if smoke {
+        &[4, 16, 64]
+    } else {
+        &[64, 256, 1024]
+    };
+    let mut conn_reports = Vec::new();
+    for &c in conn_points {
+        let mut swept = cfg.clone();
+        let mut lg = swept.loadgen.clone().unwrap_or_default();
+        lg.connections = c;
+        lg.inflight = 0; // closed loop: one request in flight per connection
+        lg.requests = lg.requests.max(4 * c);
+        swept.loadgen = Some(lg);
+        let mut sv = swept.serve.clone().unwrap_or_default();
+        sv.queue_capacity = 2 * c;
+        sv.fast_deadline_us = 5_000_000;
+        sv.balanced_deadline_us = 5_000_000;
+        sv.exact_deadline_us = 5_000_000;
+        swept.serve = Some(sv);
+        println!("serve bench: connections = {c} ...");
+        let rep = nf_cli::loadgen::run_loadgen_with_engine(&swept, &mut primary, report.replicas)
+            .expect("serve bench connection sweep run");
+        assert_eq!(
+            rep.rejected, 0,
+            "connection sweep must not shed load (c = {c}): deadlines and \
+             queue capacity are sized so admission control never fires"
+        );
+        assert_eq!(
+            rep.accept_exhausted, 0,
+            "fd exhaustion at c = {c} — raise the fd limit on this host"
+        );
+        conn_reports.push(rep);
+    }
+    let conn_rows: Vec<Value> = conn_points
+        .iter()
+        .zip(&conn_reports)
+        .map(|(&c, rep)| {
+            let mut row = Table::new();
+            row.insert("connections", Value::Int(c as i64));
+            row.insert("requests", Value::Int(rep.requests as i64));
+            row.insert("rps", Value::Float(round2(rep.rps)));
+            row.insert("p50_us", Value::Int(rep.p50_us as i64));
+            row.insert("p99_us", Value::Int(rep.p99_us as i64));
+            row.build()
+        })
+        .collect();
+    // Throughput-floor gate (full runs; smoke schedules are too short to
+    // time). first/last are safe: conn_points is a non-empty literal.
+    if !smoke {
+        let narrow = conn_reports.first().expect("non-empty sweep").rps;
+        let wide = conn_reports.last().expect("non-empty sweep").rps;
+        assert!(
+            wide >= 0.5 * narrow,
+            "reactor fan-in regressed: {} connections give {wide:.1} req/s vs \
+             {narrow:.1} req/s at {} connections (< 0.5×)",
+            conn_points[conn_points.len() - 1],
+            conn_points[0]
+        );
+    } else {
+        println!("skipping connection-sweep throughput gate: smoke run");
+    }
+
     // p99 regression gate against the committed full-shape artifact.
     // Read it before a full run overwrites it. Single-core hosts serialize
     // the model, the batcher, and every client onto one core, so latency
@@ -630,6 +701,7 @@ tier_weights = [1, 1, 1]
     if !sweep_rows.is_empty() {
         doc.insert("replica_sweep", Value::Array(sweep_rows));
     }
+    doc.insert("connection_sweep", Value::Array(conn_rows));
     let mut required = vec![
         "kind",
         "model",
@@ -644,6 +716,7 @@ tier_weights = [1, 1, 1]
         "replicas",
         "inflight",
         "busy_frac",
+        "connection_sweep",
     ];
     if !smoke {
         required.push("replica_sweep");

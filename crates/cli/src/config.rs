@@ -168,6 +168,9 @@ pub struct ServeSection {
     /// Batcher/model replicas sharing the admission queue; 0 = one per
     /// host core. Each replica owns a bit-identical model clone.
     pub replicas: usize,
+    /// Per-connection reply-outbox cap (KiB): a client that stops reading
+    /// while this many reply bytes pile up is disconnected (backpressure).
+    pub outbox_kib: usize,
     /// Whether a client may stop the server with a shutdown frame (the
     /// in-process loadgen/test harness turns this on; defaults to off).
     pub allow_shutdown: bool,
@@ -186,6 +189,7 @@ impl Default for ServeSection {
             balanced_deadline_us: p.deadline_us[1],
             exact_deadline_us: p.deadline_us[2],
             replicas: p.replicas,
+            outbox_kib: p.outbox_kib,
             allow_shutdown: false,
         }
     }
@@ -596,6 +600,7 @@ impl RunConfig {
                     .u64_opt("exact_deadline_us")?
                     .unwrap_or(d.exact_deadline_us),
                 replicas: serve.usize_opt("replicas")?.unwrap_or(d.replicas),
+                outbox_kib: serve.usize_opt("outbox_kib")?.unwrap_or(d.outbox_kib),
                 allow_shutdown: serve.bool_or("allow_shutdown", false)?,
             };
             if !(section.threshold.is_finite() && section.threshold > 0.0) {
@@ -618,6 +623,9 @@ impl RunConfig {
                         neuroflux_core::MAX_REPLICAS
                     ),
                 ));
+            }
+            if section.outbox_kib == 0 {
+                return Err(CliError::config("serve.outbox_kib", "must be > 0"));
             }
             Some(section)
         } else {
@@ -804,6 +812,7 @@ impl RunConfig {
             );
             serve.insert("exact_deadline_us", Value::Int(s.exact_deadline_us as i64));
             serve.insert("replicas", Value::Int(s.replicas as i64));
+            serve.insert("outbox_kib", Value::Int(s.outbox_kib as i64));
             serve.insert("allow_shutdown", Value::Bool(s.allow_shutdown));
             root.insert("serve", serve);
         }
@@ -987,6 +996,7 @@ impl RunConfig {
                 s.exact_deadline_us,
             ],
             replicas: s.replicas,
+            outbox_kib: s.outbox_kib,
         };
         policy
             .validate()

@@ -6,19 +6,23 @@
 //! under SLO tier `weighted_pick(splitmix64(seed, k))`, issued over
 //! `connections` connections (request `k` on connection
 //! `k % connections`). With `[loadgen] inflight > connections` each
-//! connection pipelines `inflight / connections` requests (a writer
-//! thread streams frames while the reader matches replies by the echoed
-//! request id — replicated servers complete out of order), so one
-//! generator process can saturate a multi-replica server. Since the
-//! served model is itself trained deterministically from the config, the
-//! exit-depth histogram and every per-request prediction are reproducible
-//! bit for bit; only wall-clock latencies vary run to run.
+//! connection pipelines `inflight / connections` requests, matching
+//! replies by the echoed request id — replicated servers complete out of
+//! order. All the sockets are driven by **one mux thread** on a single
+//! epoll instance (the caller's thread; `connections = 1024` costs 1024
+//! fds, not 1024 threads), mirroring the server's reactor, so one
+//! generator process can fan into a server at any connection count. Since
+//! the served model is itself trained deterministically from the config,
+//! the exit-depth histogram and every per-request prediction are
+//! reproducible bit for bit; only wall-clock latencies vary run to run.
 //! `BENCH_serve.json` therefore separates the deterministic fields (exit
 //! histogram, per-tier request counts) from the host-dependent ones
 //! (latency percentiles, requests/sec, `busy_frac`, `host_cores`).
 
 use crate::config::RunConfig;
 use crate::error::{CliError, Result};
+use crate::net::reactor::{read_ready, FrameAssembler, ReadEnd, WriteQueue, READ_CHUNK};
+use crate::net::sys::{self, Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 use crate::proto::{self, RejectReason, Request, Response};
 use crate::serve::{build_engines, start_server_with_engines};
 use crate::value::{Table, Value};
@@ -26,9 +30,8 @@ use neuroflux_core::serve::splitmix64;
 use neuroflux_core::{latency_percentiles, SloTier};
 use std::collections::HashMap;
 use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// CLI options for `nf loadgen`.
@@ -128,6 +131,10 @@ pub struct LoadgenReport {
     pub tiers: Vec<TierStats>,
     /// Cores on the host that produced the latency numbers.
     pub host_cores: usize,
+    /// `accept(2)` fd-exhaustion backoffs on the serving side (0 when
+    /// targeting an external server, whose counter is unreadable from
+    /// here).
+    pub accept_exhausted: u64,
 }
 
 impl LoadgenReport {
@@ -190,6 +197,7 @@ impl LoadgenReport {
             .collect();
         t.insert("tiers", Value::Array(tiers));
         t.insert("host_cores", Value::Int(self.host_cores as i64));
+        t.insert("accept_exhausted", Value::Int(self.accept_exhausted as i64));
         t.build()
     }
 }
@@ -235,139 +243,231 @@ fn build_jobs(cfg: &RunConfig, n_samples: usize, seed: u64) -> Vec<Job> {
         .collect()
 }
 
-/// Sends `jobs` over one keep-alive connection with up to `window`
-/// requests pipelined, returning each request's outcome.
-///
-/// A writer thread streams frames as window slots free up while the
-/// reader matches replies by the echoed request id — a replicated server
-/// completes requests out of order, so arrival order is no contract.
+/// One connection as the loadgen mux tracks it.
+struct MuxConn<'a> {
+    stream: TcpStream,
+    asm: FrameAssembler,
+    outq: WriteQueue,
+    /// Interest bits currently registered with epoll.
+    interest: u32,
+    /// This connection's slice of the schedule, in order.
+    jobs: &'a [Job],
+    /// Next job index not yet entered into the window.
+    next: usize,
+    /// In-flight requests: tier + send instant, keyed by request id.
+    pending: HashMap<u64, (SloTier, Instant)>,
+    /// Every reply received; the fd is deregistered.
+    done: bool,
+}
+
+impl MuxConn<'_> {
+    /// All jobs sent, all replies in, all bytes flushed.
+    fn finished(&self) -> bool {
+        self.next >= self.jobs.len() && self.pending.is_empty() && self.outq.is_empty()
+    }
+
+    /// The interest bits this connection's state wants: readable while
+    /// replies are owed, writable while frames are queued.
+    fn want(&self) -> u32 {
+        let mut bits = 0;
+        if !self.pending.is_empty() {
+            bits |= EPOLLIN;
+        }
+        if !self.outq.is_empty() {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// Tops up one connection's pipeline window: encodes and queues requests
+/// until `window` are in flight or the schedule slice is exhausted.
 /// Latency is measured from the instant a request enters the window
-/// (just before its frame is written) to the instant its reply is read,
-/// and each outcome keeps its job's tier, so per-tier latency
-/// attribution survives pipelining.
-fn run_client(
+/// (when its frame is queued), so per-tier attribution survives
+/// pipelining.
+fn top_up(
+    conn: &mut MuxConn<'_>,
+    images: &[f32],
+    pixels_per_sample: usize,
+    window: usize,
+) -> Result<()> {
+    while conn.pending.len() < window {
+        let Some(job) = conn.jobs.get(conn.next) else {
+            break;
+        };
+        let start = job.sample * pixels_per_sample;
+        let pixels = start
+            .checked_add(pixels_per_sample)
+            .and_then(|end| images.get(start..end))
+            .ok_or_else(|| {
+                CliError::new(format!(
+                    "request {} maps to sample {} beyond the test set",
+                    job.seq, job.sample
+                ))
+            })?;
+        let payload = proto::encode_request(&Request::Infer {
+            id: job.seq,
+            tier: job.tier,
+            pixels: pixels.to_vec(),
+        });
+        let wire = proto::frame_bytes(&payload)
+            .map_err(|e| CliError::new(format!("encoding request {}: {e}", job.seq)))?;
+        conn.pending.insert(job.seq, (job.tier, Instant::now()));
+        conn.outq.push(wire);
+        conn.next += 1;
+    }
+    Ok(())
+}
+
+/// Flushes what the socket will take, deregisters a finished connection,
+/// and reconciles the epoll interest bits.
+fn sync_conn(epoll: &Epoll, idx: usize, conn: &mut MuxConn<'_>) -> Result<()> {
+    if conn.done {
+        return Ok(());
+    }
+    conn.outq
+        .flush(&mut conn.stream)
+        .map_err(|e| CliError::new(format!("sending to the server: {e}")))?;
+    if conn.finished() {
+        let _ = epoll.delete(conn.stream.as_raw_fd());
+        conn.done = true;
+        return Ok(());
+    }
+    let want = conn.want();
+    if want != conn.interest {
+        epoll
+            .modify(conn.stream.as_raw_fd(), want, idx as u64)
+            .map_err(|e| CliError::new(format!("updating loadgen epoll interest: {e}")))?;
+        conn.interest = want;
+    }
+    Ok(())
+}
+
+/// Decodes one reply frame and resolves it against the window.
+fn match_reply(conn: &mut MuxConn<'_>, payload: &[u8]) -> Result<(u64, SloTier, Outcome)> {
+    let resp = proto::decode_response(payload)
+        .map_err(|e| CliError::new(format!("decoding a reply: {e}")))?;
+    let (id, ok_exit, reject) = match resp {
+        Response::Infer { id, exit, .. } => (id, Some(exit as usize), None),
+        Response::Rejected { id, reason } => (id, None, Some(reason)),
+        Response::Error { message } => {
+            return Err(CliError::new(format!("server error: {message}")))
+        }
+        other => {
+            return Err(CliError::new(format!(
+                "unexpected reply to an infer request: {other:?}"
+            )))
+        }
+    };
+    // A replicated server completes out of order; the echoed id is the
+    // contract. A duplicate or unknown id lands here too.
+    let (tier, sent_at) = conn
+        .pending
+        .remove(&id)
+        .ok_or_else(|| CliError::new(format!("reply id {id} matches no in-flight request")))?;
+    let latency_us = sent_at.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let outcome = match (ok_exit, reject) {
+        (Some(exit), _) => Outcome::Ok { exit, latency_us },
+        (None, Some(reason)) => Outcome::Rejected { reason, latency_us },
+        (None, None) => {
+            return Err(CliError::new(format!(
+                "reply for request id {id} is neither served nor rejected"
+            )))
+        }
+    };
+    Ok((id, tier, outcome))
+}
+
+/// Drives every connection's schedule slice from one thread: all sockets
+/// nonblocking on a single epoll instance, each connection keeping up to
+/// `window` requests pipelined. No per-connection threads — the thread
+/// count of a 1024-connection run equals that of a 1-connection run.
+fn run_mux(
     addr: &str,
-    jobs: &[Job],
+    per_conn: &[Vec<Job>],
     images: &[f32],
     pixels_per_sample: usize,
     window: usize,
 ) -> Result<Vec<(u64, SloTier, Outcome)>> {
-    let stream = TcpStream::connect(addr)
-        .map_err(|e| CliError::new(format!("connecting to serve at {addr}: {e}")))?;
-    let _ = stream.set_nodelay(true);
-    let mut write_half = stream
-        .try_clone()
-        .map_err(|e| CliError::new(format!("cloning the connection to {addr}: {e}")))?;
     let window = window.max(1);
-    // Send instants of requests currently in flight, keyed by id. The
-    // condvar gates the writer on window slots; the flag aborts it if the
-    // reader gives up.
-    let pending: Mutex<HashMap<u64, Instant>> = Mutex::new(HashMap::new());
-    let slot_freed = Condvar::new();
-    let abort = AtomicBool::new(false);
-
-    std::thread::scope(|scope| -> Result<Vec<(u64, SloTier, Outcome)>> {
-        let writer = scope.spawn(|| -> Result<()> {
-            for job in jobs {
-                {
-                    let mut p = pending
-                        .lock()
-                        .map_err(|_| CliError::new("loadgen window lock poisoned"))?;
-                    while p.len() >= window && !abort.load(Ordering::SeqCst) {
-                        p = slot_freed
-                            .wait(p)
-                            .map_err(|_| CliError::new("loadgen window lock poisoned"))?;
-                    }
-                    if abort.load(Ordering::SeqCst) {
-                        return Ok(());
-                    }
-                    p.insert(job.seq, Instant::now());
-                }
-                let start = job.sample * pixels_per_sample;
-                let pixels = start
-                    .checked_add(pixels_per_sample)
-                    .and_then(|end| images.get(start..end))
-                    .ok_or_else(|| {
-                        CliError::new(format!(
-                            "request {} maps to sample {} beyond the test set",
-                            job.seq, job.sample
-                        ))
-                    })?;
-                let frame = proto::encode_request(&Request::Infer {
-                    id: job.seq,
-                    tier: job.tier,
-                    pixels: pixels.to_vec(),
-                });
-                proto::write_frame(&mut write_half, &frame)
-                    .map_err(|e| CliError::new(format!("sending request {}: {e}", job.seq)))?;
-            }
-            Ok(())
+    let epoll = Epoll::new()
+        .map_err(|e| CliError::new(format!("creating the loadgen epoll instance: {e}")))?;
+    let mut conns: Vec<MuxConn<'_>> = Vec::with_capacity(per_conn.len());
+    for jobs in per_conn {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| CliError::new(format!("connecting to serve at {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        sys::set_nonblocking(stream.as_raw_fd())
+            .map_err(|e| CliError::new(format!("making a loadgen socket nonblocking: {e}")))?;
+        conns.push(MuxConn {
+            stream,
+            asm: FrameAssembler::new(),
+            outq: WriteQueue::new(),
+            interest: 0,
+            jobs,
+            next: 0,
+            pending: HashMap::new(),
+            done: false,
         });
+    }
+    for (idx, conn) in conns.iter_mut().enumerate() {
+        epoll
+            .add(conn.stream.as_raw_fd(), 0, idx as u64)
+            .map_err(|e| CliError::new(format!("registering a loadgen socket: {e}")))?;
+        top_up(conn, images, pixels_per_sample, window)?;
+        sync_conn(&epoll, idx, conn)?;
+    }
 
-        let mut tier_of: HashMap<u64, SloTier> = jobs.iter().map(|j| (j.seq, j.tier)).collect();
-        let mut reader = stream;
-        let mut out = Vec::with_capacity(jobs.len());
-        let read_result = (|| -> Result<()> {
-            while out.len() < jobs.len() {
-                let payload = proto::read_frame(&mut reader)
-                    .map_err(|e| CliError::new(format!("reading a reply: {e}")))?
-                    .ok_or_else(|| {
-                        CliError::new(format!(
-                            "server closed the connection with {} replies outstanding",
-                            jobs.len() - out.len()
-                        ))
-                    })?;
-                let resp = proto::decode_response(&payload)
-                    .map_err(|e| CliError::new(format!("decoding a reply: {e}")))?;
-                let (id, ok_exit, reject) = match resp {
-                    Response::Infer { id, exit, .. } => (id, Some(exit as usize), None),
-                    Response::Rejected { id, reason } => (id, None, Some(reason)),
-                    Response::Error { message } => {
-                        return Err(CliError::new(format!("server error: {message}")))
-                    }
-                    other => {
-                        return Err(CliError::new(format!(
-                            "unexpected reply to an infer request: {other:?}"
-                        )))
-                    }
-                };
-                let sent_at = {
-                    let mut p = pending
-                        .lock()
-                        .map_err(|_| CliError::new("loadgen window lock poisoned"))?;
-                    let t = p.remove(&id).ok_or_else(|| {
-                        CliError::new(format!("reply id {id} matches no in-flight request"))
-                    })?;
-                    slot_freed.notify_one();
-                    t
-                };
-                let latency_us = sent_at.elapsed().as_micros().min(u64::MAX as u128) as u64;
-                let tier = tier_of
-                    .remove(&id)
-                    .ok_or_else(|| CliError::new(format!("duplicate reply for request id {id}")))?;
-                let outcome = match (ok_exit, reject) {
-                    (Some(exit), _) => Outcome::Ok { exit, latency_us },
-                    (None, Some(reason)) => Outcome::Rejected { reason, latency_us },
-                    (None, None) => {
-                        return Err(CliError::new(format!(
-                            "reply for request id {id} is neither served nor rejected"
-                        )))
-                    }
-                };
-                out.push((id, tier, outcome));
+    let total: usize = per_conn.iter().map(|jobs| jobs.len()).sum();
+    let mut out: Vec<(u64, SloTier, Outcome)> = Vec::with_capacity(total);
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut events = vec![EpollEvent::zeroed(); 256];
+    while out.len() < total {
+        let n = epoll
+            .wait(&mut events, -1)
+            .map_err(|e| CliError::new(format!("waiting for server replies: {e}")))?;
+        for ev in events.iter().take(n) {
+            let idx = ev.token() as usize;
+            let ready = ev.ready();
+            let Some(conn) = conns.get_mut(idx) else {
+                continue;
+            };
+            if conn.done {
+                continue;
             }
-            Ok(())
-        })();
-        if read_result.is_err() {
-            abort.store(true, Ordering::SeqCst);
-            slot_freed.notify_all();
+            if ready & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0 {
+                let mut frames = Vec::new();
+                let end = read_ready(&mut conn.stream, &mut conn.asm, &mut scratch, &mut frames);
+                for payload in &frames {
+                    out.push(match_reply(conn, payload)?);
+                }
+                // Freed window slots refill immediately.
+                top_up(conn, images, pixels_per_sample, window)?;
+                match end {
+                    ReadEnd::WouldBlock => {}
+                    ReadEnd::CleanEof | ReadEnd::Dropped => {
+                        let outstanding =
+                            conn.pending.len() + conn.jobs.len().saturating_sub(conn.next);
+                        if outstanding > 0 {
+                            return Err(CliError::new(format!(
+                                "server closed the connection with {outstanding} replies \
+                                 outstanding"
+                            )));
+                        }
+                        let _ = epoll.delete(conn.stream.as_raw_fd());
+                        conn.done = true;
+                        continue;
+                    }
+                    ReadEnd::Oversized(e) => {
+                        return Err(CliError::new(format!("reading a reply: {e}")))
+                    }
+                }
+            }
+            // EPOLLOUT needs no separate arm: sync_conn flushes either way.
+            sync_conn(&epoll, idx, conn)?;
         }
-        let write_result = writer
-            .join()
-            .map_err(|_| CliError::new("a loadgen writer thread panicked"))?;
-        read_result.and(write_result)?;
-        Ok(out)
-    })
+    }
+    Ok(out)
 }
 
 /// Runs the load against `addr` and aggregates the results. The server
@@ -399,22 +499,7 @@ pub fn run_load(cfg: &RunConfig, addr: &str, model: &str, n_units: usize) -> Res
 
     let wall = Instant::now();
     let images = test.images().data();
-    let mut outcomes: Vec<(u64, SloTier, Outcome)> = Vec::with_capacity(lg.requests);
-    std::thread::scope(|scope| -> Result<()> {
-        let mut handles = Vec::new();
-        for conn_jobs in &per_conn {
-            handles.push(
-                scope.spawn(move || run_client(addr, conn_jobs, images, pixels_per_sample, window)),
-            );
-        }
-        for h in handles {
-            let batch = h
-                .join()
-                .map_err(|_| CliError::new("a loadgen client thread panicked"))??;
-            outcomes.extend(batch);
-        }
-        Ok(())
-    })?;
+    let mut outcomes = run_mux(addr, &per_conn, images, pixels_per_sample, window)?;
     let wall_secs = wall.elapsed().as_secs_f64().max(1e-9);
     outcomes.sort_by_key(|(seq, _, _)| *seq);
 
@@ -505,6 +590,7 @@ pub fn run_load(cfg: &RunConfig, addr: &str, model: &str, n_units: usize) -> Res
         rps: (ok + rejected) as f64 / wall_secs,
         tiers,
         host_cores: nf_tensor::host_cores(),
+        accept_exhausted: 0,
     })
 }
 
@@ -524,10 +610,12 @@ pub fn run_loadgen_inprocess(cfg: &RunConfig, quiet: bool) -> Result<LoadgenRepo
     let report = run_load(cfg, &addr, &model, n_units);
     let stats = handle.replica_stats();
     let replicas = handle.replicas;
+    let accept_exhausted = handle.accept_exhausted();
     handle.stop();
     report.map(|mut r| {
         r.replicas = replicas;
         r.busy_frac = stats.iter().map(|s| s.busy_frac).collect();
+        r.accept_exhausted = accept_exhausted;
         r
     })
 }
@@ -553,10 +641,12 @@ pub fn run_loadgen_with_engine(
     let report = run_load(cfg, &addr, &model, n_units);
     let stats = handle.replica_stats();
     let replicas = handle.replicas;
+    let accept_exhausted = handle.accept_exhausted();
     handle.stop();
     report.map(|mut r| {
         r.replicas = replicas;
         r.busy_frac = stats.iter().map(|s| s.busy_frac).collect();
+        r.accept_exhausted = accept_exhausted;
         r
     })
 }

@@ -16,7 +16,8 @@ USAGE:
     nf federated <config.toml> [--force] [--quiet]
     nf sweep <config.toml> [--quiet]
     nf serve <config.toml> [--quiet]
-    nf loadgen <config.toml> [--addr=HOST:PORT] [--out=PATH] [--quiet]
+    nf loadgen <config.toml> [--addr=HOST:PORT] [--out=PATH]
+               [--connections=N] [--quiet]
     nf inspect <run-dir>
     nf lint [--root=DIR] [--format=human|json]
     nf help
@@ -26,7 +27,10 @@ inference over a length-prefixed TCP protocol (see [serve] in the
 config: SLO deadlines, batch window, queue capacity). loadgen drives a
 server with a deterministic, seeded request schedule and writes a
 BENCH_serve.json latency/exit-histogram artifact; without --addr it
-hosts the server itself on an ephemeral port.
+hosts the server itself on an ephemeral port. --connections overrides
+[loadgen].connections, keeping the config's per-connection pipelining
+window (one epoll mux thread drives every connection, so high fan-in
+costs sockets, not threads).
 
 lint runs the nf-lint workspace invariant checker (hot-path
 allocations, panic-freedom, unsafe confinement, clock discipline,
@@ -57,6 +61,7 @@ fn dispatch(args: &[String]) -> nf_cli::Result<()> {
     let mut out = None;
     let mut root = None;
     let mut format = None;
+    let mut connections = None;
     for arg in args {
         match arg.as_str() {
             "--resume" => resume = true,
@@ -64,6 +69,9 @@ fn dispatch(args: &[String]) -> nf_cli::Result<()> {
             "--quiet" | "-q" => quiet = true,
             a if a.starts_with("--addr=") => addr = Some(a["--addr=".len()..].to_string()),
             a if a.starts_with("--out=") => out = Some(a["--out=".len()..].to_string()),
+            a if a.starts_with("--connections=") => {
+                connections = Some(a["--connections=".len()..].to_string())
+            }
             a if a.starts_with("--root=") => root = Some(a["--root=".len()..].to_string()),
             a if a.starts_with("--format=") => format = Some(a["--format=".len()..].to_string()),
             "--help" | "-h" | "help" => {
@@ -163,7 +171,27 @@ fn dispatch(args: &[String]) -> nf_cli::Result<()> {
             let config_path = positional.get(1).ok_or_else(|| {
                 nf_cli::CliError::new("usage: nf loadgen <config.toml> [--addr=HOST:PORT]")
             })?;
-            let cfg = RunConfig::load(Path::new(config_path))?;
+            let mut cfg = RunConfig::load(Path::new(config_path))?;
+            if let Some(n) = &connections {
+                let n: usize = n.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                    nf_cli::CliError::new("--connections must be a positive integer")
+                })?;
+                let mut lg = cfg.loadgen.clone().unwrap_or_default();
+                // Preserve the config's per-connection pipelining window so
+                // the override scales fan-in, not queueing behavior.
+                let window = if lg.inflight == 0 {
+                    1
+                } else {
+                    (lg.inflight / lg.connections.max(1)).max(1)
+                };
+                lg.connections = n;
+                lg.inflight = if window == 1 {
+                    0
+                } else {
+                    window.saturating_mul(n)
+                };
+                cfg.loadgen = Some(lg);
+            }
             let opts = LoadgenOptions {
                 addr,
                 out: out.map(std::path::PathBuf::from),

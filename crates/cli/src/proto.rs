@@ -470,6 +470,22 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtoError>
     Ok(())
 }
 
+/// Builds one frame's wire bytes (length prefix + payload) in a single
+/// buffer — what the nonblocking reactor/mux write queues enqueue, since
+/// they can't use [`write_frame`]'s blocking multi-write sequence without
+/// risking a partial-header `WouldBlock`. Same [`MAX_PAYLOAD`] refusal.
+pub fn frame_bytes(payload: &[u8]) -> Result<Vec<u8>, ProtoError> {
+    if payload.len() > MAX_PAYLOAD {
+        return Err(ProtoError::Oversized {
+            len: payload.len() as u64,
+        });
+    }
+    let mut wire = Vec::with_capacity(4 + payload.len());
+    wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    wire.extend_from_slice(payload);
+    Ok(wire)
+}
+
 /// Reads one frame from a blocking reader. `Ok(None)` means the peer
 /// closed cleanly at a frame boundary; ending mid-frame is
 /// [`ProtoError::Truncated`], an oversized declared length is rejected
@@ -706,6 +722,13 @@ mod tests {
         let payload = encode_request(&Request::Ping { id: 5 });
         let mut wire = Vec::new();
         write_frame(&mut wire, &payload).unwrap();
+        // The one-buffer form the nonblocking write queues use is
+        // byte-identical to the blocking writer.
+        assert_eq!(frame_bytes(&payload).unwrap(), wire);
+        assert!(matches!(
+            frame_bytes(&vec![0u8; MAX_PAYLOAD + 1]).unwrap_err(),
+            ProtoError::Oversized { .. }
+        ));
         let mut reader = wire.as_slice();
         assert_eq!(read_frame(&mut reader).unwrap(), Some(payload));
         assert_eq!(read_frame(&mut reader).unwrap(), None); // clean EOF

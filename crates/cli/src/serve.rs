@@ -3,45 +3,57 @@
 //! Architecture (all std, no async runtime — vendored deps only):
 //!
 //! ```text
-//! accept loop ──spawns──▶ reader threads ──submit──▶ bounded queue
-//!   (blocking accept)      (frame parse,              (MicroBatcher,
-//!                           admission)                 one shared lock)
-//!                                │                        │ draw
-//!            per-connection outbox + writer thread   replica 0..N-1
-//!              (condvar-drained response queue) ◀──  (model clone each:
-//!                                                     micro-batch → capped
-//!                                                     cascade → replies)
+//!                    ┌─────────────── reactor thread ───────────────┐
+//! clients ══socket══▶│ epoll { listener, eventfd, every connection }│
+//!                    │  accept → nonblock → register                │
+//!                    │  read → frame reassembly → admission ──submit┼──▶ bounded queue
+//!                    │  completions → per-conn outbox → write       │    (MicroBatcher,
+//!                    └──────────────▲───────────────────────────────┘     one shared lock)
+//!                                   │ eventfd wake        ▲ │ draw
+//!                                   └───── completions ───┘ replica 0..N-1
+//!                                          (reply queue)    (model clone each:
+//!                                                            micro-batch → capped
+//!                                                            cascade → replies)
 //! ```
 //!
-//! - The **accept loop** blocks in `accept()`; shutdown unblocks it with
-//!   a loopback self-connect, so an idle server burns no CPU polling.
-//!   After the replicas drain, it shuts down the read half of every live
-//!   connection to unblock readers parked in blocking reads.
-//! - One **reader thread** per connection parses length-prefixed frames
-//!   and performs admission control inline: full queue → immediate
-//!   `queue-full` rejection; wrong pixel count → `bad-input`; malformed
-//!   frame → a typed error reply, then the connection closes. A broken
-//!   connection never touches the accept loop or other clients.
-//! - Responses go through a per-connection **outbox** (a condvar-drained
-//!   queue flushed by a dedicated writer thread), so replicas never block
-//!   on a slow client's socket and pipelined clients can have many
-//!   requests in flight per connection. A client that disconnected
-//!   mid-request costs exactly its own replies.
+//! - **One reactor thread** owns every socket: the listener, the eventfd
+//!   wake channel, and all client connections, multiplexed through a
+//!   single level-triggered epoll instance (`crate::net`). Thread count
+//!   is *connection-independent* — reactor + N replicas + main, whether
+//!   1 or 10 000 clients are connected.
+//! - Accepted sockets are made nonblocking; reads feed a per-connection
+//!   frame-reassembly state machine (`net::reactor::FrameAssembler`)
+//!   that tolerates arbitrary `read(2)` chunk boundaries. Admission runs
+//!   inline in the reactor: full queue → `queue-full`, wrong pixel count
+//!   → `bad-input`, malformed frame → a typed error reply and the
+//!   connection closes. A broken connection never touches other clients.
+//! - Replies travel from replicas to the reactor through a completion
+//!   queue plus an **eventfd wake**; the reactor copies them into
+//!   bounded per-connection outboxes (`net::reactor::WriteQueue`) and
+//!   toggles `EPOLLOUT` only while bytes remain. A peer that stops
+//!   reading past the outbox cap is disconnected (backpressure), so no
+//!   replica ever blocks on a slow client's socket.
+//! - `accept(2)` hitting fd exhaustion (`EMFILE`/`ENFILE`) backs off:
+//!   the listener is deregistered for a beat and re-armed, the typed
+//!   `accept-exhausted` counter increments, and every live connection
+//!   keeps being served — exhaustion degrades accept rate, never the
+//!   server.
 //! - **N replicas** (`[serve] replicas`, 0 = one per core) each own a
 //!   bit-identical model clone (`params_io` snapshot/load) plus private
-//!   workspace arenas, and draw from the one shared queue under its lock.
-//!   Batch formation stays a pure function of (queue, clock), and the
-//!   ascending-k GEMM invariant makes results batch-size independent, so
-//!   served predictions are bit-identical to offline single-sample
-//!   inference at any replica count.
+//!   workspace arenas, and draw from the one shared queue under its
+//!   lock. Batch formation stays a pure function of (queue, clock), and
+//!   the ascending-k GEMM invariant makes results batch-size
+//!   independent, so served predictions are bit-identical to offline
+//!   single-sample inference at any replica *or connection* count.
 //! - The wake policy is tier-aware: a replica runs a partial batch once
 //!   the oldest queued request's *tier window* closes (fast = ¼ of
 //!   `batch_window_us`, balanced = ½, exact = full), so a lone `fast`
 //!   request is never stuck behind a full `exact` batch window.
-//! - Shutdown drains deadline-aware across all replicas: queued requests
-//!   still within their deadline are served, lapsed ones are rejected
-//!   (`deadline`), new arrivals are rejected (`shutting-down`) — nothing
-//!   is silently dropped.
+//! - Shutdown is an eventfd wake, not a socket trick: the flag flips,
+//!   the reactor stops accepting, replicas drain deadline-aware (within
+//!   deadline → served, lapsed → `deadline`, new → `shutting-down`),
+//!   then the reactor flushes every outbox (bounded by a drain deadline)
+//!   and closes all connections. Nothing is silently dropped.
 //!
 //! The model is trained in-process from the config at startup (seeded by
 //! `[run].seed`), so a given config always serves the identical model —
@@ -49,16 +61,32 @@
 
 use crate::config::RunConfig;
 use crate::error::{CliError, Result};
+use crate::net::reactor::{
+    FrameAssembler, ReadEnd, WriteQueue, READ_CHUNK, TOKEN_LISTENER, TOKEN_WAKE,
+};
+use crate::net::sys::{self, Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 use crate::proto::{self, RejectReason, Request, Response};
-use neuroflux_core::serve::{Clock, MicroBatcher, SystemClock};
+use neuroflux_core::serve::{reactor_timeout_ms, Clock, MicroBatcher, SystemClock};
 use neuroflux_core::{BatchPlan, NeuroFluxTrainer, ServeEngine, ServePolicy, ServeRequest};
 use rand::SeedableRng;
-use std::collections::{HashMap, VecDeque};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Backoff before re-arming accept after `EMFILE`/`ENFILE` (µs). Long
+/// enough for the operator (or a disconnect) to return fds, short enough
+/// that recovery is prompt.
+const ACCEPT_BACKOFF_US: u64 = 50_000;
+
+/// After the replicas finish draining, how long the reactor keeps
+/// flushing outboxes to slow readers before closing them anyway (µs) —
+/// a wedged client must not wedge `stop()`.
+const DRAIN_FLUSH_US: u64 = 2_000_000;
 
 /// Trains the serving model in-process from `cfg` (seeded by
 /// `[run].seed`) and wraps it in a [`ServeEngine`] with the configured
@@ -152,88 +180,11 @@ pub fn build_engines(cfg: &RunConfig, quiet: bool) -> Result<Vec<ServeEngine>> {
     replicate_engines(cfg, primary, n)
 }
 
-/// Pending responses for one connection, drained by its writer thread.
-struct OutboxState {
-    pending: VecDeque<Response>,
-    closed: bool,
-}
-
-/// A per-connection response queue: readers and replicas push, one writer
-/// thread blocks on the condvar and flushes — no sleep polling, and no
-/// replica ever blocks on a client's socket.
-struct Outbox {
-    state: Mutex<OutboxState>,
-    cv: Condvar,
-}
-
-impl Outbox {
-    fn new() -> Self {
-        Outbox {
-            state: Mutex::new(OutboxState {
-                pending: VecDeque::new(),
-                closed: false,
-            }),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Queues a response for delivery; a no-op once the connection closed.
-    fn push(&self, resp: Response) {
-        if let Ok(mut st) = self.state.lock() {
-            if st.closed {
-                return;
-            }
-            st.pending.push_back(resp);
-            self.cv.notify_one();
-        }
-    }
-
-    /// Marks the connection closed; the writer flushes what's pending and
-    /// exits, later pushes are dropped.
-    fn close(&self) {
-        if let Ok(mut st) = self.state.lock() {
-            st.closed = true;
-            self.cv.notify_all();
-        }
-    }
-}
-
-/// The writer half of one connection: waits on the outbox condvar,
-/// flushes responses in push order, exits once the outbox is closed and
-/// empty (or the peer is gone).
-fn writer_loop(mut stream: TcpStream, outbox: Arc<Outbox>) {
-    loop {
-        let batch = {
-            let mut st = match outbox.state.lock() {
-                Ok(st) => st,
-                Err(_) => return,
-            };
-            while st.pending.is_empty() && !st.closed {
-                st = match outbox.cv.wait(st) {
-                    Ok(st) => st,
-                    Err(_) => return,
-                };
-            }
-            if st.pending.is_empty() {
-                return; // closed and fully flushed
-            }
-            std::mem::take(&mut st.pending)
-        };
-        for resp in batch {
-            let payload = proto::encode_response(&resp);
-            if proto::write_frame(&mut stream, &payload).is_err() {
-                outbox.close(); // peer gone: drop the rest, stop accepting
-                return;
-            }
-        }
-    }
-}
-
-/// A response route: which connection's outbox a served request goes
-/// back through, under which client-chosen id.
+/// A response route: which connection a served request's reply returns
+/// to, under which client-chosen id.
 struct Route {
+    conn_id: u64,
     client_id: u64,
-    outbox: Arc<Outbox>,
 }
 
 /// Per-replica work counters (lock-free; read by `replica_stats`).
@@ -256,27 +207,31 @@ pub struct ReplicaSnapshot {
     pub served: u64,
 }
 
-/// State shared between the accept loop, reader threads, and replicas.
+/// State shared between the reactor thread and the replicas.
 struct Shared {
     queue: Mutex<MicroBatcher>,
     queue_cv: Condvar,
     routes: Mutex<HashMap<u64, Route>>,
-    /// Read-half handles of live connections, keyed by connection id —
-    /// shutdown unblocks their readers via `Shutdown::Read`.
-    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Replies routed but not yet copied into connection outboxes;
+    /// replicas push here, then wake the reactor through the eventfd.
+    completions: Mutex<Vec<(u64, Response)>>,
+    /// The reactor's wake channel: replicas (new replies), shutdown, and
+    /// drain completion all signal through it — no self-connects, no
+    /// socket shutdown tricks.
+    wake: EventFd,
     shutdown: AtomicBool,
     next_id: AtomicU64,
-    next_conn_id: AtomicU64,
     policy: ServePolicy,
     input_len: usize,
     clock: SystemClock,
     allow_shutdown: bool,
-    /// The bound address, for the shutdown self-connect.
-    bound: SocketAddr,
     replicas: usize,
     stats: Vec<ReplicaStats>,
-    /// Replicas that finished their drain; the accept thread waits on
-    /// this before killing reader sockets, so drain replies still route.
+    /// `accept(2)` stalls on fd exhaustion (`EMFILE`/`ENFILE`); each one
+    /// backed off and re-armed rather than killing the accept path.
+    accept_exhausted: AtomicU64,
+    /// Replicas that finished their drain; the reactor outlives them and
+    /// flushes their final replies before closing connections.
     replicas_done: Mutex<usize>,
     replicas_done_cv: Condvar,
 }
@@ -287,25 +242,16 @@ impl Shared {
     }
 
     /// Flips the shutdown flag and unblocks everything that sleeps: the
-    /// replicas (condvar), and the accept loop (loopback self-connect).
-    /// Idempotent.
+    /// replicas (condvar) and the reactor (eventfd wake). Idempotent.
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue_cv.notify_all();
-        let target = match self.bound {
-            SocketAddr::V4(a) if a.ip().is_unspecified() => {
-                SocketAddr::from(([127, 0, 0, 1], a.port()))
-            }
-            SocketAddr::V6(a) if a.ip().is_unspecified() => SocketAddr::new(
-                std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-                a.port(),
-            ),
-            a => a,
-        };
-        let _ = TcpStream::connect_timeout(&target, Duration::from_millis(250));
+        let _ = self.wake.wake();
     }
 
     /// Routes a response for an admitted request and retires its route.
+    /// The reply lands in the completion queue; the caller wakes the
+    /// reactor (batched per micro-batch, not per reply).
     fn respond(&self, internal_id: u64, make: impl FnOnce(u64) -> Response) {
         let route = self
             .routes
@@ -313,7 +259,9 @@ impl Shared {
             .ok()
             .and_then(|mut r| r.remove(&internal_id));
         if let Some(route) = route {
-            route.outbox.push(make(route.client_id));
+            if let Ok(mut completions) = self.completions.lock() {
+                completions.push((route.conn_id, make(route.client_id)));
+            }
         }
     }
 }
@@ -347,8 +295,15 @@ impl ServerHandle {
             .collect()
     }
 
-    /// Signals shutdown and joins the accept and replica threads (the
-    /// replicas finish their deadline-aware drain first).
+    /// How many times `accept(2)` hit fd exhaustion (`EMFILE`/`ENFILE`)
+    /// and the reactor backed off instead of dying.
+    pub fn accept_exhausted(&self) -> u64 {
+        self.shared.accept_exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Signals shutdown and joins the reactor and replica threads (the
+    /// replicas finish their deadline-aware drain first; the reactor
+    /// then flushes outstanding replies and closes every connection).
     pub fn stop(mut self) {
         self.shared.begin_shutdown();
         for t in self.threads.drain(..) {
@@ -368,7 +323,7 @@ impl ServerHandle {
 
 /// Starts a server around an already-built replica set (all bit-identical
 /// clones of one trained engine; `replicate_engines` makes these). Binds
-/// `addr` (port 0 → ephemeral), spawns the accept loop and one replica
+/// `addr` (port 0 → ephemeral), spawns the reactor thread and one replica
 /// thread per engine, and returns immediately.
 pub fn start_server_with_engines(
     engines: Vec<ServeEngine>,
@@ -398,31 +353,59 @@ pub fn start_server_with_engines(
     let bound = listener
         .local_addr()
         .map_err(|e| CliError::new(format!("reading bound address: {e}")))?;
+    sys::set_nonblocking(listener.as_raw_fd())
+        .map_err(|e| CliError::new(format!("making the listener nonblocking: {e}")))?;
+    // std's listen backlog is 128; a thousand-connection fan-in arriving
+    // faster than one reactor pass overflows it, and every dropped SYN
+    // stalls that client for a ~1 s retransmission timeout. Re-arm the
+    // socket with a backlog sized for the fan-in contract (the kernel
+    // clamps to net.core.somaxconn).
+    sys::set_listen_backlog(listener.as_raw_fd(), 4096)
+        .map_err(|e| CliError::new(format!("raising the listen backlog: {e}")))?;
+    let wake =
+        EventFd::new().map_err(|e| CliError::new(format!("creating the wake eventfd: {e}")))?;
+    let epoll =
+        Epoll::new().map_err(|e| CliError::new(format!("creating the epoll instance: {e}")))?;
+    epoll
+        .add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)
+        .map_err(|e| CliError::new(format!("registering the listener with epoll: {e}")))?;
+    epoll
+        .add(wake.fd(), EPOLLIN, TOKEN_WAKE)
+        .map_err(|e| CliError::new(format!("registering the wake eventfd with epoll: {e}")))?;
 
     let replicas = engines.len();
     let shared = Arc::new(Shared {
         queue: Mutex::new(MicroBatcher::new(policy.queue_capacity)),
         queue_cv: Condvar::new(),
         routes: Mutex::new(HashMap::new()),
-        conns: Mutex::new(HashMap::new()),
+        completions: Mutex::new(Vec::new()),
+        wake,
         shutdown: AtomicBool::new(false),
         next_id: AtomicU64::new(0),
-        next_conn_id: AtomicU64::new(0),
         policy: policy.clone(),
         input_len,
         clock: SystemClock::new(),
         allow_shutdown,
-        bound,
         replicas,
         stats: (0..replicas).map(|_| ReplicaStats::default()).collect(),
+        accept_exhausted: AtomicU64::new(0),
         replicas_done: Mutex::new(0),
         replicas_done_cv: Condvar::new(),
     });
 
-    let accept_shared = shared.clone();
-    let mut threads = vec![std::thread::spawn(move || {
-        accept_loop(listener, accept_shared);
-    })];
+    let reactor = Reactor {
+        epoll,
+        listener,
+        shared: shared.clone(),
+        conns: HashMap::new(),
+        next_conn_id: 0,
+        scratch: vec![0u8; READ_CHUNK],
+        outbox_limit: policy.outbox_kib.saturating_mul(1024).max(1),
+        accepting: true,
+        accept_resume_us: None,
+        drain_deadline_us: None,
+    };
+    let mut threads = vec![std::thread::spawn(move || reactor.run())];
     for (idx, mut engine) in engines.drain(..).enumerate() {
         let replica_shared = shared.clone();
         threads.push(std::thread::spawn(move || {
@@ -490,128 +473,291 @@ pub fn run_serve(cfg: &RunConfig, quiet: bool) -> Result<()> {
     Ok(())
 }
 
-/// Blocks in `accept()` until shutdown; every accepted socket gets its
-/// own detached reader thread. After shutdown it turns coordinator:
-/// waits for every replica to finish draining (so queued replies still
-/// route), then unblocks readers parked in blocking reads by shutting
-/// down the read half of each live connection.
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if shared.shutting_down() {
-                    // The shutdown self-connect (or a late client).
-                    drop(stream);
-                    break;
-                }
-                let conn_shared = shared.clone();
-                std::thread::spawn(move || handle_connection(stream, conn_shared));
-            }
-            // A single failed accept (e.g. a peer that vanished between
-            // SYN and accept) must not take the loop down; the pause only
-            // rate-limits a persistently failing accept, never idle.
-            Err(_) => {
-                if shared.shutting_down() {
-                    break;
-                }
-                std::thread::sleep(Duration::from_millis(2));
-            }
+/// One connection as the reactor tracks it.
+struct Conn {
+    stream: TcpStream,
+    asm: FrameAssembler,
+    outq: WriteQueue,
+    /// The interest bits currently registered with epoll.
+    interest: u32,
+    /// Reading is over (protocol error replied, peer EOF, or shutdown);
+    /// flush the outbox, then close.
+    close_after_flush: bool,
+}
+
+impl Conn {
+    /// The interest bits this connection's state wants.
+    fn want(&self) -> u32 {
+        let mut bits = 0;
+        if !self.close_after_flush {
+            bits |= EPOLLIN;
         }
-    }
-    drop(listener);
-    let done = match shared.replicas_done.lock() {
-        Ok(d) => d,
-        Err(_) => return,
-    };
-    let _done = shared
-        .replicas_done_cv
-        .wait_while(done, |d| *d < shared.replicas);
-    if let Ok(conns) = shared.conns.lock() {
-        for stream in conns.values() {
-            let _ = stream.shutdown(Shutdown::Read);
+        if !self.outq.is_empty() {
+            bits |= EPOLLOUT;
         }
+        bits
     }
 }
 
-/// One connection's read loop: parse, admit, route. Any protocol error
-/// is answered with a typed error frame and closes only this connection.
-/// Responses flow through the outbox so pipelined requests can be in
-/// flight while this thread is already parsing the next frame.
-fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
-    let _ = stream.set_nodelay(true);
-    let writer_stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
-    if let (Ok(mut conns), Ok(clone)) = (shared.conns.lock(), stream.try_clone()) {
-        conns.insert(conn_id, clone);
-    }
-    let outbox = Arc::new(Outbox::new());
-    let writer_outbox = outbox.clone();
-    let writer = std::thread::spawn(move || writer_loop(writer_stream, writer_outbox));
+/// `EMFILE` (per-process) / `ENFILE` (system-wide) fd exhaustion.
+fn is_fd_exhaustion(e: &io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(23) | Some(24))
+}
 
-    let mut reader = stream;
-    loop {
-        let payload = match proto::read_frame(&mut reader) {
-            Ok(Some(p)) => p,
-            Ok(None) => break,
-            Err(e) => {
-                outbox.push(Response::Error {
-                    message: e.to_string(),
-                });
+/// The single I/O thread: owns the listener, the wake eventfd, and every
+/// client socket through one epoll instance.
+struct Reactor {
+    epoll: Epoll,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conns: HashMap<u64, Conn>,
+    next_conn_id: u64,
+    scratch: Vec<u8>,
+    /// Per-connection outbox cap in bytes (backpressure; from
+    /// `[serve] outbox_kib`).
+    outbox_limit: usize,
+    /// Whether the listener is currently registered with epoll.
+    accepting: bool,
+    /// When to re-arm the listener after an fd-exhaustion backoff.
+    accept_resume_us: Option<u64>,
+    /// Shutdown flush deadline, set once the replicas finish draining.
+    drain_deadline_us: Option<u64>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = vec![EpollEvent::zeroed(); 256];
+        loop {
+            let timeout = self.timeout_ms();
+            let n = match self.epoll.wait(&mut events, timeout) {
+                Ok(n) => n,
+                // A failing epoll fd is unrecoverable; drop everything
+                // rather than spin.
+                Err(_) => break,
+            };
+            for ev in events.iter().take(n) {
+                match ev.token() {
+                    TOKEN_WAKE => self.shared.wake.drain(),
+                    TOKEN_LISTENER => self.accept_ready(),
+                    conn_id => self.conn_event(conn_id, ev.ready()),
+                }
+            }
+            self.deliver_completions();
+            self.maybe_resume_accept();
+            if self.shutdown_step() {
                 break;
+            }
+        }
+    }
+
+    /// Epoll timeout: block forever unless an accept backoff or the
+    /// shutdown flush deadline needs a timed wake.
+    fn timeout_ms(&self) -> i32 {
+        let deadline = match (self.accept_resume_us, self.drain_deadline_us) {
+            (Some(a), Some(d)) => Some(a.min(d)),
+            (a, d) => a.or(d),
+        };
+        reactor_timeout_ms(self.shared.clock.now_us(), deadline)
+    }
+
+    /// Accepts until the listener would block. Fd exhaustion backs off
+    /// (deregister + timed re-arm) and counts; transient per-connection
+    /// failures are skipped.
+    fn accept_ready(&mut self) {
+        if !self.accepting {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.shared.shutting_down() {
+                        drop(stream);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if sys::set_nonblocking(stream.as_raw_fd()).is_err() {
+                        continue;
+                    }
+                    let conn_id = self.next_conn_id;
+                    self.next_conn_id += 1;
+                    if self
+                        .epoll
+                        .add(stream.as_raw_fd(), EPOLLIN, conn_id)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(
+                        conn_id,
+                        Conn {
+                            stream,
+                            asm: FrameAssembler::new(),
+                            outq: WriteQueue::new(),
+                            interest: EPOLLIN,
+                            close_after_flush: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if is_fd_exhaustion(&e) => {
+                    self.shared.accept_exhausted.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.epoll.delete(self.listener.as_raw_fd());
+                    self.accepting = false;
+                    self.accept_resume_us =
+                        Some(self.shared.clock.now_us().saturating_add(ACCEPT_BACKOFF_US));
+                    break;
+                }
+                // A peer that vanished between SYN and accept
+                // (ECONNABORTED…) must not take the loop down; level
+                // triggering re-reports any still-pending connection.
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Re-arms the listener once an fd-exhaustion backoff lapses.
+    fn maybe_resume_accept(&mut self) {
+        let Some(resume_at) = self.accept_resume_us else {
+            return;
+        };
+        if self.shared.shutting_down() {
+            self.accept_resume_us = None;
+            return;
+        }
+        if self.shared.clock.now_us() < resume_at {
+            return;
+        }
+        if self
+            .epoll
+            .add(self.listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)
+            .is_ok()
+        {
+            self.accepting = true;
+            self.accept_resume_us = None;
+        } else {
+            // Still exhausted (epoll_ctl needs an fd table slot too in
+            // the worst case); try again after another backoff.
+            self.accept_resume_us =
+                Some(self.shared.clock.now_us().saturating_add(ACCEPT_BACKOFF_US));
+        }
+    }
+
+    /// Dispatches one epoll event for a connection.
+    fn conn_event(&mut self, conn_id: u64, ready: u32) {
+        if ready & (EPOLLERR | EPOLLHUP) != 0 {
+            self.kill(conn_id);
+            return;
+        }
+        if ready & EPOLLOUT != 0 {
+            let flushed = match self.conns.get_mut(&conn_id) {
+                None => return,
+                Some(conn) => conn.outq.flush(&mut conn.stream),
+            };
+            if flushed.is_err() {
+                self.kill(conn_id);
+                return;
+            }
+        }
+        if ready & EPOLLIN != 0 {
+            self.conn_readable(conn_id);
+        }
+        self.sync_interest(conn_id);
+    }
+
+    /// Reads everything the socket has, reassembles frames, and handles
+    /// each complete request.
+    fn conn_readable(&mut self, conn_id: u64) {
+        let mut frames = Vec::new();
+        let end = match self.conns.get_mut(&conn_id) {
+            None => return,
+            Some(conn) => {
+                if conn.close_after_flush {
+                    return;
+                }
+                crate::net::reactor::read_ready(
+                    &mut conn.stream,
+                    &mut conn.asm,
+                    &mut self.scratch,
+                    &mut frames,
+                )
             }
         };
-        match proto::decode_request(&payload) {
-            Err(e) => {
-                outbox.push(Response::Error {
-                    message: e.to_string(),
-                });
+        for payload in &frames {
+            if !self.handle_frame(conn_id, payload) {
                 break;
             }
-            Ok(Request::Ping { id }) => outbox.push(Response::Pong { id }),
+        }
+        match end {
+            ReadEnd::WouldBlock => {}
+            // Peer closed (cleanly or mid-frame): flush whatever replies
+            // are still queued for it, then close. Replies already in
+            // flight for a vanished peer cost exactly their own bytes.
+            ReadEnd::CleanEof | ReadEnd::Dropped => match self.conns.get_mut(&conn_id) {
+                Some(conn) if !conn.outq.is_empty() => conn.close_after_flush = true,
+                Some(_) => self.kill(conn_id),
+                None => {}
+            },
+            ReadEnd::Oversized(e) => self.push_error(conn_id, e.to_string()),
+        }
+    }
+
+    /// Handles one complete request frame. Returns `false` when the
+    /// connection should stop processing further frames (protocol error
+    /// or shutdown frame).
+    fn handle_frame(&mut self, conn_id: u64, payload: &[u8]) -> bool {
+        match proto::decode_request(payload) {
+            Err(e) => {
+                self.push_error(conn_id, e.to_string());
+                false
+            }
+            Ok(Request::Ping { id }) => self.push_response(conn_id, &Response::Pong { id }),
             Ok(Request::Shutdown) => {
-                if shared.allow_shutdown {
-                    outbox.push(Response::ShutdownAck);
-                    shared.begin_shutdown();
+                if self.shared.allow_shutdown {
+                    self.push_response(conn_id, &Response::ShutdownAck);
+                    self.shared.begin_shutdown();
                 } else {
-                    outbox.push(Response::Error {
-                        message: "shutdown frames are disabled on this server".into(),
-                    });
+                    self.push_error(
+                        conn_id,
+                        "shutdown frames are disabled on this server".to_string(),
+                    );
                 }
-                break;
+                false
             }
             Ok(Request::Infer { id, tier, pixels }) => {
-                if pixels.len() != shared.input_len {
-                    outbox.push(Response::Rejected {
-                        id,
-                        reason: RejectReason::BadInput,
-                    });
-                    continue;
+                if pixels.len() != self.shared.input_len {
+                    return self.push_response(
+                        conn_id,
+                        &Response::Rejected {
+                            id,
+                            reason: RejectReason::BadInput,
+                        },
+                    );
                 }
-                if shared.shutting_down() {
-                    outbox.push(Response::Rejected {
-                        id,
-                        reason: RejectReason::ShuttingDown,
-                    });
-                    continue;
+                if self.shared.shutting_down() {
+                    return self.push_response(
+                        conn_id,
+                        &Response::Rejected {
+                            id,
+                            reason: RejectReason::ShuttingDown,
+                        },
+                    );
                 }
-                let internal = shared.next_id.fetch_add(1, Ordering::SeqCst);
-                let now = shared.clock.now_us();
+                let internal = self.shared.next_id.fetch_add(1, Ordering::SeqCst);
+                let now = self.shared.clock.now_us();
                 let req = ServeRequest {
                     id: internal,
                     tier,
                     pixels,
                     arrival_us: now,
-                    deadline_us: now.saturating_add(shared.policy.deadline_us(tier)),
+                    deadline_us: now.saturating_add(self.shared.policy.deadline_us(tier)),
                 };
-                if let Ok(mut routes) = shared.routes.lock() {
+                if let Ok(mut routes) = self.shared.routes.lock() {
                     routes.insert(
                         internal,
                         Route {
+                            conn_id,
                             client_id: id,
-                            outbox: outbox.clone(),
                         },
                     );
                 }
@@ -621,11 +767,12 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 // request can never land in the queue after the final
                 // drain (which would leak its route and leave the client
                 // replyless).
-                let admitted = shared
+                let admitted = self
+                    .shared
                     .queue
                     .lock()
                     .map(|mut q| {
-                        if shared.shutting_down() {
+                        if self.shared.shutting_down() {
                             Some(RejectReason::ShuttingDown)
                         } else if q.submit(req).is_err() {
                             Some(RejectReason::QueueFull)
@@ -635,21 +782,181 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                     })
                     .unwrap_or(None);
                 match admitted {
-                    None => shared.queue_cv.notify_one(),
+                    None => {
+                        self.shared.queue_cv.notify_one();
+                        true
+                    }
                     Some(reason) => {
-                        shared.respond(internal, |client_id| Response::Rejected {
-                            id: client_id,
-                            reason,
-                        });
+                        // The reactor rejects synchronously: retire the
+                        // route and reply straight into the outbox, no
+                        // completion-queue round trip.
+                        let route = self
+                            .shared
+                            .routes
+                            .lock()
+                            .ok()
+                            .and_then(|mut r| r.remove(&internal));
+                        match route {
+                            Some(r) => self.push_response(
+                                conn_id,
+                                &Response::Rejected {
+                                    id: r.client_id,
+                                    reason,
+                                },
+                            ),
+                            None => true,
+                        }
                     }
                 }
             }
         }
     }
-    outbox.close();
-    let _ = writer.join();
-    if let Ok(mut conns) = shared.conns.lock() {
-        conns.remove(&conn_id);
+
+    /// Queues a response on a connection's outbox, enforcing the
+    /// backpressure cap: a peer that stopped reading while replies piled
+    /// past the cap is disconnected. Returns `false` when the connection
+    /// is gone.
+    fn push_response(&mut self, conn_id: u64, resp: &Response) -> bool {
+        let payload = proto::encode_response(resp);
+        let Ok(wire) = proto::frame_bytes(&payload) else {
+            // Responses are bounded small; an oversized one is
+            // unreachable, and dropping it beats corrupting the stream.
+            return true;
+        };
+        let over_cap = match self.conns.get_mut(&conn_id) {
+            None => return false,
+            Some(conn) => {
+                if conn.outq.queued_bytes().saturating_add(wire.len()) > self.outbox_limit {
+                    true
+                } else {
+                    conn.outq.push(wire);
+                    false
+                }
+            }
+        };
+        if over_cap {
+            self.kill(conn_id);
+            return false;
+        }
+        true
+    }
+
+    /// Sends a typed error reply and marks the connection to close once
+    /// it flushes — the reply that explains the close still gets out.
+    fn push_error(&mut self, conn_id: u64, message: String) {
+        if self.push_response(conn_id, &Response::Error { message }) {
+            if let Some(conn) = self.conns.get_mut(&conn_id) {
+                conn.close_after_flush = true;
+            }
+        }
+    }
+
+    /// Opportunistically flushes, closes a drained closing connection,
+    /// and reconciles the epoll interest bits with what the connection's
+    /// state wants — the write-interest toggle.
+    fn sync_interest(&mut self, conn_id: u64) {
+        let flushed = match self.conns.get_mut(&conn_id) {
+            None => return,
+            Some(conn) if conn.outq.is_empty() => Ok(true),
+            Some(conn) => conn.outq.flush(&mut conn.stream),
+        };
+        if flushed.is_err() {
+            self.kill(conn_id);
+            return;
+        }
+        let (fd, want, have) = match self.conns.get_mut(&conn_id) {
+            None => return,
+            Some(conn) => {
+                if conn.close_after_flush && conn.outq.is_empty() {
+                    self.kill(conn_id);
+                    return;
+                }
+                (conn.stream.as_raw_fd(), conn.want(), conn.interest)
+            }
+        };
+        if want != have {
+            if self.epoll.modify(fd, want, conn_id).is_err() {
+                self.kill(conn_id);
+                return;
+            }
+            if let Some(conn) = self.conns.get_mut(&conn_id) {
+                conn.interest = want;
+            }
+        }
+    }
+
+    /// Copies completed replies into their connections' outboxes and
+    /// reconciles interest for every touched connection.
+    fn deliver_completions(&mut self) {
+        let batch = match self.shared.completions.lock() {
+            Ok(mut completions) => std::mem::take(&mut *completions),
+            Err(_) => return,
+        };
+        if batch.is_empty() {
+            return;
+        }
+        let mut touched: Vec<u64> = Vec::with_capacity(batch.len());
+        for (conn_id, resp) in batch {
+            if self.push_response(conn_id, &resp) {
+                touched.push(conn_id);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for conn_id in touched {
+            self.sync_interest(conn_id);
+        }
+    }
+
+    /// Advances the shutdown state machine. Returns `true` when the
+    /// reactor should exit: replicas drained, completions delivered, and
+    /// every outbox flushed (or the drain deadline lapsed).
+    fn shutdown_step(&mut self) -> bool {
+        if !self.shared.shutting_down() {
+            return false;
+        }
+        if self.accepting {
+            let _ = self.epoll.delete(self.listener.as_raw_fd());
+            self.accepting = false;
+            self.accept_resume_us = None;
+        }
+        let done = self
+            .shared
+            .replicas_done
+            .lock()
+            .map(|d| *d)
+            .unwrap_or(self.shared.replicas);
+        if done < self.shared.replicas {
+            return false;
+        }
+        // All drain replies are now pushed; move them into outboxes.
+        self.deliver_completions();
+        let now = self.shared.clock.now_us();
+        let deadline = *self
+            .drain_deadline_us
+            .get_or_insert(now.saturating_add(DRAIN_FLUSH_US));
+        let conn_ids: Vec<u64> = self.conns.keys().copied().collect();
+        for conn_id in conn_ids {
+            let flushed = match self.conns.get_mut(&conn_id) {
+                None => continue,
+                Some(conn) => conn.outq.flush(&mut conn.stream),
+            };
+            match flushed {
+                Ok(true) | Err(_) => self.kill(conn_id),
+                Ok(false) if now >= deadline => self.kill(conn_id),
+                Ok(false) => self.sync_interest(conn_id),
+            }
+        }
+        self.conns.is_empty()
+    }
+
+    /// Removes a connection: deregisters and drops (closes) the socket.
+    /// Routes pointing at it resolve to completions that simply find no
+    /// connection to deliver to.
+    fn kill(&mut self, conn_id: u64) {
+        if let Some(conn) = self.conns.remove(&conn_id) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+        }
     }
 }
 
@@ -697,7 +1004,8 @@ fn next_plan(shared: &Shared) -> Option<BatchPlan> {
 
 /// One replica: draws micro-batches from the shared queue, rejects
 /// deadline-lapsed requests, runs ready batches through its own model
-/// clone, and accounts its busy time.
+/// clone, and accounts its busy time. Replies land in the completion
+/// queue with one eventfd wake per micro-batch.
 fn replica_loop(engine: &mut ServeEngine, shared: Arc<Shared>, idx: usize) {
     // Each replica owns one stats slot; a bad index means the spawner is
     // broken, and degrading to no service beats a panic in a worker.
@@ -708,6 +1016,7 @@ fn replica_loop(engine: &mut ServeEngine, shared: Arc<Shared>, idx: usize) {
                 *done += 1;
                 shared.replicas_done_cv.notify_all();
             }
+            let _ = shared.wake.wake();
             return;
         }
     };
@@ -719,6 +1028,9 @@ fn replica_loop(engine: &mut ServeEngine, shared: Arc<Shared>, idx: usize) {
             });
         }
         if plan.ready.is_empty() {
+            if !plan.expired.is_empty() {
+                let _ = shared.wake.wake();
+            }
             continue;
         }
         let t0 = shared.clock.now_us();
@@ -753,9 +1065,12 @@ fn replica_loop(engine: &mut ServeEngine, shared: Arc<Shared>, idx: usize) {
                 }
             }
         }
+        // One wake per micro-batch, not per reply.
+        let _ = shared.wake.wake();
     }
     if let Ok(mut done) = shared.replicas_done.lock() {
         *done += 1;
         shared.replicas_done_cv.notify_all();
     }
+    let _ = shared.wake.wake();
 }

@@ -74,8 +74,9 @@ pub use params_io::{deserialize_params, serialize_params};
 pub use partitioner::{partition, Block};
 pub use profiler::{LinearMemoryModel, Profiler, UnitProfile};
 pub use serve::{
-    latency_percentiles, AdmissionError, BatchPlan, Clock, MicroBatcher, ServeEngine, ServePolicy,
-    ServeReply, ServeRequest, SloTier, SystemClock, VirtualClock, MAX_REPLICAS,
+    latency_percentiles, reactor_timeout_ms, AdmissionError, BatchPlan, Clock, MicroBatcher,
+    ServeEngine, ServePolicy, ServeReply, ServeRequest, SloTier, SystemClock, VirtualClock,
+    MAX_REPLICAS,
 };
 pub use worker::{RunHooks, TrainEvent, Worker, WorkerReport};
 

@@ -131,6 +131,10 @@ pub struct ServePolicy {
     /// Batcher/model replicas sharing the admission queue. `0` = one per
     /// host core. Each replica owns a bit-identical model clone.
     pub replicas: usize,
+    /// Per-connection outbox cap in KiB: a peer that stops reading while
+    /// this many reply bytes pile up is disconnected (backpressure), so
+    /// one slow client can never pin server memory.
+    pub outbox_kib: usize,
 }
 
 impl Default for ServePolicy {
@@ -142,6 +146,7 @@ impl Default for ServePolicy {
             batch_window_us: 500,
             deadline_us: [10_000, 50_000, 250_000],
             replicas: 0,
+            outbox_kib: 1024,
         }
     }
 }
@@ -204,6 +209,9 @@ impl ServePolicy {
             return Err(NfError::BadConfig(format!(
                 "serve.replicas must be ≤ {MAX_REPLICAS} (0 = one per core)"
             )));
+        }
+        if self.outbox_kib == 0 {
+            return Err(NfError::BadConfig("serve.outbox_kib must be > 0".into()));
         }
         Ok(())
     }
@@ -415,6 +423,24 @@ impl VirtualClock {
 impl Clock for VirtualClock {
     fn now_us(&self) -> u64 {
         self.us.load(Ordering::SeqCst)
+    }
+}
+
+/// Converts an optional absolute deadline (µs, on the serving clock) into
+/// an `epoll_wait`-style millisecond timeout measured from `now_us`:
+/// `None` → `-1` (block until a wake), a lapsed deadline → `0` (poll),
+/// otherwise the gap rounded **up** to whole milliseconds — rounding down
+/// would wake the reactor a sub-millisecond early and spin it against a
+/// deadline that has not lapsed yet.
+pub fn reactor_timeout_ms(now_us: u64, deadline_us: Option<u64>) -> i32 {
+    match deadline_us {
+        None => -1,
+        Some(d) if d <= now_us => 0,
+        Some(d) => {
+            let gap = d - now_us;
+            let ms = gap / 1000 + u64::from(!gap.is_multiple_of(1000));
+            ms.min(i32::MAX as u64) as i32
+        }
     }
 }
 
@@ -702,6 +728,32 @@ mod tests {
         }
         assert!("turbo".parse::<SloTier>().is_err());
         assert_eq!(SloTier::from_index(3), None);
+    }
+
+    #[test]
+    fn reactor_timeout_blocks_polls_and_rounds_up() {
+        // No deadline → block until a wake.
+        assert_eq!(reactor_timeout_ms(5_000, None), -1);
+        // Lapsed (or exactly-now) deadline → poll.
+        assert_eq!(reactor_timeout_ms(5_000, Some(4_000)), 0);
+        assert_eq!(reactor_timeout_ms(5_000, Some(5_000)), 0);
+        // Sub-millisecond gaps round UP: never wake before the deadline.
+        assert_eq!(reactor_timeout_ms(5_000, Some(5_001)), 1);
+        assert_eq!(reactor_timeout_ms(5_000, Some(5_999)), 1);
+        assert_eq!(reactor_timeout_ms(5_000, Some(6_000)), 1);
+        assert_eq!(reactor_timeout_ms(5_000, Some(6_001)), 2);
+        assert_eq!(reactor_timeout_ms(0, Some(50_000)), 50);
+        // Absurd gaps clamp to i32 rather than wrapping negative.
+        assert_eq!(reactor_timeout_ms(0, Some(u64::MAX)), i32::MAX);
+    }
+
+    #[test]
+    fn policy_rejects_zero_outbox() {
+        let no_outbox = ServePolicy {
+            outbox_kib: 0,
+            ..ServePolicy::default()
+        };
+        assert!(no_outbox.validate().is_err());
     }
 
     #[test]

@@ -69,6 +69,19 @@ pub struct AllowEntry {
     pub line: usize,
 }
 
+/// One `[[unsafe-module]]` entry: a file where `unsafe` is permitted
+/// (every use still needs a SAFETY comment), with a mandatory
+/// justification for why this module gets the exemption at all.
+#[derive(Debug, Clone)]
+pub struct UnsafeModule {
+    /// Path suffix (relative, forward slashes) of the exempted module.
+    pub path: String,
+    /// Mandatory human explanation; the tool refuses empty ones.
+    pub justification: String,
+    /// lint.toml line the entry starts on.
+    pub line: usize,
+}
+
 /// The full typed configuration.
 #[derive(Debug, Default)]
 pub struct LintConfig {
@@ -82,8 +95,8 @@ pub struct LintConfig {
     pub no_panic: Scope,
     /// Scope for `unsafe-confinement`.
     pub unsafe_confinement: Scope,
-    /// File suffixes where `unsafe` is permitted (with SAFETY comments).
-    pub unsafe_allowed: Vec<String>,
+    /// Modules where `unsafe` is permitted, each with a justification.
+    pub unsafe_modules: Vec<UnsafeModule>,
     /// Scope for `clock-discipline`.
     pub clock_discipline: Scope,
     /// Scope for `determinism`.
@@ -171,6 +184,7 @@ enum Section {
     None,
     Rule(Rule),
     Allow,
+    UnsafeModule,
 }
 
 /// In-progress `[[allow]]` entry before validation.
@@ -182,6 +196,33 @@ struct PendingAllow {
     func: Option<String>,
     justification: Option<String>,
     line: usize,
+}
+
+/// In-progress `[[unsafe-module]]` entry before validation.
+#[derive(Default)]
+struct PendingUnsafeModule {
+    path: Option<String>,
+    justification: Option<String>,
+    line: usize,
+}
+
+fn finish_unsafe_module(pending: PendingUnsafeModule) -> Result<UnsafeModule, ConfigError> {
+    let line = pending.line;
+    let Some(path) = pending.path else {
+        return err(line, "[[unsafe-module]] entry is missing `path`");
+    };
+    let justification = pending.justification.unwrap_or_default();
+    if justification.trim().is_empty() {
+        return err(
+            line,
+            "[[unsafe-module]] entry has no justification — every unsafe exemption must say why",
+        );
+    }
+    Ok(UnsafeModule {
+        path,
+        justification,
+        line,
+    })
 }
 
 fn finish_allow(pending: PendingAllow) -> Result<AllowEntry, ConfigError> {
@@ -234,11 +275,13 @@ fn assign_rule_key(
             return err(line, "into_paths must be an array of strings");
         }
         (Rule::UnsafeConfinement, "allowed") => {
-            if let Value::Array(items) = value {
-                cfg.unsafe_allowed = items;
-                return Ok(());
-            }
-            return err(line, "allowed must be an array of strings");
+            // The bare suffix list predates justifications; refuse it
+            // with a pointer so a stale config fails loudly.
+            return err(
+                line,
+                "`allowed` was replaced by [[unsafe-module]] entries \
+                 (path + mandatory justification)",
+            );
         }
         _ => {}
     }
@@ -274,6 +317,7 @@ pub fn parse(text: &str) -> Result<LintConfig, ConfigError> {
     // required for each rule so the config is self-documenting.
     let mut section = Section::None;
     let mut pending: Option<PendingAllow> = None;
+    let mut pending_module: Option<PendingUnsafeModule> = None;
 
     let mut lines = text.lines().enumerate().peekable();
     while let Some((idx, raw_line)) = lines.next() {
@@ -305,11 +349,28 @@ pub fn parse(text: &str) -> Result<LintConfig, ConfigError> {
             if let Some(p) = pending.take() {
                 cfg.allows.push(finish_allow(p)?);
             }
+            if let Some(m) = pending_module.take() {
+                cfg.unsafe_modules.push(finish_unsafe_module(m)?);
+            }
             pending = Some(PendingAllow {
                 line: lineno,
                 ..PendingAllow::default()
             });
             section = Section::Allow;
+            continue;
+        }
+        if line == "[[unsafe-module]]" {
+            if let Some(p) = pending.take() {
+                cfg.allows.push(finish_allow(p)?);
+            }
+            if let Some(m) = pending_module.take() {
+                cfg.unsafe_modules.push(finish_unsafe_module(m)?);
+            }
+            pending_module = Some(PendingUnsafeModule {
+                line: lineno,
+                ..PendingUnsafeModule::default()
+            });
+            section = Section::UnsafeModule;
             continue;
         }
         if let Some(name) = line
@@ -318,6 +379,9 @@ pub fn parse(text: &str) -> Result<LintConfig, ConfigError> {
         {
             if let Some(p) = pending.take() {
                 cfg.allows.push(finish_allow(p)?);
+            }
+            if let Some(m) = pending_module.take() {
+                cfg.unsafe_modules.push(finish_unsafe_module(m)?);
             }
             let Some(rule) = Rule::from_name(name) else {
                 return err(lineno, format!("unknown rule `{name}`"));
@@ -364,10 +428,28 @@ pub fn parse(text: &str) -> Result<LintConfig, ConfigError> {
                     }
                 }
             }
+            Section::UnsafeModule => {
+                let Some(m) = pending_module.as_mut() else {
+                    return err(lineno, "internal: unsafe-module section without entry");
+                };
+                match (key, value) {
+                    ("path", Value::Str(s)) => m.path = Some(s),
+                    ("justification", Value::Str(s)) => m.justification = Some(s),
+                    (other, _) => {
+                        return err(
+                            lineno,
+                            format!("unknown or mistyped key `{other}` in [[unsafe-module]]"),
+                        )
+                    }
+                }
+            }
         }
     }
     if let Some(p) = pending.take() {
         cfg.allows.push(finish_allow(p)?);
+    }
+    if let Some(m) = pending_module.take() {
+        cfg.unsafe_modules.push(finish_unsafe_module(m)?);
     }
     Ok(cfg)
 }
@@ -404,6 +486,42 @@ justification = "loadgen measures real client-observed latency"
         assert_eq!(cfg.allows[0].pattern.as_deref(), Some("Instant::now"));
         // Rules without a section stay disabled.
         assert!(!cfg.determinism.enabled);
+    }
+
+    #[test]
+    fn unsafe_modules_parse_with_justifications() {
+        let cfg = parse(
+            r#"
+[rules.unsafe-confinement]
+paths = ["crates/"]
+
+[[unsafe-module]]
+path = "kernels/simd.rs"
+justification = "SIMD intrinsics"
+
+[[unsafe-module]]
+path = "net/sys.rs"
+justification = "epoll bindings"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.unsafe_modules.len(), 2);
+        assert_eq!(cfg.unsafe_modules[1].path, "net/sys.rs");
+        assert_eq!(cfg.unsafe_modules[1].justification, "epoll bindings");
+    }
+
+    #[test]
+    fn unsafe_module_without_justification_is_an_error() {
+        let e = parse("[[unsafe-module]]\npath = \"net/sys.rs\"\n").unwrap_err();
+        assert!(e.message.contains("justification"), "{e}");
+        let e = parse("[[unsafe-module]]\njustification = \"why\"\n").unwrap_err();
+        assert!(e.message.contains("path"), "{e}");
+    }
+
+    #[test]
+    fn legacy_allowed_key_points_at_unsafe_module() {
+        let e = parse("[rules.unsafe-confinement]\nallowed = [\"kernels/simd.rs\"]\n").unwrap_err();
+        assert!(e.message.contains("unsafe-module"), "{e}");
     }
 
     #[test]

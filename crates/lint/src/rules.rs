@@ -17,7 +17,8 @@ pub enum Rule {
     HotPathAlloc,
     /// No panics or slice indexing in the serve/proto/loadgen layer.
     NoPanic,
-    /// `unsafe` only in the two SIMD modules, each use SAFETY-commented.
+    /// `unsafe` only in the `[[unsafe-module]]` entries declared (and
+    /// justified) in `lint.toml`, each use SAFETY-commented.
     UnsafeConfinement,
     /// No wall clocks or sleeps outside `Clock` impls and bench bins.
     ClockDiscipline,
@@ -249,9 +250,9 @@ pub fn check_no_panic(ctx: &FileContext<'_>, _cfg: &LintConfig, out: &mut Vec<Fi
 /// or inside them without a `// SAFETY:` comment within 6 lines above.
 pub fn check_unsafe_confinement(ctx: &FileContext<'_>, cfg: &LintConfig, out: &mut Vec<Finding>) {
     let allowed_here = cfg
-        .unsafe_allowed
+        .unsafe_modules
         .iter()
-        .any(|suffix| ctx.path.ends_with(suffix.as_str()));
+        .any(|m| ctx.path.ends_with(m.path.as_str()));
     for (i, t) in ctx.lexed.tokens.iter().enumerate() {
         if !t.is_ident("unsafe") || ctx.analysis.test_mask[i] {
             continue;
@@ -260,8 +261,9 @@ pub fn check_unsafe_confinement(ctx: &FileContext<'_>, cfg: &LintConfig, out: &m
             out.push(ctx.finding(
                 Rule::UnsafeConfinement,
                 i,
-                "unsafe is confined to the SIMD kernel modules; move the unsafe \
-                 operation behind a safe wrapper there",
+                "unsafe is confined to the modules declared in lint.toml's \
+                 [[unsafe-module]] entries; move the unsafe operation behind a \
+                 safe wrapper there, or declare (and justify) this module",
             ));
             continue;
         }

@@ -22,8 +22,9 @@ fn fixture(name: &str) -> String {
 }
 
 /// A config with every rule scoped over the whole workspace, kernel and
-/// `*_into` policing over crates/tensor, and the two SIMD allow files —
-/// mirroring the committed lint.toml shape without its allow entries.
+/// `*_into` policing over crates/tensor, and the two SIMD modules
+/// declared via `[[unsafe-module]]` — mirroring the committed lint.toml
+/// shape without its allow entries.
 fn all_rules_config() -> LintConfig {
     config::parse(
         r#"
@@ -37,7 +38,14 @@ paths = ["crates/", "src/"]
 
 [rules.unsafe-confinement]
 paths = ["crates/", "src/"]
-allowed = ["kernels/simd.rs", "kernels/simd_int8.rs"]
+
+[[unsafe-module]]
+path = "kernels/simd.rs"
+justification = "fixture: SIMD intrinsics"
+
+[[unsafe-module]]
+path = "kernels/simd_int8.rs"
+justification = "fixture: SIMD intrinsics"
 
 [rules.clock-discipline]
 paths = ["crates/", "src/"]
@@ -146,6 +154,46 @@ fn unsafe_stays_clean_with_safety_comment_in_simd() {
         Rule::UnsafeConfinement,
     );
     assert!(hits.is_empty(), "unexpected findings: {hits:?}");
+}
+
+#[test]
+fn unsafe_module_declaration_admits_new_modules() {
+    // The same source fires at an undeclared path and stays clean once
+    // the path is declared via [[unsafe-module]] with a justification —
+    // the committed lint.toml uses exactly this to admit net/sys.rs.
+    let bare = config::parse("[rules.unsafe-confinement]\npaths = [\"crates/\"]\n")
+        .expect("config parses");
+    let hits = check_source(
+        "crates/cli/src/net/sys.rs",
+        &fixture("unsafe_clean.rs"),
+        &bare,
+    );
+    assert_eq!(hits.len(), 1, "undeclared module must fire: {hits:?}");
+    assert!(hits[0].help.contains("confined"));
+
+    let declared = config::parse(
+        r#"
+[rules.unsafe-confinement]
+paths = ["crates/"]
+
+[[unsafe-module]]
+path = "crates/cli/src/net/sys.rs"
+justification = "fixture: raw epoll bindings"
+"#,
+    )
+    .expect("config parses");
+    let hits = check_source(
+        "crates/cli/src/net/sys.rs",
+        &fixture("unsafe_clean.rs"),
+        &declared,
+    );
+    assert!(hits.is_empty(), "declared module must be clean: {hits:?}");
+}
+
+#[test]
+fn unsafe_module_justification_is_mandatory() {
+    let err = config::parse("[[unsafe-module]]\npath = \"x.rs\"\n").unwrap_err();
+    assert!(err.message.contains("justification"), "{err:?}");
 }
 
 #[test]
